@@ -1,0 +1,25 @@
+//! Performance benches for the inequality metrics.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use scrip_core::des::SimRng;
+use scrip_core::econ::lorenz::LorenzCurve;
+use scrip_core::econ::{gini, gini_from_pmf};
+use scrip_core::queueing::approx::exact_symmetric_marginal;
+
+fn bench_gini(c: &mut Criterion) {
+    let mut rng = SimRng::seed_from_u64(1);
+    let sample: Vec<f64> = (0..100_000).map(|_| rng.uniform_f64() * 1_000.0).collect();
+    c.bench_function("gini_sample_100k", |b| {
+        b.iter(|| black_box(gini(&sample).expect("valid")))
+    });
+    let pmf = exact_symmetric_marginal(50_000, 50).expect("valid");
+    c.bench_function("gini_from_pmf_50k", |b| {
+        b.iter(|| black_box(gini_from_pmf(&pmf).expect("valid")))
+    });
+    c.bench_function("lorenz_from_pmf_50k", |b| {
+        b.iter(|| black_box(LorenzCurve::from_pmf(&pmf).expect("valid")))
+    });
+}
+
+criterion_group!(benches, bench_gini);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! End-to-end figure-regeneration benches (quick scale): how long each
+//! experiment of the paper's evaluation takes to reproduce.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use scrip_bench::figures;
+use scrip_bench::scale::RunScale;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures_quick_scale");
+    group.sample_size(10);
+    group.bench_function("fig01", |b| {
+        b.iter(|| black_box(figures::fig01_spending_rates(RunScale::Quick)))
+    });
+    group.bench_function("fig02", |b| {
+        b.iter(|| black_box(figures::fig02_lorenz_pmf(RunScale::Quick)))
+    });
+    group.bench_function("fig04", |b| {
+        b.iter(|| black_box(figures::fig04_efficiency(RunScale::Quick)))
+    });
+    group.bench_function("fig07", |b| {
+        b.iter(|| black_box(figures::fig07_gini_evolution_symmetric(RunScale::Quick)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

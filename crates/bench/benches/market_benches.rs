@@ -1,0 +1,67 @@
+//! Performance benches for the market simulators.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use scrip_core::des::SimTime;
+use scrip_core::market::{run_market, MarketConfig};
+use scrip_core::pricing::PricingConfig;
+
+fn bench_queue_market(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue_market_1000s");
+    group.sample_size(10);
+    for n in [100usize, 300] {
+        group.bench_with_input(BenchmarkId::new("symmetric", n), &n, |b, &n| {
+            b.iter(|| {
+                black_box(
+                    run_market(
+                        MarketConfig::new(n, 50).symmetric(),
+                        7,
+                        SimTime::from_secs(1_000),
+                    )
+                    .expect("runs"),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("asymmetric_poisson", n), &n, |b, &n| {
+            b.iter(|| {
+                black_box(
+                    run_market(
+                        MarketConfig::new(n, 50)
+                            .asymmetric()
+                            .pricing(PricingConfig::ChunkPoisson { mean: 1.0 }),
+                        7,
+                        SimTime::from_secs(1_000),
+                    )
+                    .expect("runs"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_protocol_market(c: &mut Criterion) {
+    use scrip_core::des::SimRng;
+    use scrip_core::protocol::StreamingMarket;
+    use scrip_core::streaming::StreamingConfig;
+    use scrip_core::topology::generators::{self, ScaleFreeConfig};
+
+    let mut group = c.benchmark_group("protocol_market_120s");
+    group.sample_size(10);
+    group.bench_function("n50_rate1", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::seed_from_u64(3);
+            let g = generators::scale_free(&ScaleFreeConfig::new(50).expect("cfg"), &mut rng)
+                .expect("graph");
+            black_box(
+                StreamingMarket::new(50)
+                    .streaming(StreamingConfig::market_paced(1.0))
+                    .run(g, 3, SimTime::from_secs(120))
+                    .expect("runs"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queue_market, bench_protocol_market);
+criterion_main!(benches);

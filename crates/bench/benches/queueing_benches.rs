@@ -1,0 +1,90 @@
+//! Performance benches for the queueing-network analytics (the engines
+//! behind the paper's Figs. 2–4 and the market analysis).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use scrip_core::des::SimRng;
+use scrip_core::model::uniform_routing;
+use scrip_core::queueing::approx::{eq8_symmetric_marginal, exact_symmetric_marginal};
+use scrip_core::queueing::closed::ClosedJackson;
+use scrip_core::queueing::condensation::empirical_threshold;
+use scrip_core::queueing::stationary::{direct_solve, power_iteration, PowerOptions};
+use scrip_core::topology::generators::{self, ScaleFreeConfig};
+
+fn jittered_utilizations(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut u: Vec<f64> = (0..n).map(|_| 0.8 + 0.2 * rng.uniform_f64()).collect();
+    u[0] = 1.0;
+    u
+}
+
+fn bench_buzen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buzen_convolution");
+    for (n, m) in [(50usize, 5_000usize), (200, 20_000), (500, 50_000)] {
+        let network =
+            ClosedJackson::from_utilizations(&jittered_utilizations(n, 7)).expect("valid");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("N{n}_M{m}")),
+            &(network, m),
+            |b, (network, m)| b.iter(|| black_box(network.convolution(*m))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_expected_lengths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mean_wealth");
+    let n = 200;
+    let m = 20_000;
+    let network = ClosedJackson::from_utilizations(&jittered_utilizations(n, 9)).expect("valid");
+    group.bench_function("buzen_expected_lengths", |b| {
+        b.iter(|| black_box(network.expected_lengths(m)))
+    });
+    group.bench_function("mva", |b| b.iter(|| black_box(network.mva(m))));
+    group.finish();
+}
+
+fn bench_stationary_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stationary_flows");
+    for n in [100usize, 300] {
+        let mut rng = SimRng::seed_from_u64(n as u64);
+        let g = generators::scale_free(&ScaleFreeConfig::new(n).expect("cfg"), &mut rng)
+            .expect("graph");
+        let (_, p) = uniform_routing(&g).expect("routing");
+        group.bench_with_input(BenchmarkId::new("direct", n), &p, |b, p| {
+            b.iter(|| black_box(direct_solve(p).expect("solves")))
+        });
+        group.bench_with_input(BenchmarkId::new("power", n), &p, |b, p| {
+            b.iter(|| black_box(power_iteration(p, PowerOptions::default()).expect("solves")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_marginals(c: &mut Criterion) {
+    let mut group = c.benchmark_group("symmetric_marginals");
+    let (m, n) = (50_000usize, 50usize);
+    group.bench_function("eq8_binomial", |b| {
+        b.iter(|| black_box(eq8_symmetric_marginal(m, n).expect("valid")))
+    });
+    group.bench_function("exact_product_form", |b| {
+        b.iter(|| black_box(exact_symmetric_marginal(m, n).expect("valid")))
+    });
+    group.finish();
+}
+
+fn bench_threshold(c: &mut Criterion) {
+    let u = jittered_utilizations(10_000, 11);
+    c.bench_function("condensation_threshold_n10000", |b| {
+        b.iter(|| black_box(empirical_threshold(&u, 1e-6).expect("valid")))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_buzen,
+    bench_expected_lengths,
+    bench_stationary_solvers,
+    bench_marginals,
+    bench_threshold
+);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Performance benches for overlay generation and metrics.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use scrip_core::des::SimRng;
+use scrip_core::topology::generators::{self, ScaleFreeConfig};
+use scrip_core::topology::metrics::TopologyReport;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    for n in [500usize, 1_000] {
+        group.bench_with_input(BenchmarkId::new("scale_free", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = SimRng::seed_from_u64(1);
+                black_box(
+                    generators::scale_free(&ScaleFreeConfig::new(n).expect("cfg"), &mut rng)
+                        .expect("graph"),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("barabasi_albert_m10", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = SimRng::seed_from_u64(1);
+                black_box(generators::barabasi_albert(n, 10, &mut rng).expect("graph"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut rng = SimRng::seed_from_u64(5);
+    let g = generators::scale_free(&ScaleFreeConfig::new(1_000).expect("cfg"), &mut rng)
+        .expect("graph");
+    c.bench_function("topology_report_n1000", |b| {
+        b.iter(|| black_box(TopologyReport::of(&g)))
+    });
+}
+
+criterion_group!(benches, bench_generators, bench_metrics);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Regenerates the `ablation_approx_vs_exact` experiment; prints CSV to stdout.
+//! Set `SCRIP_QUICK=1` for a reduced-scale run.
+
+fn main() {
+    let scale = scrip_bench::scale::RunScale::from_env();
+    let figure = scrip_bench::figures::ablation_approx_vs_exact(scale);
+    print!("{}", figure.to_csv());
+}

@@ -1,0 +1,8 @@
+//! Regenerates the `ablation_queue_vs_protocol` experiment; prints CSV to stdout.
+//! Set `SCRIP_QUICK=1` for a reduced-scale run.
+
+fn main() {
+    let scale = scrip_bench::scale::RunScale::from_env();
+    let figure = scrip_bench::figures::ablation_queue_vs_protocol(scale);
+    print!("{}", figure.to_csv());
+}

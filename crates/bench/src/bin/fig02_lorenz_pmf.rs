@@ -1,0 +1,8 @@
+//! Regenerates the `fig02_lorenz_pmf` experiment; prints CSV to stdout.
+//! Set `SCRIP_QUICK=1` for a reduced-scale run.
+
+fn main() {
+    let scale = scrip_bench::scale::RunScale::from_env();
+    let figure = scrip_bench::figures::fig02_lorenz_pmf(scale);
+    print!("{}", figure.to_csv());
+}

@@ -1,0 +1,8 @@
+//! Regenerates the `fig05_convergence_early` experiment; prints CSV to stdout.
+//! Set `SCRIP_QUICK=1` for a reduced-scale run.
+
+fn main() {
+    let scale = scrip_bench::scale::RunScale::from_env();
+    let figure = scrip_bench::figures::fig05_convergence_early(scale);
+    print!("{}", figure.to_csv());
+}

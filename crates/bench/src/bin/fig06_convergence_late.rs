@@ -1,0 +1,8 @@
+//! Regenerates the `fig06_convergence_late` experiment; prints CSV to stdout.
+//! Set `SCRIP_QUICK=1` for a reduced-scale run.
+
+fn main() {
+    let scale = scrip_bench::scale::RunScale::from_env();
+    let figure = scrip_bench::figures::fig06_convergence_late(scale);
+    print!("{}", figure.to_csv());
+}

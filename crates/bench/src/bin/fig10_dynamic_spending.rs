@@ -1,0 +1,8 @@
+//! Regenerates the `fig10_dynamic_spending` experiment; prints CSV to stdout.
+//! Set `SCRIP_QUICK=1` for a reduced-scale run.
+
+fn main() {
+    let scale = scrip_bench::scale::RunScale::from_env();
+    let figure = scrip_bench::figures::fig10_dynamic_spending(scale);
+    print!("{}", figure.to_csv());
+}

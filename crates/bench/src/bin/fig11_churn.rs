@@ -1,0 +1,8 @@
+//! Regenerates the `fig11_churn` experiment; prints CSV to stdout.
+//! Set `SCRIP_QUICK=1` for a reduced-scale run.
+
+fn main() {
+    let scale = scrip_bench::scale::RunScale::from_env();
+    let figure = scrip_bench::figures::fig11_churn(scale);
+    print!("{}", figure.to_csv());
+}

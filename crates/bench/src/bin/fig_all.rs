@@ -1,0 +1,47 @@
+//! Regenerates every figure and ablation of the paper's evaluation in
+//! one run, printing each figure's metadata and measured notes (the
+//! data recorded in `EXPERIMENTS.md`). Pass `--csv` to also dump the
+//! full series.
+//!
+//! Set `SCRIP_QUICK=1` for a reduced-scale smoke run.
+
+use scrip_bench::figures::{self, FigureResult};
+use scrip_bench::scale::RunScale;
+
+fn main() {
+    let dump_csv = std::env::args().any(|a| a == "--csv");
+    let scale = RunScale::from_env();
+    eprintln!("running at scale {scale:?} (set SCRIP_QUICK=1 for quick runs)");
+
+    let experiments: Vec<(&str, fn(RunScale) -> FigureResult)> = vec![
+        ("fig01", figures::fig01_spending_rates),
+        ("fig02", figures::fig02_lorenz_pmf),
+        ("fig03", figures::fig03_gini_vs_wealth),
+        ("fig04", figures::fig04_efficiency),
+        ("fig05", figures::fig05_convergence_early),
+        ("fig06", figures::fig06_convergence_late),
+        ("fig07", figures::fig07_gini_evolution_symmetric),
+        ("fig08", figures::fig08_gini_evolution_asymmetric),
+        ("fig09", figures::fig09_taxation),
+        ("fig10", figures::fig10_dynamic_spending),
+        ("fig11", figures::fig11_churn),
+        ("ablation1", figures::ablation_approx_vs_exact),
+        ("ablation2", figures::ablation_solvers),
+        ("ablation3", figures::ablation_queue_vs_protocol),
+    ];
+
+    for (name, run) in experiments {
+        let start = std::time::Instant::now();
+        let fig = run(scale);
+        let elapsed = start.elapsed();
+        println!("== {} — {} ({:.1?})", fig.id, fig.title, elapsed);
+        println!("   paper: {}", fig.paper_expectation);
+        for note in &fig.notes {
+            println!("   measured: {note}");
+        }
+        if dump_csv {
+            print!("{}", fig.to_csv());
+        }
+        let _ = name;
+    }
+}

@@ -1,0 +1,86 @@
+//! Figs. 7–8 — evolution of the Gini index over time for average
+//! wealth c ∈ {50, 100, 200}, under (near-)symmetric and asymmetric
+//! utilization.
+//!
+//! Paper observations: the Gini always converges (a stable circulation
+//! is reached), and larger average wealth stabilizes at a larger Gini.
+//! The asymmetric case stabilizes higher than the symmetric one.
+
+use scrip_core::des::{SimDuration, SimTime};
+use scrip_core::market::{run_market, MarketConfig};
+
+use crate::figures::{FigureResult, Series};
+use crate::scale::RunScale;
+
+const WEALTH_LEVELS: [u64; 3] = [50, 100, 200];
+
+/// Rate jitter of the quasi-symmetric regime (see `UtilizationProfile::
+/// NearSymmetric`): a real protocol's availability-driven routing is
+/// only nominally symmetric, which is what produces the paper's
+/// c-ordered plateaus.
+const NEAR_SYMMETRIC_SPREAD: f64 = 0.03;
+
+fn gini_evolution(
+    scale: RunScale,
+    configure: impl Fn(MarketConfig) -> MarketConfig,
+) -> (Vec<Series>, Vec<String>) {
+    let n = scale.pick(500, 60);
+    let horizon = SimTime::from_secs(scale.pick(40_000, 2_000));
+    let sample = SimDuration::from_secs(scale.pick(200, 100));
+    let mut series = Vec::new();
+    let mut notes = Vec::new();
+    for &c in &WEALTH_LEVELS {
+        let config = configure(MarketConfig::new(n, c).sample_interval(sample));
+        let market = run_market(config, 4242, horizon).expect("market runs");
+        let points: Vec<(f64, f64)> = market
+            .gini_series()
+            .samples()
+            .iter()
+            .map(|&(t, g)| (t.as_secs_f64(), g))
+            .collect();
+        let plateau = market.gini_series().tail_mean(10).unwrap_or(0.0);
+        let converged = market.gini_series().has_converged(10, 0.05);
+        notes.push(format!(
+            "c={c}: plateau Gini = {plateau:.3}, converged (±0.05 over last 10 samples) = \
+             {converged}"
+        ));
+        series.push(Series::new(format!("c{c}"), points));
+    }
+    (series, notes)
+}
+
+/// Regenerates Fig. 7 (near-symmetric utilization).
+pub fn fig07_gini_evolution_symmetric(scale: RunScale) -> FigureResult {
+    let (series, notes) = gini_evolution(scale, |cfg| {
+        cfg.near_symmetric(NEAR_SYMMETRIC_SPREAD)
+    });
+    FigureResult {
+        id: "fig07".into(),
+        title: "Evolution of Gini index under (near-)symmetric utilization".into(),
+        paper_expectation:
+            "Gini converges for every c; the larger the average wealth, the larger the \
+             stabilized Gini"
+                .into(),
+        x_label: "time (s)".into(),
+        y_label: "Gini index".into(),
+        series,
+        notes,
+    }
+}
+
+/// Regenerates Fig. 8 (asymmetric utilization).
+pub fn fig08_gini_evolution_asymmetric(scale: RunScale) -> FigureResult {
+    let (series, notes) = gini_evolution(scale, |cfg| cfg.asymmetric());
+    FigureResult {
+        id: "fig08".into(),
+        title: "Evolution of Gini index under asymmetric utilization".into(),
+        paper_expectation:
+            "stable state reached in all cases; larger c gives larger stabilized Gini, higher \
+             than the symmetric case"
+                .into(),
+        x_label: "time (s)".into(),
+        y_label: "Gini index".into(),
+        series,
+        notes,
+    }
+}

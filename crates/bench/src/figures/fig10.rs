@@ -1,0 +1,66 @@
+//! Fig. 10 — static vs dynamic spending rates.
+//!
+//! Paper setup (Sec. VI-D): asymmetric utilization, c = 100; a peer
+//! with wealth above a threshold `m` spends at `μ_s·B/m` instead of
+//! `μ_s`. Observation: the stabilized Gini under dynamic spending is
+//! smaller — encouraging the rich to spend mitigates condensation.
+
+use scrip_core::des::{SimDuration, SimTime};
+use scrip_core::market::{run_market, MarketConfig};
+use scrip_core::policy::SpendingPolicy;
+
+use crate::figures::{FigureResult, Series};
+use crate::scale::RunScale;
+
+/// Regenerates Fig. 10.
+pub fn fig10_dynamic_spending(scale: RunScale) -> FigureResult {
+    let n = scale.pick(500, 60);
+    let horizon = SimTime::from_secs(scale.pick(40_000, 2_000));
+    let sample = SimDuration::from_secs(scale.pick(200, 100));
+    let threshold = 100; // the average wealth, as in the paper's setup
+    let cases = [
+        ("without_adjustment", SpendingPolicy::Fixed),
+        (
+            "with_adjustment",
+            SpendingPolicy::Dynamic { threshold },
+        ),
+    ];
+    let mut series = Vec::new();
+    let mut notes = Vec::new();
+    let mut plateaus = Vec::new();
+    for (label, policy) in cases {
+        let config = MarketConfig::new(n, 100)
+            .asymmetric()
+            .spending(policy)
+            .sample_interval(sample);
+        let market = run_market(config, 888, horizon).expect("market runs");
+        let plateau = market.gini_series().tail_mean(10).unwrap_or(0.0);
+        plateaus.push(plateau);
+        notes.push(format!("{label}: plateau Gini = {plateau:.3}"));
+        let points = market
+            .gini_series()
+            .samples()
+            .iter()
+            .map(|&(t, g)| (t.as_secs_f64(), g))
+            .collect();
+        series.push(Series::new(label, points));
+    }
+    if plateaus.len() == 2 {
+        notes.push(format!(
+            "dynamic-spending Gini reduction: {:.3}",
+            plateaus[0] - plateaus[1]
+        ));
+    }
+    FigureResult {
+        id: "fig10".into(),
+        title: "Static vs dynamic spending rate".into(),
+        paper_expectation:
+            "the stabilized Gini with dynamic spending-rate adjustment is smaller than with \
+             fixed rates"
+                .into(),
+        x_label: "time (s)".into(),
+        y_label: "Gini index".into(),
+        series,
+        notes,
+    }
+}

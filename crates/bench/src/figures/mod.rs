@@ -1,0 +1,136 @@
+//! Figure regenerators: one function per figure of the paper's
+//! evaluation, each returning a typed [`FigureResult`].
+
+mod ablations;
+mod fig01;
+mod fig02;
+mod fig03;
+mod fig04;
+mod fig05_06;
+mod fig07_08;
+mod fig09;
+mod fig10;
+mod fig11;
+
+pub use ablations::{ablation_approx_vs_exact, ablation_queue_vs_protocol, ablation_solvers};
+pub use fig01::fig01_spending_rates;
+pub use fig02::fig02_lorenz_pmf;
+pub use fig03::fig03_gini_vs_wealth;
+pub use fig04::fig04_efficiency;
+pub use fig05_06::{fig05_convergence_early, fig06_convergence_late};
+pub use fig07_08::{fig07_gini_evolution_symmetric, fig08_gini_evolution_asymmetric};
+pub use fig09::fig09_taxation;
+pub use fig10::fig10_dynamic_spending;
+pub use fig11::fig11_churn;
+
+/// One plotted series: a label and `(x, y)` points.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// The data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+
+    /// The final y value, if any.
+    pub fn last_y(&self) -> Option<f64> {
+        self.points.last().map(|&(_, y)| y)
+    }
+
+    /// Mean of the last `k` y values ([`None`] when empty).
+    pub fn tail_mean(&self, k: usize) -> Option<f64> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let start = self.points.len().saturating_sub(k);
+        let tail = &self.points[start..];
+        Some(tail.iter().map(|&(_, y)| y).sum::<f64>() / tail.len() as f64)
+    }
+}
+
+/// A regenerated figure: identification, axis names, series, and
+/// free-form notes (the measured headline numbers recorded in
+/// `EXPERIMENTS.md`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FigureResult {
+    /// Figure identifier, e.g. `"fig01"`.
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// What the paper reports for this figure (the expectation we check
+    /// against).
+    pub paper_expectation: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The regenerated series.
+    pub series: Vec<Series>,
+    /// Measured headline numbers and commentary.
+    pub notes: Vec<String>,
+}
+
+impl FigureResult {
+    /// Renders the figure as CSV with `#`-prefixed metadata lines.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# {}: {}\n", self.id, self.title));
+        out.push_str(&format!("# paper: {}\n", self.paper_expectation));
+        for note in &self.notes {
+            out.push_str(&format!("# measured: {note}\n"));
+        }
+        out.push_str(&format!("series,{},{}\n", self.x_label, self.y_label));
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                out.push_str(&format!("{},{x:.6},{y:.6}\n", s.label));
+            }
+        }
+        out
+    }
+
+    /// Finds a series by label.
+    pub fn series(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_helpers() {
+        let s = Series::new("a", vec![(0.0, 1.0), (1.0, 3.0)]);
+        assert_eq!(s.last_y(), Some(3.0));
+        assert_eq!(s.tail_mean(2), Some(2.0));
+        assert_eq!(Series::new("e", vec![]).tail_mean(3), None);
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let fig = FigureResult {
+            id: "figX".into(),
+            title: "demo".into(),
+            paper_expectation: "up and to the right".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![Series::new("a", vec![(1.0, 2.0)])],
+            notes: vec!["note".into()],
+        };
+        let csv = fig.to_csv();
+        assert!(csv.contains("# figX: demo"));
+        assert!(csv.contains("# measured: note"));
+        assert!(csv.contains("a,1.000000,2.000000"));
+        assert!(fig.series("a").is_some());
+        assert!(fig.series("b").is_none());
+    }
+}

@@ -1,0 +1,22 @@
+//! # scrip-bench — experiment harness for the `scrip` reproduction
+//!
+//! One regenerator per table/figure of Qiu et al., *"Exploring the
+//! Sustainability of Credit-incentivized Peer-to-Peer Content
+//! Distribution"* (ICDCSW 2012), plus ablation studies and Criterion
+//! performance benches.
+//!
+//! Every figure is implemented as a library function in [`figures`]
+//! returning a typed [`figures::FigureResult`]; the `fig*` binaries
+//! print them as CSV, the `figure_smoke` integration test runs them at
+//! reduced scale, and `fig_all` regenerates the whole evaluation
+//! section in one go.
+//!
+//! Scale control: set `SCRIP_QUICK=1` to run every experiment at a
+//! reduced scale (smaller overlays, shorter horizons) — used by CI and
+//! the smoke tests. The default is the paper's scale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod scale;

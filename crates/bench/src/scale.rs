@@ -1,0 +1,41 @@
+//! Experiment scale control.
+
+/// At which scale to run an experiment.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RunScale {
+    /// The paper's scale (500–1000 peers, horizons up to 40 000 s).
+    #[default]
+    Full,
+    /// A reduced scale for smoke tests and CI.
+    Quick,
+}
+
+impl RunScale {
+    /// Reads the scale from the environment: `SCRIP_QUICK=1` selects
+    /// [`RunScale::Quick`].
+    pub fn from_env() -> Self {
+        match std::env::var("SCRIP_QUICK") {
+            Ok(v) if v != "0" && !v.is_empty() => RunScale::Quick,
+            _ => RunScale::Full,
+        }
+    }
+
+    /// Chooses between the full-scale and quick values.
+    pub fn pick<T>(self, full: T, quick: T) -> T {
+        match self {
+            RunScale::Full => full,
+            RunScale::Quick => quick,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pick_selects() {
+        assert_eq!(RunScale::Full.pick(10, 2), 10);
+        assert_eq!(RunScale::Quick.pick(10, 2), 2);
+    }
+}

@@ -1,0 +1,215 @@
+//! Auction-based chunk pricing — the paper's declared future work
+//! (Sec. VII: "a detailed characterization of non-trivial pricing
+//! mechanisms, e.g., pricing through auctions, is beyond the scope of
+//! this first attempt … We plan to study it in future work").
+//!
+//! This module implements the natural mechanism for a pull-based chunk
+//! market: a **reverse (procurement) second-price auction**. The buyer
+//! solicits asks from every neighbor able to serve the chunk; the
+//! cheapest seller wins but is paid the *second*-cheapest ask (Vickrey
+//! pricing), which makes truthful asking a dominant strategy. With a
+//! single candidate seller, the seller's own ask is paid (a posted
+//! price).
+//!
+//! The market-level effect studied here: second-price competition
+//! compresses the *dispersion* of realized prices relative to posted
+//! per-seller prices, which weakens the price-heterogeneity channel of
+//! wealth condensation (Sec. V-C). The `auction_vs_posted` comparison in
+//! the `scrip-bench` ablations quantifies this.
+
+use scrip_topology::NodeId;
+
+use crate::pricing::PricingModel;
+
+/// Outcome of one procurement auction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AuctionOutcome {
+    /// The winning (cheapest-ask) seller.
+    pub winner: NodeId,
+    /// The price actually paid: the second-lowest ask (or the winner's
+    /// ask when it is the only bidder).
+    pub price: u64,
+    /// The winner's own ask, for bookkeeping.
+    pub winning_ask: u64,
+}
+
+/// Runs a reverse second-price auction for `chunk` among `sellers`,
+/// with asks quoted by `pricing`. Ties are broken toward the
+/// lowest-numbered seller (deterministic). Returns [`None`] if
+/// `sellers` is empty.
+pub fn second_price_auction(
+    pricing: &PricingModel,
+    sellers: &[NodeId],
+    chunk: u64,
+) -> Option<AuctionOutcome> {
+    let mut best: Option<(u64, NodeId)> = None;
+    let mut second: Option<u64> = None;
+    for &s in sellers {
+        let ask = pricing.price(s, chunk);
+        match best {
+            None => best = Some((ask, s)),
+            Some((best_ask, best_seller)) => {
+                if ask < best_ask || (ask == best_ask && s < best_seller) {
+                    second = Some(best_ask);
+                    best = Some((ask, s));
+                } else {
+                    second = Some(second.map_or(ask, |x| x.min(ask)));
+                }
+            }
+        }
+    }
+    best.map(|(winning_ask, winner)| AuctionOutcome {
+        winner,
+        price: second.unwrap_or(winning_ask),
+        winning_ask,
+    })
+}
+
+/// Summary statistics of realized prices under a pricing mechanism,
+/// used to compare auction vs posted pricing.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PriceStats {
+    /// Number of trades sampled.
+    pub trades: u64,
+    /// Mean realized price.
+    pub mean: f64,
+    /// Population variance of realized prices.
+    pub variance: f64,
+}
+
+impl PriceStats {
+    /// Computes stats from a price sample.
+    pub fn from_prices(prices: &[u64]) -> Self {
+        if prices.is_empty() {
+            return PriceStats::default();
+        }
+        let n = prices.len() as f64;
+        let mean = prices.iter().sum::<u64>() as f64 / n;
+        let variance = prices
+            .iter()
+            .map(|&p| (p as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        PriceStats {
+            trades: prices.len() as u64,
+            mean,
+            variance,
+        }
+    }
+
+    /// Coefficient of variation (σ/μ); 0 for an empty or zero-mean
+    /// sample.
+    pub fn cv(&self) -> f64 {
+        if self.mean <= 0.0 {
+            0.0
+        } else {
+            self.variance.sqrt() / self.mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pricing::PricingConfig;
+    use scrip_des::SimRng;
+
+    fn ids(n: u64) -> Vec<NodeId> {
+        (0..n).map(NodeId::from_raw).collect()
+    }
+
+    fn posted_model(peers: &[NodeId], seed: u64) -> PricingModel {
+        let mut rng = SimRng::seed_from_u64(seed);
+        PricingModel::realize(PricingConfig::SellerPoisson { mean: 3.0 }, peers, &mut rng)
+            .expect("valid")
+    }
+
+    #[test]
+    fn empty_auction_yields_none() {
+        let peers = ids(3);
+        let model = posted_model(&peers, 1);
+        assert_eq!(second_price_auction(&model, &[], 0), None);
+    }
+
+    #[test]
+    fn single_seller_pays_own_ask() {
+        let peers = ids(3);
+        let model = posted_model(&peers, 2);
+        let outcome = second_price_auction(&model, &peers[..1], 0).expect("one seller");
+        assert_eq!(outcome.winner, peers[0]);
+        assert_eq!(outcome.price, model.price(peers[0], 0));
+        assert_eq!(outcome.price, outcome.winning_ask);
+    }
+
+    #[test]
+    fn winner_is_cheapest_but_pays_second_price() {
+        let peers = ids(10);
+        let model = posted_model(&peers, 3);
+        let outcome = second_price_auction(&model, &peers, 7).expect("sellers");
+        let mut asks: Vec<(u64, NodeId)> =
+            peers.iter().map(|&s| (model.price(s, 7), s)).collect();
+        asks.sort();
+        assert_eq!(outcome.winner, asks[0].1);
+        assert_eq!(outcome.winning_ask, asks[0].0);
+        assert_eq!(outcome.price, asks[1].0, "pays the second-lowest ask");
+        assert!(outcome.price >= outcome.winning_ask);
+    }
+
+    #[test]
+    fn tie_breaks_to_lowest_id_deterministically() {
+        let peers = ids(5);
+        let mut rng = SimRng::seed_from_u64(4);
+        let model =
+            PricingModel::realize(PricingConfig::Uniform { price: 2 }, &peers, &mut rng)
+                .expect("valid");
+        let a = second_price_auction(&model, &peers, 0).expect("sellers");
+        let b = second_price_auction(&model, &peers, 0).expect("sellers");
+        assert_eq!(a, b);
+        assert_eq!(a.winner, peers[0]);
+        assert_eq!(a.price, 2);
+    }
+
+    #[test]
+    fn auction_compresses_price_dispersion() {
+        // With heterogeneous posted prices, competitive second-price
+        // outcomes have a lower coefficient of variation than buying from
+        // a random seller at its posted price.
+        let peers = ids(40);
+        let model = posted_model(&peers, 5);
+        let mut rng = SimRng::seed_from_u64(6);
+        let mut posted = Vec::new();
+        let mut auctioned = Vec::new();
+        for chunk in 0..2_000u64 {
+            // Random subset of 5 candidate sellers.
+            let mut candidates = peers.clone();
+            rng.shuffle(&mut candidates);
+            let candidates = &candidates[..5];
+            posted.push(model.price(candidates[0], chunk));
+            auctioned.push(
+                second_price_auction(&model, candidates, chunk)
+                    .expect("sellers")
+                    .price,
+            );
+        }
+        let posted_stats = PriceStats::from_prices(&posted);
+        let auction_stats = PriceStats::from_prices(&auctioned);
+        assert!(
+            auction_stats.cv() < posted_stats.cv(),
+            "auction CV {:.3} should be below posted CV {:.3}",
+            auction_stats.cv(),
+            posted_stats.cv()
+        );
+        // Competition also lowers the mean paid price.
+        assert!(auction_stats.mean <= posted_stats.mean + 0.2);
+    }
+
+    #[test]
+    fn price_stats_edge_cases() {
+        assert_eq!(PriceStats::from_prices(&[]), PriceStats::default());
+        let s = PriceStats::from_prices(&[2, 2, 2]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.variance, 0.0);
+        assert_eq!(s.cv(), 0.0);
+        assert_eq!(s.trades, 3);
+    }
+}

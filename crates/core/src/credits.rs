@@ -1,0 +1,258 @@
+//! The credit ledger: integer wallets with conservation accounting.
+//!
+//! Credits in the paper are indivisible units (jobs in the queueing
+//! model), so wallets are `u64` balances. The ledger tracks every unit
+//! minted (initial endowments, joiner endowments) and burned (departing
+//! peers taking their wallets), so the conservation invariant
+//! `Σ balances + escrow = minted − burned` is checkable at any time —
+//! the market simulators assert it in tests.
+
+use std::collections::BTreeMap;
+
+use scrip_topology::NodeId;
+
+use crate::error::CoreError;
+
+/// Integer credit wallets for a set of peers, with mint/burn accounting.
+///
+/// ```
+/// use scrip_core::Ledger;
+/// use scrip_topology::NodeId;
+///
+/// # fn main() -> Result<(), scrip_core::CoreError> {
+/// let mut ledger = Ledger::new();
+/// let a = NodeId::from_raw(0);
+/// let b = NodeId::from_raw(1);
+/// ledger.mint(a, 10);
+/// ledger.mint(b, 10);
+/// ledger.transfer(a, b, 3)?;
+/// assert_eq!(ledger.balance(a), 7);
+/// assert_eq!(ledger.balance(b), 13);
+/// assert_eq!(ledger.total(), 20);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Ledger {
+    balances: BTreeMap<NodeId, u64>,
+    minted: u64,
+    burned: u64,
+    escrow: u64,
+}
+
+impl Ledger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Ledger::default()
+    }
+
+    /// Creates an account (if absent) and mints `amount` fresh credits
+    /// into it.
+    pub fn mint(&mut self, peer: NodeId, amount: u64) {
+        *self.balances.entry(peer).or_insert(0) += amount;
+        self.minted += amount;
+    }
+
+    /// Removes a peer's account, burning its remaining balance (the
+    /// departing peer "takes away its credits in possession").
+    /// Returns the burned amount (0 if the account did not exist).
+    pub fn burn_account(&mut self, peer: NodeId) -> u64 {
+        let amount = self.balances.remove(&peer).unwrap_or(0);
+        self.burned += amount;
+        amount
+    }
+
+    /// The balance of `peer` (0 for unknown accounts).
+    pub fn balance(&self, peer: NodeId) -> u64 {
+        self.balances.get(&peer).copied().unwrap_or(0)
+    }
+
+    /// Whether the account exists.
+    pub fn has_account(&self, peer: NodeId) -> bool {
+        self.balances.contains_key(&peer)
+    }
+
+    /// Moves `amount` credits from `from` to `to`.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::Ledger`] if either account is missing or the
+    /// sender's balance is insufficient. No partial transfer occurs.
+    pub fn transfer(&mut self, from: NodeId, to: NodeId, amount: u64) -> Result<(), CoreError> {
+        if !self.balances.contains_key(&to) {
+            return Err(CoreError::Ledger(format!("unknown payee {to}")));
+        }
+        let src = self
+            .balances
+            .get_mut(&from)
+            .ok_or_else(|| CoreError::Ledger(format!("unknown payer {from}")))?;
+        if *src < amount {
+            return Err(CoreError::Ledger(format!(
+                "insufficient funds: {from} has {src}, needs {amount}"
+            )));
+        }
+        *src -= amount;
+        *self.balances.get_mut(&to).expect("checked above") += amount;
+        Ok(())
+    }
+
+    /// Withholds `amount` from a peer's balance into the system escrow
+    /// (taxation). Returns the amount actually withheld (capped by the
+    /// balance).
+    pub fn withhold_to_escrow(&mut self, peer: NodeId, amount: u64) -> u64 {
+        let Some(balance) = self.balances.get_mut(&peer) else {
+            return 0;
+        };
+        let take = amount.min(*balance);
+        *balance -= take;
+        self.escrow += take;
+        take
+    }
+
+    /// Pays `amount` from the escrow to a peer. Returns the amount paid
+    /// (capped by the escrow and zero for unknown accounts).
+    pub fn pay_from_escrow(&mut self, peer: NodeId, amount: u64) -> u64 {
+        let Some(balance) = self.balances.get_mut(&peer) else {
+            return 0;
+        };
+        let pay = amount.min(self.escrow);
+        self.escrow -= pay;
+        *balance += pay;
+        pay
+    }
+
+    /// Credits currently held in the system escrow.
+    pub fn escrow(&self) -> u64 {
+        self.escrow
+    }
+
+    /// Total credits in wallets (excluding escrow).
+    pub fn total(&self) -> u64 {
+        self.balances.values().sum()
+    }
+
+    /// Total credits ever minted.
+    pub fn minted(&self) -> u64 {
+        self.minted
+    }
+
+    /// Total credits burned by departures.
+    pub fn burned(&self) -> u64 {
+        self.burned
+    }
+
+    /// Number of accounts.
+    pub fn accounts(&self) -> usize {
+        self.balances.len()
+    }
+
+    /// Iterates `(peer, balance)` in ascending peer order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, u64)> + '_ {
+        self.balances.iter().map(|(&id, &b)| (id, b))
+    }
+
+    /// The balances as a vector in ascending peer order (for Gini etc.).
+    pub fn balances_vec(&self) -> Vec<u64> {
+        self.balances.values().copied().collect()
+    }
+
+    /// Checks the conservation invariant
+    /// `Σ balances + escrow == minted − burned`.
+    pub fn conserved(&self) -> bool {
+        self.total() + self.escrow == self.minted - self.burned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u64) -> NodeId {
+        NodeId::from_raw(n)
+    }
+
+    #[test]
+    fn mint_and_balance() {
+        let mut l = Ledger::new();
+        l.mint(id(1), 5);
+        l.mint(id(1), 3);
+        assert_eq!(l.balance(id(1)), 8);
+        assert_eq!(l.balance(id(9)), 0);
+        assert_eq!(l.minted(), 8);
+        assert!(l.conserved());
+    }
+
+    #[test]
+    fn transfer_moves_credits() {
+        let mut l = Ledger::new();
+        l.mint(id(1), 10);
+        l.mint(id(2), 0);
+        l.transfer(id(1), id(2), 4).expect("sufficient");
+        assert_eq!(l.balance(id(1)), 6);
+        assert_eq!(l.balance(id(2)), 4);
+        assert_eq!(l.total(), 10);
+        assert!(l.conserved());
+    }
+
+    #[test]
+    fn transfer_rejects_overdraft_and_unknowns() {
+        let mut l = Ledger::new();
+        l.mint(id(1), 2);
+        l.mint(id(2), 0);
+        assert!(l.transfer(id(1), id(2), 3).is_err());
+        assert_eq!(l.balance(id(1)), 2, "no partial transfer");
+        assert!(l.transfer(id(9), id(2), 1).is_err());
+        assert!(l.transfer(id(1), id(9), 1).is_err());
+    }
+
+    #[test]
+    fn burn_account_removes_and_counts() {
+        let mut l = Ledger::new();
+        l.mint(id(1), 7);
+        assert_eq!(l.burn_account(id(1)), 7);
+        assert!(!l.has_account(id(1)));
+        assert_eq!(l.burned(), 7);
+        assert_eq!(l.total(), 0);
+        assert!(l.conserved());
+        assert_eq!(l.burn_account(id(1)), 0, "double burn is a no-op");
+    }
+
+    #[test]
+    fn escrow_roundtrip() {
+        let mut l = Ledger::new();
+        l.mint(id(1), 10);
+        l.mint(id(2), 0);
+        assert_eq!(l.withhold_to_escrow(id(1), 4), 4);
+        assert_eq!(l.escrow(), 4);
+        assert_eq!(l.balance(id(1)), 6);
+        assert!(l.conserved());
+        assert_eq!(l.pay_from_escrow(id(2), 3), 3);
+        assert_eq!(l.balance(id(2)), 3);
+        assert_eq!(l.escrow(), 1);
+        assert!(l.conserved());
+        // Capped by escrow.
+        assert_eq!(l.pay_from_escrow(id(2), 100), 1);
+        assert_eq!(l.escrow(), 0);
+    }
+
+    #[test]
+    fn withhold_caps_at_balance() {
+        let mut l = Ledger::new();
+        l.mint(id(1), 3);
+        assert_eq!(l.withhold_to_escrow(id(1), 10), 3);
+        assert_eq!(l.balance(id(1)), 0);
+        assert_eq!(l.withhold_to_escrow(id(9), 5), 0, "unknown account");
+        assert!(l.conserved());
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut l = Ledger::new();
+        l.mint(id(5), 1);
+        l.mint(id(2), 2);
+        l.mint(id(9), 3);
+        let ids: Vec<u64> = l.iter().map(|(id, _)| id.raw()).collect();
+        assert_eq!(ids, vec![2, 5, 9]);
+        assert_eq!(l.balances_vec(), vec![2, 1, 3]);
+        assert_eq!(l.accounts(), 3);
+    }
+}

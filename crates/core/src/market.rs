@@ -1,0 +1,836 @@
+//! The queue-level credit-market simulator.
+//!
+//! This simulator realizes the paper's model *directly*: each peer
+//! attempts purchases at its (possibly wealth-dependent) spending rate,
+//! each purchase moves `price` credits to a uniformly chosen neighbor,
+//! and a broke peer's purchase simply fails — the queueing-network
+//! dynamics of Table I with pricing, taxation, dynamic spending and
+//! churn layered on top. It produces the Gini-over-time trajectories of
+//! the paper's Figs. 5–11.
+//!
+//! For the *protocol-level* market — where purchases are real chunk
+//! transfers inside a live-streaming swarm (Fig. 1) — see
+//! [`crate::protocol`].
+
+use std::collections::BTreeMap;
+
+use scrip_des::stats::TimeSeries;
+use scrip_des::{Model, Scheduler, SimDuration, SimRng, SimTime};
+use scrip_econ::gini_u64;
+use scrip_topology::churn::ChurnTopology;
+use scrip_topology::generators::{self, ScaleFreeConfig};
+use scrip_topology::{Graph, NodeId};
+
+use crate::credits::Ledger;
+use crate::error::CoreError;
+use crate::model::{joiner_spending_rate, spending_rates, UtilizationProfile};
+use crate::policy::{SpendingPolicy, TaxConfig, Taxation};
+use crate::pricing::{PricingConfig, PricingModel};
+
+/// Churn (peer dynamics) configuration — paper Sec. VI-E.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChurnConfig {
+    /// Poisson arrival rate of new peers (peers/sec).
+    pub arrival_rate: f64,
+    /// Mean exponential lifespan of a peer (seconds).
+    pub mean_lifespan: f64,
+    /// Number of neighbors a joiner attaches to.
+    pub attach_degree: usize,
+}
+
+impl ChurnConfig {
+    /// Creates a validated churn configuration.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::Config`] for non-positive rates or zero
+    /// attach degree.
+    pub fn new(arrival_rate: f64, mean_lifespan: f64, attach_degree: usize) -> Result<Self, CoreError> {
+        if !(arrival_rate.is_finite() && arrival_rate > 0.0) {
+            return Err(CoreError::Config(format!(
+                "arrival rate must be > 0, got {arrival_rate}"
+            )));
+        }
+        if !(mean_lifespan.is_finite() && mean_lifespan > 0.0) {
+            return Err(CoreError::Config(format!(
+                "mean lifespan must be > 0, got {mean_lifespan}"
+            )));
+        }
+        if attach_degree == 0 {
+            return Err(CoreError::Config("attach degree must be positive".into()));
+        }
+        Ok(ChurnConfig {
+            arrival_rate,
+            mean_lifespan,
+            attach_degree,
+        })
+    }
+
+    /// The expected steady-state overlay size, `arrival_rate ×
+    /// mean_lifespan` (the paper keeps this at the initial size in
+    /// Fig. 11(1)).
+    pub fn expected_size(&self) -> f64 {
+        self.arrival_rate * self.mean_lifespan
+    }
+}
+
+/// The overlay family a market runs on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TopologyKind {
+    /// The paper's default: scale-free, power-law exponent 2.5, ~20
+    /// neighbors on average.
+    #[default]
+    ScaleFree,
+    /// Complete graph (the Dandekar-et-al. baseline topology).
+    Complete,
+    /// Ring (a maximally sparse connected baseline).
+    Ring,
+    /// Random regular graph of the given degree.
+    Regular(usize),
+}
+
+/// Full configuration of a credit market.
+///
+/// Defaults mirror the paper's Sec. VI settings: scale-free overlay,
+/// uniform pricing at 1 credit/chunk, fixed spending policy, no tax, no
+/// churn, Gini sampled every 100 s.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MarketConfig {
+    /// Initial number of peers.
+    pub n: usize,
+    /// Initial credits per peer (the paper's average wealth `c`).
+    pub initial_credits: u64,
+    /// Base credit spending rate `μ_s` (credits/sec).
+    pub base_rate: f64,
+    /// Utilization regime.
+    pub profile: UtilizationProfile,
+    /// Chunk pricing scheme.
+    pub pricing: PricingConfig,
+    /// Spending-rate policy.
+    pub spending: SpendingPolicy,
+    /// Optional income taxation.
+    pub tax: Option<TaxConfig>,
+    /// Optional peer churn.
+    pub churn: Option<ChurnConfig>,
+    /// Overlay family.
+    pub topology: TopologyKind,
+    /// Interval between Gini samples.
+    pub sample_interval: SimDuration,
+    /// Availability feedback (paper Sec. III-A): "the poor peers with few
+    /// credits … have little content to sell for revenue". When enabled,
+    /// a buyer's choice of seller is weighted by the seller's recent
+    /// purchase activity (an inventory proxy), so long-broke peers also
+    /// stop earning — the protocol-level death spiral, reproduced at the
+    /// queue level. Only affects neighbor routing (the asymmetric
+    /// profile).
+    pub availability_feedback: bool,
+}
+
+impl MarketConfig {
+    /// Paper defaults for `n` peers with `initial_credits` each
+    /// (asymmetric utilization; use [`MarketConfig::symmetric`] for the
+    /// balanced case).
+    pub fn new(n: usize, initial_credits: u64) -> Self {
+        MarketConfig {
+            n,
+            initial_credits,
+            base_rate: 1.0,
+            profile: UtilizationProfile::Asymmetric,
+            pricing: PricingConfig::default(),
+            spending: SpendingPolicy::default(),
+            tax: None,
+            churn: None,
+            topology: TopologyKind::default(),
+            sample_interval: SimDuration::from_secs(100),
+            availability_feedback: false,
+        }
+    }
+
+    /// Enables availability feedback (sellers without recent purchases
+    /// attract no buyers).
+    pub fn with_availability_feedback(mut self) -> Self {
+        self.availability_feedback = true;
+        self
+    }
+
+    /// Selects symmetric utilization (`u ≡ 1`, complete mixing).
+    pub fn symmetric(mut self) -> Self {
+        self.profile = UtilizationProfile::Symmetric;
+        self
+    }
+
+    /// Selects near-symmetric utilization: complete mixing with spending
+    /// rates jittered by ±`spread`.
+    pub fn near_symmetric(mut self, spread: f64) -> Self {
+        self.profile = UtilizationProfile::NearSymmetric { spread };
+        self
+    }
+
+    /// Selects asymmetric (degree-skewed) utilization.
+    pub fn asymmetric(mut self) -> Self {
+        self.profile = UtilizationProfile::Asymmetric;
+        self
+    }
+
+    /// Sets the pricing scheme.
+    pub fn pricing(mut self, pricing: PricingConfig) -> Self {
+        self.pricing = pricing;
+        self
+    }
+
+    /// Sets the spending policy.
+    pub fn spending(mut self, spending: SpendingPolicy) -> Self {
+        self.spending = spending;
+        self
+    }
+
+    /// Enables income taxation.
+    pub fn tax(mut self, tax: TaxConfig) -> Self {
+        self.tax = Some(tax);
+        self
+    }
+
+    /// Enables churn.
+    pub fn churn(mut self, churn: ChurnConfig) -> Self {
+        self.churn = Some(churn);
+        self
+    }
+
+    /// Sets the overlay family.
+    pub fn topology(mut self, topology: TopologyKind) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Sets the base spending rate (credits/sec).
+    pub fn base_rate(mut self, rate: f64) -> Self {
+        self.base_rate = rate;
+        self
+    }
+
+    /// Sets the Gini sampling interval.
+    pub fn sample_interval(mut self, interval: SimDuration) -> Self {
+        self.sample_interval = interval;
+        self
+    }
+
+    fn validate(&self) -> Result<(), CoreError> {
+        if self.n < 2 {
+            return Err(CoreError::Config(format!("need n >= 2 peers, got {}", self.n)));
+        }
+        if !(self.base_rate.is_finite() && self.base_rate > 0.0) {
+            return Err(CoreError::Config(format!(
+                "base rate must be > 0, got {}",
+                self.base_rate
+            )));
+        }
+        if self.sample_interval.is_zero() {
+            return Err(CoreError::Config("sample interval must be positive".into()));
+        }
+        self.pricing.validate()?;
+        Ok(())
+    }
+
+    fn build_graph(&self, rng: &mut SimRng) -> Result<Graph, CoreError> {
+        match self.topology {
+            TopologyKind::ScaleFree => {
+                Ok(generators::scale_free(&ScaleFreeConfig::new(self.n)?, rng)?)
+            }
+            TopologyKind::Complete => Ok(generators::complete(self.n)),
+            TopologyKind::Ring => Ok(generators::ring(self.n)?),
+            TopologyKind::Regular(d) => Ok(generators::random_regular(self.n, d, rng)?),
+        }
+    }
+}
+
+/// Events of the market simulator.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MarketEvent {
+    /// Starts all spending loops, sampling, and churn. Schedule once at
+    /// the start of the run.
+    Bootstrap,
+    /// A peer attempts one purchase.
+    Spend(NodeId),
+    /// Record the Gini index of the current wealth distribution.
+    Sample,
+    /// A new peer arrives (churn).
+    Join,
+    /// A peer departs with its credits (churn).
+    Leave(NodeId),
+}
+
+/// The running credit market: a [`Model`] for the
+/// [`scrip_des::Simulation`] kernel.
+///
+/// See the [crate-level quickstart](crate) for an end-to-end example.
+#[derive(Clone, Debug)]
+pub struct CreditMarket {
+    config: MarketConfig,
+    graph: Graph,
+    ledger: Ledger,
+    mu: BTreeMap<NodeId, f64>,
+    pricing: PricingModel,
+    taxation: Option<Taxation>,
+    churn_topology: ChurnTopology,
+    rng: SimRng,
+    neighbor_cache: BTreeMap<NodeId, Vec<NodeId>>,
+    /// Live peers as a dense vector for O(1) complete-mixing sampling.
+    peers_vec: Vec<NodeId>,
+    /// Exponentially decayed recent-purchase activity per peer (the
+    /// inventory proxy for availability feedback).
+    activity: BTreeMap<NodeId, (f64, SimTime)>,
+    spent: BTreeMap<NodeId, u64>,
+    denied: u64,
+    purchases: u64,
+    gini_series: TimeSeries,
+    bootstrapped: bool,
+}
+
+impl CreditMarket {
+    /// Builds a market from a configuration and an RNG seed.
+    ///
+    /// # Errors
+    /// Returns [`CoreError`] for invalid configurations or topology
+    /// failures.
+    pub fn build(config: MarketConfig, seed: u64) -> Result<Self, CoreError> {
+        config.validate()?;
+        let mut rng = SimRng::seed_from_u64(seed);
+        let graph = config.build_graph(&mut rng)?;
+        let mut ledger = Ledger::new();
+        for id in graph.node_ids() {
+            ledger.mint(id, config.initial_credits);
+        }
+        let mu = spending_rates(&graph, config.profile, config.base_rate, &mut rng)?;
+        let peer_ids: Vec<NodeId> = graph.node_ids().collect();
+        let pricing = PricingModel::realize(config.pricing, &peer_ids, &mut rng)?;
+        let taxation = config.tax.map(Taxation::new);
+        let neighbor_cache = peer_ids
+            .iter()
+            .map(|&id| {
+                let nbrs: Vec<NodeId> = graph
+                    .neighbors(id)
+                    .map(|it| it.collect())
+                    .unwrap_or_default();
+                (id, nbrs)
+            })
+            .collect();
+        let spent = peer_ids.iter().map(|&id| (id, 0u64)).collect();
+        let attach = config.churn.map(|c| c.attach_degree).unwrap_or(20);
+        Ok(CreditMarket {
+            config,
+            graph,
+            ledger,
+            mu,
+            pricing,
+            taxation,
+            churn_topology: ChurnTopology::new(attach),
+            rng,
+            neighbor_cache,
+            activity: peer_ids.iter().map(|&id| (id, (1.0, SimTime::ZERO))).collect(),
+            peers_vec: peer_ids,
+            spent,
+            denied: 0,
+            purchases: 0,
+            gini_series: TimeSeries::new(),
+            bootstrapped: false,
+        })
+    }
+
+    /// The configuration this market was built from.
+    pub fn config(&self) -> &MarketConfig {
+        &self.config
+    }
+
+    /// The current overlay.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The credit ledger.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// The per-peer maximum spending rates `μ_i`.
+    pub fn service_rates(&self) -> &BTreeMap<NodeId, f64> {
+        &self.mu
+    }
+
+    /// The realized pricing model.
+    pub fn pricing(&self) -> &PricingModel {
+        &self.pricing
+    }
+
+    /// Taxation state, when taxation is enabled.
+    pub fn taxation(&self) -> Option<&Taxation> {
+        self.taxation.as_ref()
+    }
+
+    /// The recorded Gini-over-time trajectory.
+    pub fn gini_series(&self) -> &TimeSeries {
+        &self.gini_series
+    }
+
+    /// Gini index of the current wealth distribution.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::Econ`] if the market has no peers.
+    pub fn wealth_gini(&self) -> Result<f64, CoreError> {
+        Ok(gini_u64(&self.ledger.balances_vec())?)
+    }
+
+    /// Current balances sorted ascending (the y-values of the paper's
+    /// Figs. 5–6).
+    pub fn balances_sorted(&self) -> Vec<u64> {
+        let mut v = self.ledger.balances_vec();
+        v.sort_unstable();
+        v
+    }
+
+    /// Credits spent so far, per live peer (ascending peer order).
+    pub fn spent_per_peer(&self) -> &BTreeMap<NodeId, u64> {
+        &self.spent
+    }
+
+    /// Per-peer credit spending *rates* over `[0, now]`, sorted ascending
+    /// — the series plotted in the paper's Fig. 1.
+    pub fn spending_rates_sorted(&self, now: SimTime) -> Vec<f64> {
+        let elapsed = now.as_secs_f64().max(1e-9);
+        let mut rates: Vec<f64> = self
+            .spent
+            .iter()
+            .filter(|(id, _)| self.ledger.has_account(**id))
+            .map(|(_, &s)| s as f64 / elapsed)
+            .collect();
+        rates.sort_by(|a, b| a.partial_cmp(b).expect("finite rates"));
+        rates
+    }
+
+    /// Total purchase attempts refused for lack of credits.
+    pub fn denied(&self) -> u64 {
+        self.denied
+    }
+
+    /// Total successful purchases.
+    pub fn purchases(&self) -> u64 {
+        self.purchases
+    }
+
+    /// Number of live peers.
+    pub fn peer_count(&self) -> usize {
+        self.ledger.accounts()
+    }
+
+    fn exp_delay(&mut self, rate: f64) -> SimDuration {
+        let u = self.rng.uniform_open01();
+        SimDuration::from_secs_f64(-u.ln() / rate.max(1e-12))
+    }
+
+    fn schedule_spend(&mut self, id: NodeId, scheduler: &mut Scheduler<MarketEvent>) {
+        let base = self.mu.get(&id).copied().unwrap_or(self.config.base_rate);
+        let wealth = self.ledger.balance(id);
+        let rate = self.config.spending.effective_rate(base, wealth);
+        let attempt_rate = rate / self.pricing.mean_price();
+        let delay = self.exp_delay(attempt_rate);
+        scheduler.schedule_after(delay, MarketEvent::Spend(id));
+    }
+
+    /// Time constant (in units of mean inter-purchase intervals) for the
+    /// availability-feedback activity decay.
+    const ACTIVITY_DECAY_INTERVALS: f64 = 30.0;
+
+    fn activity_time_constant(&self) -> f64 {
+        Self::ACTIVITY_DECAY_INTERVALS * self.pricing.mean_price() / self.config.base_rate
+    }
+
+    /// Reads a peer's decayed recent-purchase activity.
+    fn activity_at(&self, id: NodeId, now: SimTime) -> f64 {
+        let Some(&(value, last)) = self.activity.get(&id) else {
+            return 0.0;
+        };
+        let dt = now.saturating_duration_since(last).as_secs_f64();
+        value * (-dt / self.activity_time_constant()).exp()
+    }
+
+    /// Bumps a peer's activity after a successful purchase.
+    fn bump_activity(&mut self, id: NodeId, now: SimTime) {
+        let tau = self.activity_time_constant();
+        let entry = self.activity.entry(id).or_insert((0.0, now));
+        let dt = now.saturating_duration_since(entry.1).as_secs_f64();
+        entry.0 = entry.0 * (-dt / tau).exp() + 1.0;
+        entry.1 = now;
+    }
+
+    fn handle_spend(&mut self, id: NodeId, now: SimTime, scheduler: &mut Scheduler<MarketEvent>) {
+        if !self.ledger.has_account(id) {
+            return; // departed
+        }
+        let j = if self.config.profile.complete_mixing() {
+            // Paper Sec. V-C: p_ij = (1 - p_ii)/(N - 1) over all peers.
+            if self.peers_vec.len() < 2 {
+                self.schedule_spend(id, scheduler);
+                return;
+            }
+            let mut pick;
+            loop {
+                pick = self.peers_vec[self.rng.index(self.peers_vec.len())];
+                if pick != id {
+                    break;
+                }
+            }
+            pick
+        } else {
+            let neighbors = match self.neighbor_cache.get(&id) {
+                Some(n) if !n.is_empty() => n.clone(),
+                _ => {
+                    self.schedule_spend(id, scheduler);
+                    return;
+                }
+            };
+            if self.config.availability_feedback {
+                // Weight sellers by recent purchase activity: a peer that
+                // has bought nothing lately has nothing on offer.
+                let weights: Vec<f64> = neighbors
+                    .iter()
+                    .map(|&nb| self.activity_at(nb, now) + 0.01)
+                    .collect();
+                let total: f64 = weights.iter().sum();
+                let mut target = self.rng.uniform_f64() * total;
+                let mut pick = neighbors[neighbors.len() - 1];
+                for (k, &w) in weights.iter().enumerate() {
+                    if target < w {
+                        pick = neighbors[k];
+                        break;
+                    }
+                    target -= w;
+                }
+                pick
+            } else {
+                neighbors[self.rng.index(neighbors.len())]
+            }
+        };
+        let chunk = self.purchases + self.denied; // synthetic chunk id
+        let price = self.pricing.price(j, chunk);
+        let wealth = self.ledger.balance(id);
+        if wealth >= price {
+            self.ledger
+                .transfer(id, j, price)
+                .expect("balance checked above");
+            *self.spent.entry(id).or_insert(0) += price;
+            self.purchases += 1;
+            if self.config.availability_feedback {
+                self.bump_activity(id, now);
+            }
+            // Income tax on the seller, if enabled and the seller is
+            // wealthy enough.
+            if let Some(tax) = &mut self.taxation {
+                let seller_wealth = self.ledger.balance(j);
+                let due = tax.assess(price, seller_wealth, &mut self.rng);
+                if due > 0 {
+                    let withheld = self.ledger.withhold_to_escrow(j, due);
+                    tax.record_collection(withheld);
+                }
+                // Redistribute one credit to every peer whenever the
+                // escrow can cover the whole population.
+                let live = self.ledger.accounts() as u64;
+                while live > 0 && self.ledger.escrow() >= live {
+                    let ids: Vec<NodeId> = self.ledger.iter().map(|(id, _)| id).collect();
+                    let mut paid = 0;
+                    for peer in ids {
+                        paid += self.ledger.pay_from_escrow(peer, 1);
+                    }
+                    tax.record_redistribution(paid);
+                    if paid == 0 {
+                        break;
+                    }
+                }
+            }
+        } else {
+            self.denied += 1;
+        }
+        self.schedule_spend(id, scheduler);
+    }
+
+    fn handle_join(&mut self, scheduler: &mut Scheduler<MarketEvent>) {
+        let Some(churn) = self.config.churn else {
+            return;
+        };
+        let new = self.churn_topology.join(&mut self.graph, &mut self.rng);
+        self.ledger.mint(new, self.config.initial_credits);
+        self.pricing.on_join(new, &mut self.rng);
+        let rate = joiner_spending_rate(self.config.profile, self.config.base_rate, &mut self.rng);
+        self.mu.insert(new, rate);
+        self.spent.insert(new, 0);
+        self.peers_vec.push(new);
+        self.activity.insert(new, (1.0, scheduler.now()));
+        self.refresh_neighbor_cache_around(new);
+        self.schedule_spend(new, scheduler);
+        let lifespan_delay = self.exp_delay(1.0 / churn.mean_lifespan);
+        scheduler.schedule_after(lifespan_delay, MarketEvent::Leave(new));
+        let arrival_delay = self.exp_delay(churn.arrival_rate);
+        scheduler.schedule_after(arrival_delay, MarketEvent::Join);
+    }
+
+    fn handle_leave(&mut self, id: NodeId) {
+        if !self.graph.has_node(id) {
+            return;
+        }
+        let former = self.graph.remove_node(id).expect("checked live");
+        if let Some(pos) = self.peers_vec.iter().position(|&p| p == id) {
+            self.peers_vec.swap_remove(pos);
+        }
+        self.ledger.burn_account(id);
+        self.pricing.on_leave(id);
+        self.mu.remove(&id);
+        self.spent.remove(&id);
+        self.activity.remove(&id);
+        self.neighbor_cache.remove(&id);
+        for nb in former {
+            if self.graph.has_node(nb) {
+                let nbrs: Vec<NodeId> = self
+                    .graph
+                    .neighbors(nb)
+                    .map(|it| it.collect())
+                    .unwrap_or_default();
+                self.neighbor_cache.insert(nb, nbrs);
+            }
+        }
+    }
+
+    fn refresh_neighbor_cache_around(&mut self, id: NodeId) {
+        let mut to_update: Vec<NodeId> = vec![id];
+        if let Some(nbrs) = self.graph.neighbors(id) {
+            to_update.extend(nbrs);
+        }
+        for peer in to_update {
+            let nbrs: Vec<NodeId> = self
+                .graph
+                .neighbors(peer)
+                .map(|it| it.collect())
+                .unwrap_or_default();
+            self.neighbor_cache.insert(peer, nbrs);
+        }
+    }
+
+    fn handle_sample(&mut self, now: SimTime, scheduler: &mut Scheduler<MarketEvent>) {
+        if let Ok(g) = gini_u64(&self.ledger.balances_vec()) {
+            self.gini_series.record(now, g);
+        }
+        scheduler.schedule_after(self.config.sample_interval, MarketEvent::Sample);
+    }
+}
+
+impl Model for CreditMarket {
+    type Event = MarketEvent;
+
+    fn handle(&mut self, now: SimTime, event: MarketEvent, scheduler: &mut Scheduler<MarketEvent>) {
+        match event {
+            MarketEvent::Bootstrap => {
+                if self.bootstrapped {
+                    return;
+                }
+                self.bootstrapped = true;
+                let ids: Vec<NodeId> = self.graph.node_ids().collect();
+                for id in &ids {
+                    self.schedule_spend(*id, scheduler);
+                }
+                scheduler.schedule_after(self.config.sample_interval, MarketEvent::Sample);
+                if let Some(churn) = self.config.churn {
+                    for id in ids {
+                        let d = self.exp_delay(1.0 / churn.mean_lifespan);
+                        scheduler.schedule_after(d, MarketEvent::Leave(id));
+                    }
+                    let d = self.exp_delay(churn.arrival_rate);
+                    scheduler.schedule_after(d, MarketEvent::Join);
+                }
+            }
+            MarketEvent::Spend(id) => self.handle_spend(id, now, scheduler),
+            MarketEvent::Sample => self.handle_sample(now, scheduler),
+            MarketEvent::Join => self.handle_join(scheduler),
+            MarketEvent::Leave(id) => self.handle_leave(id),
+        }
+    }
+}
+
+/// Convenience runner: builds the market, simulates until `horizon`, and
+/// returns the finished model.
+///
+/// # Errors
+/// Returns [`CoreError`] if market construction fails.
+pub fn run_market(
+    config: MarketConfig,
+    seed: u64,
+    horizon: SimTime,
+) -> Result<CreditMarket, CoreError> {
+    let market = CreditMarket::build(config, seed)?;
+    let mut sim = scrip_des::Simulation::new(market);
+    sim.schedule(SimTime::ZERO, MarketEvent::Bootstrap);
+    sim.run_until(horizon);
+    Ok(sim.into_model())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scrip_des::Simulation;
+
+    fn run(config: MarketConfig, seed: u64, secs: u64) -> CreditMarket {
+        run_market(config, seed, SimTime::from_secs(secs)).expect("market runs")
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(CreditMarket::build(MarketConfig::new(1, 10), 0).is_err());
+        assert!(CreditMarket::build(MarketConfig::new(10, 10).base_rate(0.0), 0).is_err());
+        assert!(CreditMarket::build(
+            MarketConfig::new(10, 10).sample_interval(SimDuration::ZERO),
+            0
+        )
+        .is_err());
+        assert!(ChurnConfig::new(0.0, 100.0, 5).is_err());
+        assert!(ChurnConfig::new(1.0, 0.0, 5).is_err());
+        assert!(ChurnConfig::new(1.0, 100.0, 0).is_err());
+        assert!((ChurnConfig::new(2.0, 500.0, 5).expect("valid").expected_size() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn closed_market_conserves_credits() {
+        let config = MarketConfig::new(50, 20).topology(TopologyKind::Complete);
+        let market = run(config, 1, 500);
+        assert_eq!(market.ledger().total(), 50 * 20);
+        assert!(market.ledger().conserved());
+        assert!(market.purchases() > 1_000, "purchases {}", market.purchases());
+    }
+
+    #[test]
+    fn gini_series_is_recorded_and_bounded() {
+        let config = MarketConfig::new(40, 10).sample_interval(SimDuration::from_secs(50));
+        let market = run(config, 2, 2_000);
+        let series = market.gini_series();
+        assert!(series.len() >= 30, "samples {}", series.len());
+        for &(_, g) in series.samples() {
+            assert!((0.0..=1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn asymmetric_market_is_more_unequal_than_symmetric() {
+        // The paper's central qualitative claim at equal average wealth.
+        let horizon = 4_000;
+        let sym = run(MarketConfig::new(60, 50).symmetric(), 3, horizon);
+        let asym = run(MarketConfig::new(60, 50).asymmetric(), 3, horizon);
+        let g_sym = sym.gini_series().tail_mean(5).expect("samples");
+        let g_asym = asym.gini_series().tail_mean(5).expect("samples");
+        assert!(
+            g_asym > g_sym,
+            "asymmetric Gini {g_asym} should exceed symmetric {g_sym}"
+        );
+    }
+
+    #[test]
+    fn taxation_reduces_inequality() {
+        let base = MarketConfig::new(60, 50).asymmetric();
+        let taxed = base
+            .clone()
+            .tax(TaxConfig::new(0.2, 40).expect("valid"));
+        let horizon = 4_000;
+        let no_tax = run(base, 4, horizon);
+        let with_tax = run(taxed, 4, horizon);
+        let g_plain = no_tax.gini_series().tail_mean(5).expect("samples");
+        let g_taxed = with_tax.gini_series().tail_mean(5).expect("samples");
+        assert!(
+            g_taxed < g_plain,
+            "taxed Gini {g_taxed} should be below untaxed {g_plain}"
+        );
+        let tax = with_tax.taxation().expect("enabled");
+        assert!(tax.collected > 0, "no tax collected");
+        assert!(tax.redistributed <= tax.collected);
+        assert!(with_tax.ledger().conserved());
+    }
+
+    #[test]
+    fn dynamic_spending_reduces_inequality() {
+        let base = MarketConfig::new(60, 50).asymmetric();
+        let dynamic = base
+            .clone()
+            .spending(SpendingPolicy::Dynamic { threshold: 50 });
+        let horizon = 4_000;
+        let fixed = run(base, 5, horizon);
+        let dyn_market = run(dynamic, 5, horizon);
+        let g_fixed = fixed.gini_series().tail_mean(5).expect("samples");
+        let g_dyn = dyn_market.gini_series().tail_mean(5).expect("samples");
+        assert!(
+            g_dyn < g_fixed,
+            "dynamic-spending Gini {g_dyn} should be below fixed {g_fixed}"
+        );
+    }
+
+    #[test]
+    fn churn_market_stays_near_expected_size() {
+        let churn = ChurnConfig::new(0.5, 200.0, 8).expect("valid"); // expected size 100
+        let config = MarketConfig::new(100, 10)
+            .churn(churn)
+            .topology(TopologyKind::Complete)
+            .sample_interval(SimDuration::from_secs(100));
+        let market = run(config, 6, 3_000);
+        let n = market.peer_count();
+        assert!(
+            (40..=220).contains(&n),
+            "population drifted to {n}, expected ≈ 100"
+        );
+        assert!(market.ledger().conserved());
+        assert!(market.ledger().burned() > 0, "departures burn credits");
+        assert!(market.ledger().minted() > 100 * 10, "joiners mint credits");
+    }
+
+    #[test]
+    fn spending_rates_sorted_is_monotone() {
+        let market = run(MarketConfig::new(30, 10), 7, 1_000);
+        let rates = market.spending_rates_sorted(SimTime::from_secs(1_000));
+        assert_eq!(rates.len(), 30);
+        for w in rates.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert!(rates.iter().sum::<f64>() > 0.0);
+    }
+
+    #[test]
+    fn broke_market_denies_purchases() {
+        // One credit per peer with prices ≥ 1: most attempts fail.
+        let market = run(MarketConfig::new(30, 1), 8, 500);
+        assert!(market.denied() > 0);
+    }
+
+    #[test]
+    fn bootstrap_is_idempotent() {
+        let market = CreditMarket::build(MarketConfig::new(20, 10), 9).expect("built");
+        let mut sim = Simulation::new(market);
+        sim.schedule(SimTime::ZERO, MarketEvent::Bootstrap);
+        sim.schedule(SimTime::ZERO, MarketEvent::Bootstrap);
+        sim.run_until(SimTime::from_secs(100));
+        // Should not double-count: one Sample chain, one spend loop each.
+        let samples = sim.model().gini_series().len();
+        assert_eq!(samples, 1, "duplicate bootstrap doubled the sampling");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run(MarketConfig::new(40, 20), 10, 1_000);
+        let b = run(MarketConfig::new(40, 20), 10, 1_000);
+        assert_eq!(a.ledger().balances_vec(), b.ledger().balances_vec());
+        assert_eq!(a.gini_series(), b.gini_series());
+        let c = run(MarketConfig::new(40, 20), 11, 1_000);
+        assert_ne!(a.ledger().balances_vec(), c.ledger().balances_vec());
+    }
+
+    #[test]
+    fn ring_and_regular_topologies_run() {
+        let ring = run(MarketConfig::new(20, 5).topology(TopologyKind::Ring), 12, 200);
+        assert_eq!(ring.peer_count(), 20);
+        let reg = run(
+            MarketConfig::new(20, 5).topology(TopologyKind::Regular(4)),
+            13,
+            200,
+        );
+        assert_eq!(reg.peer_count(), 20);
+    }
+}

@@ -1,0 +1,335 @@
+//! Chunk pricing schemes (paper Sec. V-C and Fig. 1).
+//!
+//! The paper studies three pricing regimes:
+//!
+//! * **uniform pricing** — every chunk costs the same everywhere; in
+//!   streaming this yields symmetric utilization and no condensation;
+//! * **per-seller prices** — each peer posts its own price; utilizations
+//!   diverge and condensation becomes possible;
+//! * **per-chunk prices** — Fig. 1's condensing configuration: "peers
+//!   charge different credits for selling different chunks, which follow
+//!   a Poisson distribution with an average of 1 credit per chunk".
+//!
+//! Poisson(1) puts ~37% of its mass at zero; a free chunk moves no
+//! credits, so sampled prices are clamped to ≥ 1 (raising the effective
+//! mean to `mean + e^(−mean)`). [`PricingModel::mean_price`] reports the
+//! clamped mean, which the market simulator uses to convert credit
+//! spending rates into purchase-attempt rates.
+
+use std::collections::BTreeMap;
+
+use scrip_des::dist::Poisson;
+use scrip_des::SimRng;
+use scrip_topology::NodeId;
+
+use crate::error::CoreError;
+
+/// Declarative description of a pricing scheme.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PricingConfig {
+    /// Every chunk costs `price` credits at every seller (the paper's
+    /// default: 1 credit per chunk).
+    Uniform {
+        /// Credits per chunk.
+        price: u64,
+    },
+    /// Each seller posts one Poisson-distributed price (clamped ≥ 1) for
+    /// all its chunks.
+    SellerPoisson {
+        /// Mean of the (unclamped) Poisson price distribution.
+        mean: f64,
+    },
+    /// Every (seller, chunk) pair has its own Poisson-distributed price
+    /// (clamped ≥ 1), deterministic in the seller, chunk and market seed
+    /// — Fig. 1's condensing configuration.
+    ChunkPoisson {
+        /// Mean of the (unclamped) Poisson price distribution.
+        mean: f64,
+    },
+}
+
+impl Default for PricingConfig {
+    fn default() -> Self {
+        PricingConfig::Uniform { price: 1 }
+    }
+}
+
+impl PricingConfig {
+    /// Validates parameters.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::Config`] for zero uniform prices or
+    /// non-positive Poisson means.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        match *self {
+            PricingConfig::Uniform { price } => {
+                if price == 0 {
+                    return Err(CoreError::Config("uniform price must be >= 1".into()));
+                }
+            }
+            PricingConfig::SellerPoisson { mean } | PricingConfig::ChunkPoisson { mean } => {
+                if !(mean.is_finite() && mean > 0.0) {
+                    return Err(CoreError::Config(format!(
+                        "Poisson price mean must be > 0, got {mean}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A realized pricing scheme ready to quote prices.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PricingModel {
+    config: PricingConfig,
+    /// Posted prices for [`PricingConfig::SellerPoisson`].
+    seller_prices: BTreeMap<NodeId, u64>,
+    /// Hash seed for [`PricingConfig::ChunkPoisson`].
+    seed: u64,
+    /// Precomputed CDF of the clamped Poisson, for O(log k) hashing-based
+    /// quotes.
+    chunk_cdf: Vec<f64>,
+}
+
+impl PricingModel {
+    /// Realizes a pricing scheme for the given peers.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::Config`] for invalid parameters.
+    pub fn realize(
+        config: PricingConfig,
+        peers: &[NodeId],
+        rng: &mut SimRng,
+    ) -> Result<Self, CoreError> {
+        config.validate()?;
+        let mut model = PricingModel {
+            config,
+            seller_prices: BTreeMap::new(),
+            seed: 0,
+            chunk_cdf: Vec::new(),
+        };
+        match config {
+            PricingConfig::Uniform { .. } => {}
+            PricingConfig::SellerPoisson { mean } => {
+                let dist = Poisson::new(mean)
+                    .map_err(|e| CoreError::Config(format!("price distribution: {e}")))?;
+                for &p in peers {
+                    model.seller_prices.insert(p, dist.sample(rng).max(1));
+                }
+            }
+            PricingConfig::ChunkPoisson { mean } => {
+                model.seed = rng.fork_seed();
+                model.chunk_cdf = clamped_poisson_cdf(mean);
+            }
+        }
+        Ok(model)
+    }
+
+    /// The declarative configuration this model was realized from.
+    pub fn config(&self) -> PricingConfig {
+        self.config
+    }
+
+    /// Quotes the price of `chunk` at `seller`.
+    pub fn price(&self, seller: NodeId, chunk: u64) -> u64 {
+        match self.config {
+            PricingConfig::Uniform { price } => price,
+            PricingConfig::SellerPoisson { .. } => {
+                self.seller_prices.get(&seller).copied().unwrap_or(1)
+            }
+            PricingConfig::ChunkPoisson { .. } => {
+                let h = splitmix64(
+                    self.seed ^ seller.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ chunk,
+                );
+                let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+                let idx = self.chunk_cdf.partition_point(|&c| c < u);
+                (idx as u64 + 1).min(self.chunk_cdf.len() as u64)
+            }
+        }
+    }
+
+    /// The mean quoted price (after clamping), used to convert credit
+    /// spending rates into purchase-attempt rates.
+    pub fn mean_price(&self) -> f64 {
+        match self.config {
+            PricingConfig::Uniform { price } => price as f64,
+            PricingConfig::SellerPoisson { mean } | PricingConfig::ChunkPoisson { mean } => {
+                mean + (-mean).exp()
+            }
+        }
+    }
+
+    /// Registers a newly joined seller (samples its posted price when the
+    /// scheme is per-seller).
+    pub fn on_join(&mut self, peer: NodeId, rng: &mut SimRng) {
+        if let PricingConfig::SellerPoisson { mean } = self.config {
+            let dist = Poisson::new(mean).expect("validated at realize time");
+            self.seller_prices.insert(peer, dist.sample(rng).max(1));
+        }
+    }
+
+    /// Removes a departed seller's posted price.
+    pub fn on_leave(&mut self, peer: NodeId) {
+        self.seller_prices.remove(&peer);
+    }
+
+    /// The posted per-seller price, when the scheme is per-seller.
+    pub fn seller_price(&self, peer: NodeId) -> Option<u64> {
+        self.seller_prices.get(&peer).copied()
+    }
+}
+
+/// CDF of `max(1, Poisson(mean))` over values `1, 2, 3, …` (truncated
+/// when the tail mass drops below 1e-12).
+fn clamped_poisson_cdf(mean: f64) -> Vec<f64> {
+    let mut cdf = Vec::new();
+    // P(X = 0) collapses onto 1.
+    let mut pk = (-mean).exp(); // P(X = 0)
+    let mut acc = pk; // clamped mass at value 1 includes P(0)
+    let mut k = 1u32;
+    loop {
+        pk *= mean / k as f64; // P(X = k)
+        acc += pk;
+        cdf.push(acc.min(1.0));
+        if 1.0 - acc < 1e-12 || k > 10_000 {
+            break;
+        }
+        k += 1;
+    }
+    if let Some(last) = cdf.last_mut() {
+        *last = 1.0;
+    }
+    cdf
+}
+
+/// SplitMix64: a fast, well-mixed 64-bit hash.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Extension helper: derives a fresh hash seed from a [`SimRng`].
+trait ForkSeed {
+    fn fork_seed(&mut self) -> u64;
+}
+
+impl ForkSeed for SimRng {
+    fn fork_seed(&mut self) -> u64 {
+        use rand::RngCore;
+        self.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(n: u64) -> Vec<NodeId> {
+        (0..n).map(NodeId::from_raw).collect()
+    }
+
+    #[test]
+    fn uniform_pricing_quotes_flat() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let m = PricingModel::realize(PricingConfig::Uniform { price: 3 }, &ids(4), &mut rng)
+            .expect("valid");
+        for s in ids(4) {
+            for c in [0u64, 7, 99] {
+                assert_eq!(m.price(s, c), 3);
+            }
+        }
+        assert_eq!(m.mean_price(), 3.0);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(PricingConfig::Uniform { price: 0 }.validate().is_err());
+        assert!(PricingConfig::SellerPoisson { mean: 0.0 }.validate().is_err());
+        assert!(PricingConfig::ChunkPoisson { mean: -1.0 }.validate().is_err());
+        assert!(PricingConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn seller_poisson_prices_are_fixed_per_seller_and_heterogeneous() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let peers = ids(200);
+        let m = PricingModel::realize(PricingConfig::SellerPoisson { mean: 2.0 }, &peers, &mut rng)
+            .expect("valid");
+        let mut distinct = std::collections::BTreeSet::new();
+        for &s in &peers {
+            let p = m.price(s, 0);
+            assert!(p >= 1);
+            assert_eq!(p, m.price(s, 12345), "price varies per chunk");
+            assert_eq!(Some(p), m.seller_price(s));
+            distinct.insert(p);
+        }
+        assert!(distinct.len() >= 3, "prices should be heterogeneous");
+    }
+
+    #[test]
+    fn chunk_poisson_prices_are_deterministic_and_vary() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let peers = ids(5);
+        let m = PricingModel::realize(PricingConfig::ChunkPoisson { mean: 1.0 }, &peers, &mut rng)
+            .expect("valid");
+        let s = peers[0];
+        let p1 = m.price(s, 1);
+        assert_eq!(p1, m.price(s, 1), "deterministic");
+        let mut distinct = std::collections::BTreeSet::new();
+        for c in 0..500u64 {
+            let p = m.price(s, c);
+            assert!(p >= 1);
+            distinct.insert(p);
+        }
+        assert!(distinct.len() >= 2, "per-chunk variation expected");
+    }
+
+    #[test]
+    fn chunk_poisson_empirical_mean_matches() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let peers = ids(2);
+        let mean = 1.0;
+        let m = PricingModel::realize(PricingConfig::ChunkPoisson { mean }, &peers, &mut rng)
+            .expect("valid");
+        let n = 200_000u64;
+        let total: u64 = (0..n).map(|c| m.price(peers[0], c)).sum();
+        let emp = total as f64 / n as f64;
+        let expected = m.mean_price(); // 1 + e^{-1} ≈ 1.3679
+        assert!(
+            (emp - expected).abs() < 0.01,
+            "empirical {emp} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn join_and_leave_update_seller_prices() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let peers = ids(3);
+        let mut m =
+            PricingModel::realize(PricingConfig::SellerPoisson { mean: 1.0 }, &peers, &mut rng)
+                .expect("valid");
+        let newcomer = NodeId::from_raw(99);
+        assert_eq!(m.seller_price(newcomer), None);
+        m.on_join(newcomer, &mut rng);
+        assert!(m.seller_price(newcomer).expect("joined") >= 1);
+        m.on_leave(newcomer);
+        assert_eq!(m.seller_price(newcomer), None);
+        // Unknown sellers quote the floor price of 1 rather than panicking.
+        assert_eq!(m.price(newcomer, 0), 1);
+    }
+
+    #[test]
+    fn clamped_cdf_is_monotone_and_complete() {
+        let cdf = clamped_poisson_cdf(1.0);
+        assert!(!cdf.is_empty());
+        for w in cdf.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert_eq!(*cdf.last().expect("non-empty"), 1.0);
+        // Mass at value 1 = P(0) + P(1) = 2/e ≈ 0.7358.
+        assert!((cdf[0] - 2.0 * (-1.0f64).exp()).abs() < 1e-9);
+    }
+}

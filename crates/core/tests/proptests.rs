@@ -1,0 +1,115 @@
+//! Property-based tests for the credit market: conservation and policy
+//! invariants under arbitrary configurations.
+
+use proptest::prelude::*;
+use scrip_core::des::{SimRng, SimTime};
+use scrip_core::market::{run_market, ChurnConfig, MarketConfig, TopologyKind};
+use scrip_core::policy::{SpendingPolicy, TaxConfig, Taxation};
+use scrip_core::pricing::{PricingConfig, PricingModel};
+use scrip_core::topology::NodeId;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Closed markets conserve credits exactly, for any profile, pricing
+    /// and policy combination.
+    #[test]
+    fn closed_market_conserves(
+        n in 5usize..40,
+        c in 1u64..60,
+        profile in 0u8..3,
+        pricing in 0u8..3,
+        tax_on in proptest::bool::ANY,
+        dynamic in proptest::bool::ANY,
+        seed in 0u64..100,
+    ) {
+        let mut config = MarketConfig::new(n, c).topology(TopologyKind::Complete);
+        config = match profile {
+            0 => config.symmetric(),
+            1 => config.near_symmetric(0.1),
+            _ => config.asymmetric(),
+        };
+        config = config.pricing(match pricing {
+            0 => PricingConfig::Uniform { price: 1 },
+            1 => PricingConfig::SellerPoisson { mean: 1.5 },
+            _ => PricingConfig::ChunkPoisson { mean: 1.0 },
+        });
+        if tax_on {
+            config = config.tax(TaxConfig::new(0.15, c / 2).expect("valid"));
+        }
+        if dynamic {
+            config = config.spending(SpendingPolicy::Dynamic { threshold: c.max(1) });
+        }
+        let market = run_market(config, seed, SimTime::from_secs(300)).expect("runs");
+        let ledger = market.ledger();
+        prop_assert!(ledger.conserved());
+        prop_assert_eq!(ledger.total() + ledger.escrow(), n as u64 * c);
+    }
+
+    /// Open markets keep exact books: wallets + escrow = minted − burned.
+    #[test]
+    fn open_market_books_balance(
+        n in 5usize..30,
+        arrival in 0.05f64..1.0,
+        lifespan in 50.0f64..500.0,
+        seed in 0u64..100,
+    ) {
+        let churn = ChurnConfig::new(arrival, lifespan, 5).expect("valid");
+        let config = MarketConfig::new(n, 10)
+            .topology(TopologyKind::Complete)
+            .churn(churn);
+        let market = run_market(config, seed, SimTime::from_secs(400)).expect("runs");
+        prop_assert!(market.ledger().conserved());
+    }
+
+    /// Taxation never assesses more than the income, and expectation is
+    /// proportional to the rate.
+    #[test]
+    fn tax_assessment_bounded(
+        rate in 0.01f64..1.0,
+        threshold in 0u64..100,
+        income in 1u64..50,
+        wealth in 0u64..500,
+        seed in 0u64..100,
+    ) {
+        let tax = Taxation::new(TaxConfig::new(rate, threshold).expect("valid"));
+        let mut rng = SimRng::seed_from_u64(seed);
+        let due = tax.assess(income, wealth, &mut rng);
+        prop_assert!(due <= income);
+        if wealth <= threshold {
+            prop_assert_eq!(due, 0);
+        }
+    }
+
+    /// Spending policies never reduce the rate below the base, and the
+    /// dynamic policy is monotone in wealth.
+    #[test]
+    fn spending_policy_monotone(base in 0.1f64..10.0, threshold in 1u64..1_000, w1 in 0u64..10_000, w2 in 0u64..10_000) {
+        let policy = SpendingPolicy::Dynamic { threshold };
+        let (lo, hi) = if w1 <= w2 { (w1, w2) } else { (w2, w1) };
+        let r_lo = policy.effective_rate(base, lo);
+        let r_hi = policy.effective_rate(base, hi);
+        prop_assert!(r_lo >= base - 1e-12);
+        prop_assert!(r_hi >= r_lo - 1e-12);
+    }
+
+    /// Pricing models always quote at least 1 credit and are
+    /// deterministic per (seller, chunk).
+    #[test]
+    fn pricing_quotes_are_stable(pricing in 0u8..3, chunk in 0u64..10_000, seed in 0u64..100) {
+        let peers: Vec<NodeId> = (0..10).map(NodeId::from_raw).collect();
+        let config = match pricing {
+            0 => PricingConfig::Uniform { price: 2 },
+            1 => PricingConfig::SellerPoisson { mean: 1.0 },
+            _ => PricingConfig::ChunkPoisson { mean: 1.0 },
+        };
+        let mut rng = SimRng::seed_from_u64(seed);
+        let model = PricingModel::realize(config, &peers, &mut rng).expect("valid");
+        for &s in &peers {
+            let p1 = model.price(s, chunk);
+            let p2 = model.price(s, chunk);
+            prop_assert!(p1 >= 1);
+            prop_assert_eq!(p1, p2);
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! The pending-event list and the scheduling handle passed to models.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// An event together with its activation time and a tie-breaking sequence
+/// number.
+///
+/// Events scheduled for the same instant are delivered in the order they
+/// were scheduled (FIFO), which keeps simulations deterministic.
+#[derive(Clone, Debug)]
+pub struct Scheduled<E> {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Monotonic sequence number used to break ties at equal `time`.
+    pub seq: u64,
+    /// The model-defined event payload.
+    pub event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    // Reversed so the BinaryHeap (a max-heap) pops the *earliest* event.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A priority queue of future events ordered by activation time.
+///
+/// This is a thin wrapper over [`BinaryHeap`] that enforces the
+/// time-then-sequence ordering. Most users interact with it through
+/// [`Scheduler`]; it is public so custom kernels can reuse it.
+///
+/// ```
+/// use scrip_des::{EventQueue, SimTime};
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_secs(2), "later");
+/// q.push(SimTime::from_secs(1), "sooner");
+/// assert_eq!(q.pop().map(|s| s.event), Some("sooner"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    /// Removes and returns the earliest pending event.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        self.heap.pop()
+    }
+
+    /// The activation time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+/// The scheduling interface handed to [`crate::Model::handle`].
+///
+/// A `Scheduler` owns the event queue and the current clock. Models use it
+/// to read the clock ([`Scheduler::now`]) and to plan future events
+/// ([`Scheduler::schedule_at`] / [`Scheduler::schedule_after`]).
+#[derive(Clone, Debug)]
+pub struct Scheduler<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Creates a scheduler with an empty queue at time zero.
+    pub fn new() -> Self {
+        Scheduler {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current simulation clock.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at the absolute instant `time`.
+    ///
+    /// Scheduling in the past is a logic error; the event is clamped to
+    /// `now` so the simulation clock never runs backwards.
+    pub fn schedule_at(&mut self, time: SimTime, event: E) {
+        let time = time.max(self.now);
+        self.queue.push(time, event);
+    }
+
+    /// Schedules `event` to fire `delay` after the current instant.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: E) {
+        self.queue.push(self.now + delay, event);
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Activation time of the next event, if any.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Pops the next event and advances the clock to its activation time.
+    pub(crate) fn advance(&mut self) -> Option<Scheduled<E>> {
+        let scheduled = self.queue.pop()?;
+        debug_assert!(scheduled.time >= self.now, "event queue went backwards");
+        self.now = scheduled.time;
+        Some(scheduled)
+    }
+
+    /// Advances the clock to `time` without dispatching events (used by the
+    /// kernel when running up to a horizon with no events left before it).
+    pub(crate) fn advance_clock_to(&mut self, time: SimTime) {
+        if time > self.now {
+            self.now = time;
+        }
+    }
+
+    /// Drops all pending events (used when a simulation is aborted).
+    pub fn clear(&mut self) {
+        self.queue.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(3), 'c');
+        q.push(SimTime::from_secs(1), 'a');
+        q.push(SimTime::from_secs(2), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_time_reports_earliest() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_secs(5), ());
+        q.push(SimTime::from_secs(2), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn scheduler_clamps_past_events_to_now() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        s.advance_clock_to(SimTime::from_secs(10));
+        s.schedule_at(SimTime::from_secs(1), ());
+        let ev = s.advance().expect("event");
+        assert_eq!(ev.time, SimTime::from_secs(10));
+        assert_eq!(s.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn scheduler_advance_moves_clock() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.schedule_after(SimDuration::from_secs(4), 7);
+        assert_eq!(s.pending(), 1);
+        let ev = s.advance().expect("event");
+        assert_eq!(ev.event, 7);
+        assert_eq!(s.now(), SimTime::from_secs(4));
+        assert!(s.is_idle());
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.schedule_after(SimDuration::from_secs(1), 1);
+        s.schedule_after(SimDuration::from_secs(2), 2);
+        s.clear();
+        assert!(s.is_idle());
+        assert_eq!(s.next_event_time(), None);
+    }
+}

@@ -1,0 +1,210 @@
+//! Deterministic random-number generation for simulations.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// The simulation PRNG: a seedable, fast, reproducible generator.
+///
+/// All randomness in the `scrip` workspace flows through `SimRng` so that
+/// every experiment is reproducible from its seed. `SimRng` implements
+/// [`RngCore`], so it works with any `rand`-based sampler as well as with
+/// the samplers in [`crate::dist`].
+///
+/// Independent sub-streams for model components are derived with
+/// [`SimRng::fork`], which avoids correlated streams without sharing
+/// mutable state.
+///
+/// ```
+/// use scrip_des::SimRng;
+/// use rand::Rng;
+///
+/// let mut a = SimRng::seed_from_u64(7);
+/// let mut b = SimRng::seed_from_u64(7);
+/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+/// ```
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator.
+    ///
+    /// The child is seeded from the parent's stream, so distinct calls
+    /// yield distinct (and deterministic) sub-streams.
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::seed_from_u64(self.inner.gen::<u64>())
+    }
+
+    /// A uniform variate in `[0, 1)`.
+    pub fn uniform_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// A uniform variate in the open interval `(0, 1)`.
+    ///
+    /// Useful for inverse-transform sampling where `ln(0)` must be avoided.
+    pub fn uniform_open01(&mut self) -> f64 {
+        loop {
+            let u = self.inner.gen::<f64>();
+            if u > 0.0 {
+                return u;
+            }
+        }
+    }
+
+    /// A uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    /// Panics if `bound == 0`.
+    pub fn index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "SimRng::index called with zero bound");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// A Bernoulli trial with success probability `p` (clamped to [0, 1]).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.gen::<f64>() < p
+        }
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            Some(&items[self.index(items.len())])
+        }
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(123);
+        let mut b = SimRng::seed_from_u64(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams should diverge, {same} collisions");
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_independent() {
+        let mut parent1 = SimRng::seed_from_u64(9);
+        let mut parent2 = SimRng::seed_from_u64(9);
+        let mut c1 = parent1.fork();
+        let mut c2 = parent2.fork();
+        assert_eq!(c1.next_u64(), c2.next_u64());
+        // Parent stream continues deterministically after forking.
+        assert_eq!(parent1.next_u64(), parent2.next_u64());
+    }
+
+    #[test]
+    fn uniform_open01_never_zero() {
+        let mut rng = SimRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let u = rng.uniform_open01();
+            assert!(u > 0.0 && u < 1.0);
+        }
+    }
+
+    #[test]
+    fn index_within_bounds() {
+        let mut rng = SimRng::seed_from_u64(11);
+        for _ in 0..1_000 {
+            assert!(rng.index(7) < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero bound")]
+    fn index_zero_bound_panics() {
+        SimRng::seed_from_u64(0).index(0);
+    }
+
+    #[test]
+    fn chance_edge_cases() {
+        let mut rng = SimRng::seed_from_u64(3);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-0.5));
+        assert!(rng.chance(1.5));
+    }
+
+    #[test]
+    fn chance_mean_near_p() {
+        let mut rng = SimRng::seed_from_u64(42);
+        let n = 50_000;
+        let hits = (0..n).filter(|_| rng.chance(0.3)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SimRng::seed_from_u64(8);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left input intact");
+    }
+
+    #[test]
+    fn choose_none_on_empty() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let empty: [u8; 0] = [];
+        assert_eq!(rng.choose(&empty), None);
+        assert_eq!(rng.choose(&[42]), Some(&42));
+    }
+}

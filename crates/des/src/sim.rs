@@ -1,0 +1,257 @@
+//! The simulation kernel: drives a [`Model`] by dispatching events in time
+//! order.
+
+use crate::event::Scheduler;
+use crate::time::SimTime;
+
+/// A discrete-event model.
+///
+/// The kernel owns the event loop; the model owns all domain state. Each
+/// event is delivered exactly once, in non-decreasing time order, with FIFO
+/// tie-breaking for simultaneous events.
+///
+/// See the [crate-level example](crate) for a complete model.
+pub trait Model {
+    /// The event payload type dispatched to this model.
+    type Event;
+
+    /// Handles one event at simulated instant `now`.
+    ///
+    /// Follow-up events are planned through `scheduler`; scheduling in the
+    /// past is clamped to `now`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, scheduler: &mut Scheduler<Self::Event>);
+}
+
+/// Counters describing a finished (or paused) simulation run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Total number of events dispatched so far.
+    pub events_processed: u64,
+    /// Events still pending in the queue.
+    pub events_pending: usize,
+    /// The clock at the end of the run.
+    pub end_time: SimTime,
+}
+
+/// A discrete-event simulation: a [`Model`] plus a [`Scheduler`].
+///
+/// ```
+/// use scrip_des::{Model, Scheduler, SimTime, Simulation};
+///
+/// struct Sink(Vec<u32>);
+/// impl Model for Sink {
+///     type Event = u32;
+///     fn handle(&mut self, _t: SimTime, ev: u32, _s: &mut Scheduler<u32>) {
+///         self.0.push(ev);
+///     }
+/// }
+///
+/// let mut sim = Simulation::new(Sink(Vec::new()));
+/// sim.schedule(SimTime::from_secs(2), 20);
+/// sim.schedule(SimTime::from_secs(1), 10);
+/// let stats = sim.run();
+/// assert_eq!(stats.events_processed, 2);
+/// assert_eq!(sim.model().0, vec![10, 20]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Simulation<M: Model> {
+    model: M,
+    scheduler: Scheduler<M::Event>,
+    events_processed: u64,
+}
+
+impl<M: Model> Simulation<M> {
+    /// Creates a simulation at time zero with an empty event queue.
+    pub fn new(model: M) -> Self {
+        Simulation {
+            model,
+            scheduler: Scheduler::new(),
+            events_processed: 0,
+        }
+    }
+
+    /// The current simulation clock.
+    pub fn now(&self) -> SimTime {
+        self.scheduler.now()
+    }
+
+    /// Immutable access to the model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Mutable access to the model (e.g. to read out collectors mid-run).
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Consumes the simulation, returning the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Schedules an initial event at absolute `time`.
+    pub fn schedule(&mut self, time: SimTime, event: M::Event) {
+        self.scheduler.schedule_at(time, event);
+    }
+
+    /// Dispatches a single event. Returns the instant it fired, or [`None`]
+    /// if the queue was empty.
+    pub fn step(&mut self) -> Option<SimTime> {
+        let scheduled = self.scheduler.advance()?;
+        self.events_processed += 1;
+        self.model
+            .handle(scheduled.time, scheduled.event, &mut self.scheduler);
+        Some(scheduled.time)
+    }
+
+    /// Runs until the event queue drains.
+    ///
+    /// Self-perpetuating models (that always schedule follow-ups) never
+    /// drain; use [`Simulation::run_until`] or
+    /// [`Simulation::run_for_events`] for those.
+    pub fn run(&mut self) -> RunStats {
+        while self.step().is_some() {}
+        self.stats()
+    }
+
+    /// Runs until the clock would pass `horizon` (inclusive) or the queue
+    /// drains. Events scheduled exactly at `horizon` are dispatched; the
+    /// clock is then advanced to `horizon` even if no event fired there.
+    pub fn run_until(&mut self, horizon: SimTime) -> RunStats {
+        loop {
+            match self.scheduler.next_event_time() {
+                Some(t) if t <= horizon => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        self.scheduler.advance_clock_to(horizon);
+        self.stats()
+    }
+
+    /// Dispatches at most `max_events` events (a safety valve for possibly
+    /// non-terminating models).
+    pub fn run_for_events(&mut self, max_events: u64) -> RunStats {
+        for _ in 0..max_events {
+            if self.step().is_none() {
+                break;
+            }
+        }
+        self.stats()
+    }
+
+    /// Counters for the run so far.
+    pub fn stats(&self) -> RunStats {
+        RunStats {
+            events_processed: self.events_processed,
+            events_pending: self.scheduler.pending(),
+            end_time: self.scheduler.now(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    /// M/M/1-ish self-scheduling model used to exercise the kernel.
+    struct SelfScheduler {
+        fired: Vec<(SimTime, u8)>,
+        chain_remaining: u32,
+    }
+
+    #[derive(Debug)]
+    enum Ev {
+        Chain,
+        Mark(u8),
+    }
+
+    impl Model for SelfScheduler {
+        type Event = Ev;
+        fn handle(&mut self, now: SimTime, event: Ev, scheduler: &mut Scheduler<Ev>) {
+            match event {
+                Ev::Chain => {
+                    self.fired.push((now, 0));
+                    if self.chain_remaining > 0 {
+                        self.chain_remaining -= 1;
+                        scheduler.schedule_after(SimDuration::from_secs(1), Ev::Chain);
+                    }
+                }
+                Ev::Mark(m) => self.fired.push((now, m)),
+            }
+        }
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut sim = Simulation::new(SelfScheduler {
+            fired: Vec::new(),
+            chain_remaining: 1_000,
+        });
+        sim.schedule(SimTime::ZERO, Ev::Chain);
+        let stats = sim.run_until(SimTime::from_secs(10));
+        // Events at t = 0..=10 inclusive.
+        assert_eq!(stats.events_processed, 11);
+        assert_eq!(stats.end_time, SimTime::from_secs(10));
+        assert_eq!(sim.now(), SimTime::from_secs(10));
+        // Chain continues afterwards.
+        let stats = sim.run_until(SimTime::from_secs(12));
+        assert_eq!(stats.events_processed, 13);
+    }
+
+    #[test]
+    fn run_until_advances_clock_without_events() {
+        let mut sim = Simulation::new(SelfScheduler {
+            fired: Vec::new(),
+            chain_remaining: 0,
+        });
+        let stats = sim.run_until(SimTime::from_secs(99));
+        assert_eq!(stats.events_processed, 0);
+        assert_eq!(sim.now(), SimTime::from_secs(99));
+    }
+
+    #[test]
+    fn run_for_events_caps_dispatch_count() {
+        let mut sim = Simulation::new(SelfScheduler {
+            fired: Vec::new(),
+            chain_remaining: u32::MAX,
+        });
+        sim.schedule(SimTime::ZERO, Ev::Chain);
+        let stats = sim.run_for_events(37);
+        assert_eq!(stats.events_processed, 37);
+        assert_eq!(stats.events_pending, 1);
+    }
+
+    #[test]
+    fn simultaneous_events_dispatch_in_scheduling_order() {
+        let mut sim = Simulation::new(SelfScheduler {
+            fired: Vec::new(),
+            chain_remaining: 0,
+        });
+        let t = SimTime::from_secs(5);
+        for m in 1..=5u8 {
+            sim.schedule(t, Ev::Mark(m));
+        }
+        sim.run();
+        let marks: Vec<u8> = sim.model().fired.iter().map(|&(_, m)| m).collect();
+        assert_eq!(marks, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn stats_reflect_progress() {
+        let mut sim = Simulation::new(SelfScheduler {
+            fired: Vec::new(),
+            chain_remaining: 3,
+        });
+        sim.schedule(SimTime::ZERO, Ev::Chain);
+        assert_eq!(sim.stats().events_pending, 1);
+        sim.run();
+        let stats = sim.stats();
+        assert_eq!(stats.events_processed, 4);
+        assert_eq!(stats.events_pending, 0);
+        assert_eq!(stats.end_time, SimTime::from_secs(3));
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for the simulation kernel and distributions.
+
+use proptest::prelude::*;
+use scrip_des::dist::{AliasTable, Exp, Geometric, Poisson};
+use scrip_des::{Model, Scheduler, SimDuration, SimRng, SimTime, Simulation};
+
+struct Recorder {
+    seen: Vec<SimTime>,
+}
+
+impl Model for Recorder {
+    type Event = ();
+    fn handle(&mut self, now: SimTime, _ev: (), _s: &mut Scheduler<()>) {
+        self.seen.push(now);
+    }
+}
+
+proptest! {
+    /// Events are always delivered in non-decreasing time order, no
+    /// matter the scheduling order.
+    #[test]
+    fn events_delivered_in_order(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut sim = Simulation::new(Recorder { seen: Vec::new() });
+        for &t in &times {
+            sim.schedule(SimTime::from_micros(t), ());
+        }
+        sim.run();
+        let seen = &sim.model().seen;
+        prop_assert_eq!(seen.len(), times.len());
+        for w in seen.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+
+    /// run_until never passes the horizon and leaves later events queued.
+    #[test]
+    fn run_until_respects_horizon(times in prop::collection::vec(0u64..1_000, 1..100), horizon in 0u64..1_000) {
+        let mut sim = Simulation::new(Recorder { seen: Vec::new() });
+        for &t in &times {
+            sim.schedule(SimTime::from_secs(t), ());
+        }
+        let stats = sim.run_until(SimTime::from_secs(horizon));
+        let expected = times.iter().filter(|&&t| t <= horizon).count() as u64;
+        prop_assert_eq!(stats.events_processed, expected);
+        prop_assert_eq!(sim.now(), SimTime::from_secs(horizon));
+    }
+
+    /// Time arithmetic is consistent: (t + d) − t == d.
+    #[test]
+    fn time_arithmetic_roundtrip(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let t = SimTime::from_micros(t);
+        let d = SimDuration::from_micros(d);
+        prop_assert_eq!((t + d) - t, d);
+    }
+
+    /// Exponential samples are non-negative and mean-consistent.
+    #[test]
+    fn exponential_mean(rate in 0.1f64..20.0, seed in 0u64..1_000) {
+        let dist = Exp::new(rate).expect("valid");
+        let mut rng = SimRng::seed_from_u64(seed);
+        let n = 4_000;
+        let mut total = 0.0;
+        for _ in 0..n {
+            let x = dist.sample(&mut rng);
+            prop_assert!(x >= 0.0);
+            total += x;
+        }
+        let mean = total / n as f64;
+        let expected = 1.0 / rate;
+        prop_assert!((mean - expected).abs() < 6.0 * expected / (n as f64).sqrt() + 0.02,
+            "mean {mean} vs expected {expected}");
+    }
+
+    /// Poisson mean tracks its parameter across both sampling regimes.
+    #[test]
+    fn poisson_mean(lambda in 0.2f64..80.0, seed in 0u64..500) {
+        let dist = Poisson::new(lambda).expect("valid");
+        let mut rng = SimRng::seed_from_u64(seed);
+        let n = 3_000;
+        let total: u64 = (0..n).map(|_| dist.sample(&mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        let tolerance = 6.0 * (lambda / n as f64).sqrt() + 0.05;
+        prop_assert!((mean - lambda).abs() < tolerance, "mean {mean} vs lambda {lambda}");
+    }
+
+    /// Geometric mean matches (1−p)/p.
+    #[test]
+    fn geometric_mean(p in 0.05f64..1.0, seed in 0u64..500) {
+        let dist = Geometric::new(p).expect("valid");
+        let mut rng = SimRng::seed_from_u64(seed);
+        let n = 4_000;
+        let total: u64 = (0..n).map(|_| dist.sample(&mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        let expected = (1.0 - p) / p;
+        let sd = ((1.0 - p).max(1e-9)).sqrt() / p;
+        prop_assert!((mean - expected).abs() < 6.0 * sd / (n as f64).sqrt() + 0.05,
+            "mean {mean} vs expected {expected}");
+    }
+
+    /// Alias tables only ever emit valid indices, with positive-weight
+    /// support.
+    #[test]
+    fn alias_table_support(weights in prop::collection::vec(0.0f64..10.0, 1..50), seed in 0u64..100) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let table = AliasTable::new(&weights).expect("valid");
+        let mut rng = SimRng::seed_from_u64(seed);
+        for _ in 0..500 {
+            let idx = table.sample(&mut rng);
+            prop_assert!(idx < weights.len());
+        }
+    }
+}

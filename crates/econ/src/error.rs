@@ -1,0 +1,42 @@
+//! Error type for the econ metrics.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from inequality-metric computation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EconError {
+    /// The input sample was empty.
+    Empty,
+    /// A wealth value was negative or non-finite.
+    InvalidValue(String),
+    /// A parameter (probability, aversion coefficient, share) was out of
+    /// range.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for EconError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EconError::Empty => write!(f, "empty sample"),
+            EconError::InvalidValue(msg) => write!(f, "invalid wealth value: {msg}"),
+            EconError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl Error for EconError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(EconError::Empty.to_string(), "empty sample");
+        assert!(EconError::InvalidValue("x".into()).to_string().contains("x"));
+        assert!(EconError::InvalidParameter("p".into())
+            .to_string()
+            .contains("p"));
+    }
+}

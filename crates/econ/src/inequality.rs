@@ -1,0 +1,246 @@
+//! Inequality indices beyond the Gini: Theil, Hoover, Atkinson, and
+//! top-share measures.
+//!
+//! The paper reports only the Gini index; these additional indices are
+//! robustness checks used in the extended experiments (condensation shows
+//! up consistently across all of them, strengthening the paper's
+//! conclusion that the effect is real rather than an artifact of the
+//! metric).
+
+use crate::error::EconError;
+
+fn validated_total(values: &[f64]) -> Result<f64, EconError> {
+    if values.is_empty() {
+        return Err(EconError::Empty);
+    }
+    let mut total = 0.0;
+    for (i, &v) in values.iter().enumerate() {
+        if !v.is_finite() || v < 0.0 {
+            return Err(EconError::InvalidValue(format!("value[{i}] = {v}")));
+        }
+        total += v;
+    }
+    Ok(total)
+}
+
+/// The Theil T index: `(1/n) Σ (x_i/μ) ln(x_i/μ)`, with the convention
+/// `0·ln 0 = 0`. Zero for perfect equality, `ln n` for single-owner
+/// concentration.
+///
+/// # Errors
+/// Returns [`EconError`] for empty/invalid samples.
+pub fn theil(values: &[f64]) -> Result<f64, EconError> {
+    let total = validated_total(values)?;
+    if total <= 0.0 {
+        return Ok(0.0);
+    }
+    let n = values.len() as f64;
+    let mean = total / n;
+    let t = values
+        .iter()
+        .filter(|&&x| x > 0.0)
+        .map(|&x| {
+            let r = x / mean;
+            r * r.ln()
+        })
+        .sum::<f64>()
+        / n;
+    Ok(t.max(0.0))
+}
+
+/// The Hoover (Robin Hood) index: the fraction of total wealth that
+/// would need to be redistributed to reach perfect equality,
+/// `(1/2) Σ |x_i − μ| / Σ x_i`.
+///
+/// # Errors
+/// Returns [`EconError`] for empty/invalid samples.
+pub fn hoover(values: &[f64]) -> Result<f64, EconError> {
+    let total = validated_total(values)?;
+    if total <= 0.0 {
+        return Ok(0.0);
+    }
+    let mean = total / values.len() as f64;
+    let abs_dev: f64 = values.iter().map(|&x| (x - mean).abs()).sum();
+    Ok(abs_dev / (2.0 * total))
+}
+
+/// The Atkinson index with inequality-aversion `epsilon > 0`,
+/// `1 − (EDE/μ)` where EDE is the equally-distributed-equivalent wealth.
+/// For `epsilon = 1` the EDE is the geometric mean. Any zero wealth with
+/// `epsilon ≥ 1` drives the index to 1 (infinite aversion to the broke).
+///
+/// # Errors
+/// Returns [`EconError`] for empty/invalid samples or `epsilon ≤ 0`.
+pub fn atkinson(values: &[f64], epsilon: f64) -> Result<f64, EconError> {
+    if !(epsilon > 0.0) || !epsilon.is_finite() {
+        return Err(EconError::InvalidParameter(format!(
+            "epsilon = {epsilon} must be positive"
+        )));
+    }
+    let total = validated_total(values)?;
+    if total <= 0.0 {
+        return Ok(0.0);
+    }
+    let n = values.len() as f64;
+    let mean = total / n;
+    let ede = if (epsilon - 1.0).abs() < 1e-12 {
+        if values.iter().any(|&x| x == 0.0) {
+            0.0
+        } else {
+            (values.iter().map(|&x| x.ln()).sum::<f64>() / n).exp()
+        }
+    } else {
+        let p = 1.0 - epsilon;
+        if epsilon > 1.0 && values.iter().any(|&x| x == 0.0) {
+            0.0
+        } else {
+            (values.iter().map(|&x| x.powf(p)).sum::<f64>() / n).powf(1.0 / p)
+        }
+    };
+    Ok((1.0 - ede / mean).clamp(0.0, 1.0))
+}
+
+/// The coefficient of variation `σ/μ` (population σ).
+///
+/// # Errors
+/// Returns [`EconError`] for empty/invalid samples; zero-mean samples
+/// return 0.
+pub fn coefficient_of_variation(values: &[f64]) -> Result<f64, EconError> {
+    let total = validated_total(values)?;
+    if total <= 0.0 {
+        return Ok(0.0);
+    }
+    let n = values.len() as f64;
+    let mean = total / n;
+    let var = values.iter().map(|&x| (x - mean).powi(2)).sum::<f64>() / n;
+    Ok(var.sqrt() / mean)
+}
+
+/// Wealth share of the richest `fraction` of peers (e.g. 0.01 = top 1%).
+/// At least one peer is always counted.
+///
+/// # Errors
+/// Returns [`EconError`] for empty/invalid samples or `fraction` outside
+/// `(0, 1]`.
+pub fn top_share(values: &[f64], fraction: f64) -> Result<f64, EconError> {
+    if !(fraction > 0.0 && fraction <= 1.0) {
+        return Err(EconError::InvalidParameter(format!(
+            "fraction = {fraction} outside (0, 1]"
+        )));
+    }
+    let total = validated_total(values)?;
+    if total <= 0.0 {
+        return Ok(0.0);
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("validated finite"));
+    let k = ((values.len() as f64 * fraction).ceil() as usize).max(1);
+    Ok(sorted.iter().take(k).sum::<f64>() / total)
+}
+
+/// Fraction of peers with exactly zero wealth — the paper's "bankrupt"
+/// peers who are shut out of the P2P service.
+///
+/// # Errors
+/// Returns [`EconError`] for empty/invalid samples.
+pub fn broke_fraction(values: &[f64]) -> Result<f64, EconError> {
+    validated_total(values)?;
+    Ok(values.iter().filter(|&&x| x == 0.0).count() as f64 / values.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EQUAL: [f64; 4] = [5.0, 5.0, 5.0, 5.0];
+    const SINGLE: [f64; 4] = [20.0, 0.0, 0.0, 0.0];
+
+    #[test]
+    fn theil_bounds() {
+        assert_eq!(theil(&EQUAL).expect("valid"), 0.0);
+        let t = theil(&SINGLE).expect("valid");
+        assert!((t - 4f64.ln()).abs() < 1e-12, "single-owner Theil {t}");
+        assert!(theil(&[]).is_err());
+    }
+
+    #[test]
+    fn hoover_bounds() {
+        assert_eq!(hoover(&EQUAL).expect("valid"), 0.0);
+        let h = hoover(&SINGLE).expect("valid");
+        assert!((h - 0.75).abs() < 1e-12, "single-owner Hoover {h}");
+    }
+
+    #[test]
+    fn atkinson_geometric_mean_case() {
+        // epsilon = 1 on {1, 4}: EDE = 2, mean = 2.5, A = 1 − 0.8 = 0.2.
+        let a = atkinson(&[1.0, 4.0], 1.0).expect("valid");
+        assert!((a - 0.2).abs() < 1e-12);
+        assert!(atkinson(&EQUAL, 1.0).expect("valid") < 1e-12);
+        // Any broke peer with epsilon >= 1 → index 1.
+        assert_eq!(atkinson(&SINGLE, 1.0).expect("valid"), 1.0);
+        assert!(atkinson(&[1.0], 0.0).is_err());
+        assert!(atkinson(&[1.0], -1.0).is_err());
+    }
+
+    #[test]
+    fn atkinson_half_epsilon() {
+        // epsilon = 0.5 on {1, 4}: EDE = ((1 + 2)/2)² = 2.25, A = 0.1.
+        let a = atkinson(&[1.0, 4.0], 0.5).expect("valid");
+        assert!((a - 0.1).abs() < 1e-12, "A = {a}");
+    }
+
+    #[test]
+    fn cv_known_value() {
+        // {0, 10}: mean 5, σ 5 ⇒ CV = 1.
+        let cv = coefficient_of_variation(&[0.0, 10.0]).expect("valid");
+        assert!((cv - 1.0).abs() < 1e-12);
+        assert_eq!(coefficient_of_variation(&EQUAL).expect("valid"), 0.0);
+    }
+
+    #[test]
+    fn top_share_values() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        // Top 25% = one peer = 4/10.
+        assert!((top_share(&v, 0.25).expect("valid") - 0.4).abs() < 1e-12);
+        // Top 100% = everything.
+        assert!((top_share(&v, 1.0).expect("valid") - 1.0).abs() < 1e-12);
+        assert!(top_share(&v, 0.0).is_err());
+        assert!(top_share(&v, 1.5).is_err());
+    }
+
+    #[test]
+    fn broke_fraction_counts_zeros() {
+        assert_eq!(broke_fraction(&SINGLE).expect("valid"), 0.75);
+        assert_eq!(broke_fraction(&EQUAL).expect("valid"), 0.0);
+    }
+
+    #[test]
+    fn zero_total_conventions() {
+        let zeros = [0.0; 3];
+        assert_eq!(theil(&zeros).expect("valid"), 0.0);
+        assert_eq!(hoover(&zeros).expect("valid"), 0.0);
+        assert_eq!(atkinson(&zeros, 1.0).expect("valid"), 0.0);
+        assert_eq!(coefficient_of_variation(&zeros).expect("valid"), 0.0);
+        assert_eq!(top_share(&zeros, 0.5).expect("valid"), 0.0);
+    }
+
+    #[test]
+    fn indices_agree_on_ordering() {
+        // A mildly unequal and a strongly condensed distribution: every
+        // index must rank the condensed one higher.
+        let mild = [8.0, 10.0, 12.0, 10.0];
+        let condensed = [0.0, 0.0, 1.0, 39.0];
+        assert!(theil(&condensed).expect("v") > theil(&mild).expect("v"));
+        assert!(hoover(&condensed).expect("v") > hoover(&mild).expect("v"));
+        assert!(
+            atkinson(&condensed, 0.5).expect("v") > atkinson(&mild, 0.5).expect("v")
+        );
+        assert!(
+            coefficient_of_variation(&condensed).expect("v")
+                > coefficient_of_variation(&mild).expect("v")
+        );
+        assert!(
+            top_share(&condensed, 0.25).expect("v") > top_share(&mild, 0.25).expect("v")
+        );
+    }
+}

@@ -1,0 +1,302 @@
+//! Lorenz curves (paper Fig. 2).
+//!
+//! The Lorenz curve plots, for each bottom fraction `p` of the population
+//! (sorted poorest-first), the fraction `L(p)` of total wealth that
+//! fraction holds. Perfect equality is the 45° line `L(p) = p`; the Gini
+//! index is twice the area between the equality line and the curve.
+
+use crate::error::EconError;
+
+/// A Lorenz curve: piecewise-linear, convex, from `(0,0)` to `(1,1)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LorenzCurve {
+    /// Curve vertices `(population share, wealth share)`, starting at
+    /// `(0,0)` and ending at `(1,1)`, with both coordinates
+    /// non-decreasing.
+    points: Vec<(f64, f64)>,
+}
+
+impl LorenzCurve {
+    /// Builds the curve from a wealth sample (one value per peer).
+    ///
+    /// # Errors
+    /// Returns [`EconError`] for empty samples or negative/non-finite
+    /// values. An all-zero sample yields the equality line.
+    pub fn from_samples(values: &[f64]) -> Result<Self, EconError> {
+        if values.is_empty() {
+            return Err(EconError::Empty);
+        }
+        let mut total = 0.0;
+        for (i, &v) in values.iter().enumerate() {
+            if !v.is_finite() || v < 0.0 {
+                return Err(EconError::InvalidValue(format!("value[{i}] = {v}")));
+            }
+            total += v;
+        }
+        let n = values.len();
+        if total <= 0.0 {
+            return Ok(LorenzCurve {
+                points: vec![(0.0, 0.0), (1.0, 1.0)],
+            });
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("validated finite"));
+        let mut points = Vec::with_capacity(n + 1);
+        points.push((0.0, 0.0));
+        let mut cum = 0.0;
+        for (i, &v) in sorted.iter().enumerate() {
+            cum += v;
+            points.push(((i + 1) as f64 / n as f64, cum / total));
+        }
+        Ok(LorenzCurve { points })
+    }
+
+    /// Builds the curve from integer credit balances.
+    ///
+    /// # Errors
+    /// Returns [`EconError::Empty`] for an empty sample.
+    pub fn from_samples_u64(values: &[u64]) -> Result<Self, EconError> {
+        let as_f64: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+        LorenzCurve::from_samples(&as_f64)
+    }
+
+    /// Builds the curve of a *distribution*: `pmf[b]` is the probability
+    /// of holding `b` credits (paper Fig. 2 plots exactly this for the
+    /// PMF of Eq. 8).
+    ///
+    /// # Errors
+    /// Returns [`EconError`] if the PMF is empty, has invalid entries, or
+    /// its mass deviates from 1 by more than `1e-6`.
+    pub fn from_pmf(pmf: &[f64]) -> Result<Self, EconError> {
+        if pmf.is_empty() {
+            return Err(EconError::Empty);
+        }
+        let mut mass = 0.0;
+        let mut mean = 0.0;
+        for (b, &p) in pmf.iter().enumerate() {
+            if !p.is_finite() || p < 0.0 {
+                return Err(EconError::InvalidValue(format!("pmf[{b}] = {p}")));
+            }
+            mass += p;
+            mean += b as f64 * p;
+        }
+        if (mass - 1.0).abs() > 1e-6 {
+            return Err(EconError::InvalidParameter(format!(
+                "pmf mass {mass} deviates from 1"
+            )));
+        }
+        if mean <= 0.0 {
+            return Ok(LorenzCurve {
+                points: vec![(0.0, 0.0), (1.0, 1.0)],
+            });
+        }
+        let mut points = Vec::with_capacity(pmf.len() + 1);
+        points.push((0.0, 0.0));
+        let mut cum_pop = 0.0;
+        let mut cum_wealth = 0.0;
+        for (b, &p) in pmf.iter().enumerate() {
+            if p == 0.0 {
+                continue;
+            }
+            cum_pop += p;
+            cum_wealth += b as f64 * p / mean;
+            points.push((cum_pop.min(1.0), cum_wealth.min(1.0)));
+        }
+        // Snap the endpoint exactly.
+        if let Some(last) = points.last_mut() {
+            *last = (1.0, 1.0);
+        }
+        Ok(LorenzCurve { points })
+    }
+
+    /// The curve vertices, from `(0,0)` to `(1,1)`.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Linear interpolation of `L(p)`: the wealth share of the poorest
+    /// fraction `p` of peers.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn share_of_bottom(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "p = {p} outside [0, 1]");
+        let pts = &self.points;
+        if p <= 0.0 {
+            return 0.0;
+        }
+        if p >= 1.0 {
+            return 1.0;
+        }
+        let idx = pts.partition_point(|&(x, _)| x < p);
+        let (x1, y1) = pts[idx.saturating_sub(1)];
+        let (x2, y2) = pts[idx.min(pts.len() - 1)];
+        if x2 <= x1 {
+            return y2;
+        }
+        y1 + (y2 - y1) * (p - x1) / (x2 - x1)
+    }
+
+    /// Wealth share of the richest fraction `p` (e.g. `top_share(0.01)` =
+    /// top-1% share).
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn top_share(&self, p: f64) -> f64 {
+        1.0 - self.share_of_bottom(1.0 - p)
+    }
+
+    /// The Gini index: twice the area between the equality line and the
+    /// curve (trapezoid rule over the vertices, exact for the
+    /// piecewise-linear curve).
+    pub fn gini(&self) -> f64 {
+        let mut area2 = 0.0;
+        for w in self.points.windows(2) {
+            let (x1, y1) = w[0];
+            let (x2, y2) = w[1];
+            area2 += (x2 - x1) * (y1 + y2);
+        }
+        (1.0 - area2).clamp(0.0, 1.0)
+    }
+
+    /// Samples the curve at `k+1` evenly spaced population shares
+    /// `0, 1/k, …, 1` — convenient for plotting/CSV output.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn sample(&self, k: usize) -> Vec<(f64, f64)> {
+        assert!(k > 0, "need at least one segment");
+        (0..=k)
+            .map(|i| {
+                let p = i as f64 / k as f64;
+                (p, self.share_of_bottom(p))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gini;
+
+    #[test]
+    fn equality_line_for_uniform_sample() {
+        let c = LorenzCurve::from_samples(&[3.0; 5]).expect("valid");
+        for i in 0..=10 {
+            let p = i as f64 / 10.0;
+            assert!((c.share_of_bottom(p) - p).abs() < 1e-12);
+        }
+        assert_eq!(c.gini(), 0.0);
+    }
+
+    #[test]
+    fn all_zero_sample_is_equality() {
+        let c = LorenzCurve::from_samples(&[0.0; 4]).expect("valid");
+        assert_eq!(c.gini(), 0.0);
+        assert!((c.share_of_bottom(0.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_owner_curve() {
+        let c = LorenzCurve::from_samples(&[0.0, 0.0, 0.0, 8.0]).expect("valid");
+        assert_eq!(c.share_of_bottom(0.75), 0.0);
+        assert!((c.share_of_bottom(0.875) - 0.5).abs() < 1e-12);
+        assert_eq!(c.share_of_bottom(1.0), 1.0);
+        assert!((c.top_share(0.25) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_matches_sample_gini() {
+        let v = [1.0, 4.0, 2.0, 8.0, 0.0, 3.0];
+        let from_curve = LorenzCurve::from_samples(&v).expect("valid").gini();
+        let direct = gini(&v).expect("valid");
+        assert!(
+            (from_curve - direct).abs() < 1e-12,
+            "curve {from_curve} vs direct {direct}"
+        );
+    }
+
+    #[test]
+    fn curve_is_monotone_and_convex() {
+        let v = [5.0, 1.0, 9.0, 2.0, 2.0, 7.0, 0.5];
+        let c = LorenzCurve::from_samples(&v).expect("valid");
+        let pts = c.points();
+        let mut prev_slope = -1.0;
+        for w in pts.windows(2) {
+            let (x1, y1) = w[0];
+            let (x2, y2) = w[1];
+            assert!(x2 >= x1 && y2 >= y1, "monotonicity violated");
+            let slope = (y2 - y1) / (x2 - x1).max(1e-15);
+            assert!(slope >= prev_slope - 1e-9, "convexity violated");
+            prev_slope = slope;
+        }
+        assert_eq!(pts.first(), Some(&(0.0, 0.0)));
+        assert_eq!(pts.last(), Some(&(1.0, 1.0)));
+    }
+
+    #[test]
+    fn curve_below_equality_line() {
+        let v = [1.0, 2.0, 3.0, 10.0];
+        let c = LorenzCurve::from_samples(&v).expect("valid");
+        for i in 1..10 {
+            let p = i as f64 / 10.0;
+            assert!(c.share_of_bottom(p) <= p + 1e-12);
+        }
+    }
+
+    #[test]
+    fn from_pmf_matches_from_samples() {
+        // Distribution: P(0) = 0.5, P(4) = 0.5.
+        let mut pmf = vec![0.0; 5];
+        pmf[0] = 0.5;
+        pmf[4] = 0.5;
+        let c_pmf = LorenzCurve::from_pmf(&pmf).expect("valid");
+        let mut sample = vec![0.0; 500];
+        sample.extend(vec![4.0; 500]);
+        let c_s = LorenzCurve::from_samples(&sample).expect("valid");
+        for i in 0..=10 {
+            let p = i as f64 / 10.0;
+            assert!(
+                (c_pmf.share_of_bottom(p) - c_s.share_of_bottom(p)).abs() < 1e-9,
+                "mismatch at p = {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_pmf_zero_mean_is_equality() {
+        let c = LorenzCurve::from_pmf(&[1.0]).expect("valid");
+        assert_eq!(c.gini(), 0.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert_eq!(LorenzCurve::from_samples(&[]), Err(EconError::Empty));
+        assert!(LorenzCurve::from_samples(&[-1.0]).is_err());
+        assert!(LorenzCurve::from_pmf(&[0.9]).is_err());
+        assert!(LorenzCurve::from_pmf(&[1.5, -0.5]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn share_of_bottom_out_of_range_panics() {
+        let c = LorenzCurve::from_samples(&[1.0, 2.0]).expect("valid");
+        c.share_of_bottom(1.5);
+    }
+
+    #[test]
+    fn sample_grid() {
+        let c = LorenzCurve::from_samples(&[1.0, 1.0, 2.0]).expect("valid");
+        let grid = c.sample(4);
+        assert_eq!(grid.len(), 5);
+        assert_eq!(grid[0], (0.0, 0.0));
+        assert_eq!(grid[4], (1.0, 1.0));
+    }
+
+    #[test]
+    fn u64_constructor() {
+        let c = LorenzCurve::from_samples_u64(&[0, 0, 8]).expect("valid");
+        assert!((c.gini() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,144 @@
+//! One-line wealth summaries for experiment logs.
+
+use crate::error::EconError;
+use crate::gini::gini;
+use crate::inequality::{broke_fraction, top_share};
+
+/// A compact statistical summary of a wealth distribution at one instant.
+///
+/// ```
+/// use scrip_econ::WealthSnapshot;
+///
+/// # fn main() -> Result<(), scrip_econ::EconError> {
+/// let snap = WealthSnapshot::from_values(&[0.0, 10.0, 20.0, 10.0])?;
+/// assert_eq!(snap.n, 4);
+/// assert_eq!(snap.total, 40.0);
+/// assert_eq!(snap.mean, 10.0);
+/// assert_eq!(snap.broke_fraction, 0.25);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WealthSnapshot {
+    /// Number of peers.
+    pub n: usize,
+    /// Total credits in the sample.
+    pub total: f64,
+    /// Mean wealth (the paper's `c` when measured at start).
+    pub mean: f64,
+    /// Median wealth.
+    pub median: f64,
+    /// Minimum wealth.
+    pub min: f64,
+    /// Maximum wealth.
+    pub max: f64,
+    /// Gini index of the sample.
+    pub gini: f64,
+    /// Wealth share of the richest 10% of peers.
+    pub top_decile_share: f64,
+    /// Fraction of peers with exactly zero credits.
+    pub broke_fraction: f64,
+}
+
+impl WealthSnapshot {
+    /// Computes the snapshot from per-peer wealth values.
+    ///
+    /// # Errors
+    /// Returns [`EconError`] for empty samples or invalid values.
+    pub fn from_values(values: &[f64]) -> Result<Self, EconError> {
+        let g = gini(values)?;
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("validated by gini"));
+        let n = sorted.len();
+        let total: f64 = sorted.iter().sum();
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+        };
+        Ok(WealthSnapshot {
+            n,
+            total,
+            mean: total / n as f64,
+            median,
+            min: sorted[0],
+            max: sorted[n - 1],
+            gini: g,
+            top_decile_share: top_share(values, 0.1)?,
+            broke_fraction: broke_fraction(values)?,
+        })
+    }
+
+    /// Computes the snapshot from integer credit balances.
+    ///
+    /// # Errors
+    /// Returns [`EconError::Empty`] for an empty sample.
+    pub fn from_u64(values: &[u64]) -> Result<Self, EconError> {
+        let as_f64: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+        WealthSnapshot::from_values(&as_f64)
+    }
+}
+
+impl std::fmt::Display for WealthSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} total={:.0} mean={:.2} median={:.1} range=[{:.0}, {:.0}] gini={:.3} top10%={:.1}% broke={:.1}%",
+            self.n,
+            self.total,
+            self.mean,
+            self.median,
+            self.min,
+            self.max,
+            self.gini,
+            self.top_decile_share * 100.0,
+            self.broke_fraction * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_fields() {
+        let s = WealthSnapshot::from_values(&[1.0, 2.0, 3.0, 4.0, 100.0]).expect("valid");
+        assert_eq!(s.n, 5);
+        assert_eq!(s.total, 110.0);
+        assert_eq!(s.mean, 22.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!(s.gini > 0.5);
+        assert!((s.top_decile_share - 100.0 / 110.0).abs() < 1e-12);
+        assert_eq!(s.broke_fraction, 0.0);
+    }
+
+    #[test]
+    fn even_length_median() {
+        let s = WealthSnapshot::from_values(&[1.0, 3.0, 5.0, 7.0]).expect("valid");
+        assert_eq!(s.median, 4.0);
+    }
+
+    #[test]
+    fn from_u64_matches() {
+        let a = WealthSnapshot::from_u64(&[0, 5, 10]).expect("valid");
+        let b = WealthSnapshot::from_values(&[0.0, 5.0, 10.0]).expect("valid");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(WealthSnapshot::from_values(&[]).is_err());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = WealthSnapshot::from_values(&[0.0, 10.0]).expect("valid");
+        let text = s.to_string();
+        assert!(text.contains("n=2"));
+        assert!(text.contains("gini=0.500"));
+        assert!(text.contains("broke=50.0%"));
+    }
+}

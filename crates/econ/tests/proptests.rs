@@ -1,0 +1,84 @@
+//! Property-based tests for the inequality metrics.
+
+use proptest::prelude::*;
+use scrip_econ::inequality::{hoover, theil};
+use scrip_econ::lorenz::LorenzCurve;
+use scrip_econ::{gini, WealthSnapshot};
+
+fn wealth_vec() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..1e6, 2..200)
+}
+
+proptest! {
+    /// Gini is always within [0, 1).
+    #[test]
+    fn gini_bounded(v in wealth_vec()) {
+        let g = gini(&v).expect("valid input");
+        prop_assert!((0.0..1.0).contains(&g), "gini {g}");
+    }
+
+    /// Gini is scale-invariant.
+    #[test]
+    fn gini_scale_invariant(v in wealth_vec(), k in 0.001f64..1000.0) {
+        let g1 = gini(&v).expect("valid");
+        let scaled: Vec<f64> = v.iter().map(|x| x * k).collect();
+        let g2 = gini(&scaled).expect("valid");
+        prop_assert!((g1 - g2).abs() < 1e-9, "{g1} vs {g2}");
+    }
+
+    /// Gini is invariant under population replication.
+    #[test]
+    fn gini_replication_invariant(v in prop::collection::vec(0.0f64..1e6, 2..50)) {
+        let g1 = gini(&v).expect("valid");
+        let mut doubled = v.clone();
+        doubled.extend_from_slice(&v);
+        let g2 = gini(&doubled).expect("valid");
+        prop_assert!((g1 - g2).abs() < 1e-9, "{g1} vs {g2}");
+    }
+
+    /// A uniform transfer from each peer to the mean (partial
+    /// equalization) never increases the Gini (Pigou–Dalton flavour).
+    #[test]
+    fn gini_decreases_under_equalization(v in wealth_vec(), alpha in 0.0f64..1.0) {
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        let squeezed: Vec<f64> = v.iter().map(|x| x + alpha * (mean - x)).collect();
+        let g1 = gini(&v).expect("valid");
+        let g2 = gini(&squeezed).expect("valid");
+        prop_assert!(g2 <= g1 + 1e-9, "equalized {g2} > original {g1}");
+    }
+
+    /// Lorenz curves are monotone, convex, within the unit square, and
+    /// their Gini matches the direct formula.
+    #[test]
+    fn lorenz_is_well_formed(v in wealth_vec()) {
+        let c = LorenzCurve::from_samples(&v).expect("valid");
+        let pts = c.points();
+        prop_assert_eq!(pts.first().copied(), Some((0.0, 0.0)));
+        let (lx, ly) = pts.last().copied().expect("non-empty");
+        prop_assert!((lx - 1.0).abs() < 1e-12 && (ly - 1.0).abs() < 1e-12);
+        for w in pts.windows(2) {
+            prop_assert!(w[1].0 >= w[0].0 && w[1].1 >= w[0].1 - 1e-12);
+        }
+        let direct = gini(&v).expect("valid");
+        prop_assert!((c.gini() - direct).abs() < 1e-9);
+    }
+
+    /// All inequality indices agree that constants are perfectly equal.
+    #[test]
+    fn indices_vanish_on_equal_wealth(x in 0.1f64..1e6, n in 2usize..100) {
+        let v = vec![x; n];
+        prop_assert!(gini(&v).expect("valid") < 1e-12);
+        prop_assert!(theil(&v).expect("valid").abs() < 1e-9);
+        prop_assert!(hoover(&v).expect("valid") < 1e-12);
+    }
+
+    /// Snapshot totals are consistent.
+    #[test]
+    fn snapshot_consistency(v in wealth_vec()) {
+        let s = WealthSnapshot::from_values(&v).expect("valid");
+        prop_assert_eq!(s.n, v.len());
+        prop_assert!((s.total - v.iter().sum::<f64>()).abs() < 1e-6);
+        prop_assert!(s.min <= s.median && s.median <= s.max);
+        prop_assert!((0.0..=1.0).contains(&s.top_decile_share));
+    }
+}

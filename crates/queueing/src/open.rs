@@ -1,0 +1,295 @@
+//! Open Jackson networks: the churn scenario of paper Sec. VI-E.
+//!
+//! When peers join (bringing `c` fresh credits) and leave (taking their
+//! wallets), credits enter and exit the market, so the closed-network
+//! analysis no longer applies. The paper models this as an **open Jackson
+//! network**. This module solves the traffic equations
+//! `λ = α + λP` and, when every queue is stable (`ρ_i < 1`), gives the
+//! classic product-form M/M/1 marginals.
+
+use crate::error::QueueingError;
+use crate::stationary::solve_dense;
+
+/// Tolerance for sub-stochastic row validation.
+const ROW_SUM_TOL: f64 = 1e-9;
+
+/// A sub-stochastic routing matrix: rows sum to at most 1, with the
+/// deficit being the probability of leaving the network.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpenRouting {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl OpenRouting {
+    /// Builds and validates a routing matrix from dense rows.
+    ///
+    /// # Errors
+    /// Returns [`QueueingError::Dimension`] for empty/ragged input and
+    /// [`QueueingError::NotStochastic`] if entries are negative or a row
+    /// sums to more than 1.
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Result<Self, QueueingError> {
+        let n = rows.len();
+        if n == 0 {
+            return Err(QueueingError::Dimension("empty routing matrix".into()));
+        }
+        let mut data = Vec::with_capacity(n * n);
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != n {
+                return Err(QueueingError::Dimension(format!(
+                    "row {i} has {} entries, expected {n}",
+                    row.len()
+                )));
+            }
+            let mut sum = 0.0;
+            for (j, &v) in row.iter().enumerate() {
+                if !v.is_finite() || v < 0.0 {
+                    return Err(QueueingError::NotStochastic(format!(
+                        "entry ({i}, {j}) = {v}"
+                    )));
+                }
+                sum += v;
+            }
+            if sum > 1.0 + ROW_SUM_TOL {
+                return Err(QueueingError::NotStochastic(format!(
+                    "row {i} sums to {sum} > 1"
+                )));
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(OpenRouting { n, data })
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The entry `p_ij`.
+    ///
+    /// # Panics
+    /// Panics if an index is out of range.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index ({i}, {j}) out of range");
+        self.data[i * self.n + j]
+    }
+
+    /// The probability that a job leaving queue `i` exits the network.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn exit_probability(&self, i: usize) -> f64 {
+        assert!(i < self.n, "row {i} out of range");
+        let sum: f64 = self.data[i * self.n..(i + 1) * self.n].iter().sum();
+        (1.0 - sum).max(0.0)
+    }
+}
+
+/// A solved open Jackson network.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpenJackson {
+    arrival: Vec<f64>,
+    service: Vec<f64>,
+    rho: Vec<f64>,
+}
+
+impl OpenJackson {
+    /// Solves the traffic equations `λ = α + λP` and validates stability
+    /// (`ρ_i = λ_i/μ_i < 1` for every queue).
+    ///
+    /// # Errors
+    /// * [`QueueingError::Dimension`] on mismatched vector lengths.
+    /// * [`QueueingError::InvalidParameter`] for negative external
+    ///   arrivals or non-positive service rates.
+    /// * [`QueueingError::Singular`] if `(I − Pᵀ)` is singular (jobs
+    ///   cannot all eventually exit).
+    /// * [`QueueingError::Unstable`] if some `ρ_i ≥ 1`.
+    pub fn solve(
+        routing: &OpenRouting,
+        external_arrivals: &[f64],
+        service_rates: &[f64],
+    ) -> Result<Self, QueueingError> {
+        let n = routing.n();
+        if external_arrivals.len() != n || service_rates.len() != n {
+            return Err(QueueingError::Dimension(format!(
+                "routing n = {n}, α has {}, μ has {}",
+                external_arrivals.len(),
+                service_rates.len()
+            )));
+        }
+        for (i, &a) in external_arrivals.iter().enumerate() {
+            if !a.is_finite() || a < 0.0 {
+                return Err(QueueingError::InvalidParameter(format!("α_{i} = {a}")));
+            }
+        }
+        for (i, &s) in service_rates.iter().enumerate() {
+            if !s.is_finite() || s <= 0.0 {
+                return Err(QueueingError::InvalidParameter(format!("μ_{i} = {s}")));
+            }
+        }
+        // (I − Pᵀ) λ = α.
+        let mut a = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                a[j * n + i] = -routing.get(i, j);
+            }
+        }
+        for i in 0..n {
+            a[i * n + i] += 1.0;
+        }
+        let mut lambda = external_arrivals.to_vec();
+        solve_dense(&mut a, &mut lambda, n)?;
+        for (i, &l) in lambda.iter().enumerate() {
+            if l < -1e-9 {
+                return Err(QueueingError::Singular(format!(
+                    "negative solved arrival rate λ_{i} = {l}"
+                )));
+            }
+        }
+        let rho: Vec<f64> = lambda
+            .iter()
+            .zip(service_rates)
+            .map(|(&l, &m)| l.max(0.0) / m)
+            .collect();
+        if let Some((i, &r)) = rho.iter().enumerate().find(|&(_, &r)| r >= 1.0) {
+            return Err(QueueingError::Unstable(format!("ρ_{i} = {r} ≥ 1")));
+        }
+        Ok(OpenJackson {
+            arrival: lambda,
+            service: service_rates.to_vec(),
+            rho,
+        })
+    }
+
+    /// Number of queues.
+    pub fn n(&self) -> usize {
+        self.arrival.len()
+    }
+
+    /// Solved total arrival rates `λ_i`.
+    pub fn arrival_rates(&self) -> &[f64] {
+        &self.arrival
+    }
+
+    /// Utilizations `ρ_i = λ_i/μ_i`, all strictly below 1.
+    pub fn utilizations(&self) -> &[f64] {
+        &self.rho
+    }
+
+    /// Mean queue lengths `L_i = ρ_i/(1 − ρ_i)` (M/M/1 marginals).
+    pub fn mean_lengths(&self) -> Vec<f64> {
+        self.rho.iter().map(|&r| r / (1.0 - r)).collect()
+    }
+
+    /// Mean sojourn times `W_i = 1/(μ_i − λ_i)` (Little's law).
+    pub fn mean_sojourn_times(&self) -> Vec<f64> {
+        self.arrival
+            .iter()
+            .zip(&self.service)
+            .map(|(&l, &m)| 1.0 / (m - l))
+            .collect()
+    }
+
+    /// Marginal queue-length PMF of queue `i`, truncated at `max_b`:
+    /// geometric `P{B_i = b} = (1 − ρ)ρ^b`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn marginal_pmf(&self, i: usize, max_b: usize) -> Vec<f64> {
+        assert!(i < self.n(), "queue index {i} out of range");
+        let r = self.rho[i];
+        let mut pmf = Vec::with_capacity(max_b + 1);
+        let mut p = 1.0 - r;
+        for _ in 0..=max_b {
+            pmf.push(p);
+            p *= r;
+        }
+        pmf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_validation() {
+        assert!(OpenRouting::from_rows(vec![]).is_err());
+        assert!(OpenRouting::from_rows(vec![vec![0.5], vec![0.5, 0.5]]).is_err());
+        assert!(OpenRouting::from_rows(vec![vec![0.6, 0.6], vec![0.0, 0.0]]).is_err());
+        assert!(OpenRouting::from_rows(vec![vec![-0.1, 0.5], vec![0.0, 0.0]]).is_err());
+        let r = OpenRouting::from_rows(vec![vec![0.0, 0.5], vec![0.25, 0.25]]).expect("valid");
+        assert!((r.exit_probability(0) - 0.5).abs() < 1e-12);
+        assert!((r.exit_probability(1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_mm1_queue() {
+        // One queue, no internal routing: a plain M/M/1.
+        let routing = OpenRouting::from_rows(vec![vec![0.0]]).expect("valid");
+        let net = OpenJackson::solve(&routing, &[0.5], &[1.0]).expect("stable");
+        assert!((net.utilizations()[0] - 0.5).abs() < 1e-12);
+        assert!((net.mean_lengths()[0] - 1.0).abs() < 1e-12);
+        assert!((net.mean_sojourn_times()[0] - 2.0).abs() < 1e-12);
+        let pmf = net.marginal_pmf(0, 3);
+        assert!((pmf[0] - 0.5).abs() < 1e-12);
+        assert!((pmf[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tandem_queues() {
+        // α -> q0 -> q1 -> exit; both see the same arrival rate.
+        let routing =
+            OpenRouting::from_rows(vec![vec![0.0, 1.0], vec![0.0, 0.0]]).expect("valid");
+        let net = OpenJackson::solve(&routing, &[0.3, 0.0], &[1.0, 0.5]).expect("stable");
+        assert!((net.arrival_rates()[0] - 0.3).abs() < 1e-12);
+        assert!((net.arrival_rates()[1] - 0.3).abs() < 1e-12);
+        assert!((net.utilizations()[1] - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn feedback_queue() {
+        // Single queue with feedback probability q: λ = α/(1−q).
+        let q = 0.75;
+        let routing = OpenRouting::from_rows(vec![vec![q]]).expect("valid");
+        let net = OpenJackson::solve(&routing, &[0.2], &[1.0]).expect("stable");
+        assert!((net.arrival_rates()[0] - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn instability_detected() {
+        let routing = OpenRouting::from_rows(vec![vec![0.0]]).expect("valid");
+        assert!(matches!(
+            OpenJackson::solve(&routing, &[2.0], &[1.0]),
+            Err(QueueingError::Unstable(_))
+        ));
+    }
+
+    #[test]
+    fn no_exit_is_singular() {
+        // All mass recirculates: (I − Pᵀ) is singular.
+        let routing =
+            OpenRouting::from_rows(vec![vec![0.0, 1.0], vec![1.0, 0.0]]).expect("valid");
+        assert!(matches!(
+            OpenJackson::solve(&routing, &[0.1, 0.1], &[1.0, 1.0]),
+            Err(QueueingError::Singular(_))
+        ));
+    }
+
+    #[test]
+    fn input_validation() {
+        let routing = OpenRouting::from_rows(vec![vec![0.0]]).expect("valid");
+        assert!(OpenJackson::solve(&routing, &[0.1, 0.2], &[1.0]).is_err());
+        assert!(OpenJackson::solve(&routing, &[-0.1], &[1.0]).is_err());
+        assert!(OpenJackson::solve(&routing, &[0.1], &[0.0]).is_err());
+    }
+
+    #[test]
+    fn marginal_pmf_mass_tail() {
+        let routing = OpenRouting::from_rows(vec![vec![0.0]]).expect("valid");
+        let net = OpenJackson::solve(&routing, &[0.9], &[1.0]).expect("stable");
+        let pmf = net.marginal_pmf(0, 200);
+        let total: f64 = pmf.iter().sum();
+        assert!(total > 0.999, "truncated mass {total}");
+    }
+}

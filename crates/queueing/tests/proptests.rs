@@ -1,0 +1,113 @@
+//! Property-based tests for the queueing-network invariants.
+
+use proptest::prelude::*;
+use scrip_queueing::approx::{eq8_symmetric_marginal, exact_symmetric_marginal, pmf_mean};
+use scrip_queueing::closed::ClosedJackson;
+use scrip_queueing::condensation::{classify, empirical_threshold, Regime, Threshold};
+use scrip_queueing::stationary::{direct_solve, is_stationary};
+use scrip_queueing::TransferMatrix;
+
+/// Random row-stochastic irreducible-ish matrix: random positive weights
+/// plus a ring backbone guaranteeing irreducibility.
+fn stochastic_matrix() -> impl Strategy<Value = TransferMatrix> {
+    (2usize..12).prop_flat_map(|n| {
+        prop::collection::vec(0.01f64..1.0, n * n).prop_map(move |w| {
+            let mut rows = vec![vec![0.0; n]; n];
+            for i in 0..n {
+                for j in 0..n {
+                    rows[i][j] = w[i * n + j];
+                }
+                rows[i][(i + 1) % n] += 1.0; // ring backbone
+                let total: f64 = rows[i].iter().sum();
+                for x in &mut rows[i] {
+                    *x /= total;
+                }
+            }
+            TransferMatrix::from_rows(rows).expect("constructed stochastic")
+        })
+    })
+}
+
+fn utilizations() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.05f64..1.0, 2..10).prop_map(|mut u| {
+        u[0] = 1.0;
+        u
+    })
+}
+
+proptest! {
+    /// Lemma 1: every irreducible stochastic matrix has a strictly
+    /// positive stationary flow, and the solver finds it.
+    #[test]
+    fn stationary_flow_exists_and_is_positive(p in stochastic_matrix()) {
+        let flows = direct_solve(&p).expect("solvable");
+        prop_assert!(is_stationary(&p, &flows, 1e-8));
+        for &f in &flows {
+            prop_assert!(f > 0.0);
+        }
+        prop_assert!((flows.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    /// Buzen's convolution and MVA agree on mean queue lengths, and the
+    /// means sum to the population.
+    #[test]
+    fn buzen_equals_mva(u in utilizations(), m in 1usize..60) {
+        let network = ClosedJackson::from_utilizations(&u).expect("valid");
+        let conv = network.expected_lengths(m);
+        let mva = network.mva(m).mean_lengths;
+        let total: f64 = conv.iter().sum();
+        prop_assert!((total - m as f64).abs() < 1e-6, "total {total} vs {m}");
+        for (a, b) in conv.iter().zip(&mva) {
+            prop_assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    /// Exact marginals are distributions with the right mean structure.
+    #[test]
+    fn marginal_pmf_is_distribution(u in utilizations(), m in 1usize..50) {
+        let network = ClosedJackson::from_utilizations(&u).expect("valid");
+        let gc = network.convolution(m);
+        let mut mean_sum = 0.0;
+        for i in 0..u.len() {
+            let pmf = network.marginal_pmf(i, m, &gc);
+            let mass: f64 = pmf.iter().sum();
+            prop_assert!((mass - 1.0).abs() < 1e-8, "queue {i} mass {mass}");
+            for &p in &pmf {
+                prop_assert!(p >= 0.0);
+            }
+            mean_sum += pmf_mean(&pmf);
+        }
+        prop_assert!((mean_sum - m as f64).abs() < 1e-6);
+    }
+
+    /// The empirical threshold is monotone in the classification sense:
+    /// wealth below it is sustainable, above it condensing.
+    #[test]
+    fn threshold_classification_is_monotone(u in utilizations()) {
+        let est = empirical_threshold(&u, 1e-9).expect("valid");
+        match est.threshold {
+            Threshold::Finite(t) => {
+                prop_assert_eq!(classify(t * 0.5, &est.threshold), Regime::Sustainable);
+                prop_assert_eq!(classify(t + 1.0, &est.threshold), Regime::Condensing);
+            }
+            Threshold::Divergent => {
+                prop_assert_eq!(classify(1e12, &est.threshold), Regime::Sustainable);
+            }
+        }
+    }
+
+    /// The symmetric closed-form marginals are proper distributions with
+    /// mean c for any (m, n).
+    #[test]
+    fn symmetric_marginals_have_mean_c(n in 2usize..30, c in 1usize..30) {
+        let m = n * c;
+        for pmf in [
+            exact_symmetric_marginal(m, n).expect("valid"),
+            eq8_symmetric_marginal(m, n).expect("valid"),
+        ] {
+            let mass: f64 = pmf.iter().sum();
+            prop_assert!((mass - 1.0).abs() < 1e-8);
+            prop_assert!((pmf_mean(&pmf) - c as f64).abs() < 1e-6);
+        }
+    }
+}

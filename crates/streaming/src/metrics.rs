@@ -1,0 +1,154 @@
+//! Aggregated streaming-quality metrics.
+
+use scrip_des::SimTime;
+use scrip_topology::NodeId;
+
+use crate::policy::TradePolicy;
+use crate::system::StreamingSystem;
+
+/// Per-peer streaming report.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PeerReport {
+    /// The peer.
+    pub id: NodeId,
+    /// Playback continuity (fraction of deadlines met).
+    pub continuity: f64,
+    /// Total chunks received.
+    pub received: u64,
+    /// Chunks uploaded to others.
+    pub uploaded: u64,
+    /// Requests denied by the trade policy.
+    pub denied: u64,
+    /// Whether playback has started.
+    pub started: bool,
+}
+
+/// System-wide streaming report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SystemReport {
+    /// Per-peer details in ascending peer-ID order.
+    pub peers: Vec<PeerReport>,
+    /// Mean playback continuity over all peers.
+    pub mean_continuity: f64,
+    /// Worst playback continuity.
+    pub min_continuity: f64,
+    /// Fraction of peers whose playback has started.
+    pub started_fraction: f64,
+    /// Mean chunk download rate (chunks/sec) over the run.
+    pub mean_download_rate: f64,
+    /// Total peer-to-peer uploads.
+    pub total_uploads: u64,
+    /// Total trade denials.
+    pub total_denied: u64,
+}
+
+impl SystemReport {
+    /// Computes the report from the live system state at instant `now`.
+    pub fn compute<T: TradePolicy>(system: &StreamingSystem<T>, now: SimTime) -> Self {
+        let elapsed = now.as_secs_f64().max(1e-9);
+        let mut peers = Vec::with_capacity(system.peer_count());
+        let mut sum_continuity = 0.0;
+        let mut min_continuity = f64::INFINITY;
+        let mut started = 0usize;
+        let mut total_received = 0u64;
+        let mut total_uploads = 0u64;
+        let mut total_denied = 0u64;
+        for (id, state) in system.peers() {
+            let continuity = state.stats.continuity();
+            sum_continuity += continuity;
+            min_continuity = min_continuity.min(continuity);
+            if state.started() {
+                started += 1;
+            }
+            total_received += state.stats.received();
+            total_uploads += state.stats.uploaded;
+            total_denied += state.stats.denied;
+            peers.push(PeerReport {
+                id,
+                continuity,
+                received: state.stats.received(),
+                uploaded: state.stats.uploaded,
+                denied: state.stats.denied,
+                started: state.started(),
+            });
+        }
+        let n = peers.len().max(1) as f64;
+        SystemReport {
+            mean_continuity: sum_continuity / n,
+            min_continuity: if min_continuity.is_finite() {
+                min_continuity
+            } else {
+                1.0
+            },
+            started_fraction: started as f64 / n,
+            mean_download_rate: total_received as f64 / n / elapsed,
+            total_uploads,
+            total_denied,
+            peers,
+        }
+    }
+}
+
+impl std::fmt::Display for SystemReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "peers={} continuity[mean/min]={:.3}/{:.3} started={:.0}% dl_rate={:.2} chunks/s uploads={} denied={}",
+            self.peers.len(),
+            self.mean_continuity,
+            self.min_continuity,
+            self.started_fraction * 100.0,
+            self.mean_download_rate,
+            self.total_uploads,
+            self.total_denied
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StreamingConfig;
+    use crate::policy::FreeTrade;
+    use crate::system::StreamEvent;
+    use scrip_des::{SimRng, Simulation};
+    use scrip_topology::generators;
+
+    #[test]
+    fn report_on_fresh_system_is_benign() {
+        let rng = SimRng::seed_from_u64(1);
+        let system = StreamingSystem::new(
+            generators::complete(5),
+            StreamingConfig::default(),
+            FreeTrade,
+            rng,
+        )
+        .expect("system");
+        let report = system.report(SimTime::ZERO);
+        assert_eq!(report.peers.len(), 5);
+        assert_eq!(report.mean_continuity, 1.0);
+        assert_eq!(report.started_fraction, 0.0);
+        assert_eq!(report.total_uploads, 0);
+    }
+
+    #[test]
+    fn report_after_run_and_display() {
+        let rng = SimRng::seed_from_u64(2);
+        let system = StreamingSystem::new(
+            generators::complete(20),
+            StreamingConfig::default(),
+            FreeTrade,
+            rng,
+        )
+        .expect("system");
+        let mut sim = Simulation::new(system);
+        sim.schedule(SimTime::ZERO, StreamEvent::Bootstrap);
+        sim.run_until(SimTime::from_secs(90));
+        let report = sim.model().report(sim.now());
+        assert!(report.mean_download_rate > 0.0);
+        assert!(report.min_continuity <= report.mean_continuity);
+        let text = report.to_string();
+        assert!(text.contains("peers=20"));
+        assert!(text.contains("continuity"));
+    }
+}

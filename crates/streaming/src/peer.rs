@@ -1,0 +1,120 @@
+//! Per-peer protocol state.
+
+use std::collections::BTreeSet;
+
+use crate::chunk::BufferMap;
+
+/// Playback/transfer counters for one peer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PeerStats {
+    /// Chunks played on time.
+    pub played: u64,
+    /// Chunks missed at their playback deadline.
+    pub missed: u64,
+    /// Chunks received from other peers.
+    pub received_from_peers: u64,
+    /// Chunks received directly from the source.
+    pub received_from_source: u64,
+    /// Chunks uploaded to other peers.
+    pub uploaded: u64,
+    /// Requests refused by the trade policy (buyer could not pay).
+    pub denied: u64,
+}
+
+impl PeerStats {
+    /// Playback continuity: fraction of deadlines met. 1.0 before any
+    /// deadline has passed.
+    pub fn continuity(&self) -> f64 {
+        let total = self.played + self.missed;
+        if total == 0 {
+            1.0
+        } else {
+            self.played as f64 / total as f64
+        }
+    }
+
+    /// Total chunks received from any provider.
+    pub fn received(&self) -> u64 {
+        self.received_from_peers + self.received_from_source
+    }
+}
+
+/// The protocol state of one streaming peer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PeerState {
+    /// Held chunks within the sliding window.
+    pub buffer: BufferMap,
+    /// Next chunk to play, once playback has started.
+    pub playback_pos: Option<u64>,
+    /// Chunk ids currently being fetched (requests in flight).
+    pub pending: BTreeSet<u64>,
+    /// Number of uploads currently in progress from this peer.
+    pub active_uploads: usize,
+    /// Counters.
+    pub stats: PeerStats,
+}
+
+impl PeerState {
+    /// A fresh peer with an empty buffer of the given window width.
+    pub fn new(window: usize) -> Self {
+        PeerState {
+            buffer: BufferMap::new(window),
+            playback_pos: None,
+            pending: BTreeSet::new(),
+            active_uploads: 0,
+            stats: PeerStats::default(),
+        }
+    }
+
+    /// Whether playback has started.
+    pub fn started(&self) -> bool {
+        self.playback_pos.is_some()
+    }
+
+    /// Whether this peer can accept another upload task.
+    pub fn can_upload(&self, max_uploads: usize) -> bool {
+        self.active_uploads < max_uploads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn continuity_starts_perfect() {
+        let s = PeerStats::default();
+        assert_eq!(s.continuity(), 1.0);
+    }
+
+    #[test]
+    fn continuity_ratio() {
+        let s = PeerStats {
+            played: 30,
+            missed: 10,
+            ..Default::default()
+        };
+        assert!((s.continuity() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn received_totals() {
+        let s = PeerStats {
+            received_from_peers: 5,
+            received_from_source: 2,
+            ..Default::default()
+        };
+        assert_eq!(s.received(), 7);
+    }
+
+    #[test]
+    fn upload_capacity() {
+        let mut p = PeerState::new(16);
+        assert!(p.can_upload(2));
+        p.active_uploads = 2;
+        assert!(!p.can_upload(2));
+        assert!(!p.started());
+        p.playback_pos = Some(3);
+        assert!(p.started());
+    }
+}

@@ -1,0 +1,620 @@
+//! The event-driven mesh-pull streaming system.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use scrip_des::dist::Exp;
+use scrip_des::{Model, Scheduler, SimDuration, SimRng, SimTime};
+use scrip_topology::{Graph, NodeId};
+
+use crate::config::{ChunkStrategy, StreamingConfig};
+use crate::metrics::SystemReport;
+use crate::peer::PeerState;
+use crate::policy::TradePolicy;
+
+/// Events driving the streaming protocol.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StreamEvent {
+    /// Kick-off: starts the source and every peer's scheduling loop.
+    /// Schedule exactly once, at the desired stream start time.
+    Bootstrap,
+    /// The source emits its next chunk.
+    SourceChunk,
+    /// A peer runs one pull-scheduling round.
+    Schedule(NodeId),
+    /// A peer's playback deadline tick.
+    Playback(NodeId),
+    /// A peer-to-peer chunk transfer completes.
+    PeerDelivery {
+        /// Receiving peer.
+        to: NodeId,
+        /// Uploading peer.
+        from: NodeId,
+        /// Chunk sequence number.
+        chunk: u64,
+    },
+    /// A source-to-peer chunk transfer completes.
+    SourceDelivery {
+        /// Receiving peer.
+        to: NodeId,
+        /// Chunk sequence number.
+        chunk: u64,
+    },
+    /// A new peer joins the overlay, attaching to `attach_degree` random
+    /// existing peers (churn support).
+    Join {
+        /// Number of neighbors the joiner connects to.
+        attach_degree: usize,
+    },
+    /// A peer departs, dropping its edges and in-flight state.
+    Leave(NodeId),
+}
+
+/// The mesh-pull streaming system: a [`Model`] for the
+/// [`scrip_des::Simulation`] kernel.
+///
+/// See the [crate-level documentation](crate) for the protocol and an
+/// end-to-end example.
+#[derive(Clone, Debug)]
+pub struct StreamingSystem<T: TradePolicy> {
+    config: StreamingConfig,
+    graph: Graph,
+    peers: BTreeMap<NodeId, PeerState>,
+    source_neighbors: BTreeSet<NodeId>,
+    source_active_uploads: usize,
+    next_chunk: u64,
+    policy: T,
+    rng: SimRng,
+    transfer_time: Exp,
+    bootstrapped: bool,
+}
+
+impl<T: TradePolicy> StreamingSystem<T> {
+    /// Builds a streaming system over `graph` with the given protocol
+    /// configuration and trade policy.
+    ///
+    /// # Errors
+    /// Returns a message if the configuration is inconsistent or the
+    /// graph is empty.
+    pub fn new(
+        graph: Graph,
+        config: StreamingConfig,
+        policy: T,
+        mut rng: SimRng,
+    ) -> Result<Self, String> {
+        config.validate()?;
+        if graph.node_count() == 0 {
+            return Err("streaming needs at least one peer".into());
+        }
+        let peers: BTreeMap<NodeId, PeerState> = graph
+            .node_ids()
+            .map(|id| (id, PeerState::new(config.window)))
+            .collect();
+        // The source feeds a random subset of peers.
+        let mut ids: Vec<NodeId> = graph.node_ids().collect();
+        rng.shuffle(&mut ids);
+        let source_neighbors: BTreeSet<NodeId> = ids
+            .into_iter()
+            .take(config.source_degree.min(peers.len()))
+            .collect();
+        let transfer_time = Exp::new(1.0 / config.transfer_time_mean)
+            .map_err(|e| format!("transfer time distribution: {e}"))?;
+        Ok(StreamingSystem {
+            config,
+            graph,
+            peers,
+            source_neighbors,
+            source_active_uploads: 0,
+            next_chunk: 0,
+            policy,
+            rng,
+            transfer_time,
+            bootstrapped: false,
+        })
+    }
+
+    /// The protocol configuration.
+    pub fn config(&self) -> &StreamingConfig {
+        &self.config
+    }
+
+    /// The overlay graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The trade policy (e.g. to read out market state after a run).
+    pub fn policy(&self) -> &T {
+        &self.policy
+    }
+
+    /// Mutable access to the trade policy.
+    pub fn policy_mut(&mut self) -> &mut T {
+        &mut self.policy
+    }
+
+    /// One peer's protocol state, if the peer is (still) in the overlay.
+    pub fn peer(&self, id: NodeId) -> Option<&PeerState> {
+        self.peers.get(&id)
+    }
+
+    /// Iterates over `(id, state)` for all live peers in ascending ID
+    /// order.
+    pub fn peers(&self) -> impl Iterator<Item = (NodeId, &PeerState)> {
+        self.peers.iter().map(|(&id, s)| (id, s))
+    }
+
+    /// Number of live peers.
+    pub fn peer_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Sequence number one past the newest chunk the source has emitted.
+    pub fn stream_head(&self) -> u64 {
+        self.next_chunk
+    }
+
+    /// The peers directly fed by the source.
+    pub fn source_neighbors(&self) -> &BTreeSet<NodeId> {
+        &self.source_neighbors
+    }
+
+    /// Per-peer availability weights for credit routing: for each peer
+    /// `i`, the list of `(neighbor j, useful chunks j currently offers
+    /// i)`. This is the paper's rule that "credit transfer probabilities
+    /// to neighbors are decided by their data chunks availability during
+    /// streaming".
+    pub fn availability_weights(&self) -> BTreeMap<NodeId, Vec<(NodeId, f64)>> {
+        let mut out = BTreeMap::new();
+        for (&id, state) in &self.peers {
+            let mut weights = Vec::new();
+            if let Some(nbrs) = self.graph.neighbors(id) {
+                for nb in nbrs {
+                    if let Some(nb_state) = self.peers.get(&nb) {
+                        let useful = state.buffer.useful_from(&nb_state.buffer);
+                        if useful > 0 {
+                            weights.push((nb, useful as f64));
+                        }
+                    }
+                }
+            }
+            out.insert(id, weights);
+        }
+        out
+    }
+
+    /// Aggregated protocol metrics at instant `now`.
+    pub fn report(&self, now: SimTime) -> SystemReport {
+        SystemReport::compute(self, now)
+    }
+
+    fn sample_transfer(&mut self) -> SimDuration {
+        SimDuration::from_secs_f64(self.transfer_time.sample(&mut self.rng))
+    }
+
+    /// The range of chunks a peer currently wants: from its playback
+    /// position (or the live edge for not-yet-started peers) up to the
+    /// pull horizon.
+    fn desired_range(&self, state: &PeerState) -> (u64, u64) {
+        let lookahead = (self.config.window - self.config.serve_behind) as u64;
+        match state.playback_pos {
+            Some(pos) => (pos, (pos + lookahead).min(self.next_chunk)),
+            None => {
+                let anchor = self
+                    .next_chunk
+                    .saturating_sub(2 * self.config.startup_buffer as u64);
+                (anchor, self.next_chunk)
+            }
+        }
+    }
+
+    fn handle_schedule(&mut self, id: NodeId, now: SimTime, scheduler: &mut Scheduler<StreamEvent>) {
+        if !self.peers.contains_key(&id) {
+            return; // departed
+        }
+        let (from, to) = {
+            let state = &self.peers[&id];
+            self.desired_range(state)
+        };
+        let neighbors: Vec<NodeId> = self
+            .graph
+            .neighbors(id)
+            .map(|it| it.collect())
+            .unwrap_or_default();
+        let is_source_fed = self.source_neighbors.contains(&id);
+
+        // Missing, not-in-flight chunks in the desired range.
+        let mut wanted: Vec<u64> = {
+            let state = &self.peers[&id];
+            (from..to)
+                .filter(|&c| !state.buffer.has(c) && !state.pending.contains(&c))
+                .collect()
+        };
+        let capacity = {
+            let state = &self.peers[&id];
+            self.config.max_pending.saturating_sub(state.pending.len())
+        };
+        if capacity == 0 || wanted.is_empty() {
+            scheduler.schedule_after(self.config.schedule_interval, StreamEvent::Schedule(id));
+            return;
+        }
+
+        // Provider counts for rarest-first ordering.
+        if self.config.strategy == ChunkStrategy::RarestFirst {
+            let mut keyed: Vec<(usize, u64)> = wanted
+                .iter()
+                .map(|&c| {
+                    let providers = neighbors
+                        .iter()
+                        .filter(|nb| {
+                            self.peers
+                                .get(nb)
+                                .map(|s| s.buffer.has(c))
+                                .unwrap_or(false)
+                        })
+                        .count();
+                    (providers, c)
+                })
+                .collect();
+            keyed.sort_unstable();
+            wanted = keyed.into_iter().map(|(_, c)| c).collect();
+        } // DeadlineFirst: already ascending by chunk id.
+
+        let mut issued = 0usize;
+        for chunk in wanted {
+            if issued >= capacity {
+                break;
+            }
+            // Candidate peer providers with a free upload slot.
+            let mut providers: Vec<NodeId> = neighbors
+                .iter()
+                .copied()
+                .filter(|nb| {
+                    self.peers
+                        .get(nb)
+                        .map(|s| s.buffer.has(chunk) && s.can_upload(self.config.max_uploads))
+                        .unwrap_or(false)
+                })
+                .collect();
+            self.rng.shuffle(&mut providers);
+            if self.config.provider_selection == crate::config::ProviderSelection::LeastUploads {
+                // Fair rotation: least-served provider first (shuffle above
+                // breaks ties randomly thanks to stable sorting).
+                providers.sort_by_key(|nb| {
+                    self.peers.get(nb).map(|s| s.stats.uploaded).unwrap_or(0)
+                });
+            }
+
+            let mut served = false;
+            let mut denied_any = false;
+            for provider in providers {
+                if self.policy.authorize(id, provider, chunk, now) {
+                    self.peers
+                        .get_mut(&provider)
+                        .expect("provider is live")
+                        .active_uploads += 1;
+                    self.peers
+                        .get_mut(&id)
+                        .expect("peer is live")
+                        .pending
+                        .insert(chunk);
+                    let delay = self.sample_transfer();
+                    scheduler.schedule_after(
+                        delay,
+                        StreamEvent::PeerDelivery {
+                            to: id,
+                            from: provider,
+                            chunk,
+                        },
+                    );
+                    served = true;
+                    issued += 1;
+                    break;
+                }
+                denied_any = true;
+            }
+            if served {
+                continue;
+            }
+            if denied_any {
+                self.peers.get_mut(&id).expect("peer is live").stats.denied += 1;
+            }
+            // Fall back to the source when directly fed by it.
+            if is_source_fed
+                && chunk < self.next_chunk
+                && self.source_active_uploads < self.config.source_uploads
+            {
+                if self.policy.authorize_source(id, chunk, now) {
+                    self.source_active_uploads += 1;
+                    self.peers
+                        .get_mut(&id)
+                        .expect("peer is live")
+                        .pending
+                        .insert(chunk);
+                    let delay = self.sample_transfer();
+                    scheduler
+                        .schedule_after(delay, StreamEvent::SourceDelivery { to: id, chunk });
+                    issued += 1;
+                } else {
+                    self.peers.get_mut(&id).expect("peer is live").stats.denied += 1;
+                }
+            }
+        }
+        scheduler.schedule_after(self.config.schedule_interval, StreamEvent::Schedule(id));
+    }
+
+    fn maybe_start_playback(&mut self, id: NodeId, scheduler: &mut Scheduler<StreamEvent>) {
+        let period = self.config.playback_period();
+        let startup = self.config.startup_buffer;
+        if let Some(state) = self.peers.get_mut(&id) {
+            if !state.started() && state.buffer.held() >= startup {
+                state.playback_pos = state.buffer.first_held();
+                scheduler.schedule_after(period, StreamEvent::Playback(id));
+            }
+        }
+    }
+
+    fn handle_playback(&mut self, id: NodeId, scheduler: &mut Scheduler<StreamEvent>) {
+        let serve_behind = self.config.serve_behind as u64;
+        let next_chunk = self.next_chunk;
+        let period = self.config.playback_period();
+        if let Some(state) = self.peers.get_mut(&id) {
+            let Some(pos) = state.playback_pos else {
+                return;
+            };
+            if pos < next_chunk {
+                // A deadline actually passes; at the live edge we just wait.
+                if state.buffer.has(pos) {
+                    state.stats.played += 1;
+                } else {
+                    state.stats.missed += 1;
+                }
+                state.playback_pos = Some(pos + 1);
+                let new_base = (pos + 1).saturating_sub(serve_behind);
+                state.buffer.advance_to(new_base);
+            }
+            scheduler.schedule_after(period, StreamEvent::Playback(id));
+        }
+    }
+
+    fn handle_join(&mut self, attach_degree: usize, scheduler: &mut Scheduler<StreamEvent>) {
+        let existing: Vec<NodeId> = self.graph.node_ids().collect();
+        let new = self.graph.add_node();
+        let want = attach_degree.min(existing.len());
+        let mut pool = existing;
+        for i in 0..want {
+            let j = self.rng.index(pool.len() - i) + i;
+            pool.swap(i, j);
+        }
+        for &nb in pool.iter().take(want) {
+            self.graph.add_edge(new, nb).expect("distinct live nodes");
+        }
+        self.peers.insert(new, PeerState::new(self.config.window));
+        scheduler.schedule_after(self.config.schedule_interval, StreamEvent::Schedule(new));
+    }
+
+    fn handle_leave(&mut self, id: NodeId) {
+        if self.graph.has_node(id) {
+            self.graph.remove_node(id).expect("checked live");
+        }
+        self.peers.remove(&id);
+        self.source_neighbors.remove(&id);
+        // In-flight deliveries to/from this peer are dropped on arrival by
+        // the liveness guards in the delivery handlers.
+    }
+}
+
+impl<T: TradePolicy> Model for StreamingSystem<T> {
+    type Event = StreamEvent;
+
+    fn handle(&mut self, now: SimTime, event: StreamEvent, scheduler: &mut Scheduler<StreamEvent>) {
+        match event {
+            StreamEvent::Bootstrap => {
+                if self.bootstrapped {
+                    return;
+                }
+                self.bootstrapped = true;
+                scheduler.schedule_after(SimDuration::ZERO, StreamEvent::SourceChunk);
+                // Stagger peers' scheduling phases to avoid a thundering herd.
+                let ids: Vec<NodeId> = self.peers.keys().copied().collect();
+                let interval_us = self.config.schedule_interval.as_micros();
+                for id in ids {
+                    let phase =
+                        SimDuration::from_micros(self.rng.index(interval_us as usize) as u64);
+                    scheduler.schedule_after(phase, StreamEvent::Schedule(id));
+                }
+            }
+            StreamEvent::SourceChunk => {
+                self.next_chunk += 1;
+                scheduler.schedule_after(self.config.playback_period(), StreamEvent::SourceChunk);
+            }
+            StreamEvent::Schedule(id) => self.handle_schedule(id, now, scheduler),
+            StreamEvent::Playback(id) => self.handle_playback(id, scheduler),
+            StreamEvent::PeerDelivery { to, from, chunk } => {
+                if let Some(provider) = self.peers.get_mut(&from) {
+                    provider.active_uploads = provider.active_uploads.saturating_sub(1);
+                    provider.stats.uploaded += 1;
+                }
+                let receiver_alive = self.peers.contains_key(&to);
+                if receiver_alive {
+                    {
+                        let state = self.peers.get_mut(&to).expect("checked");
+                        state.pending.remove(&chunk);
+                        state.buffer.insert(chunk);
+                        state.stats.received_from_peers += 1;
+                    }
+                    self.policy.settle(to, from, chunk, now);
+                    self.maybe_start_playback(to, scheduler);
+                }
+            }
+            StreamEvent::SourceDelivery { to, chunk } => {
+                self.source_active_uploads = self.source_active_uploads.saturating_sub(1);
+                if let Some(state) = self.peers.get_mut(&to) {
+                    state.pending.remove(&chunk);
+                    state.buffer.insert(chunk);
+                    state.stats.received_from_source += 1;
+                    self.policy.settle_source(to, chunk, now);
+                    self.maybe_start_playback(to, scheduler);
+                }
+            }
+            StreamEvent::Join { attach_degree } => self.handle_join(attach_degree, scheduler),
+            StreamEvent::Leave(id) => self.handle_leave(id),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{CountingPolicy, FreeTrade};
+    use scrip_des::Simulation;
+    use scrip_topology::generators::{self, ScaleFreeConfig};
+
+    fn small_system(seed: u64) -> StreamingSystem<FreeTrade> {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let graph =
+            generators::scale_free(&ScaleFreeConfig::new(40).expect("cfg"), &mut rng)
+                .expect("graph");
+        StreamingSystem::new(graph, StreamingConfig::default(), FreeTrade, rng).expect("system")
+    }
+
+    fn run(system: StreamingSystem<FreeTrade>, secs: u64) -> Simulation<StreamingSystem<FreeTrade>> {
+        let mut sim = Simulation::new(system);
+        sim.schedule(SimTime::ZERO, StreamEvent::Bootstrap);
+        sim.run_until(SimTime::from_secs(secs));
+        sim
+    }
+
+    #[test]
+    fn construction_validates() {
+        let rng = SimRng::seed_from_u64(1);
+        let empty = Graph::new();
+        assert!(
+            StreamingSystem::new(empty, StreamingConfig::default(), FreeTrade, rng).is_err()
+        );
+        let rng = SimRng::seed_from_u64(1);
+        let mut bad = StreamingConfig::default();
+        bad.window = 0;
+        assert!(StreamingSystem::new(
+            generators::complete(4),
+            bad,
+            FreeTrade,
+            rng
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn source_emits_at_chunk_rate() {
+        let sim = run(small_system(2), 10);
+        // 10 chunks/sec for 10 s (first at t=0) -> 101 chunks.
+        assert_eq!(sim.model().stream_head(), 101);
+    }
+
+    #[test]
+    fn peers_start_and_play() {
+        let sim = run(small_system(3), 120);
+        let started = sim.model().peers().filter(|(_, s)| s.started()).count();
+        assert!(
+            started > 35,
+            "only {started}/40 peers started playback after 120 s"
+        );
+        let report = sim.model().report(sim.now());
+        assert!(
+            report.mean_continuity > 0.6,
+            "mean continuity {}",
+            report.mean_continuity
+        );
+    }
+
+    #[test]
+    fn chunks_propagate_beyond_source_neighbors() {
+        let sim = run(small_system(4), 120);
+        let model = sim.model();
+        let indirect_received: u64 = model
+            .peers()
+            .filter(|(id, _)| !model.source_neighbors().contains(id))
+            .map(|(_, s)| s.stats.received())
+            .sum();
+        assert!(
+            indirect_received > 100,
+            "mesh relaying is not happening: {indirect_received}"
+        );
+        let peer_uploads: u64 = model.peers().map(|(_, s)| s.stats.uploaded).sum();
+        assert!(peer_uploads > 100, "peer uploads {peer_uploads}");
+    }
+
+    #[test]
+    fn policy_settlements_match_peer_receives() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let graph =
+            generators::scale_free(&ScaleFreeConfig::new(30).expect("cfg"), &mut rng)
+                .expect("graph");
+        let system = StreamingSystem::new(
+            graph,
+            StreamingConfig::default(),
+            CountingPolicy::default(),
+            rng,
+        )
+        .expect("system");
+        let mut sim = Simulation::new(system);
+        sim.schedule(SimTime::ZERO, StreamEvent::Bootstrap);
+        sim.run_until(SimTime::from_secs(60));
+        let model = sim.model();
+        let received: u64 = model.peers().map(|(_, s)| s.stats.received_from_peers).sum();
+        assert_eq!(model.policy().settled, received);
+        assert!(model.policy().authorized >= model.policy().settled);
+    }
+
+    #[test]
+    fn availability_weights_are_consistent() {
+        let sim = run(small_system(6), 60);
+        let model = sim.model();
+        let weights = model.availability_weights();
+        assert_eq!(weights.len(), model.peer_count());
+        for (id, list) in &weights {
+            for &(nb, w) in list {
+                assert!(model.graph().has_edge(*id, nb), "weight on non-edge");
+                assert!(w > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn join_and_leave_keep_system_running() {
+        let mut sim = run(small_system(7), 30);
+        let before = sim.model().peer_count();
+        sim.schedule(sim.now(), StreamEvent::Join { attach_degree: 8 });
+        let victim = sim.model().peers().next().map(|(id, _)| id).expect("some");
+        sim.schedule(sim.now(), StreamEvent::Leave(victim));
+        sim.run_until(SimTime::from_secs(60));
+        assert_eq!(sim.model().peer_count(), before);
+        assert!(!sim.model().peers.contains_key(&victim));
+        // The joiner eventually receives chunks.
+        let max_id = sim.model().peers().map(|(id, _)| id).max().expect("some");
+        let joiner = sim.model().peer(max_id).expect("live");
+        assert!(
+            joiner.stats.received() > 0,
+            "joiner never received a chunk"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run(small_system(42), 60);
+        let b = run(small_system(42), 60);
+        let ra = a.model().report(a.now());
+        let rb = b.model().report(b.now());
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn bootstrap_is_idempotent() {
+        let mut sim = run(small_system(8), 5);
+        let head_before = sim.model().stream_head();
+        // A second bootstrap must not double the source.
+        sim.schedule(sim.now(), StreamEvent::Bootstrap);
+        sim.run_until(SimTime::from_secs(10));
+        let head_after = sim.model().stream_head();
+        assert_eq!(head_after, head_before + 50);
+    }
+}

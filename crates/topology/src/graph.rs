@@ -1,0 +1,419 @@
+//! The overlay graph: undirected, with stable node identities.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::error::Error;
+use std::fmt;
+
+/// A stable identifier for an overlay node.
+///
+/// IDs are allocated by [`Graph::add_node`] and are **never reused**, so a
+/// departed peer's ID cannot be confused with a later joiner's — essential
+/// for churn experiments where per-peer wallets outlive topology changes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u64);
+
+impl NodeId {
+    /// The raw numeric value (useful for dense indexing in reports).
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs an ID from its raw value.
+    ///
+    /// Only meaningful for values previously obtained via
+    /// [`NodeId::raw`] on the same graph; probing a graph with arbitrary
+    /// values is safe but will usually name an absent node.
+    pub const fn from_raw(raw: u64) -> Self {
+        NodeId(raw)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Errors returned by graph mutations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// The referenced node does not exist (or no longer exists).
+    NoSuchNode(NodeId),
+    /// Self-loops are not allowed in an overlay.
+    SelfLoop(NodeId),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NoSuchNode(id) => write!(f, "no such node: {id}"),
+            GraphError::SelfLoop(id) => write!(f, "self-loop rejected at {id}"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+/// An undirected overlay graph with deterministic iteration order.
+///
+/// Node and neighbor iteration follow ascending [`NodeId`] order, so every
+/// algorithm that walks the graph is reproducible.
+///
+/// ```
+/// use scrip_topology::Graph;
+///
+/// # fn main() -> Result<(), scrip_topology::GraphError> {
+/// let mut g = Graph::new();
+/// let a = g.add_node();
+/// let b = g.add_node();
+/// g.add_edge(a, b)?;
+/// assert_eq!(g.degree(a), Some(1));
+/// assert!(g.has_edge(a, b));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Graph {
+    adjacency: BTreeMap<NodeId, BTreeSet<NodeId>>,
+    next_id: u64,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Creates a graph with `n` isolated nodes (IDs `0..n`).
+    pub fn with_nodes(n: usize) -> Self {
+        let mut g = Graph::new();
+        for _ in 0..n {
+            g.add_node();
+        }
+        g
+    }
+
+    /// Adds a node and returns its fresh, never-reused ID.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.next_id);
+        self.next_id += 1;
+        self.adjacency.insert(id, BTreeSet::new());
+        id
+    }
+
+    /// Removes a node and all incident edges, returning its former
+    /// neighbors.
+    ///
+    /// # Errors
+    /// Returns [`GraphError::NoSuchNode`] if the node is absent.
+    pub fn remove_node(&mut self, id: NodeId) -> Result<Vec<NodeId>, GraphError> {
+        let neighbors = self
+            .adjacency
+            .remove(&id)
+            .ok_or(GraphError::NoSuchNode(id))?;
+        for &nb in &neighbors {
+            if let Some(set) = self.adjacency.get_mut(&nb) {
+                set.remove(&id);
+            }
+        }
+        self.edge_count -= neighbors.len();
+        Ok(neighbors.into_iter().collect())
+    }
+
+    /// Adds an undirected edge. Returns `true` if the edge was new.
+    ///
+    /// # Errors
+    /// Returns [`GraphError::SelfLoop`] when `a == b` and
+    /// [`GraphError::NoSuchNode`] when either endpoint is absent.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) -> Result<bool, GraphError> {
+        if a == b {
+            return Err(GraphError::SelfLoop(a));
+        }
+        if !self.adjacency.contains_key(&a) {
+            return Err(GraphError::NoSuchNode(a));
+        }
+        if !self.adjacency.contains_key(&b) {
+            return Err(GraphError::NoSuchNode(b));
+        }
+        let inserted = self
+            .adjacency
+            .get_mut(&a)
+            .expect("checked above")
+            .insert(b);
+        if inserted {
+            self.adjacency
+                .get_mut(&b)
+                .expect("checked above")
+                .insert(a);
+            self.edge_count += 1;
+        }
+        Ok(inserted)
+    }
+
+    /// Removes an undirected edge. Returns `true` if it existed.
+    ///
+    /// # Errors
+    /// Returns [`GraphError::NoSuchNode`] when either endpoint is absent.
+    pub fn remove_edge(&mut self, a: NodeId, b: NodeId) -> Result<bool, GraphError> {
+        if !self.adjacency.contains_key(&a) {
+            return Err(GraphError::NoSuchNode(a));
+        }
+        if !self.adjacency.contains_key(&b) {
+            return Err(GraphError::NoSuchNode(b));
+        }
+        let removed = self
+            .adjacency
+            .get_mut(&a)
+            .expect("checked above")
+            .remove(&b);
+        if removed {
+            self.adjacency
+                .get_mut(&b)
+                .expect("checked above")
+                .remove(&a);
+            self.edge_count -= 1;
+        }
+        Ok(removed)
+    }
+
+    /// Whether the node exists.
+    pub fn has_node(&self, id: NodeId) -> bool {
+        self.adjacency.contains_key(&id)
+    }
+
+    /// Whether an edge exists between `a` and `b`.
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.adjacency
+            .get(&a)
+            .map(|set| set.contains(&b))
+            .unwrap_or(false)
+    }
+
+    /// The neighbors of `id` in ascending ID order, or [`None`] if the node
+    /// is absent.
+    pub fn neighbors(&self, id: NodeId) -> Option<impl Iterator<Item = NodeId> + '_> {
+        self.adjacency.get(&id).map(|set| set.iter().copied())
+    }
+
+    /// The degree of `id`, or [`None`] if absent.
+    pub fn degree(&self, id: NodeId) -> Option<usize> {
+        self.adjacency.get(&id).map(|set| set.len())
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// All node IDs in ascending order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.adjacency.keys().copied()
+    }
+
+    /// All edges as `(low, high)` pairs in deterministic order.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.adjacency
+            .iter()
+            .flat_map(|(&a, nbrs)| nbrs.iter().copied().filter(move |&b| a < b).map(move |b| (a, b)))
+    }
+
+    /// Whether every node can reach every other node (the empty graph is
+    /// considered connected).
+    pub fn is_connected(&self) -> bool {
+        self.connected_components().len() <= 1
+    }
+
+    /// The connected components, each a sorted vector of node IDs; the
+    /// components themselves are sorted by their smallest member.
+    pub fn connected_components(&self) -> Vec<Vec<NodeId>> {
+        let mut visited: BTreeSet<NodeId> = BTreeSet::new();
+        let mut components = Vec::new();
+        for start in self.node_ids() {
+            if visited.contains(&start) {
+                continue;
+            }
+            let mut component = Vec::new();
+            let mut queue = VecDeque::from([start]);
+            visited.insert(start);
+            while let Some(node) = queue.pop_front() {
+                component.push(node);
+                if let Some(nbrs) = self.neighbors(node) {
+                    for nb in nbrs {
+                        if visited.insert(nb) {
+                            queue.push_back(nb);
+                        }
+                    }
+                }
+            }
+            component.sort_unstable();
+            components.push(component);
+        }
+        components
+    }
+
+    /// A dense index for the current node set: maps each live [`NodeId`] to
+    /// `0..node_count()` in ascending ID order. Matrix-based analytics
+    /// (transfer matrices, utilization vectors) use this to address rows.
+    pub fn dense_index(&self) -> BTreeMap<NodeId, usize> {
+        self.node_ids().enumerate().map(|(i, id)| (id, i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> (Graph, Vec<NodeId>) {
+        let mut g = Graph::new();
+        let ids: Vec<NodeId> = (0..n).map(|_| g.add_node()).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1]).expect("valid edge");
+        }
+        (g, ids)
+    }
+
+    #[test]
+    fn add_and_remove_nodes() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        assert_eq!(g.node_count(), 2);
+        assert!(g.has_node(a));
+        g.remove_node(a).expect("a exists");
+        assert!(!g.has_node(a));
+        assert!(g.has_node(b));
+        assert_eq!(g.node_count(), 1);
+    }
+
+    #[test]
+    fn node_ids_are_never_reused() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        g.remove_node(a).expect("exists");
+        let b = g.add_node();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn edges_are_symmetric() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        assert!(g.add_edge(a, b).expect("ok"));
+        assert!(g.has_edge(a, b));
+        assert!(g.has_edge(b, a));
+        assert_eq!(g.edge_count(), 1);
+        // Duplicate insertion is a no-op.
+        assert!(!g.add_edge(b, a).expect("ok"));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn self_loops_rejected() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        assert_eq!(g.add_edge(a, a), Err(GraphError::SelfLoop(a)));
+    }
+
+    #[test]
+    fn missing_nodes_rejected() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let ghost = NodeId(999);
+        assert_eq!(g.add_edge(a, ghost), Err(GraphError::NoSuchNode(ghost)));
+        assert_eq!(g.remove_edge(ghost, a), Err(GraphError::NoSuchNode(ghost)));
+        assert_eq!(g.remove_node(ghost), Err(GraphError::NoSuchNode(ghost)));
+    }
+
+    #[test]
+    fn remove_node_cleans_incident_edges() {
+        let (mut g, ids) = path_graph(3);
+        let removed_neighbors = g.remove_node(ids[1]).expect("exists");
+        assert_eq!(removed_neighbors, vec![ids[0], ids[2]]);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.degree(ids[0]), Some(0));
+        assert_eq!(g.degree(ids[2]), Some(0));
+    }
+
+    #[test]
+    fn remove_edge_roundtrip() {
+        let (mut g, ids) = path_graph(2);
+        assert!(g.remove_edge(ids[0], ids[1]).expect("ok"));
+        assert!(!g.has_edge(ids[0], ids[1]));
+        assert!(!g.remove_edge(ids[0], ids[1]).expect("ok"));
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let mut g = Graph::new();
+        let hub = g.add_node();
+        let mut spokes: Vec<NodeId> = (0..5).map(|_| g.add_node()).collect();
+        spokes.reverse();
+        for &s in &spokes {
+            g.add_edge(hub, s).expect("ok");
+        }
+        let nbrs: Vec<NodeId> = g.neighbors(hub).expect("exists").collect();
+        let mut sorted = nbrs.clone();
+        sorted.sort_unstable();
+        assert_eq!(nbrs, sorted);
+    }
+
+    #[test]
+    fn edges_iterator_lists_each_edge_once() {
+        let (g, _) = path_graph(4);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 3);
+        for (a, b) in edges {
+            assert!(a < b);
+        }
+    }
+
+    #[test]
+    fn connectivity() {
+        let (mut g, ids) = path_graph(4);
+        assert!(g.is_connected());
+        g.remove_edge(ids[1], ids[2]).expect("ok");
+        assert!(!g.is_connected());
+        let comps = g.connected_components();
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![ids[0], ids[1]]);
+        assert_eq!(comps[1], vec![ids[2], ids[3]]);
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        assert!(Graph::new().is_connected());
+    }
+
+    #[test]
+    fn dense_index_is_ascending() {
+        let mut g = Graph::with_nodes(5);
+        let ids: Vec<NodeId> = g.node_ids().collect();
+        g.remove_node(ids[2]).expect("exists");
+        let index = g.dense_index();
+        assert_eq!(index.len(), 4);
+        assert_eq!(index[&ids[0]], 0);
+        assert_eq!(index[&ids[1]], 1);
+        assert_eq!(index[&ids[3]], 2);
+        assert_eq!(index[&ids[4]], 3);
+    }
+
+    #[test]
+    fn display_formats() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        assert_eq!(a.to_string(), "n0");
+        assert_eq!(
+            GraphError::NoSuchNode(a).to_string(),
+            "no such node: n0"
+        );
+        assert_eq!(GraphError::SelfLoop(a).to_string(), "self-loop rejected at n0");
+    }
+}

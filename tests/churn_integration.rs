@@ -1,0 +1,79 @@
+//! Churn (open-market) integration tests — paper Sec. VI-E / Fig. 11.
+
+use scrip_core::des::SimTime;
+use scrip_core::market::{run_market, ChurnConfig, MarketConfig};
+
+fn plateau(config: MarketConfig, seed: u64, horizon: u64) -> (f64, usize) {
+    let market = run_market(config, seed, SimTime::from_secs(horizon)).expect("runs");
+    (
+        market.gini_series().tail_mean(10).expect("samples"),
+        market.peer_count(),
+    )
+}
+
+/// Churn keeps the Gini below the static overlay's level: departing
+/// peers cannot accumulate forever (Fig. 11(1)).
+#[test]
+fn churn_lowers_gini_vs_static() {
+    let n = 100;
+    let (static_gini, _) = plateau(MarketConfig::new(n, 100).asymmetric(), 61, 4_000);
+    let churn = ChurnConfig::new(0.2, 500.0, 20).expect("valid"); // expected size 100
+    let (dyn_gini, population) = plateau(
+        MarketConfig::new(n, 100).asymmetric().churn(churn),
+        61,
+        4_000,
+    );
+    assert!(
+        dyn_gini < static_gini - 0.05,
+        "churn Gini {dyn_gini:.3} vs static {static_gini:.3}"
+    );
+    assert!(
+        (30..=250).contains(&population),
+        "population {population} drifted from expectation 100"
+    );
+}
+
+/// Longer lifespans let the rich get richer: Gini increases with mean
+/// lifespan at a fixed arrival rate (Fig. 11(3)).
+#[test]
+fn longer_lifespan_increases_gini() {
+    let arrival = 0.2;
+    let (short, _) = plateau(
+        MarketConfig::new(100, 100)
+            .asymmetric()
+            .churn(ChurnConfig::new(arrival, 250.0, 20).expect("valid")),
+        67,
+        4_000,
+    );
+    let (long, _) = plateau(
+        MarketConfig::new(100, 100)
+            .asymmetric()
+            .churn(ChurnConfig::new(arrival, 1_000.0, 20).expect("valid")),
+        67,
+        4_000,
+    );
+    assert!(
+        long > short + 0.03,
+        "lifespan 1000 Gini {long:.3} should exceed lifespan 250 Gini {short:.3}"
+    );
+}
+
+/// The open market's money supply moves with the population: joiners
+/// mint, leavers burn, books always balance.
+#[test]
+fn open_market_accounting() {
+    let churn = ChurnConfig::new(0.5, 200.0, 10).expect("valid");
+    let market = run_market(
+        MarketConfig::new(100, 50).asymmetric().churn(churn),
+        71,
+        SimTime::from_secs(2_000),
+    )
+    .expect("runs");
+    assert!(market.ledger().conserved());
+    assert!(market.ledger().minted() > 100 * 50, "joiners minted");
+    assert!(market.ledger().burned() > 0, "leavers burned");
+    assert_eq!(
+        market.ledger().total() + market.ledger().escrow(),
+        market.ledger().minted() - market.ledger().burned()
+    );
+}

@@ -1,0 +1,143 @@
+//! Smoke tests: every figure regenerator runs at quick scale and
+//! reproduces the paper's qualitative shape.
+
+use scrip_bench::figures;
+use scrip_bench::scale::RunScale;
+
+const Q: RunScale = RunScale::Quick;
+
+#[test]
+fn fig01_condensed_vs_balanced_contrast() {
+    let fig = figures::fig01_spending_rates(Q);
+    assert_eq!(fig.series.len(), 2);
+    // The balanced case has near-uniform spending; the condensed case is
+    // dominated by near-zero spenders. Compare by the Gini of the rate
+    // series, the paper's own metric.
+    let rate_gini = |label: &str| {
+        let s = fig.series(label).expect("series");
+        let ys: Vec<f64> = s.points.iter().map(|&(_, y)| y).collect();
+        scrip_core::econ::gini(&ys).expect("non-empty")
+    };
+    let balanced = rate_gini("balanced_c12_uniform");
+    let condensed = rate_gini("condensed_c200_poisson");
+    assert!(balanced < 0.15, "balanced rate Gini {balanced:.3}");
+    assert!(
+        condensed > balanced + 0.1,
+        "condensed rate Gini {condensed:.3} vs balanced {balanced:.3}"
+    );
+}
+
+#[test]
+fn fig02_lorenz_curves_are_valid() {
+    let fig = figures::fig02_lorenz_pmf(Q);
+    assert_eq!(fig.series.len(), 6);
+    for s in &fig.series {
+        let first = s.points.first().expect("non-empty");
+        let last = s.points.last().expect("non-empty");
+        assert_eq!((first.0, first.1), (0.0, 0.0));
+        assert!((last.0 - 1.0).abs() < 1e-9 && (last.1 - 1.0).abs() < 1e-9);
+        // Below the equality line.
+        for &(x, y) in &s.points {
+            assert!(y <= x + 1e-9, "{}: point ({x}, {y}) above equality", s.label);
+        }
+    }
+}
+
+#[test]
+fn fig03_product_form_gini_rises_with_wealth() {
+    let fig = figures::fig03_gini_vs_wealth(Q);
+    for s in fig
+        .series
+        .iter()
+        .filter(|s| s.label.starts_with("product_form"))
+    {
+        let first = s.points.first().expect("non-empty").1;
+        let last = s.points.last().expect("non-empty").1;
+        assert!(last > first, "{}: {first:.3} -> {last:.3}", s.label);
+    }
+}
+
+#[test]
+fn fig04_efficiency_saturates() {
+    let fig = figures::fig04_efficiency(Q);
+    let exact = fig.series("exact_((N-1)/N)^M").expect("series");
+    assert!(exact.points.first().expect("pt").1 < 0.1);
+    assert!(exact.last_y().expect("pt") > 0.99);
+    // Limit and exact forms agree.
+    let limit = fig.series("limit_1-exp(-c)").expect("series");
+    for (a, b) in exact.points.iter().zip(&limit.points) {
+        assert!((a.1 - b.1).abs() < 0.01);
+    }
+}
+
+#[test]
+fn fig05_fig06_conserve_credits() {
+    let early = figures::fig05_convergence_early(Q);
+    let late = figures::fig06_convergence_late(Q);
+    assert!(!early.series.is_empty());
+    assert!(!late.series.is_empty());
+    // Total credits at every snapshot are conserved (c = 100 per peer).
+    for s in early.series.iter().chain(&late.series) {
+        let total: f64 = s.points.iter().map(|&(_, y)| y).sum();
+        let expected = s.points.len() as f64 * 100.0;
+        assert!(
+            (total - expected).abs() < 1e-6,
+            "{}: total {total} vs {expected}",
+            s.label
+        );
+    }
+}
+
+#[test]
+fn fig08_asymmetric_gini_is_high_for_all_wealth_levels() {
+    let fig = figures::fig08_gini_evolution_asymmetric(Q);
+    for s in &fig.series {
+        let plateau = s.tail_mean(5).expect("points");
+        assert!(plateau > 0.5, "{}: plateau {plateau:.3}", s.label);
+    }
+}
+
+#[test]
+fn fig10_dynamic_beats_static() {
+    let fig = figures::fig10_dynamic_spending(Q);
+    let fixed = fig.series("without_adjustment").expect("series");
+    let dynamic = fig.series("with_adjustment").expect("series");
+    assert!(
+        dynamic.tail_mean(5).expect("pts") < fixed.tail_mean(5).expect("pts"),
+        "dynamic spending should lower the Gini"
+    );
+}
+
+#[test]
+fn fig11_churn_lowers_gini() {
+    let fig = figures::fig11_churn(Q);
+    let static_g = fig
+        .series("p1_static")
+        .expect("series")
+        .tail_mean(5)
+        .expect("pts");
+    let churn_g = fig
+        .series("p1_lifespan1000_arr1")
+        .expect("series")
+        .tail_mean(5)
+        .expect("pts");
+    assert!(
+        churn_g < static_g,
+        "churn {churn_g:.3} should be below static {static_g:.3}"
+    );
+}
+
+#[test]
+fn ablations_run() {
+    let a = figures::ablation_approx_vs_exact(Q);
+    assert!(a.series("tv_distance").is_some());
+    let b = figures::ablation_solvers(Q);
+    // Cross-checks agree to near machine precision.
+    for s in &b.series {
+        for &(_, diff) in &s.points {
+            assert!(diff < 1e-6, "{}: disagreement {diff}", s.label);
+        }
+    }
+    let c = figures::ablation_queue_vs_protocol(Q);
+    assert_eq!(c.series.len(), 2);
+}
