@@ -8,12 +8,14 @@
 use scrip_bench::figures::{self, FigureResult};
 use scrip_bench::scale::RunScale;
 
+type Experiment = (&'static str, fn(RunScale) -> FigureResult);
+
 fn main() {
     let dump_csv = std::env::args().any(|a| a == "--csv");
     let scale = RunScale::from_env();
     eprintln!("running at scale {scale:?} (set SCRIP_QUICK=1 for quick runs)");
 
-    let experiments: Vec<(&str, fn(RunScale) -> FigureResult)> = vec![
+    let experiments: Vec<Experiment> = vec![
         ("fig01", figures::fig01_spending_rates),
         ("fig02", figures::fig02_lorenz_pmf),
         ("fig03", figures::fig03_gini_vs_wealth),

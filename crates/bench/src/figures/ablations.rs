@@ -130,16 +130,16 @@ pub fn ablation_queue_vs_protocol(scale: RunScale) -> FigureResult {
     let c = 100u64;
 
     // Queue level: uniform pricing, asymmetric utilization.
-    let queue_market = run_market(MarketConfig::new(n, c).asymmetric(), 31, horizon)
-        .expect("queue market runs");
+    let queue_market =
+        run_market(MarketConfig::new(n, c).asymmetric(), 31, horizon).expect("queue market runs");
     let queue_rates = queue_market.spending_rates_sorted(horizon);
     let queue_gini = gini(&queue_rates).expect("non-empty");
     let queue_wealth_gini = queue_market.wealth_gini().expect("non-empty");
 
     // Protocol level: same overlay family, 1 chunk/s economy.
     let mut rng = SimRng::seed_from_u64(31);
-    let g = generators::scale_free(&ScaleFreeConfig::new(n).expect("cfg"), &mut rng)
-        .expect("graph");
+    let g =
+        generators::scale_free(&ScaleFreeConfig::new(n).expect("cfg"), &mut rng).expect("graph");
     let system = StreamingMarket::new(c)
         .streaming(StreamingConfig::market_paced(1.0))
         .run(g, 31, horizon)

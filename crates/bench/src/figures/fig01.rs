@@ -50,8 +50,7 @@ pub fn fig01_spending_rates(scale: RunScale) -> FigureResult {
 
     FigureResult {
         id: "fig01".into(),
-        title: "Distribution of credit spending rates, with and without wealth condensation"
-            .into(),
+        title: "Distribution of credit spending rates, with and without wealth condensation".into(),
         paper_expectation:
             "balanced case (c=12, uniform price) Gini ≈ 0.1; condensed case (c=200, Poisson \
              prices) Gini ≈ 0.9 with most peers spending near zero"

@@ -29,10 +29,7 @@ pub fn fig02_lorenz_pmf(scale: RunScale) -> FigureResult {
             m / n,
             curve.gini()
         ));
-        series.push(Series::new(
-            format!("eq8_M{m}_N{n}"),
-            curve.sample(grid),
-        ));
+        series.push(Series::new(format!("eq8_M{m}_N{n}"), curve.sample(grid)));
 
         let exact = exact_symmetric_marginal(m, n).expect("valid exact marginal");
         let exact_curve = LorenzCurve::from_pmf(&exact).expect("valid PMF");

@@ -41,8 +41,8 @@ pub fn fig04_efficiency(scale: RunScale) -> FigureResult {
     let mut simulated = Vec::new();
     let mut notes = Vec::new();
     for &c in &sim_grid {
-        let market = run_market(MarketConfig::new(n_sim, c).symmetric(), 7, horizon)
-            .expect("market runs");
+        let market =
+            run_market(MarketConfig::new(n_sim, c).symmetric(), 7, horizon).expect("market runs");
         let total_spent: u64 = market.spent_per_peer().values().sum();
         // Base rate is 1 credit/sec, so the max possible is n·horizon.
         let efficiency = total_spent as f64 / (n_sim as f64 * horizon_secs as f64);

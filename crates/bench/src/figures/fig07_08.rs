@@ -24,9 +24,9 @@ fn gini_evolution(
     scale: RunScale,
     configure: impl Fn(MarketConfig) -> MarketConfig,
 ) -> (Vec<Series>, Vec<String>) {
-    let n = scale.pick(500, 60);
-    let horizon = SimTime::from_secs(scale.pick(40_000, 2_000));
-    let sample = SimDuration::from_secs(scale.pick(200, 100));
+    let (n, horizon_secs, sample_secs) = scale.market_params();
+    let horizon = SimTime::from_secs(horizon_secs);
+    let sample = SimDuration::from_secs(sample_secs);
     let mut series = Vec::new();
     let mut notes = Vec::new();
     for &c in &WEALTH_LEVELS {
@@ -51,9 +51,7 @@ fn gini_evolution(
 
 /// Regenerates Fig. 7 (near-symmetric utilization).
 pub fn fig07_gini_evolution_symmetric(scale: RunScale) -> FigureResult {
-    let (series, notes) = gini_evolution(scale, |cfg| {
-        cfg.near_symmetric(NEAR_SYMMETRIC_SPREAD)
-    });
+    let (series, notes) = gini_evolution(scale, |cfg| cfg.near_symmetric(NEAR_SYMMETRIC_SPREAD));
     FigureResult {
         id: "fig07".into(),
         title: "Evolution of Gini index under (near-)symmetric utilization".into(),

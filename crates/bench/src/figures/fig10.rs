@@ -14,16 +14,13 @@ use crate::scale::RunScale;
 
 /// Regenerates Fig. 10.
 pub fn fig10_dynamic_spending(scale: RunScale) -> FigureResult {
-    let n = scale.pick(500, 60);
-    let horizon = SimTime::from_secs(scale.pick(40_000, 2_000));
-    let sample = SimDuration::from_secs(scale.pick(200, 100));
+    let (n, horizon_secs, sample_secs) = scale.market_params();
+    let horizon = SimTime::from_secs(horizon_secs);
+    let sample = SimDuration::from_secs(sample_secs);
     let threshold = 100; // the average wealth, as in the paper's setup
     let cases = [
         ("without_adjustment", SpendingPolicy::Fixed),
-        (
-            "with_adjustment",
-            SpendingPolicy::Dynamic { threshold },
-        ),
+        ("with_adjustment", SpendingPolicy::Dynamic { threshold }),
     ];
     let mut series = Vec::new();
     let mut notes = Vec::new();

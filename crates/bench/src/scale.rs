@@ -27,6 +27,16 @@ impl RunScale {
             RunScale::Quick => quick,
         }
     }
+
+    /// The canonical market-experiment parameters at this scale, as used
+    /// by the figure regenerators: `(peers, horizon_secs, sample_secs)`.
+    pub fn market_params(self) -> (usize, u64, u64) {
+        (
+            self.pick(500, 60),
+            self.pick(40_000, 2_000),
+            self.pick(200, 100),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -37,5 +47,82 @@ mod tests {
     fn pick_selects() {
         assert_eq!(RunScale::Full.pick(10, 2), 10);
         assert_eq!(RunScale::Quick.pick(10, 2), 2);
+    }
+
+    #[test]
+    fn default_is_full_scale() {
+        assert_eq!(RunScale::default(), RunScale::Full);
+    }
+
+    /// Serializes env-mutating tests and restores the prior value even
+    /// if an assertion panics mid-test.
+    struct EnvGuard {
+        original: Option<String>,
+        _lock: std::sync::MutexGuard<'static, ()>,
+    }
+
+    impl EnvGuard {
+        fn lock() -> Self {
+            static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+            let lock = ENV_LOCK
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            EnvGuard {
+                original: std::env::var("SCRIP_QUICK").ok(),
+                _lock: lock,
+            }
+        }
+    }
+
+    impl Drop for EnvGuard {
+        fn drop(&mut self) {
+            match self.original.take() {
+                Some(v) => std::env::set_var("SCRIP_QUICK", v),
+                None => std::env::remove_var("SCRIP_QUICK"),
+            }
+        }
+    }
+
+    /// All `SCRIP_QUICK` readings in one test: env mutation is process
+    /// global, so the cases run sequentially under [`EnvGuard`].
+    #[test]
+    fn from_env_parses_scrip_quick() {
+        let _guard = EnvGuard::lock();
+
+        std::env::remove_var("SCRIP_QUICK");
+        assert_eq!(RunScale::from_env(), RunScale::Full, "unset -> full");
+
+        std::env::set_var("SCRIP_QUICK", "1");
+        assert_eq!(RunScale::from_env(), RunScale::Quick, "1 -> quick");
+
+        std::env::set_var("SCRIP_QUICK", "true");
+        assert_eq!(RunScale::from_env(), RunScale::Quick, "non-zero -> quick");
+
+        std::env::set_var("SCRIP_QUICK", "0");
+        assert_eq!(RunScale::from_env(), RunScale::Full, "0 -> full");
+
+        std::env::set_var("SCRIP_QUICK", "");
+        assert_eq!(RunScale::from_env(), RunScale::Full, "empty -> full");
+    }
+
+    /// Both parameter sets are constructible and the quick one is
+    /// strictly smaller in every dimension, so CI runs shrink for real.
+    #[test]
+    fn quick_params_strictly_smaller_than_full() {
+        let (full_n, full_horizon, full_sample) = RunScale::Full.market_params();
+        let (quick_n, quick_horizon, quick_sample) = RunScale::Quick.market_params();
+        assert!(quick_n > 0 && quick_horizon > 0 && quick_sample > 0);
+        assert!(quick_n < full_n, "{quick_n} !< {full_n}");
+        assert!(
+            quick_horizon < full_horizon,
+            "{quick_horizon} !< {full_horizon}"
+        );
+        assert!(
+            quick_sample < full_sample,
+            "{quick_sample} !< {full_sample}"
+        );
+        // Sampling must fit inside the horizon at both scales.
+        assert!(full_sample < full_horizon);
+        assert!(quick_sample < quick_horizon);
     }
 }

@@ -146,8 +146,7 @@ mod tests {
         let peers = ids(10);
         let model = posted_model(&peers, 3);
         let outcome = second_price_auction(&model, &peers, 7).expect("sellers");
-        let mut asks: Vec<(u64, NodeId)> =
-            peers.iter().map(|&s| (model.price(s, 7), s)).collect();
+        let mut asks: Vec<(u64, NodeId)> = peers.iter().map(|&s| (model.price(s, 7), s)).collect();
         asks.sort();
         assert_eq!(outcome.winner, asks[0].1);
         assert_eq!(outcome.winning_ask, asks[0].0);
@@ -159,9 +158,8 @@ mod tests {
     fn tie_breaks_to_lowest_id_deterministically() {
         let peers = ids(5);
         let mut rng = SimRng::seed_from_u64(4);
-        let model =
-            PricingModel::realize(PricingConfig::Uniform { price: 2 }, &peers, &mut rng)
-                .expect("valid");
+        let model = PricingModel::realize(PricingConfig::Uniform { price: 2 }, &peers, &mut rng)
+            .expect("valid");
         let a = second_price_auction(&model, &peers, 0).expect("sellers");
         let b = second_price_auction(&model, &peers, 0).expect("sellers");
         assert_eq!(a, b);

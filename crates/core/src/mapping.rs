@@ -192,9 +192,8 @@ mod tests {
         let mu = spending_rates(&g, UtilizationProfile::Symmetric, 1.0, &mut rng).expect("rates");
         let peers: Vec<NodeId> = g.node_ids().collect();
         let matrix = crate::model::complete_mixing_routing(peers.len()).expect("matrix");
-        let analysis =
-            MarketAnalysis::compute_with_matrix(peers, &matrix, &mu, 60 * 10_000)
-                .expect("analyzes");
+        let analysis = MarketAnalysis::compute_with_matrix(peers, &matrix, &mu, 60 * 10_000)
+            .expect("analyzes");
         assert_eq!(analysis.threshold.threshold, Threshold::Divergent);
         assert_eq!(analysis.regime, Regime::Sustainable);
         // Expected wealth ≈ equal everywhere.
@@ -209,8 +208,7 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(2);
         let g = generators::scale_free(&ScaleFreeConfig::new(60).expect("cfg"), &mut rng)
             .expect("graph");
-        let mu =
-            spending_rates(&g, UtilizationProfile::Asymmetric, 1.0, &mut rng).expect("rates");
+        let mu = spending_rates(&g, UtilizationProfile::Asymmetric, 1.0, &mut rng).expect("rates");
         // Plenty of credits: condensing.
         let rich =
             MarketAnalysis::compute(&g, &mu, &BTreeMap::new(), 60 * 1_000).expect("analyzes");
@@ -222,11 +220,7 @@ mod tests {
         assert!(t > 0.0);
         assert_eq!(rich.regime, Regime::Condensing);
         // Hub peers hold most of the expected wealth.
-        let max = rich
-            .expected_wealth
-            .iter()
-            .cloned()
-            .fold(0.0f64, f64::max);
+        let max = rich.expected_wealth.iter().cloned().fold(0.0f64, f64::max);
         assert!(
             max > 20.0 * rich.average_wealth,
             "condensate holds {max} vs average {}",
@@ -239,8 +233,7 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(3);
         let g = generators::scale_free(&ScaleFreeConfig::new(40).expect("cfg"), &mut rng)
             .expect("graph");
-        let mu =
-            spending_rates(&g, UtilizationProfile::Asymmetric, 1.0, &mut rng).expect("rates");
+        let mu = spending_rates(&g, UtilizationProfile::Asymmetric, 1.0, &mut rng).expect("rates");
         let m = 40 * 25u64;
         let analysis = MarketAnalysis::compute(&g, &mu, &BTreeMap::new(), m).expect("analyzes");
         let total: f64 = analysis.expected_wealth.iter().sum();
@@ -259,8 +252,7 @@ mod tests {
         let m = 50 * 40u64;
         let peers: Vec<NodeId> = g.node_ids().collect();
         let mixing = crate::model::complete_mixing_routing(peers.len()).expect("matrix");
-        let sym =
-            MarketAnalysis::compute_with_matrix(peers, &mixing, &sym_mu, m).expect("ok");
+        let sym = MarketAnalysis::compute_with_matrix(peers, &mixing, &sym_mu, m).expect("ok");
         let asym = MarketAnalysis::compute(&g, &asym_mu, &BTreeMap::new(), m).expect("ok");
         let g_sym = sym.population_gini(m).expect("gini");
         let g_asym = asym.population_gini(m).expect("gini");

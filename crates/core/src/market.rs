@@ -44,7 +44,11 @@ impl ChurnConfig {
     /// # Errors
     /// Returns [`CoreError::Config`] for non-positive rates or zero
     /// attach degree.
-    pub fn new(arrival_rate: f64, mean_lifespan: f64, attach_degree: usize) -> Result<Self, CoreError> {
+    pub fn new(
+        arrival_rate: f64,
+        mean_lifespan: f64,
+        attach_degree: usize,
+    ) -> Result<Self, CoreError> {
         if !(arrival_rate.is_finite() && arrival_rate > 0.0) {
             return Err(CoreError::Config(format!(
                 "arrival rate must be > 0, got {arrival_rate}"
@@ -215,7 +219,10 @@ impl MarketConfig {
 
     fn validate(&self) -> Result<(), CoreError> {
         if self.n < 2 {
-            return Err(CoreError::Config(format!("need n >= 2 peers, got {}", self.n)));
+            return Err(CoreError::Config(format!(
+                "need n >= 2 peers, got {}",
+                self.n
+            )));
         }
         if !(self.base_rate.is_finite() && self.base_rate > 0.0) {
             return Err(CoreError::Config(format!(
@@ -325,7 +332,10 @@ impl CreditMarket {
             churn_topology: ChurnTopology::new(attach),
             rng,
             neighbor_cache,
-            activity: peer_ids.iter().map(|&id| (id, (1.0, SimTime::ZERO))).collect(),
+            activity: peer_ids
+                .iter()
+                .map(|&id| (id, (1.0, SimTime::ZERO)))
+                .collect(),
             peers_vec: peer_ids,
             spent,
             denied: 0,
@@ -689,7 +699,14 @@ mod tests {
         assert!(ChurnConfig::new(0.0, 100.0, 5).is_err());
         assert!(ChurnConfig::new(1.0, 0.0, 5).is_err());
         assert!(ChurnConfig::new(1.0, 100.0, 0).is_err());
-        assert!((ChurnConfig::new(2.0, 500.0, 5).expect("valid").expected_size() - 1000.0).abs() < 1e-9);
+        assert!(
+            (ChurnConfig::new(2.0, 500.0, 5)
+                .expect("valid")
+                .expected_size()
+                - 1000.0)
+                .abs()
+                < 1e-9
+        );
     }
 
     #[test]
@@ -698,7 +715,11 @@ mod tests {
         let market = run(config, 1, 500);
         assert_eq!(market.ledger().total(), 50 * 20);
         assert!(market.ledger().conserved());
-        assert!(market.purchases() > 1_000, "purchases {}", market.purchases());
+        assert!(
+            market.purchases() > 1_000,
+            "purchases {}",
+            market.purchases()
+        );
     }
 
     #[test]
@@ -729,9 +750,7 @@ mod tests {
     #[test]
     fn taxation_reduces_inequality() {
         let base = MarketConfig::new(60, 50).asymmetric();
-        let taxed = base
-            .clone()
-            .tax(TaxConfig::new(0.2, 40).expect("valid"));
+        let taxed = base.clone().tax(TaxConfig::new(0.2, 40).expect("valid"));
         let horizon = 4_000;
         let no_tax = run(base, 4, horizon);
         let with_tax = run(taxed, 4, horizon);
@@ -824,7 +843,11 @@ mod tests {
 
     #[test]
     fn ring_and_regular_topologies_run() {
-        let ring = run(MarketConfig::new(20, 5).topology(TopologyKind::Ring), 12, 200);
+        let ring = run(
+            MarketConfig::new(20, 5).topology(TopologyKind::Ring),
+            12,
+            200,
+        );
         assert_eq!(ring.peer_count(), 20);
         let reg = run(
             MarketConfig::new(20, 5).topology(TopologyKind::Regular(4)),

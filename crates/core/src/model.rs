@@ -174,10 +174,9 @@ pub fn spending_rates(
         )));
     }
     match profile {
-        UtilizationProfile::Symmetric | UtilizationProfile::Asymmetric => Ok(graph
-            .node_ids()
-            .map(|id| (id, base_rate))
-            .collect()),
+        UtilizationProfile::Symmetric | UtilizationProfile::Asymmetric => {
+            Ok(graph.node_ids().map(|id| (id, base_rate)).collect())
+        }
         UtilizationProfile::NearSymmetric { spread } => {
             if !(0.0..1.0).contains(&spread) {
                 return Err(CoreError::Config(format!(

@@ -60,10 +60,8 @@ impl TaxConfig {
     /// # Errors
     /// Returns [`CoreError::Config`] unless `0 < rate <= 1`.
     pub fn new(rate: f64, threshold: u64) -> Result<Self, CoreError> {
-        if !(rate > 0.0 && rate <= 1.0) || !rate.is_finite() {
-            return Err(CoreError::Config(format!(
-                "tax rate {rate} outside (0, 1]"
-            )));
+        if !rate.is_finite() || rate <= 0.0 || rate > 1.0 {
+            return Err(CoreError::Config(format!("tax rate {rate} outside (0, 1]")));
         }
         Ok(TaxConfig { rate, threshold })
     }

@@ -247,8 +247,12 @@ mod tests {
     #[test]
     fn config_validation() {
         assert!(PricingConfig::Uniform { price: 0 }.validate().is_err());
-        assert!(PricingConfig::SellerPoisson { mean: 0.0 }.validate().is_err());
-        assert!(PricingConfig::ChunkPoisson { mean: -1.0 }.validate().is_err());
+        assert!(PricingConfig::SellerPoisson { mean: 0.0 }
+            .validate()
+            .is_err());
+        assert!(PricingConfig::ChunkPoisson { mean: -1.0 }
+            .validate()
+            .is_err());
         assert!(PricingConfig::default().validate().is_ok());
     }
 

@@ -129,11 +129,7 @@ impl CreditTradePolicy {
     /// the series of the paper's Fig. 1.
     pub fn spending_rates_sorted(&self, now: SimTime) -> Vec<f64> {
         let elapsed = now.as_secs_f64().max(1e-9);
-        let mut rates: Vec<f64> = self
-            .spent
-            .values()
-            .map(|&s| s as f64 / elapsed)
-            .collect();
+        let mut rates: Vec<f64> = self.spent.values().map(|&s| s as f64 / elapsed).collect();
         rates.sort_by(|a, b| a.partial_cmp(b).expect("finite rates"));
         rates
     }
@@ -295,39 +291,22 @@ mod tests {
     #[test]
     fn policy_authorizes_by_wallet() {
         let peers: Vec<NodeId> = (0..2).map(NodeId::from_raw).collect();
-        let mut p = CreditTradePolicy::new(
-            &peers,
-            1,
-            PricingConfig::Uniform { price: 2 },
-            None,
-            1,
-        )
-        .expect("policy");
+        let mut p = CreditTradePolicy::new(&peers, 1, PricingConfig::Uniform { price: 2 }, None, 1)
+            .expect("policy");
         // Wallet 1 < price 2: denied.
         assert!(!p.authorize(peers[0], peers[1], 0, SimTime::ZERO));
         assert_eq!(p.denials, 1);
-        let mut rich = CreditTradePolicy::new(
-            &peers,
-            10,
-            PricingConfig::Uniform { price: 2 },
-            None,
-            1,
-        )
-        .expect("policy");
+        let mut rich =
+            CreditTradePolicy::new(&peers, 10, PricingConfig::Uniform { price: 2 }, None, 1)
+                .expect("policy");
         assert!(rich.authorize(peers[0], peers[1], 0, SimTime::ZERO));
     }
 
     #[test]
     fn settle_moves_credits_and_caps_at_balance() {
         let peers: Vec<NodeId> = (0..2).map(NodeId::from_raw).collect();
-        let mut p = CreditTradePolicy::new(
-            &peers,
-            3,
-            PricingConfig::Uniform { price: 2 },
-            None,
-            2,
-        )
-        .expect("policy");
+        let mut p = CreditTradePolicy::new(&peers, 3, PricingConfig::Uniform { price: 2 }, None, 2)
+            .expect("policy");
         p.settle(peers[0], peers[1], 0, SimTime::ZERO);
         assert_eq!(p.ledger().balance(peers[0]), 1);
         assert_eq!(p.ledger().balance(peers[1]), 5);
@@ -353,10 +332,18 @@ mod tests {
         // income instead of sinking it).
         assert_eq!(policy.ledger().total() + policy.ledger().escrow(), n * 50);
         assert!(policy.ledger().conserved());
-        assert!(policy.settlements > 100, "settlements {}", policy.settlements);
+        assert!(
+            policy.settlements > 100,
+            "settlements {}",
+            policy.settlements
+        );
         // Streaming still works under ample credits.
         let report = system.report(SimTime::from_secs(120));
-        assert!(report.mean_continuity > 0.5, "continuity {}", report.mean_continuity);
+        assert!(
+            report.mean_continuity > 0.5,
+            "continuity {}",
+            report.mean_continuity
+        );
     }
 
     #[test]
@@ -410,7 +397,9 @@ mod tests {
         let system = StreamingMarket::new(30)
             .run(g, 10, SimTime::from_secs(60))
             .expect("runs");
-        let rates = system.policy().spending_rates_sorted(SimTime::from_secs(60));
+        let rates = system
+            .policy()
+            .spending_rates_sorted(SimTime::from_secs(60));
         assert_eq!(rates.len(), 30);
         for w in rates.windows(2) {
             assert!(w[1] >= w[0]);

@@ -376,7 +376,8 @@ mod tests {
         let mut tw = TimeWeightedMean::new(SimTime::ZERO, 1.0);
         tw.update(SimTime::from_secs(5), 3.0); // 1.0 held 5 s
         tw.update(SimTime::from_secs(10), 0.0); // 3.0 held 5 s
-        // mean over [0, 20]: (1*5 + 3*5 + 0*10)/20 = 1.0
+
+        // Mean over [0, 20]: (1*5 + 3*5 + 0*10)/20 = 1.0.
         assert!((tw.mean(SimTime::from_secs(20)) - 1.0).abs() < 1e-12);
         assert_eq!(tw.current(), 0.0);
     }

@@ -34,7 +34,9 @@ mod tests {
     #[test]
     fn display() {
         assert_eq!(EconError::Empty.to_string(), "empty sample");
-        assert!(EconError::InvalidValue("x".into()).to_string().contains("x"));
+        assert!(EconError::InvalidValue("x".into())
+            .to_string()
+            .contains("x"));
         assert!(EconError::InvalidParameter("p".into())
             .to_string()
             .contains("p"));

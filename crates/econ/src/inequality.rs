@@ -72,7 +72,7 @@ pub fn hoover(values: &[f64]) -> Result<f64, EconError> {
 /// # Errors
 /// Returns [`EconError`] for empty/invalid samples or `epsilon ≤ 0`.
 pub fn atkinson(values: &[f64], epsilon: f64) -> Result<f64, EconError> {
-    if !(epsilon > 0.0) || !epsilon.is_finite() {
+    if !epsilon.is_finite() || epsilon <= 0.0 {
         return Err(EconError::InvalidParameter(format!(
             "epsilon = {epsilon} must be positive"
         )));
@@ -84,14 +84,14 @@ pub fn atkinson(values: &[f64], epsilon: f64) -> Result<f64, EconError> {
     let n = values.len() as f64;
     let mean = total / n;
     let ede = if (epsilon - 1.0).abs() < 1e-12 {
-        if values.iter().any(|&x| x == 0.0) {
+        if values.contains(&0.0) {
             0.0
         } else {
             (values.iter().map(|&x| x.ln()).sum::<f64>() / n).exp()
         }
     } else {
         let p = 1.0 - epsilon;
-        if epsilon > 1.0 && values.iter().any(|&x| x == 0.0) {
+        if epsilon > 1.0 && values.contains(&0.0) {
             0.0
         } else {
             (values.iter().map(|&x| x.powf(p)).sum::<f64>() / n).powf(1.0 / p)
@@ -232,15 +232,11 @@ mod tests {
         let condensed = [0.0, 0.0, 1.0, 39.0];
         assert!(theil(&condensed).expect("v") > theil(&mild).expect("v"));
         assert!(hoover(&condensed).expect("v") > hoover(&mild).expect("v"));
-        assert!(
-            atkinson(&condensed, 0.5).expect("v") > atkinson(&mild, 0.5).expect("v")
-        );
+        assert!(atkinson(&condensed, 0.5).expect("v") > atkinson(&mild, 0.5).expect("v"));
         assert!(
             coefficient_of_variation(&condensed).expect("v")
                 > coefficient_of_variation(&mild).expect("v")
         );
-        assert!(
-            top_share(&condensed, 0.25).expect("v") > top_share(&mild, 0.25).expect("v")
-        );
+        assert!(top_share(&condensed, 0.25).expect("v") > top_share(&mild, 0.25).expect("v"));
     }
 }

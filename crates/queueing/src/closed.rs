@@ -326,8 +326,8 @@ impl ClosedJackson {
         for k in 1..=m {
             let mut denom = 0.0;
             let mut waits = Vec::with_capacity(n);
-            for i in 0..n {
-                let w = (1.0 + lengths[i]) / self.service_rates[i];
+            for (i, &len) in lengths.iter().enumerate() {
+                let w = (1.0 + len) / self.service_rates[i];
                 denom += self.visit_ratios[i] * w;
                 waits.push(w);
             }
@@ -413,7 +413,10 @@ mod tests {
     #[test]
     fn from_utilizations_validates() {
         assert!(ClosedJackson::from_utilizations(&[]).is_err());
-        assert!(ClosedJackson::from_utilizations(&[0.5, 0.5]).is_err(), "no u = 1");
+        assert!(
+            ClosedJackson::from_utilizations(&[0.5, 0.5]).is_err(),
+            "no u = 1"
+        );
         assert!(ClosedJackson::from_utilizations(&[1.2, 1.0]).is_err());
         assert!(ClosedJackson::from_utilizations(&[0.0, 1.0]).is_err());
         assert!(ClosedJackson::from_utilizations(&[0.5, 1.0]).is_ok());
@@ -535,9 +538,9 @@ mod tests {
         let m = 9;
         let gc = net.convolution(m);
         let idle = net.idle_probabilities(m, &gc);
-        for i in 0..2 {
+        for (i, &p_idle) in idle.iter().enumerate() {
             let pmf = net.marginal_pmf(i, m, &gc);
-            assert!((idle[i] - pmf[0]).abs() < 1e-12);
+            assert!((p_idle - pmf[0]).abs() < 1e-12);
         }
     }
 

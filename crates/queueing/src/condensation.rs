@@ -279,8 +279,7 @@ mod tests {
     #[test]
     fn density_quadratic_taper() {
         // f(w) = 3(1−w)²: ∫ 3w(1−w) dw = 3(1/2 − 1/3) = 1/2.
-        let t = threshold_from_density(|w| 3.0 * (1.0 - w) * (1.0 - w), 1e-8, 1e9)
-            .expect("valid");
+        let t = threshold_from_density(|w| 3.0 * (1.0 - w) * (1.0 - w), 1e-8, 1e9).expect("valid");
         match t {
             Threshold::Finite(v) => assert!((v - 0.5).abs() < 1e-4, "T = {v}"),
             Threshold::Divergent => panic!("should converge"),

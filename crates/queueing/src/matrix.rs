@@ -145,7 +145,9 @@ impl TransferMatrix {
     /// Returns [`QueueingError::Dimension`] if `n == 0`.
     pub fn uniform(n: usize) -> Result<Self, QueueingError> {
         if n == 0 {
-            return Err(QueueingError::Dimension("uniform matrix needs n > 0".into()));
+            return Err(QueueingError::Dimension(
+                "uniform matrix needs n > 0".into(),
+            ));
         }
         TransferMatrix::from_flat(n, vec![1.0 / n as f64; n * n])
     }
@@ -180,8 +182,7 @@ impl TransferMatrix {
     pub fn left_multiply(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.n, "vector length mismatch");
         let mut out = vec![0.0; self.n];
-        for i in 0..self.n {
-            let xi = x[i];
+        for (i, &xi) in x.iter().enumerate() {
             if xi == 0.0 {
                 continue;
             }
@@ -210,8 +211,9 @@ impl TransferMatrix {
         seen[0] = true;
         let mut count = 1;
         while let Some(i) = stack.pop() {
-            for j in 0..self.n {
-                if !seen[j] && self.data[i * self.n + j] > 0.0 {
+            let row = &self.data[i * self.n..(i + 1) * self.n];
+            for (j, &p) in row.iter().enumerate() {
+                if !seen[j] && p > 0.0 {
                     seen[j] = true;
                     count += 1;
                     stack.push(j);
@@ -227,8 +229,9 @@ impl TransferMatrix {
         seen[0] = true;
         let mut count = 1;
         while let Some(j) = stack.pop() {
-            for i in 0..self.n {
-                if !seen[i] && self.data[i * self.n + j] > 0.0 {
+            // Column j: elements at indices j, j + n, j + 2n, …
+            for (i, &p) in self.data[j..].iter().step_by(self.n).enumerate() {
+                if !seen[i] && p > 0.0 {
                     seen[i] = true;
                     count += 1;
                     stack.push(i);
@@ -353,8 +356,7 @@ mod tests {
         .expect("valid");
         assert!(ring.is_irreducible());
         // Two disconnected self-loops.
-        let split = TransferMatrix::from_rows(vec![vec![1.0, 0.0], vec![0.0, 1.0]])
-            .expect("valid");
+        let split = TransferMatrix::from_rows(vec![vec![1.0, 0.0], vec![0.0, 1.0]]).expect("valid");
         assert!(!split.is_irreducible());
         // Absorbing state: 0 -> 1 but 1 -> 1 only.
         let absorbing =
@@ -366,8 +368,7 @@ mod tests {
     fn self_loop_detection() {
         let with = TransferMatrix::from_rows(vec![vec![0.5, 0.5], vec![1.0, 0.0]]).expect("ok");
         assert!(with.has_self_loop());
-        let without =
-            TransferMatrix::from_rows(vec![vec![0.0, 1.0], vec![1.0, 0.0]]).expect("ok");
+        let without = TransferMatrix::from_rows(vec![vec![0.0, 1.0], vec![1.0, 0.0]]).expect("ok");
         assert!(!without.has_self_loop());
     }
 

@@ -239,8 +239,7 @@ mod tests {
     #[test]
     fn tandem_queues() {
         // α -> q0 -> q1 -> exit; both see the same arrival rate.
-        let routing =
-            OpenRouting::from_rows(vec![vec![0.0, 1.0], vec![0.0, 0.0]]).expect("valid");
+        let routing = OpenRouting::from_rows(vec![vec![0.0, 1.0], vec![0.0, 0.0]]).expect("valid");
         let net = OpenJackson::solve(&routing, &[0.3, 0.0], &[1.0, 0.5]).expect("stable");
         assert!((net.arrival_rates()[0] - 0.3).abs() < 1e-12);
         assert!((net.arrival_rates()[1] - 0.3).abs() < 1e-12);
@@ -268,8 +267,7 @@ mod tests {
     #[test]
     fn no_exit_is_singular() {
         // All mass recirculates: (I − Pᵀ) is singular.
-        let routing =
-            OpenRouting::from_rows(vec![vec![0.0, 1.0], vec![1.0, 0.0]]).expect("valid");
+        let routing = OpenRouting::from_rows(vec![vec![0.0, 1.0], vec![1.0, 0.0]]).expect("valid");
         assert!(matches!(
             OpenJackson::solve(&routing, &[0.1, 0.1], &[1.0, 1.0]),
             Err(QueueingError::Singular(_))

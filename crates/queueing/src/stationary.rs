@@ -190,10 +190,7 @@ pub(crate) fn solve_dense(a: &mut [f64], b: &mut [f64], n: usize) -> Result<(), 
 /// # Errors
 /// Returns [`QueueingError::NoConvergence`] if `opts.max_iterations` is
 /// reached with residual above `opts.tolerance`.
-pub fn power_iteration(
-    p: &TransferMatrix,
-    opts: PowerOptions,
-) -> Result<Vec<f64>, QueueingError> {
+pub fn power_iteration(p: &TransferMatrix, opts: PowerOptions) -> Result<Vec<f64>, QueueingError> {
     let n = p.n();
     let mut x = vec![1.0 / n as f64; n];
     let mut residual = f64::INFINITY;

@@ -178,43 +178,52 @@ mod tests {
 
     #[test]
     fn validation_catches_violations() {
-        let mut c = StreamingConfig::default();
-        c.chunk_rate = 0.0;
-        assert!(c.validate().is_err());
-
-        let mut c = StreamingConfig::default();
-        c.window = 0;
-        assert!(c.validate().is_err());
-
-        let mut c = StreamingConfig::default();
-        c.startup_buffer = c.window;
-        assert!(c.validate().is_err());
-
-        let mut c = StreamingConfig::default();
-        c.serve_behind = c.window + 1;
-        assert!(c.validate().is_err());
-
-        let mut c = StreamingConfig::default();
-        c.max_pending = 0;
-        assert!(c.validate().is_err());
-
-        let mut c = StreamingConfig::default();
-        c.source_degree = 0;
-        assert!(c.validate().is_err());
-
-        let mut c = StreamingConfig::default();
-        c.transfer_time_mean = f64::NAN;
-        assert!(c.validate().is_err());
-
-        let mut c = StreamingConfig::default();
-        c.schedule_interval = SimDuration::ZERO;
-        assert!(c.validate().is_err());
+        let defaults = StreamingConfig::default();
+        let broken = [
+            StreamingConfig {
+                chunk_rate: 0.0,
+                ..defaults.clone()
+            },
+            StreamingConfig {
+                window: 0,
+                ..defaults.clone()
+            },
+            StreamingConfig {
+                startup_buffer: defaults.window,
+                ..defaults.clone()
+            },
+            StreamingConfig {
+                serve_behind: defaults.window + 1,
+                ..defaults.clone()
+            },
+            StreamingConfig {
+                max_pending: 0,
+                ..defaults.clone()
+            },
+            StreamingConfig {
+                source_degree: 0,
+                ..defaults.clone()
+            },
+            StreamingConfig {
+                transfer_time_mean: f64::NAN,
+                ..defaults.clone()
+            },
+            StreamingConfig {
+                schedule_interval: SimDuration::ZERO,
+                ..defaults.clone()
+            },
+        ];
+        for c in broken {
+            assert!(c.validate().is_err(), "{c:?} should fail validation");
+        }
     }
 
     #[test]
     fn playback_period() {
-        let mut c = StreamingConfig::default();
-        c.chunk_rate = 4.0;
+        let c = StreamingConfig {
+            chunk_rate: 4.0,
+            ..Default::default()
+        };
         assert_eq!(c.playback_period(), SimDuration::from_millis(250));
     }
 }

@@ -207,7 +207,12 @@ impl<T: TradePolicy> StreamingSystem<T> {
         }
     }
 
-    fn handle_schedule(&mut self, id: NodeId, now: SimTime, scheduler: &mut Scheduler<StreamEvent>) {
+    fn handle_schedule(
+        &mut self,
+        id: NodeId,
+        now: SimTime,
+        scheduler: &mut Scheduler<StreamEvent>,
+    ) {
         if !self.peers.contains_key(&id) {
             return; // departed
         }
@@ -245,12 +250,7 @@ impl<T: TradePolicy> StreamingSystem<T> {
                 .map(|&c| {
                     let providers = neighbors
                         .iter()
-                        .filter(|nb| {
-                            self.peers
-                                .get(nb)
-                                .map(|s| s.buffer.has(c))
-                                .unwrap_or(false)
-                        })
+                        .filter(|nb| self.peers.get(nb).map(|s| s.buffer.has(c)).unwrap_or(false))
                         .count();
                     (providers, c)
                 })
@@ -279,9 +279,8 @@ impl<T: TradePolicy> StreamingSystem<T> {
             if self.config.provider_selection == crate::config::ProviderSelection::LeastUploads {
                 // Fair rotation: least-served provider first (shuffle above
                 // breaks ties randomly thanks to stable sorting).
-                providers.sort_by_key(|nb| {
-                    self.peers.get(nb).map(|s| s.stats.uploaded).unwrap_or(0)
-                });
+                providers
+                    .sort_by_key(|nb| self.peers.get(nb).map(|s| s.stats.uploaded).unwrap_or(0));
             }
 
             let mut served = false;
@@ -331,8 +330,7 @@ impl<T: TradePolicy> StreamingSystem<T> {
                         .pending
                         .insert(chunk);
                     let delay = self.sample_transfer();
-                    scheduler
-                        .schedule_after(delay, StreamEvent::SourceDelivery { to: id, chunk });
+                    scheduler.schedule_after(delay, StreamEvent::SourceDelivery { to: id, chunk });
                     issued += 1;
                 } else {
                     self.peers.get_mut(&id).expect("peer is live").stats.denied += 1;
@@ -471,13 +469,15 @@ mod tests {
 
     fn small_system(seed: u64) -> StreamingSystem<FreeTrade> {
         let mut rng = SimRng::seed_from_u64(seed);
-        let graph =
-            generators::scale_free(&ScaleFreeConfig::new(40).expect("cfg"), &mut rng)
-                .expect("graph");
+        let graph = generators::scale_free(&ScaleFreeConfig::new(40).expect("cfg"), &mut rng)
+            .expect("graph");
         StreamingSystem::new(graph, StreamingConfig::default(), FreeTrade, rng).expect("system")
     }
 
-    fn run(system: StreamingSystem<FreeTrade>, secs: u64) -> Simulation<StreamingSystem<FreeTrade>> {
+    fn run(
+        system: StreamingSystem<FreeTrade>,
+        secs: u64,
+    ) -> Simulation<StreamingSystem<FreeTrade>> {
         let mut sim = Simulation::new(system);
         sim.schedule(SimTime::ZERO, StreamEvent::Bootstrap);
         sim.run_until(SimTime::from_secs(secs));
@@ -488,19 +488,13 @@ mod tests {
     fn construction_validates() {
         let rng = SimRng::seed_from_u64(1);
         let empty = Graph::new();
-        assert!(
-            StreamingSystem::new(empty, StreamingConfig::default(), FreeTrade, rng).is_err()
-        );
+        assert!(StreamingSystem::new(empty, StreamingConfig::default(), FreeTrade, rng).is_err());
         let rng = SimRng::seed_from_u64(1);
-        let mut bad = StreamingConfig::default();
-        bad.window = 0;
-        assert!(StreamingSystem::new(
-            generators::complete(4),
-            bad,
-            FreeTrade,
-            rng
-        )
-        .is_err());
+        let bad = StreamingConfig {
+            window: 0,
+            ..Default::default()
+        };
+        assert!(StreamingSystem::new(generators::complete(4), bad, FreeTrade, rng).is_err());
     }
 
     #[test]
@@ -546,9 +540,8 @@ mod tests {
     #[test]
     fn policy_settlements_match_peer_receives() {
         let mut rng = SimRng::seed_from_u64(5);
-        let graph =
-            generators::scale_free(&ScaleFreeConfig::new(30).expect("cfg"), &mut rng)
-                .expect("graph");
+        let graph = generators::scale_free(&ScaleFreeConfig::new(30).expect("cfg"), &mut rng)
+            .expect("graph");
         let system = StreamingSystem::new(
             graph,
             StreamingConfig::default(),
@@ -560,7 +553,10 @@ mod tests {
         sim.schedule(SimTime::ZERO, StreamEvent::Bootstrap);
         sim.run_until(SimTime::from_secs(60));
         let model = sim.model();
-        let received: u64 = model.peers().map(|(_, s)| s.stats.received_from_peers).sum();
+        let received: u64 = model
+            .peers()
+            .map(|(_, s)| s.stats.received_from_peers)
+            .sum();
         assert_eq!(model.policy().settled, received);
         assert!(model.policy().authorized >= model.policy().settled);
     }
@@ -592,10 +588,7 @@ mod tests {
         // The joiner eventually receives chunks.
         let max_id = sim.model().peers().map(|(id, _)| id).max().expect("some");
         let joiner = sim.model().peer(max_id).expect("live");
-        assert!(
-            joiner.stats.received() > 0,
-            "joiner never received a chunk"
-        );
+        assert!(joiner.stats.received() > 0, "joiner never received a chunk");
     }
 
     #[test]

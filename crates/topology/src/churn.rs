@@ -223,10 +223,7 @@ mod tests {
         assert_eq!(g.node_count(), 100);
         // All surviving joiners should have at least one neighbor unless the
         // overlay collapsed (it should not at this size).
-        let isolated = g
-            .node_ids()
-            .filter(|&id| g.degree(id) == Some(0))
-            .count();
+        let isolated = g.node_ids().filter(|&id| g.degree(id) == Some(0)).count();
         assert!(isolated < 5, "{isolated} isolated nodes after churn");
     }
 }

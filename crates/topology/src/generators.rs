@@ -187,7 +187,11 @@ pub fn scale_free<R: Rng + ?Sized>(
 ///
 /// # Errors
 /// Returns [`GenError::InvalidParam`] unless `1 <= m < n`.
-pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Result<Graph, GenError> {
+pub fn barabasi_albert<R: Rng + ?Sized>(
+    n: usize,
+    m: usize,
+    rng: &mut R,
+) -> Result<Graph, GenError> {
     if m == 0 || m >= n {
         return Err(GenError::InvalidParam(format!(
             "Barabási–Albert requires 1 <= m < n (m = {m}, n = {n})"

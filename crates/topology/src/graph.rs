@@ -136,16 +136,9 @@ impl Graph {
         if !self.adjacency.contains_key(&b) {
             return Err(GraphError::NoSuchNode(b));
         }
-        let inserted = self
-            .adjacency
-            .get_mut(&a)
-            .expect("checked above")
-            .insert(b);
+        let inserted = self.adjacency.get_mut(&a).expect("checked above").insert(b);
         if inserted {
-            self.adjacency
-                .get_mut(&b)
-                .expect("checked above")
-                .insert(a);
+            self.adjacency.get_mut(&b).expect("checked above").insert(a);
             self.edge_count += 1;
         }
         Ok(inserted)
@@ -218,9 +211,12 @@ impl Graph {
 
     /// All edges as `(low, high)` pairs in deterministic order.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.adjacency
-            .iter()
-            .flat_map(|(&a, nbrs)| nbrs.iter().copied().filter(move |&b| a < b).map(move |b| (a, b)))
+        self.adjacency.iter().flat_map(|(&a, nbrs)| {
+            nbrs.iter()
+                .copied()
+                .filter(move |&b| a < b)
+                .map(move |b| (a, b))
+        })
     }
 
     /// Whether every node can reach every other node (the empty graph is
@@ -410,10 +406,10 @@ mod tests {
         let mut g = Graph::new();
         let a = g.add_node();
         assert_eq!(a.to_string(), "n0");
+        assert_eq!(GraphError::NoSuchNode(a).to_string(), "no such node: n0");
         assert_eq!(
-            GraphError::NoSuchNode(a).to_string(),
-            "no such node: n0"
+            GraphError::SelfLoop(a).to_string(),
+            "self-loop rejected at n0"
         );
-        assert_eq!(GraphError::SelfLoop(a).to_string(), "self-loop rejected at n0");
     }
 }

@@ -38,7 +38,9 @@ pub fn min_degree(graph: &Graph) -> usize {
 pub fn degree_histogram(graph: &Graph) -> BTreeMap<usize, usize> {
     let mut hist = BTreeMap::new();
     for id in graph.node_ids() {
-        *hist.entry(graph.degree(id).expect("live node")).or_insert(0) += 1;
+        *hist
+            .entry(graph.degree(id).expect("live node"))
+            .or_insert(0) += 1;
     }
     hist
 }

@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "{:<32} {:>8.3} {:>12} {:>10}",
         "static overlay",
-        static_market.gini_series().tail_mean(10).unwrap_or(f64::NAN),
+        static_market
+            .gini_series()
+            .tail_mean(10)
+            .unwrap_or(f64::NAN),
         static_market.peer_count(),
         static_market.ledger().minted()
     );

@@ -45,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Continuous densities (Eq. 4 evaluated by quadrature).
     for (name, density) in [
-        ("f(w) = 2(1−w)", Box::new(|w: f64| 2.0 * (1.0 - w)) as Box<dyn Fn(f64) -> f64>),
+        (
+            "f(w) = 2(1−w)",
+            Box::new(|w: f64| 2.0 * (1.0 - w)) as Box<dyn Fn(f64) -> f64>,
+        ),
         ("f(w) = 3(1−w)²", Box::new(|w: f64| 3.0 * (1.0 - w).powi(2))),
         ("f ≡ 1 (uniform)", Box::new(|_| 1.0)),
     ] {

@@ -22,11 +22,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         market.peer_count(),
         market.ledger().total()
     );
-    println!("simulated wealth Gini after 5000 s: {:.3}", market.wealth_gini()?);
+    println!(
+        "simulated wealth Gini after 5000 s: {:.3}",
+        market.wealth_gini()?
+    );
 
     // The paper's theory, applied to the same market.
     let analysis = analyze_market(&market)?;
-    println!("condensation threshold (Eq. 4): {}", analysis.threshold.threshold);
+    println!(
+        "condensation threshold (Eq. 4): {}",
+        analysis.threshold.threshold
+    );
     println!(
         "average wealth c = {:.1} ⇒ regime: {}",
         analysis.average_wealth, analysis.regime

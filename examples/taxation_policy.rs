@@ -34,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
     ];
 
-    println!("{:<28} {:>10} {:>12} {:>12}", "policy", "Gini", "broke peers", "collected");
+    println!(
+        "{:<28} {:>10} {:>12} {:>12}",
+        "policy", "Gini", "broke peers", "collected"
+    );
     for (label, config) in cases {
         let market = run_market(config, 11, horizon)?;
         let gini = market.gini_series().tail_mean(10).unwrap_or(f64::NAN);

@@ -1,0 +1,24 @@
+//! # scrip — umbrella crate for the credit-incentivized P2P workspace
+//!
+//! Re-exports every workspace crate under one roof and owns the
+//! root-level integration tests (`tests/`) and runnable `examples/`.
+//!
+//! The reproduction itself lives in the member crates:
+//!
+//! - [`core`] (`scrip-core`) — credit market model, simulators, policies
+//! - [`queueing`] (`scrip-queueing`) — closed Jackson network theory
+//! - [`des`] (`scrip-des`) — discrete-event simulation kernel
+//! - [`topology`] (`scrip-topology`) — overlay graphs and churn
+//! - [`econ`] (`scrip-econ`) — Gini / Lorenz wealth analytics
+//! - [`streaming`] (`scrip-streaming`) — mesh-pull live-streaming swarm
+//! - [`bench`] (`scrip-bench`) — figure regenerators and Criterion benches
+
+#![forbid(unsafe_code)]
+
+pub use scrip_bench as bench;
+pub use scrip_core as core;
+pub use scrip_des as des;
+pub use scrip_econ as econ;
+pub use scrip_queueing as queueing;
+pub use scrip_streaming as streaming;
+pub use scrip_topology as topology;

@@ -38,7 +38,11 @@ fn fig02_lorenz_curves_are_valid() {
         assert!((last.0 - 1.0).abs() < 1e-9 && (last.1 - 1.0).abs() < 1e-9);
         // Below the equality line.
         for &(x, y) in &s.points {
-            assert!(y <= x + 1e-9, "{}: point ({x}, {y}) above equality", s.label);
+            assert!(
+                y <= x + 1e-9,
+                "{}: point ({x}, {y}) above equality",
+                s.label
+            );
         }
     }
 }

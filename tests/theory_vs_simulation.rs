@@ -116,7 +116,7 @@ fn expected_wealth_ranks_match_simulation() {
     analytic.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
     let balances = market.ledger().balances_vec();
     let mut simulated: Vec<(usize, u64)> = balances.iter().copied().enumerate().collect();
-    simulated.sort_by(|a, b| b.1.cmp(&a.1));
+    simulated.sort_by_key(|&(_, w)| std::cmp::Reverse(w));
     let k = 10;
     let top_analytic: std::collections::BTreeSet<usize> =
         analytic.iter().take(k).map(|&(i, _)| i).collect();
