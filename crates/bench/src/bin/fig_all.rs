@@ -1,49 +1,45 @@
 //! Regenerates every figure and ablation of the paper's evaluation in
-//! one run, printing each figure's metadata and measured notes (the
-//! data recorded in `EXPERIMENTS.md`). Pass `--csv` to also dump the
-//! full series.
+//! one run, dispatching the scenarios across worker threads and printing
+//! each figure's metadata and measured notes (the data recorded in
+//! `EXPERIMENTS.md`) in canonical order. Pass `--csv` to also dump the
+//! full series, `--threads N` to cap the workers (`--serial` is
+//! shorthand for `--threads 1`).
 //!
-//! Set `SCRIP_QUICK=1` for a reduced-scale smoke run.
+//! Set `SCRIP_QUICK=1` for a reduced-scale smoke run; `SCRIP_THREADS`
+//! is the default worker cap when `--threads` is absent. The cap is
+//! real: experiments fan out across the workers while each experiment's
+//! internal batch runner stays serial. Stdout is byte-identical for
+//! every thread count — all timing goes to stderr.
 
-use scrip_bench::figures::{self, FigureResult};
+use scrip_bench::figures;
 use scrip_bench::scale::RunScale;
-
-type Experiment = (&'static str, fn(RunScale) -> FigureResult);
+use scrip_bench::scenario::RunnerOptions;
 
 fn main() {
-    let dump_csv = std::env::args().any(|a| a == "--csv");
-    let scale = RunScale::from_env();
-    eprintln!("running at scale {scale:?} (set SCRIP_QUICK=1 for quick runs)");
-
-    let experiments: Vec<Experiment> = vec![
-        ("fig01", figures::fig01_spending_rates),
-        ("fig02", figures::fig02_lorenz_pmf),
-        ("fig03", figures::fig03_gini_vs_wealth),
-        ("fig04", figures::fig04_efficiency),
-        ("fig05", figures::fig05_convergence_early),
-        ("fig06", figures::fig06_convergence_late),
-        ("fig07", figures::fig07_gini_evolution_symmetric),
-        ("fig08", figures::fig08_gini_evolution_asymmetric),
-        ("fig09", figures::fig09_taxation),
-        ("fig10", figures::fig10_dynamic_spending),
-        ("fig11", figures::fig11_churn),
-        ("ablation1", figures::ablation_approx_vs_exact),
-        ("ablation2", figures::ablation_solvers),
-        ("ablation3", figures::ablation_queue_vs_protocol),
-    ];
-
-    for (name, run) in experiments {
-        let start = std::time::Instant::now();
-        let fig = run(scale);
-        let elapsed = start.elapsed();
-        println!("== {} — {} ({:.1?})", fig.id, fig.title, elapsed);
-        println!("   paper: {}", fig.paper_expectation);
-        for note in &fig.notes {
-            println!("   measured: {note}");
+    let mut dump_csv = false;
+    let mut threads = RunnerOptions::from_env().threads;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--csv" => dump_csv = true,
+            "--serial" => threads = 1,
+            "--threads" => {
+                threads = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--threads expects a number");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (expected --csv, --threads N, --serial)");
+                std::process::exit(2);
+            }
         }
-        if dump_csv {
-            print!("{}", fig.to_csv());
-        }
-        let _ = name;
     }
+
+    let scale = RunScale::from_env();
+    eprintln!(
+        "running at scale {scale:?} (set SCRIP_QUICK=1 for quick runs, SCRIP_THREADS/--threads \
+         to cap workers)"
+    );
+    figures::run_all_experiments(scale, threads).print(dump_csv);
 }

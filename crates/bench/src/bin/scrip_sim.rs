@@ -1,0 +1,239 @@
+//! `scrip-sim` — the scenario-driven experiment runner.
+//!
+//! One CLI for the whole evaluation: reproduce any built-in figure or
+//! ablation from its declarative scenario, run brand-new workloads from
+//! scenario files (grammar in `docs/SCENARIOS.md`), or regenerate the
+//! entire evaluation in parallel.
+//!
+//! ```text
+//! scrip-sim list                               # built-in experiments & scenarios
+//! scrip-sim all [--csv] [--threads N]          # every figure + ablation, in parallel
+//! scrip-sim run fig07 [--csv]                  # one built-in experiment
+//! scrip-sim run examples/scenarios/flash_crowd.scn --csv
+//! scrip-sim check examples/scenarios/*.scn     # parse + validate + expand
+//! scrip-sim export fig07                       # print a built-in as a scenario file
+//! ```
+//!
+//! `SCRIP_QUICK=1` selects the reduced scale for built-in experiments;
+//! scenario files always run at their stated scale. `SCRIP_THREADS` (or
+//! `--threads N`) caps the batch runner's workers; results are
+//! byte-identical for every thread count.
+
+use std::process::ExitCode;
+
+use scrip_bench::figures;
+use scrip_bench::scale::RunScale;
+use scrip_bench::scenario::{run_scenario, RunnerOptions, Scenario};
+
+const USAGE: &str = "\
+scrip-sim — scenario-driven experiment runner for the scrip reproduction
+
+USAGE:
+    scrip-sim list
+    scrip-sim all [--csv] [--threads N]
+    scrip-sim run <NAME|FILE.scn>... [--csv] [--threads N]
+    scrip-sim check <FILE.scn>...
+    scrip-sim export <NAME>
+
+NAME is a built-in experiment (see `scrip-sim list`); FILE.scn is a
+scenario file (grammar: docs/SCENARIOS.md). SCRIP_QUICK=1 shrinks the
+built-in experiments; SCRIP_THREADS or --threads caps worker threads
+(0 = one per core).";
+
+struct Options {
+    csv: bool,
+    threads: usize,
+    targets: Vec<String>,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        csv: false,
+        threads: RunnerOptions::from_env().threads,
+        targets: Vec::new(),
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--csv" => options.csv = true,
+            "--serial" => options.threads = 1,
+            "--threads" => {
+                options.threads = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--threads expects a number")?;
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other:?}"));
+            }
+            target => options.targets.push(target.to_string()),
+        }
+    }
+    Ok(options)
+}
+
+fn run_builtin(name: &str, options: &Options) -> Result<(), String> {
+    let scale = RunScale::from_env();
+    let (_, run) = figures::experiments()
+        .into_iter()
+        .find(|&(n, _)| n == name)
+        .ok_or_else(|| format!("unknown experiment {name:?} (see `scrip-sim list`)"))?;
+    // Figure modules read the ambient thread cap; route --threads to
+    // their internal batch runners.
+    let previous = scrip_bench::scenario::set_thread_override(Some(options.threads));
+    let start = std::time::Instant::now();
+    let fig = run(scale);
+    scrip_bench::scenario::set_thread_override(previous);
+    eprintln!("{name}: {:.1?}", start.elapsed());
+    figures::print_figure(&fig, options.csv);
+    Ok(())
+}
+
+fn run_file(path: &str, options: &Options) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let scenario = Scenario::parse_str(&text).map_err(|e| format!("{path}: {e}"))?;
+    let result = run_scenario(&scenario, &RunnerOptions::with_threads(options.threads))
+        .map_err(|e| format!("{path}: {e}"))?;
+    // Stdout is deterministic (byte-identical for any thread count);
+    // timing goes to stderr.
+    eprintln!("{}: {:.1?}", scenario.name, result.wall);
+    if scenario.title.is_empty() {
+        println!("== {}", scenario.name);
+    } else {
+        println!("== {} — {}", scenario.name, scenario.title);
+    }
+    println!(
+        "   horizon {}s, seed {}, {} replication(s), {} case(s)",
+        scenario.run.horizon_secs,
+        scenario.run.seed,
+        scenario.run.replications,
+        result.cases.len()
+    );
+    for line in result.summary_lines() {
+        println!("   {line}");
+    }
+    if options.csv {
+        print!("{}", result.to_csv());
+    }
+    Ok(())
+}
+
+fn cmd_run(options: &Options) -> Result<(), String> {
+    if options.targets.is_empty() {
+        return Err("run: no experiment or scenario file given".into());
+    }
+    let builtin: Vec<&str> = figures::experiments().iter().map(|&(n, _)| n).collect();
+    for target in &options.targets {
+        if builtin.contains(&target.as_str()) {
+            run_builtin(target, options)?;
+        } else {
+            run_file(target, options)?;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_all(options: &Options) -> Result<(), String> {
+    if let [stray, ..] = options.targets.as_slice() {
+        return Err(format!(
+            "all takes no experiment names (got {stray:?}); did you mean `scrip-sim run {stray}`?"
+        ));
+    }
+    let scale = RunScale::from_env();
+    eprintln!("running all experiments at scale {scale:?}");
+    figures::run_all_experiments(scale, options.threads).print(options.csv);
+    Ok(())
+}
+
+fn cmd_list(options: &Options) -> Result<(), String> {
+    if !options.targets.is_empty() {
+        return Err("list takes no arguments".into());
+    }
+    print_list();
+    Ok(())
+}
+
+fn print_list() {
+    let scenario_names: Vec<&str> = figures::scenarios().iter().map(|&(n, _)| n).collect();
+    println!("built-in experiments (scrip-sim run <NAME>):");
+    for (name, _) in figures::experiments() {
+        let kind = if scenario_names.contains(&name) {
+            "scenario-driven (scrip-sim export works)"
+        } else {
+            "analytic"
+        };
+        println!("  {name:<10} {kind}");
+    }
+}
+
+fn cmd_check(options: &Options) -> Result<(), String> {
+    if options.targets.is_empty() {
+        return Err("check: no scenario file given".into());
+    }
+    for path in &options.targets {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let scenario = Scenario::parse_str(&text).map_err(|e| format!("{path}: {e}"))?;
+        scenario.validate().map_err(|e| format!("{path}: {e}"))?;
+        let cases = scenario.expand().map_err(|e| format!("{path}: {e}"))?;
+        let jobs = cases.len() * scenario.run.replications;
+        println!(
+            "{path}: ok — scenario {:?}, {} case(s) × {} replication(s) = {jobs} job(s)",
+            scenario.name,
+            cases.len(),
+            scenario.run.replications
+        );
+        for case in cases {
+            println!("  case {}", case.label);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_export(options: &Options) -> Result<(), String> {
+    let [name] = options.targets.as_slice() else {
+        return Err("export: expected exactly one built-in scenario name".into());
+    };
+    let scale = RunScale::from_env();
+    let (_, emit) = figures::scenarios()
+        .into_iter()
+        .find(|(n, _)| n == name)
+        .ok_or_else(|| {
+            format!("no scenario behind {name:?} (analytic experiments cannot be exported)")
+        })?;
+    print!("{}", emit(scale).to_file_string());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let options = match parse_options(rest) {
+        Ok(options) => options,
+        Err(e) => {
+            eprintln!("scrip-sim: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = match command.as_str() {
+        "list" => cmd_list(&options),
+        "all" => cmd_all(&options),
+        "run" => cmd_run(&options),
+        "check" => cmd_check(&options),
+        "export" => cmd_export(&options),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("scrip-sim: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

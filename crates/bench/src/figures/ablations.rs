@@ -4,19 +4,20 @@ use std::collections::BTreeMap;
 
 use scrip_core::des::{SimRng, SimTime};
 use scrip_core::econ::{gini, gini_from_pmf};
-use scrip_core::market::{run_market, MarketConfig};
 use scrip_core::protocol::StreamingMarket;
 use scrip_core::queueing::approx::{eq8_symmetric_marginal, exact_symmetric_marginal};
 use scrip_core::queueing::closed::ClosedJackson;
 use scrip_core::queueing::stationary::{
     direct_solve, is_stationary, power_iteration, PowerOptions,
 };
+use scrip_core::spec::MarketSpec;
 use scrip_core::streaming::StreamingConfig;
 use scrip_core::topology::generators::{self, ScaleFreeConfig};
 use scrip_core::topology::NodeId;
 
 use crate::figures::{FigureResult, Series};
 use crate::scale::RunScale;
+use crate::scenario::{run_scenario, Metric, RunnerOptions, Scenario};
 
 /// Ablation: the paper's Eq. (6)/(8) binomial approximation vs the
 /// exact product-form marginal. Reports total-variation distance and
@@ -119,22 +120,37 @@ pub fn ablation_solvers(scale: RunScale) -> FigureResult {
     }
 }
 
+/// The declarative scenario behind the queue-level half of
+/// [`ablation_queue_vs_protocol`] (the protocol-level half is a
+/// [`StreamingMarket`], outside the scenario grammar).
+pub fn ablation3_queue_scenario(scale: RunScale) -> Scenario {
+    let n = scale.pick(200, 50);
+    // Queue level: uniform pricing, asymmetric utilization.
+    let mut scenario = Scenario::new("ablation3-queue", MarketSpec::new(n, 100));
+    scenario.title = "Queue-level market vs emergent protocol-level market".into();
+    scenario.run.horizon_secs = scale.pick(4_000, 600);
+    scenario.run.seed = 31;
+    scenario.run.metrics = vec![Metric::SpendingRates, Metric::GiniSeries];
+    scenario
+}
+
 /// Ablation: queue-level market vs protocol-level streaming market on
 /// the same overlay — how much of the paper's story survives when the
 /// market emerges from real chunk transfers instead of configured
 /// rates.
 pub fn ablation_queue_vs_protocol(scale: RunScale) -> FigureResult {
-    let n = scale.pick(200, 50);
-    let horizon_secs = scale.pick(4_000u64, 600);
+    let scenario = ablation3_queue_scenario(scale);
+    let n = scenario.base.config().n;
+    let horizon_secs = scenario.run.horizon_secs;
     let horizon = SimTime::from_secs(horizon_secs);
     let c = 100u64;
 
-    // Queue level: uniform pricing, asymmetric utilization.
-    let queue_market =
-        run_market(MarketConfig::new(n, c).asymmetric(), 31, horizon).expect("queue market runs");
-    let queue_rates = queue_market.spending_rates_sorted(horizon);
-    let queue_gini = gini(&queue_rates).expect("non-empty");
-    let queue_wealth_gini = queue_market.wealth_gini().expect("non-empty");
+    let queue_result =
+        run_scenario(&scenario, &RunnerOptions::from_env()).expect("queue market runs");
+    let queue_market = queue_result.cases[0].single();
+    let queue_rates = &queue_market.spending_rates;
+    let queue_gini = gini(queue_rates).expect("non-empty");
+    let queue_wealth_gini = queue_market.wealth_gini;
 
     // Protocol level: same overlay family, 1 chunk/s economy.
     let mut rng = SimRng::seed_from_u64(31);
@@ -159,7 +175,7 @@ pub fn ablation_queue_vs_protocol(scale: RunScale) -> FigureResult {
     };
     FigureResult {
         id: "ablation_queue_vs_protocol".into(),
-        title: "Queue-level market vs emergent protocol-level market".into(),
+        title: scenario.title,
         paper_expectation:
             "the paper simulates at the queue level with configured rates; the fully emergent \
              protocol market condenses harder (bankruptcy is absorbing: broke peers lose their \
@@ -168,7 +184,7 @@ pub fn ablation_queue_vs_protocol(scale: RunScale) -> FigureResult {
         x_label: "peer quantile".into(),
         y_label: "spending rate (credits/s)".into(),
         series: vec![
-            Series::new("queue_level", to_points(&queue_rates)),
+            Series::new("queue_level", to_points(queue_rates)),
             Series::new("protocol_level", to_points(&protocol_rates)),
         ],
         notes: vec![

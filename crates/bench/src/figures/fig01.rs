@@ -5,40 +5,56 @@
 //! initial credits 200, per-chunk Poisson(1) prices → Gini 0.9
 //! (condensed). Case 2: initial credits 12, uniform 1-credit pricing →
 //! Gini 0.1 (balanced).
+//!
+//! One scenario with two explicit cases; the balanced market is the
+//! base, the condensed market overrides credits, pricing, profile, and
+//! availability feedback.
 
-use scrip_core::des::SimTime;
 use scrip_core::econ::gini;
-use scrip_core::market::{run_market, MarketConfig};
-use scrip_core::pricing::PricingConfig;
+use scrip_core::spec::MarketSpec;
 
 use crate::figures::{FigureResult, Series};
 use crate::scale::RunScale;
+use crate::scenario::{run_scenario, CaseSpec, Metric, RunnerOptions, Scenario};
+
+/// The declarative scenario behind Fig. 1.
+pub fn fig01_scenario(scale: RunScale) -> Scenario {
+    let n = scale.pick(500, 60);
+    let mut base = MarketSpec::new(n, 12);
+    base.set("profile", "symmetric").expect("valid");
+    let mut scenario = Scenario::new("fig01", base);
+    scenario.title =
+        "Distribution of credit spending rates, with and without wealth condensation".into();
+    scenario.run.horizon_secs = scale.pick(20_000, 1_500);
+    scenario.run.seed = 42;
+    scenario.run.metrics = vec![Metric::SpendingRates, Metric::FinalBalances];
+    scenario.cases = vec![
+        // Case 2 (balanced): c = 12, uniform pricing, symmetric
+        // utilization — the streaming-with-uniform-pricing regime of
+        // Sec. V-C.
+        CaseSpec::new("balanced_c12_uniform"),
+        // Case 1 (condensed): c = 200, Poisson per-chunk prices,
+        // asymmetric utilization with availability feedback (broke peers
+        // stop earning).
+        CaseSpec::new("condensed_c200_poisson")
+            .with("credits", "200")
+            .with("profile", "asymmetric")
+            .with("pricing", "chunk-poisson:1")
+            .with("availability-feedback", "true"),
+    ];
+    scenario
+}
 
 /// Regenerates Fig. 1.
 pub fn fig01_spending_rates(scale: RunScale) -> FigureResult {
-    let n = scale.pick(500, 60);
-    let horizon = SimTime::from_secs(scale.pick(20_000, 1_500));
+    let scenario = fig01_scenario(scale);
+    let result = run_scenario(&scenario, &RunnerOptions::from_env()).expect("scenario runs");
+    let balanced = result.cases[0].single();
+    let condensed = result.cases[1].single();
 
-    // Case 2 (balanced): c = 12, uniform pricing, symmetric utilization —
-    // the streaming-with-uniform-pricing regime of Sec. V-C.
-    let balanced = run_market(MarketConfig::new(n, 12).symmetric(), 42, horizon)
-        .expect("balanced market runs");
-    // Case 1 (condensed): c = 200, Poisson per-chunk prices, asymmetric
-    // utilization with availability feedback (broke peers stop earning).
-    let condensed = run_market(
-        MarketConfig::new(n, 200)
-            .asymmetric()
-            .pricing(PricingConfig::ChunkPoisson { mean: 1.0 })
-            .with_availability_feedback(),
-        42,
-        horizon,
-    )
-    .expect("condensed market runs");
-
-    let balanced_rates = balanced.spending_rates_sorted(horizon);
-    let condensed_rates = condensed.spending_rates_sorted(horizon);
-    let g_balanced = gini(&balanced_rates).expect("non-empty");
-    let g_condensed = gini(&condensed_rates).expect("non-empty");
+    let g_balanced = gini(&balanced.spending_rates).expect("non-empty");
+    let g_condensed = gini(&condensed.spending_rates).expect("non-empty");
+    let broke = |balances: &[u64]| balances.iter().filter(|&&b| b == 0).count();
 
     let to_points = |rates: &[f64]| {
         rates
@@ -50,7 +66,7 @@ pub fn fig01_spending_rates(scale: RunScale) -> FigureResult {
 
     FigureResult {
         id: "fig01".into(),
-        title: "Distribution of credit spending rates, with and without wealth condensation".into(),
+        title: scenario.title,
         paper_expectation:
             "balanced case (c=12, uniform price) Gini ≈ 0.1; condensed case (c=200, Poisson \
              prices) Gini ≈ 0.9 with most peers spending near zero"
@@ -58,28 +74,21 @@ pub fn fig01_spending_rates(scale: RunScale) -> FigureResult {
         x_label: "peer rank (sorted by spending rate)".into(),
         y_label: "credit spending rate (credits/sec)".into(),
         series: vec![
-            Series::new("balanced_c12_uniform", to_points(&balanced_rates)),
-            Series::new("condensed_c200_poisson", to_points(&condensed_rates)),
+            Series::new("balanced_c12_uniform", to_points(&balanced.spending_rates)),
+            Series::new(
+                "condensed_c200_poisson",
+                to_points(&condensed.spending_rates),
+            ),
         ],
         notes: vec![
             format!("balanced spending-rate Gini = {g_balanced:.3}"),
             format!("condensed spending-rate Gini = {g_condensed:.3}"),
             format!(
                 "condensed market broke peers = {}/{} vs balanced {}/{}",
-                condensed
-                    .ledger()
-                    .balances_vec()
-                    .iter()
-                    .filter(|&&b| b == 0)
-                    .count(),
-                condensed.peer_count(),
-                balanced
-                    .ledger()
-                    .balances_vec()
-                    .iter()
-                    .filter(|&&b| b == 0)
-                    .count(),
-                balanced.peer_count(),
+                broke(&condensed.final_balances),
+                condensed.peer_count,
+                broke(&balanced.final_balances),
+                balanced.peer_count,
             ),
         ],
     }

@@ -4,14 +4,34 @@
 //! The analytic curve `1 − ((N−1)/N)^{cN} ≈ 1 − e^{−c}` rises steeply
 //! and saturates near 1 by `c ≈ 5`: too few initial credits throttle
 //! downloads. We also verify it against the simulated fraction of
-//! non-broke spending in a symmetric market.
+//! non-broke spending in a symmetric market — a scenario sweeping
+//! `credits` over the simulation grid; the analytic curves are
+//! post-processing.
 
-use scrip_core::des::SimTime;
-use scrip_core::market::{run_market, MarketConfig};
 use scrip_core::queueing::approx::{efficiency_vs_wealth, idle_probability_symmetric};
+use scrip_core::spec::MarketSpec;
 
 use crate::figures::{FigureResult, Series};
 use crate::scale::RunScale;
+use crate::scenario::{run_scenario, Metric, RunnerOptions, Scenario, SweepAxis};
+
+fn sim_grid(scale: RunScale) -> Vec<u64> {
+    scale.pick(vec![1, 2, 3, 5, 8], vec![1, 5])
+}
+
+/// The declarative scenario behind Fig. 4's simulated series.
+pub fn fig04_scenario(scale: RunScale) -> Scenario {
+    let n_sim = scale.pick(200, 50);
+    let mut base = MarketSpec::new(n_sim, 1);
+    base.set("profile", "symmetric").expect("valid");
+    let mut scenario = Scenario::new("fig04", base);
+    scenario.title = "1 − Q{B_i = 0} vs average wealth c".into();
+    scenario.run.horizon_secs = scale.pick(4_000, 800);
+    scenario.run.seed = 7;
+    scenario.run.metrics = vec![Metric::SpendingRates];
+    scenario.sweep = vec![SweepAxis::new("credits", sim_grid(scale))];
+    scenario
+}
 
 /// Regenerates Fig. 4.
 pub fn fig04_efficiency(scale: RunScale) -> FigureResult {
@@ -34,18 +54,15 @@ pub fn fig04_efficiency(scale: RunScale) -> FigureResult {
 
     // Simulation cross-check: effective spending rate / maximum rate in a
     // symmetric market equals 1 − Q{B = 0}.
-    let n_sim = scale.pick(200, 50);
-    let horizon_secs = scale.pick(4_000u64, 800);
-    let horizon = SimTime::from_secs(horizon_secs);
-    let sim_grid: Vec<u64> = scale.pick(vec![1, 2, 3, 5, 8], vec![1, 5]);
+    let scenario = fig04_scenario(scale);
+    let n_sim = scenario.base.config().n;
+    let horizon_secs = scenario.run.horizon_secs;
+    let result = run_scenario(&scenario, &RunnerOptions::from_env()).expect("scenario runs");
     let mut simulated = Vec::new();
     let mut notes = Vec::new();
-    for &c in &sim_grid {
-        let market =
-            run_market(MarketConfig::new(n_sim, c).symmetric(), 7, horizon).expect("market runs");
-        let total_spent: u64 = market.spent_per_peer().values().sum();
+    for (case, c) in result.cases.iter().zip(sim_grid(scale)) {
         // Base rate is 1 credit/sec, so the max possible is n·horizon.
-        let efficiency = total_spent as f64 / (n_sim as f64 * horizon_secs as f64);
+        let efficiency = case.single().total_spent as f64 / (n_sim as f64 * horizon_secs as f64);
         simulated.push((c as f64, efficiency));
         notes.push(format!(
             "simulated efficiency at c={c}: {efficiency:.3} (exact c/(1+c) = {:.3}, Eq. 9 = {:.3})",
@@ -56,7 +73,7 @@ pub fn fig04_efficiency(scale: RunScale) -> FigureResult {
 
     FigureResult {
         id: "fig04".into(),
-        title: "1 − Q{B_i = 0} vs average wealth c".into(),
+        title: scenario.title,
         paper_expectation:
             "efficiency rises steeply with c and saturates near 1 by c ≈ 5; initial credits \
              should not be too small"

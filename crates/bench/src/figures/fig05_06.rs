@@ -5,33 +5,58 @@
 //! The paper's observation: early-stage curves keep steepening, while
 //! late-stage curves largely overlap — the distribution of queue
 //! lengths stabilizes, the equilibrium of Sec. IV.
+//!
+//! Each figure is one scenario whose `snapshots` record the sorted
+//! wealth distribution at the plotted instants.
 
-use scrip_core::des::{SimTime, Simulation};
-use scrip_core::market::{CreditMarket, MarketConfig, MarketEvent};
+use scrip_core::spec::MarketSpec;
 
 use crate::figures::{FigureResult, Series};
 use crate::scale::RunScale;
+use crate::scenario::{run_scenario, Metric, RunnerOptions, Scenario};
 
-fn snapshots(scale: RunScale, times: &[u64]) -> Vec<(u64, Vec<u64>)> {
+fn snapshot_scenario(scale: RunScale, name: &str, title: &str, times: Vec<u64>) -> Scenario {
     let n = scale.pick(1_000, 80);
-    let config = MarketConfig::new(n, 100).symmetric();
-    let market = CreditMarket::build(config, 99).expect("market builds");
-    let mut sim = Simulation::new(market);
-    sim.schedule(SimTime::ZERO, MarketEvent::Bootstrap);
-    let mut out = Vec::new();
-    for &t in times {
-        sim.run_until(SimTime::from_secs(t));
-        out.push((t, sim.model().balances_sorted()));
-    }
-    out
+    let mut base = MarketSpec::new(n, 100);
+    base.set("profile", "symmetric").expect("valid");
+    let mut scenario = Scenario::new(name, base);
+    scenario.title = title.into();
+    scenario.run.horizon_secs = *times.last().expect("non-empty snapshot grid");
+    scenario.run.seed = 99;
+    scenario.run.snapshots = times;
+    scenario.run.metrics = vec![Metric::Snapshots];
+    scenario
 }
 
-fn to_figure(
-    id: &str,
-    title: &str,
-    expectation: &str,
-    snaps: Vec<(u64, Vec<u64>)>,
-) -> FigureResult {
+/// The declarative scenario behind Fig. 5.
+pub fn fig05_scenario(scale: RunScale) -> Scenario {
+    snapshot_scenario(
+        scale,
+        "fig05",
+        "Credit distribution in the earlier stage",
+        scale.pick(
+            vec![2_000, 5_000, 10_000, 15_000, 20_000],
+            vec![100, 300, 600, 1_000],
+        ),
+    )
+}
+
+/// The declarative scenario behind Fig. 6.
+pub fn fig06_scenario(scale: RunScale) -> Scenario {
+    snapshot_scenario(
+        scale,
+        "fig06",
+        "Credit distribution in the later stage",
+        scale.pick(
+            vec![24_000, 28_000, 32_000, 36_000, 40_000],
+            vec![1_200, 1_500, 1_800, 2_100],
+        ),
+    )
+}
+
+fn to_figure(id: &str, expectation: &str, scenario: Scenario) -> FigureResult {
+    let result = run_scenario(&scenario, &RunnerOptions::from_env()).expect("scenario runs");
+    let snaps = &result.cases[0].single().snapshots;
     let mut notes = Vec::new();
     // Quantify overlap between successive curves: mean |Δ| between
     // consecutive sorted-wealth snapshots, relative to the mean wealth.
@@ -52,7 +77,7 @@ fn to_figure(
         ));
     }
     let series = snaps
-        .into_iter()
+        .iter()
         .map(|(t, sorted)| {
             Series::new(
                 format!("t{t}"),
@@ -66,7 +91,7 @@ fn to_figure(
         .collect();
     FigureResult {
         id: id.into(),
-        title: title.into(),
+        title: scenario.title,
         paper_expectation: expectation.into(),
         x_label: "peer rank (sorted by wealth)".into(),
         y_label: "credits held".into(),
@@ -77,30 +102,20 @@ fn to_figure(
 
 /// Regenerates Fig. 5 (early stage).
 pub fn fig05_convergence_early(scale: RunScale) -> FigureResult {
-    let times: Vec<u64> = scale.pick(
-        vec![2_000, 5_000, 10_000, 15_000, 20_000],
-        vec![100, 300, 600, 1_000],
-    );
     to_figure(
         "fig05",
-        "Credit distribution in the earlier stage",
         "sorted-wealth curves steepen over time: flatter curves at earlier times, steeper later \
          (the distribution is still evolving)",
-        snapshots(scale, &times),
+        fig05_scenario(scale),
     )
 }
 
 /// Regenerates Fig. 6 (late stage).
 pub fn fig06_convergence_late(scale: RunScale) -> FigureResult {
-    let times: Vec<u64> = scale.pick(
-        vec![24_000, 28_000, 32_000, 36_000, 40_000],
-        vec![1_200, 1_500, 1_800, 2_100],
-    );
     to_figure(
         "fig06",
-        "Credit distribution in the later stage",
         "late-stage sorted-wealth curves largely overlap: the credit distribution has converged \
          to its equilibrium",
-        snapshots(scale, &times),
+        fig06_scenario(scale),
     )
 }

@@ -5,12 +5,15 @@
 //! Paper observations: the Gini always converges (a stable circulation
 //! is reached), and larger average wealth stabilizes at a larger Gini.
 //! The asymmetric case stabilizes higher than the symmetric one.
+//!
+//! Both figures are one scenario each: a sweep of `credits` over the
+//! three wealth levels on the respective utilization profile.
 
-use scrip_core::des::{SimDuration, SimTime};
-use scrip_core::market::{run_market, MarketConfig};
+use scrip_core::spec::MarketSpec;
 
 use crate::figures::{FigureResult, Series};
 use crate::scale::RunScale;
+use crate::scenario::{run_scenario, Metric, RunnerOptions, Scenario, SweepAxis};
 
 const WEALTH_LEVELS: [u64; 3] = [50, 100, 200];
 
@@ -20,41 +23,64 @@ const WEALTH_LEVELS: [u64; 3] = [50, 100, 200];
 /// c-ordered plateaus.
 const NEAR_SYMMETRIC_SPREAD: f64 = 0.03;
 
-fn gini_evolution(
-    scale: RunScale,
-    configure: impl Fn(MarketConfig) -> MarketConfig,
-) -> (Vec<Series>, Vec<String>) {
+fn gini_scenario(scale: RunScale, name: &str, title: &str, profile: &str) -> Scenario {
     let (n, horizon_secs, sample_secs) = scale.market_params();
-    let horizon = SimTime::from_secs(horizon_secs);
-    let sample = SimDuration::from_secs(sample_secs);
+    let mut base = MarketSpec::new(n, WEALTH_LEVELS[0]);
+    base.set("profile", profile).expect("valid profile");
+    base.set("sample", &sample_secs.to_string()).expect("valid");
+    let mut scenario = Scenario::new(name, base);
+    scenario.title = title.into();
+    scenario.run.horizon_secs = horizon_secs;
+    scenario.run.seed = 4242;
+    scenario.run.metrics = vec![Metric::GiniSeries];
+    scenario.sweep = vec![SweepAxis::new("credits", WEALTH_LEVELS)];
+    scenario
+}
+
+/// The declarative scenario behind Fig. 7.
+pub fn fig07_scenario(scale: RunScale) -> Scenario {
+    gini_scenario(
+        scale,
+        "fig07",
+        "Evolution of Gini index under (near-)symmetric utilization",
+        &format!("near-symmetric:{NEAR_SYMMETRIC_SPREAD}"),
+    )
+}
+
+/// The declarative scenario behind Fig. 8.
+pub fn fig08_scenario(scale: RunScale) -> Scenario {
+    gini_scenario(
+        scale,
+        "fig08",
+        "Evolution of Gini index under asymmetric utilization",
+        "asymmetric",
+    )
+}
+
+fn gini_evolution(scenario: &Scenario) -> (Vec<Series>, Vec<String>) {
+    let result = run_scenario(scenario, &RunnerOptions::from_env()).expect("scenario runs");
     let mut series = Vec::new();
     let mut notes = Vec::new();
-    for &c in &WEALTH_LEVELS {
-        let config = configure(MarketConfig::new(n, c).sample_interval(sample));
-        let market = run_market(config, 4242, horizon).expect("market runs");
-        let points: Vec<(f64, f64)> = market
-            .gini_series()
-            .samples()
-            .iter()
-            .map(|&(t, g)| (t.as_secs_f64(), g))
-            .collect();
-        let plateau = market.gini_series().tail_mean(10).unwrap_or(0.0);
-        let converged = market.gini_series().has_converged(10, 0.05);
+    for (case, &c) in result.cases.iter().zip(&WEALTH_LEVELS) {
+        let s = Series::new(format!("c{c}"), case.single().gini.clone());
+        let plateau = s.tail_mean(10).unwrap_or(0.0);
+        let converged = s.has_converged(10, 0.05);
         notes.push(format!(
             "c={c}: plateau Gini = {plateau:.3}, converged (±0.05 over last 10 samples) = \
              {converged}"
         ));
-        series.push(Series::new(format!("c{c}"), points));
+        series.push(s);
     }
     (series, notes)
 }
 
 /// Regenerates Fig. 7 (near-symmetric utilization).
 pub fn fig07_gini_evolution_symmetric(scale: RunScale) -> FigureResult {
-    let (series, notes) = gini_evolution(scale, |cfg| cfg.near_symmetric(NEAR_SYMMETRIC_SPREAD));
+    let scenario = fig07_scenario(scale);
+    let (series, notes) = gini_evolution(&scenario);
     FigureResult {
         id: "fig07".into(),
-        title: "Evolution of Gini index under (near-)symmetric utilization".into(),
+        title: scenario.title,
         paper_expectation:
             "Gini converges for every c; the larger the average wealth, the larger the \
              stabilized Gini"
@@ -68,10 +94,11 @@ pub fn fig07_gini_evolution_symmetric(scale: RunScale) -> FigureResult {
 
 /// Regenerates Fig. 8 (asymmetric utilization).
 pub fn fig08_gini_evolution_asymmetric(scale: RunScale) -> FigureResult {
-    let (series, notes) = gini_evolution(scale, |cfg| cfg.asymmetric());
+    let scenario = fig08_scenario(scale);
+    let (series, notes) = gini_evolution(&scenario);
     FigureResult {
         id: "fig08".into(),
-        title: "Evolution of Gini index under asymmetric utilization".into(),
+        title: scenario.title,
         paper_expectation:
             "stable state reached in all cases; larger c gives larger stabilized Gini, higher \
              than the symmetric case"

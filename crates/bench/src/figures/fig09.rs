@@ -7,13 +7,14 @@
 //! threshold reduces the Gini; (3) at a too-low threshold the tax rate
 //! barely matters, while near the average wealth a higher rate
 //! redistributes effectively.
+//!
+//! One scenario with five explicit cases overriding the `tax` key.
 
-use scrip_core::des::{SimDuration, SimTime};
-use scrip_core::market::{run_market, MarketConfig};
-use scrip_core::policy::TaxConfig;
+use scrip_core::spec::MarketSpec;
 
 use crate::figures::{FigureResult, Series};
 use crate::scale::RunScale;
+use crate::scenario::{run_scenario, CaseSpec, Metric, RunnerOptions, Scenario};
 
 /// Utilization jitter of the quasi-symmetric market used here. The
 /// paper's Fig. 9 uses its "asymmetric utilization" configured-rates
@@ -23,56 +24,48 @@ use crate::scale::RunScale;
 /// paper's regime where taxation visibly competes with condensation.
 const SPREAD: f64 = 0.1;
 
+/// The declarative scenario behind Fig. 9.
+pub fn fig09_scenario(scale: RunScale) -> Scenario {
+    let n = scale.pick(500, 60);
+    let mut base = MarketSpec::new(n, 100);
+    base.set("profile", &format!("near-symmetric:{SPREAD}"))
+        .expect("valid");
+    base.set("sample", &scale.pick(200, 100).to_string())
+        .expect("valid");
+    let mut scenario = Scenario::new("fig09", base);
+    scenario.title = "Skewness of credit distribution at different tax rates and thresholds".into();
+    scenario.run.horizon_secs = scale.pick(20_000, 2_000);
+    scenario.run.seed = 777;
+    scenario.run.metrics = vec![Metric::GiniSeries];
+    scenario.cases = vec![
+        CaseSpec::new("no_taxation"),
+        CaseSpec::new("rate0.1_thr50").with("tax", "0.1:50"),
+        CaseSpec::new("rate0.2_thr50").with("tax", "0.2:50"),
+        CaseSpec::new("rate0.1_thr80").with("tax", "0.1:80"),
+        CaseSpec::new("rate0.2_thr80").with("tax", "0.2:80"),
+    ];
+    scenario
+}
+
 /// Regenerates Fig. 9.
 pub fn fig09_taxation(scale: RunScale) -> FigureResult {
-    let n = scale.pick(500, 60);
-    let horizon = SimTime::from_secs(scale.pick(20_000, 2_000));
-    let sample = SimDuration::from_secs(scale.pick(200, 100));
-    let configs: Vec<(String, Option<TaxConfig>)> = vec![
-        ("no_taxation".into(), None),
-        (
-            "rate0.1_thr50".into(),
-            Some(TaxConfig::new(0.1, 50).expect("valid")),
-        ),
-        (
-            "rate0.2_thr50".into(),
-            Some(TaxConfig::new(0.2, 50).expect("valid")),
-        ),
-        (
-            "rate0.1_thr80".into(),
-            Some(TaxConfig::new(0.1, 80).expect("valid")),
-        ),
-        (
-            "rate0.2_thr80".into(),
-            Some(TaxConfig::new(0.2, 80).expect("valid")),
-        ),
-    ];
+    let scenario = fig09_scenario(scale);
+    let result = run_scenario(&scenario, &RunnerOptions::from_env()).expect("scenario runs");
     let mut series = Vec::new();
     let mut notes = Vec::new();
-    for (label, tax) in configs {
-        let mut config = MarketConfig::new(n, 100)
-            .near_symmetric(SPREAD)
-            .sample_interval(sample);
-        if let Some(t) = tax {
-            config = config.tax(t);
-        }
-        let market = run_market(config, 777, horizon).expect("market runs");
-        let plateau = market.gini_series().tail_mean(10).unwrap_or(0.0);
-        let collected = market.taxation().map(|t| t.collected).unwrap_or(0);
+    for case in &result.cases {
+        let rep = case.single();
+        let s = Series::new(case.label.clone(), rep.gini.clone());
+        let plateau = s.tail_mean(10).unwrap_or(0.0);
         notes.push(format!(
-            "{label}: plateau Gini = {plateau:.3}, collected = {collected}"
+            "{}: plateau Gini = {plateau:.3}, collected = {}",
+            case.label, rep.tax_collected
         ));
-        let points = market
-            .gini_series()
-            .samples()
-            .iter()
-            .map(|&(t, g)| (t.as_secs_f64(), g))
-            .collect();
-        series.push(Series::new(label, points));
+        series.push(s);
     }
     FigureResult {
         id: "fig09".into(),
-        title: "Skewness of credit distribution at different tax rates and thresholds".into(),
+        title: scenario.title,
         paper_expectation:
             "taxation lowers the Gini; higher thresholds lower it further; at threshold 50 the \
              two rates nearly overlap, at threshold 80 the higher rate helps"

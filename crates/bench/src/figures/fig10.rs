@@ -4,43 +4,46 @@
 //! with wealth above a threshold `m` spends at `μ_s·B/m` instead of
 //! `μ_s`. Observation: the stabilized Gini under dynamic spending is
 //! smaller — encouraging the rich to spend mitigates condensation.
+//!
+//! One scenario with two explicit cases overriding the `spending` key.
 
-use scrip_core::des::{SimDuration, SimTime};
-use scrip_core::market::{run_market, MarketConfig};
-use scrip_core::policy::SpendingPolicy;
+use scrip_core::spec::MarketSpec;
 
 use crate::figures::{FigureResult, Series};
 use crate::scale::RunScale;
+use crate::scenario::{run_scenario, CaseSpec, Metric, RunnerOptions, Scenario};
+
+/// The declarative scenario behind Fig. 10.
+pub fn fig10_scenario(scale: RunScale) -> Scenario {
+    let (n, horizon_secs, sample_secs) = scale.market_params();
+    let mut base = MarketSpec::new(n, 100);
+    base.set("sample", &sample_secs.to_string()).expect("valid");
+    let mut scenario = Scenario::new("fig10", base);
+    scenario.title = "Static vs dynamic spending rate".into();
+    scenario.run.horizon_secs = horizon_secs;
+    scenario.run.seed = 888;
+    scenario.run.metrics = vec![Metric::GiniSeries];
+    scenario.cases = vec![
+        CaseSpec::new("without_adjustment"),
+        // Threshold 100 = the average wealth, as in the paper's setup.
+        CaseSpec::new("with_adjustment").with("spending", "dynamic:100"),
+    ];
+    scenario
+}
 
 /// Regenerates Fig. 10.
 pub fn fig10_dynamic_spending(scale: RunScale) -> FigureResult {
-    let (n, horizon_secs, sample_secs) = scale.market_params();
-    let horizon = SimTime::from_secs(horizon_secs);
-    let sample = SimDuration::from_secs(sample_secs);
-    let threshold = 100; // the average wealth, as in the paper's setup
-    let cases = [
-        ("without_adjustment", SpendingPolicy::Fixed),
-        ("with_adjustment", SpendingPolicy::Dynamic { threshold }),
-    ];
+    let scenario = fig10_scenario(scale);
+    let result = run_scenario(&scenario, &RunnerOptions::from_env()).expect("scenario runs");
     let mut series = Vec::new();
     let mut notes = Vec::new();
     let mut plateaus = Vec::new();
-    for (label, policy) in cases {
-        let config = MarketConfig::new(n, 100)
-            .asymmetric()
-            .spending(policy)
-            .sample_interval(sample);
-        let market = run_market(config, 888, horizon).expect("market runs");
-        let plateau = market.gini_series().tail_mean(10).unwrap_or(0.0);
+    for case in &result.cases {
+        let s = Series::new(case.label.clone(), case.single().gini.clone());
+        let plateau = s.tail_mean(10).unwrap_or(0.0);
         plateaus.push(plateau);
-        notes.push(format!("{label}: plateau Gini = {plateau:.3}"));
-        let points = market
-            .gini_series()
-            .samples()
-            .iter()
-            .map(|&(t, g)| (t.as_secs_f64(), g))
-            .collect();
-        series.push(Series::new(label, points));
+        notes.push(format!("{}: plateau Gini = {plateau:.3}", case.label));
+        series.push(s);
     }
     if plateaus.len() == 2 {
         notes.push(format!(
@@ -50,7 +53,7 @@ pub fn fig10_dynamic_spending(scale: RunScale) -> FigureResult {
     }
     FigureResult {
         id: "fig10".into(),
-        title: "Static vs dynamic spending rate".into(),
+        title: scenario.title,
         paper_expectation:
             "the stabilized Gini with dynamic spending-rate adjustment is smaller than with \
              fixed rates"

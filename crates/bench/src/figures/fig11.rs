@@ -8,78 +8,64 @@
 //! Paper observations: dynamic overlays have smaller Gini than static
 //! ones (peers depart before accumulating); arrival rate has little
 //! effect; longer lifespans increase skewness.
+//!
+//! One scenario with six explicit cases overriding the `churn` key
+//! (panel 2 also reuses `p1_lifespan500_arr2`; panel 3 reuses
+//! `p1_lifespan1000_arr1` and `p2_lifespan500_arr1` — each distinct
+//! configuration runs once).
 
-use scrip_core::des::{SimDuration, SimTime};
-use scrip_core::market::{run_market, ChurnConfig, MarketConfig};
+use scrip_core::spec::MarketSpec;
 
 use crate::figures::{FigureResult, Series};
 use crate::scale::RunScale;
+use crate::scenario::{run_scenario, CaseSpec, Metric, RunnerOptions, Scenario};
+
+/// The declarative scenario behind Fig. 11.
+pub fn fig11_scenario(scale: RunScale) -> Scenario {
+    // Scale the population; churn parameters keep arrival×lifespan = n.
+    let n = scale.pick(1_000, 60);
+    let scale_factor = n as f64 / 1_000.0;
+    let attach = 20;
+    let churn =
+        |arrival: f64, lifespan: f64| format!("{}:{lifespan}:{attach}", arrival * scale_factor);
+
+    let mut base = MarketSpec::new(n, 100);
+    base.set("sample", &scale.pick(100, 60).to_string())
+        .expect("valid");
+    let mut scenario = Scenario::new("fig11", base);
+    scenario.title = "Impact of peer dynamics on the skewness of the credit distribution".into();
+    scenario.run.horizon_secs = scale.pick(8_000, 1_200);
+    scenario.run.seed = 1_234;
+    scenario.run.metrics = vec![Metric::GiniSeries];
+    scenario.cases = vec![
+        CaseSpec::new("p1_lifespan1000_arr1").with("churn", churn(1.0, 1_000.0)),
+        CaseSpec::new("p1_lifespan500_arr2").with("churn", churn(2.0, 500.0)),
+        CaseSpec::new("p1_static"),
+        CaseSpec::new("p2_lifespan500_arr1").with("churn", churn(1.0, 500.0)),
+        CaseSpec::new("p2_lifespan500_arr4").with("churn", churn(4.0, 500.0)),
+        CaseSpec::new("p3_lifespan2000_arr1").with("churn", churn(1.0, 2_000.0)),
+    ];
+    scenario
+}
 
 /// Regenerates Fig. 11 (all three panels as one series set).
 pub fn fig11_churn(scale: RunScale) -> FigureResult {
-    // Scale the population; churn parameters keep arrival×lifespan = n.
-    let n = scale.pick(1_000, 60);
-    let horizon = SimTime::from_secs(scale.pick(8_000, 1_200));
-    let sample = SimDuration::from_secs(scale.pick(100, 60));
-    let scale_factor = n as f64 / 1_000.0;
-    let attach = 20;
-
-    // (panel, label, churn config or None for static)
-    let mut cases: Vec<(u8, String, Option<ChurnConfig>)> = vec![
-        (
-            1,
-            "p1_lifespan1000_arr1".into(),
-            Some(ChurnConfig::new(1.0 * scale_factor, 1_000.0, attach).expect("valid")),
-        ),
-        (
-            1,
-            "p1_lifespan500_arr2".into(),
-            Some(ChurnConfig::new(2.0 * scale_factor, 500.0, attach).expect("valid")),
-        ),
-        (1, "p1_static".into(), None),
-        (
-            2,
-            "p2_lifespan500_arr1".into(),
-            Some(ChurnConfig::new(1.0 * scale_factor, 500.0, attach).expect("valid")),
-        ),
-        (
-            2,
-            "p2_lifespan500_arr4".into(),
-            Some(ChurnConfig::new(4.0 * scale_factor, 500.0, attach).expect("valid")),
-        ),
-        (
-            3,
-            "p3_lifespan2000_arr1".into(),
-            Some(ChurnConfig::new(1.0 * scale_factor, 2_000.0, attach).expect("valid")),
-        ),
-    ];
-    // Panel 2 also reuses p1_lifespan500_arr2; panel 3 reuses
-    // p1_lifespan1000_arr1 and p2_lifespan500_arr1 — run each distinct
-    // configuration once.
+    let scenario = fig11_scenario(scale);
+    let result = run_scenario(&scenario, &RunnerOptions::from_env()).expect("scenario runs");
     let mut series = Vec::new();
     let mut notes = Vec::new();
     let mut plateaus: Vec<(String, f64)> = Vec::new();
-    for (panel, label, churn) in cases.drain(..) {
-        let mut config = MarketConfig::new(n, 100)
-            .asymmetric()
-            .sample_interval(sample);
-        if let Some(c) = churn {
-            config = config.churn(c);
-        }
-        let market = run_market(config, 1_234, horizon).expect("market runs");
-        let plateau = market.gini_series().tail_mean(10).unwrap_or(0.0);
+    for case in &result.cases {
+        let rep = case.single();
+        let panel = &case.label[1..2];
+        let s = Series::new(case.label.clone(), rep.gini.clone());
+        let plateau = s.tail_mean(10).unwrap_or(0.0);
         notes.push(format!(
-            "panel {panel} {label}: plateau Gini = {plateau:.3}, final population = {}",
-            market.peer_count()
+            "panel {panel} {}: plateau Gini = {plateau:.3}, final population = {}",
+            case.label, rep.peer_count
         ));
-        plateaus.push((label.clone(), plateau));
-        let points = market
-            .gini_series()
-            .samples()
-            .iter()
-            .map(|&(t, g)| (t.as_secs_f64(), g))
-            .collect();
-        series.push(Series::new(label, points));
+        plateaus.push((case.label.clone(), plateau));
+        series.push(s);
     }
     let get = |name: &str| {
         plateaus
@@ -102,7 +88,7 @@ pub fn fig11_churn(scale: RunScale) -> FigureResult {
     ));
     FigureResult {
         id: "fig11".into(),
-        title: "Impact of peer dynamics on the skewness of the credit distribution".into(),
+        title: scenario.title,
         paper_expectation:
             "dynamic overlays show smaller Gini than static; arrival rate has little impact; \
              longer lifespans increase skewness"

@@ -1,5 +1,13 @@
 //! Figure regenerators: one function per figure of the paper's
 //! evaluation, each returning a typed [`FigureResult`].
+//!
+//! Every market-driven figure is implemented as a declarative
+//! [`crate::scenario::Scenario`] (exposed via [`scenarios`]) plus a thin
+//! post-processing step that turns the batch-runner output into series
+//! and notes; the purely analytic figures (2, 3 and the first two
+//! ablations) evaluate closed-form queueing results directly. The
+//! [`experiments`] registry lists everything in canonical order for
+//! `fig_all` and `scrip-sim`.
 
 mod ablations;
 mod fig01;
@@ -12,16 +20,153 @@ mod fig09;
 mod fig10;
 mod fig11;
 
-pub use ablations::{ablation_approx_vs_exact, ablation_queue_vs_protocol, ablation_solvers};
-pub use fig01::fig01_spending_rates;
+pub use ablations::{
+    ablation3_queue_scenario, ablation_approx_vs_exact, ablation_queue_vs_protocol,
+    ablation_solvers,
+};
+pub use fig01::{fig01_scenario, fig01_spending_rates};
 pub use fig02::fig02_lorenz_pmf;
 pub use fig03::fig03_gini_vs_wealth;
-pub use fig04::fig04_efficiency;
-pub use fig05_06::{fig05_convergence_early, fig06_convergence_late};
-pub use fig07_08::{fig07_gini_evolution_symmetric, fig08_gini_evolution_asymmetric};
-pub use fig09::fig09_taxation;
-pub use fig10::fig10_dynamic_spending;
-pub use fig11::fig11_churn;
+pub use fig04::{fig04_efficiency, fig04_scenario};
+pub use fig05_06::{
+    fig05_convergence_early, fig05_scenario, fig06_convergence_late, fig06_scenario,
+};
+pub use fig07_08::{
+    fig07_gini_evolution_symmetric, fig07_scenario, fig08_gini_evolution_asymmetric, fig08_scenario,
+};
+pub use fig09::{fig09_scenario, fig09_taxation};
+pub use fig10::{fig10_dynamic_spending, fig10_scenario};
+pub use fig11::{fig11_churn, fig11_scenario};
+
+use crate::scale::RunScale;
+use crate::scenario::Scenario;
+
+/// A figure/ablation regenerator.
+pub type ExperimentFn = fn(RunScale) -> FigureResult;
+
+/// A scenario emitter: the declarative description behind a
+/// market-driven experiment.
+pub type ScenarioFn = fn(RunScale) -> Scenario;
+
+/// Every experiment of the paper's evaluation (11 figures, 3 ablations)
+/// in canonical order — the work list of `fig_all` and `scrip-sim all`.
+pub fn experiments() -> Vec<(&'static str, ExperimentFn)> {
+    vec![
+        ("fig01", fig01_spending_rates as ExperimentFn),
+        ("fig02", fig02_lorenz_pmf),
+        ("fig03", fig03_gini_vs_wealth),
+        ("fig04", fig04_efficiency),
+        ("fig05", fig05_convergence_early),
+        ("fig06", fig06_convergence_late),
+        ("fig07", fig07_gini_evolution_symmetric),
+        ("fig08", fig08_gini_evolution_asymmetric),
+        ("fig09", fig09_taxation),
+        ("fig10", fig10_dynamic_spending),
+        ("fig11", fig11_churn),
+        ("ablation1", ablation_approx_vs_exact),
+        ("ablation2", ablation_solvers),
+        ("ablation3", ablation_queue_vs_protocol),
+    ]
+}
+
+/// A finished full-evaluation run: every experiment's result plus
+/// timing, as produced by [`run_all_experiments`].
+pub struct EvaluationReport {
+    /// `(name, result, wall)` per experiment, in canonical order.
+    pub results: Vec<(&'static str, FigureResult, std::time::Duration)>,
+    /// End-to-end wall-clock of the whole batch.
+    pub total: std::time::Duration,
+    /// Worker threads the batch dispatched on.
+    pub workers: usize,
+}
+
+impl EvaluationReport {
+    /// Prints every figure to stdout (deterministic — no timing) and
+    /// the per-scenario timing summary + total wall-clock to stderr.
+    pub fn print(&self, dump_csv: bool) {
+        for (_, fig, _) in &self.results {
+            print_figure(fig, dump_csv);
+        }
+        eprintln!();
+        eprintln!("per-scenario timing:");
+        for (name, _, wall) in &self.results {
+            eprintln!("  {name:<10} {wall:>10.1?}");
+        }
+        let serial: std::time::Duration = self.results.iter().map(|&(_, _, wall)| wall).sum();
+        let speedup = serial.as_secs_f64() / self.total.as_secs_f64().max(1e-9);
+        eprintln!(
+            "total wall-clock: {:.1?} on {} worker thread(s); sum of per-scenario times \
+             {serial:.1?} (speedup {speedup:.2}x)",
+            self.total, self.workers
+        );
+    }
+}
+
+/// Prints one figure's header, expectation, and measured notes to
+/// stdout (plus the CSV when `dump_csv`). Deterministic: timing never
+/// goes to stdout.
+pub fn print_figure(fig: &FigureResult, dump_csv: bool) {
+    println!("== {} — {}", fig.id, fig.title);
+    println!("   paper: {}", fig.paper_expectation);
+    for note in &fig.notes {
+        println!("   measured: {note}");
+    }
+    if dump_csv {
+        print!("{}", fig.to_csv());
+    }
+}
+
+/// Runs every registered experiment, sharded over up to `threads`
+/// worker threads (0 = one per core), and returns the results in
+/// canonical order regardless of completion order.
+///
+/// To keep `threads` an actual cap on concurrency, experiments fan out
+/// across the workers while each experiment's internal batch runner is
+/// forced serial for the duration (via
+/// [`crate::scenario::set_thread_override`] — process-global, so don't
+/// call this concurrently with other scenario runs).
+pub fn run_all_experiments(scale: RunScale, threads: usize) -> EvaluationReport {
+    let experiments = experiments();
+    let workers =
+        crate::scenario::RunnerOptions::with_threads(threads).effective_threads(experiments.len());
+    let previous = crate::scenario::set_thread_override(Some(1));
+    let start = std::time::Instant::now();
+    let results = crate::scenario::parallel_map(experiments.len(), threads, |i| {
+        let t0 = std::time::Instant::now();
+        let fig = (experiments[i].1)(scale);
+        (fig, t0.elapsed())
+    });
+    let total = start.elapsed();
+    crate::scenario::set_thread_override(previous);
+    EvaluationReport {
+        results: experiments
+            .into_iter()
+            .zip(results)
+            .map(|((name, _), (fig, wall))| (name, fig, wall))
+            .collect(),
+        total,
+        workers,
+    }
+}
+
+/// The declarative scenarios behind the market-driven experiments
+/// (`scrip-sim export` serializes these to scenario files). The purely
+/// analytic experiments (fig02, fig03, ablation1, ablation2) have no
+/// market scenario and are absent.
+pub fn scenarios() -> Vec<(&'static str, ScenarioFn)> {
+    vec![
+        ("fig01", fig01_scenario as ScenarioFn),
+        ("fig04", fig04_scenario),
+        ("fig05", fig05_scenario),
+        ("fig06", fig06_scenario),
+        ("fig07", fig07_scenario),
+        ("fig08", fig08_scenario),
+        ("fig09", fig09_scenario),
+        ("fig10", fig10_scenario),
+        ("fig11", fig11_scenario),
+        ("ablation3", ablation3_queue_scenario),
+    ]
+}
 
 /// One plotted series: a label and `(x, y)` points.
 #[derive(Clone, Debug, PartialEq)]
@@ -54,6 +199,19 @@ impl Series {
         let start = self.points.len().saturating_sub(k);
         let tail = &self.points[start..];
         Some(tail.iter().map(|&(_, y)| y).sum::<f64>() / tail.len() as f64)
+    }
+
+    /// Whether the series has settled: the last `window` y values all
+    /// lie within ±`tolerance` of their mean (`false` with fewer than
+    /// `window` points). Mirrors
+    /// [`scrip_core::des::stats::TimeSeries::has_converged`].
+    pub fn has_converged(&self, window: usize, tolerance: f64) -> bool {
+        if self.points.len() < window || window == 0 {
+            return false;
+        }
+        let tail = &self.points[self.points.len() - window..];
+        let mean = tail.iter().map(|&(_, y)| y).sum::<f64>() / window as f64;
+        tail.iter().all(|&(_, y)| (y - mean).abs() <= tolerance)
     }
 }
 
@@ -113,6 +271,34 @@ mod tests {
         assert_eq!(s.last_y(), Some(3.0));
         assert_eq!(s.tail_mean(2), Some(2.0));
         assert_eq!(Series::new("e", vec![]).tail_mean(3), None);
+    }
+
+    #[test]
+    fn series_convergence() {
+        let flat = Series::new("f", (0..10).map(|i| (i as f64, 0.5)).collect());
+        assert!(flat.has_converged(5, 1e-9));
+        let ramp = Series::new("r", (0..10).map(|i| (i as f64, i as f64)).collect());
+        assert!(!ramp.has_converged(5, 0.1));
+        assert!(!ramp.has_converged(20, 10.0), "needs window points");
+    }
+
+    #[test]
+    fn registries_are_complete() {
+        let experiments = experiments();
+        assert_eq!(experiments.len(), 14, "11 figures + 3 ablations");
+        let names: Vec<&str> = experiments.iter().map(|&(n, _)| n).collect();
+        assert_eq!(names[0], "fig01");
+        assert_eq!(names[13], "ablation3");
+        // Every scenario emitter corresponds to a registered experiment
+        // (fig04's scenario covers only its simulated series; fig02,
+        // fig03, ablation1, ablation2 are purely analytic).
+        for (name, emit) in scenarios() {
+            assert!(names.contains(&name), "unknown scenario {name}");
+            let scenario = emit(RunScale::Quick);
+            scenario
+                .validate()
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
     }
 
     #[test]

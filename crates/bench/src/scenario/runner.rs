@@ -1,0 +1,583 @@
+//! Multi-threaded scenario execution with deterministic output.
+//!
+//! The runner flattens a scenario's `cases × replications` grid into a
+//! job list, shards it over `std::thread` workers pulling from an atomic
+//! cursor, and merges results **by job index**, never by completion
+//! order. Each job's RNG seed is a pure function of its coordinates
+//! ([`scrip_des::SeedSequence::replication_seed`]), so the aggregated
+//! output — including [`ScenarioResult::to_csv`] — is byte-identical
+//! whether the batch runs on 1 thread or 64.
+//!
+//! Replication 0 of every case reuses the scenario's root seed and all
+//! cases share the same replication seed stream (common random numbers),
+//! which makes single-replication batch runs reproduce direct
+//! [`scrip_core::market::run_market`]-style calls exactly and reduces
+//! variance when comparing grid points.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use scrip_core::des::{SeedSequence, SimTime, Simulation};
+use scrip_core::market::{CreditMarket, MarketConfig, MarketEvent};
+use scrip_core::spec::MarketSpec;
+use scrip_econ::aggregate::{aggregate_rows, SummaryStats};
+
+use super::{Metric, Scenario, ScenarioError};
+
+/// Batch-execution options.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunnerOptions {
+    /// Worker threads; 0 means one per available core.
+    pub threads: usize,
+}
+
+/// Process-wide worker-cap override (sentinel `usize::MAX` = none),
+/// taking precedence over `SCRIP_THREADS` in
+/// [`RunnerOptions::from_env`]. This is how a CLI's `--threads` /
+/// `--serial` reaches the scenario runs *inside* figure modules, whose
+/// `fn(RunScale)` signature has no room to pass options through.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(usize::MAX);
+
+/// Sets (or with [`None`] clears) the process-wide worker-cap override
+/// and returns the previous value. 0 means "one per core".
+pub fn set_thread_override(threads: Option<usize>) -> Option<usize> {
+    let raw = threads.unwrap_or(usize::MAX);
+    let previous = THREAD_OVERRIDE.swap(raw, Ordering::SeqCst);
+    (previous != usize::MAX).then_some(previous)
+}
+
+impl RunnerOptions {
+    /// The ambient thread count: the process-wide override set via
+    /// [`set_thread_override`] if any, else `SCRIP_THREADS` (unset,
+    /// empty, or `0` mean "one per core").
+    pub fn from_env() -> Self {
+        let overridden = THREAD_OVERRIDE.load(Ordering::SeqCst);
+        if overridden != usize::MAX {
+            return RunnerOptions {
+                threads: overridden,
+            };
+        }
+        let threads = std::env::var("SCRIP_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(0);
+        RunnerOptions { threads }
+    }
+
+    /// Explicit thread count (0 = one per core).
+    pub fn with_threads(threads: usize) -> Self {
+        RunnerOptions { threads }
+    }
+
+    /// The worker count for `jobs` queued jobs.
+    pub fn effective_threads(&self, jobs: usize) -> usize {
+        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let requested = if self.threads == 0 { hw } else { self.threads };
+        requested.min(jobs).max(1)
+    }
+}
+
+/// Runs `f(0..count)` on up to `threads` workers and returns the results
+/// in index order, regardless of completion order. With one effective
+/// worker the closure runs inline on the caller's thread.
+pub fn parallel_map<T, F>(count: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = RunnerOptions { threads }.effective_threads(count);
+    if workers <= 1 {
+        return (0..count).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::SeqCst);
+                if i >= count {
+                    break;
+                }
+                let value = f(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(value);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every claimed slot")
+        })
+        .collect()
+}
+
+/// Everything measured in one simulated market run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReplicationRun {
+    /// The seed this replication ran with.
+    pub seed: u64,
+    /// Gini-over-time samples `(t_secs, gini)`.
+    pub gini: Vec<(f64, f64)>,
+    /// Final wealth distribution, sorted ascending.
+    pub final_balances: Vec<u64>,
+    /// Per-peer credit spending rates over the whole run, sorted
+    /// ascending.
+    pub spending_rates: Vec<f64>,
+    /// Sorted wealth snapshots at the configured times.
+    pub snapshots: Vec<(u64, Vec<u64>)>,
+    /// Gini of the final wealth distribution.
+    pub wealth_gini: f64,
+    /// Successful purchases.
+    pub purchases: u64,
+    /// Purchase attempts denied for lack of credits.
+    pub denied: u64,
+    /// Total credits spent by live peers.
+    pub total_spent: u64,
+    /// Live peers at the horizon.
+    pub peer_count: usize,
+    /// Credits collected by taxation (0 without tax).
+    pub tax_collected: u64,
+    /// Credits redistributed by taxation (0 without tax).
+    pub tax_redistributed: u64,
+}
+
+/// All replications of one expanded case, plus aggregation helpers.
+#[derive(Clone, Debug)]
+pub struct CaseResult {
+    /// The case label.
+    pub label: String,
+    /// The market description this case ran.
+    pub spec: MarketSpec,
+    /// Per-replication measurements, in replication order.
+    pub reps: Vec<ReplicationRun>,
+    /// Total simulation time spent on this case (sum over replications;
+    /// excluded from all deterministic output).
+    pub wall: Duration,
+}
+
+impl CaseResult {
+    /// The single replication of a replications=1 case.
+    ///
+    /// # Panics
+    /// Panics when the case has no replications (cannot happen for
+    /// runner-produced results).
+    pub fn single(&self) -> &ReplicationRun {
+        &self.reps[0]
+    }
+
+    /// Truncates all replications' `rows` to their common prefix length
+    /// and aggregates column-wise.
+    fn aggregate_f64_rows(rows: Vec<Vec<f64>>) -> Vec<SummaryStats> {
+        let width = rows.iter().map(Vec::len).min().unwrap_or(0);
+        let trimmed: Vec<&[f64]> = rows.iter().map(|r| &r[..width]).collect();
+        if width == 0 {
+            return Vec::new();
+        }
+        aggregate_rows(&trimmed).expect("aligned finite rows")
+    }
+
+    /// The Gini trajectory aggregated across replications:
+    /// `(t_secs, stats)` per sample, truncated to the shortest
+    /// replication.
+    pub fn gini_aggregate(&self) -> Vec<(f64, SummaryStats)> {
+        let stats = Self::aggregate_f64_rows(
+            self.reps
+                .iter()
+                .map(|r| r.gini.iter().map(|&(_, g)| g).collect())
+                .collect(),
+        );
+        self.reps[0]
+            .gini
+            .iter()
+            .map(|&(t, _)| t)
+            .zip(stats)
+            .collect()
+    }
+
+    /// The final wealth distribution aggregated by rank.
+    pub fn balances_aggregate(&self) -> Vec<SummaryStats> {
+        Self::aggregate_f64_rows(
+            self.reps
+                .iter()
+                .map(|r| r.final_balances.iter().map(|&b| b as f64).collect())
+                .collect(),
+        )
+    }
+
+    /// The spending-rate distribution aggregated by rank.
+    pub fn rates_aggregate(&self) -> Vec<SummaryStats> {
+        Self::aggregate_f64_rows(self.reps.iter().map(|r| r.spending_rates.clone()).collect())
+    }
+
+    /// The wealth snapshot at time `t`, aggregated by rank.
+    pub fn snapshot_aggregate(&self, t: u64) -> Vec<SummaryStats> {
+        Self::aggregate_f64_rows(
+            self.reps
+                .iter()
+                .map(|r| {
+                    r.snapshots
+                        .iter()
+                        .find(|&&(st, _)| st == t)
+                        .map(|(_, balances)| balances.iter().map(|&b| b as f64).collect())
+                        .unwrap_or_default()
+                })
+                .collect(),
+        )
+    }
+
+    /// The plateau Gini (mean of each replication's last 10 samples)
+    /// summarized across replications.
+    pub fn plateau(&self) -> Option<SummaryStats> {
+        let plateaus: Vec<f64> = self
+            .reps
+            .iter()
+            .filter_map(|r| {
+                if r.gini.is_empty() {
+                    return None;
+                }
+                let tail = &r.gini[r.gini.len().saturating_sub(10)..];
+                Some(tail.iter().map(|&(_, g)| g).sum::<f64>() / tail.len() as f64)
+            })
+            .collect();
+        SummaryStats::from_samples(&plateaus).ok()
+    }
+}
+
+/// A finished scenario: per-case results plus timing.
+#[derive(Clone, Debug)]
+pub struct ScenarioResult {
+    /// The scenario that ran.
+    pub scenario: Scenario,
+    /// One result per expanded case, in expansion order.
+    pub cases: Vec<CaseResult>,
+    /// End-to-end wall-clock of the batch (excluded from deterministic
+    /// output).
+    pub wall: Duration,
+}
+
+impl ScenarioResult {
+    /// Deterministic per-case summary lines (plateau Gini, throughput
+    /// counters) — identical for every thread count.
+    pub fn summary_lines(&self) -> Vec<String> {
+        self.cases
+            .iter()
+            .map(|case| {
+                let reps = case.reps.len() as f64;
+                let purchases = case.reps.iter().map(|r| r.purchases).sum::<u64>() as f64 / reps;
+                let denied = case.reps.iter().map(|r| r.denied).sum::<u64>() as f64 / reps;
+                let peers = case.reps.iter().map(|r| r.peer_count).sum::<usize>() as f64 / reps;
+                let wealth_gini = case.reps.iter().map(|r| r.wealth_gini).sum::<f64>() / reps;
+                match case.plateau() {
+                    Some(p) => format!(
+                        "case {}: plateau gini mean={:.4} min={:.4} max={:.4}, final wealth \
+                         gini={:.4}, purchases={purchases:.1}, denied={denied:.1}, \
+                         peers={peers:.1}",
+                        case.label, p.mean, p.min, p.max, wealth_gini
+                    ),
+                    None => format!(
+                        "case {}: final wealth gini={wealth_gini:.4}, purchases={purchases:.1}, \
+                         denied={denied:.1}, peers={peers:.1}",
+                        case.label
+                    ),
+                }
+            })
+            .collect()
+    }
+
+    /// Renders the replication-aggregated metrics as CSV with
+    /// `#`-prefixed metadata, in scenario metric order. Byte-identical
+    /// for every thread count.
+    pub fn to_csv(&self) -> String {
+        let sc = &self.scenario;
+        let mut out = String::new();
+        if sc.title.is_empty() {
+            out.push_str(&format!("# scenario: {}\n", sc.name));
+        } else {
+            out.push_str(&format!("# scenario: {} — {}\n", sc.name, sc.title));
+        }
+        out.push_str(&format!(
+            "# horizon: {}s, seed: {}, replications: {}, cases: {}\n",
+            sc.run.horizon_secs,
+            sc.run.seed,
+            sc.run.replications,
+            self.cases.len()
+        ));
+        for line in self.summary_lines() {
+            out.push_str(&format!("# {line}\n"));
+        }
+        out.push_str("metric,case,x,mean,min,max\n");
+        let mut push_rows = |metric: &str,
+                             label: &str,
+                             xs: &mut dyn Iterator<Item = f64>,
+                             stats: &[SummaryStats]| {
+            for (x, s) in xs.zip(stats) {
+                out.push_str(&format!(
+                    "{metric},{label},{x:.6},{:.6},{:.6},{:.6}\n",
+                    s.mean, s.min, s.max
+                ));
+            }
+        };
+        for metric in &sc.run.metrics {
+            for case in &self.cases {
+                match metric {
+                    Metric::GiniSeries => {
+                        let agg = case.gini_aggregate();
+                        let stats: Vec<SummaryStats> = agg.iter().map(|&(_, s)| s).collect();
+                        push_rows(
+                            "gini",
+                            &case.label,
+                            &mut agg.iter().map(|&(t, _)| t),
+                            &stats,
+                        );
+                    }
+                    Metric::FinalBalances => {
+                        let stats = case.balances_aggregate();
+                        push_rows(
+                            "final-balance",
+                            &case.label,
+                            &mut (0..stats.len()).map(|i| i as f64),
+                            &stats,
+                        );
+                    }
+                    Metric::SpendingRates => {
+                        let stats = case.rates_aggregate();
+                        push_rows(
+                            "spending-rate",
+                            &case.label,
+                            &mut (0..stats.len()).map(|i| i as f64),
+                            &stats,
+                        );
+                    }
+                    Metric::Snapshots => {
+                        for &t in &sc.run.snapshots {
+                            let stats = case.snapshot_aggregate(t);
+                            push_rows(
+                                &format!("snapshot{t}"),
+                                &case.label,
+                                &mut (0..stats.len()).map(|i| i as f64),
+                                &stats,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Simulates one market to the horizon, recording snapshots along the
+/// way.
+fn run_one(
+    config: &MarketConfig,
+    seed: u64,
+    horizon_secs: u64,
+    snapshot_times: &[u64],
+) -> Result<ReplicationRun, ScenarioError> {
+    let market = CreditMarket::build(config.clone(), seed)
+        .map_err(|e| ScenarioError::Run(format!("seed {seed}: {e}")))?;
+    let mut sim = Simulation::new(market);
+    sim.schedule(SimTime::ZERO, MarketEvent::Bootstrap);
+    let mut snapshots = Vec::with_capacity(snapshot_times.len());
+    for &t in snapshot_times {
+        sim.run_until(SimTime::from_secs(t));
+        snapshots.push((t, sim.model().balances_sorted()));
+    }
+    let horizon = SimTime::from_secs(horizon_secs);
+    sim.run_until(horizon);
+    let market = sim.into_model();
+    Ok(ReplicationRun {
+        seed,
+        gini: market
+            .gini_series()
+            .samples()
+            .iter()
+            .map(|&(t, g)| (t.as_secs_f64(), g))
+            .collect(),
+        final_balances: market.balances_sorted(),
+        spending_rates: market.spending_rates_sorted(horizon),
+        snapshots,
+        wealth_gini: market
+            .wealth_gini()
+            .map_err(|e| ScenarioError::Run(format!("seed {seed}: {e}")))?,
+        purchases: market.purchases(),
+        denied: market.denied(),
+        total_spent: market.spent_per_peer().values().sum(),
+        peer_count: market.peer_count(),
+        tax_collected: market.taxation().map_or(0, |t| t.collected),
+        tax_redistributed: market.taxation().map_or(0, |t| t.redistributed),
+    })
+}
+
+/// Runs a scenario's full `cases × replications` grid, sharded across
+/// worker threads, and merges the results in deterministic order.
+///
+/// # Errors
+/// Returns [`ScenarioError::Config`] for invalid scenarios and
+/// [`ScenarioError::Run`] when a simulation fails; the first failing job
+/// (in job order) wins.
+pub fn run_scenario(
+    scenario: &Scenario,
+    options: &RunnerOptions,
+) -> Result<ScenarioResult, ScenarioError> {
+    scenario.validate_params()?;
+    let cases = scenario.expand()?;
+    let configs: Vec<MarketConfig> = cases
+        .iter()
+        .map(|c| {
+            c.spec
+                .build()
+                .map_err(|e| ScenarioError::Config(format!("case {:?}: {e}", c.label)))
+        })
+        .collect::<Result<_, _>>()?;
+    let reps = scenario.run.replications;
+    let seq = SeedSequence::new(scenario.run.seed);
+    let jobs: Vec<(usize, u64)> = (0..cases.len())
+        .flat_map(|case| (0..reps as u64).map(move |rep| (case, rep)))
+        .collect();
+    let threads = options.effective_threads(jobs.len());
+
+    let start = Instant::now();
+    let outcomes: Vec<(Result<ReplicationRun, ScenarioError>, Duration)> =
+        parallel_map(jobs.len(), threads, |i| {
+            let (case, rep) = jobs[i];
+            let seed = seq.replication_seed(rep);
+            let t0 = Instant::now();
+            let run = run_one(
+                &configs[case],
+                seed,
+                scenario.run.horizon_secs,
+                &scenario.run.snapshots,
+            );
+            (run, t0.elapsed())
+        });
+    let wall = start.elapsed();
+
+    let mut results: Vec<CaseResult> = cases
+        .into_iter()
+        .map(|c| CaseResult {
+            label: c.label,
+            spec: c.spec,
+            reps: Vec::with_capacity(reps),
+            wall: Duration::ZERO,
+        })
+        .collect();
+    for ((case, _), (outcome, elapsed)) in jobs.into_iter().zip(outcomes) {
+        results[case].reps.push(outcome?);
+        results[case].wall += elapsed;
+    }
+    Ok(ScenarioResult {
+        scenario: scenario.clone(),
+        cases: results,
+        wall,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{CaseSpec, SweepAxis};
+
+    fn tiny_scenario() -> Scenario {
+        let mut sc = Scenario::new("tiny", MarketSpec::new(30, 10));
+        sc.base.set("sample", "50").expect("valid");
+        sc.run.horizon_secs = 400;
+        sc.run.seed = 7;
+        sc.run.replications = 3;
+        sc.run.snapshots = vec![200, 400];
+        sc.run.metrics = vec![
+            Metric::GiniSeries,
+            Metric::FinalBalances,
+            Metric::SpendingRates,
+            Metric::Snapshots,
+        ];
+        sc.sweep = vec![SweepAxis::new("credits", [5u64, 10])];
+        sc
+    }
+
+    #[test]
+    fn parallel_map_preserves_index_order() {
+        let out = parallel_map(100, 8, |i| i * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+        let serial = parallel_map(5, 1, |i| i);
+        assert_eq!(serial, vec![0, 1, 2, 3, 4]);
+        assert!(parallel_map(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let sc = tiny_scenario();
+        let serial = run_scenario(&sc, &RunnerOptions::with_threads(1)).expect("runs");
+        let parallel = run_scenario(&sc, &RunnerOptions::with_threads(4)).expect("runs");
+        assert_eq!(serial.cases.len(), parallel.cases.len());
+        for (a, b) in serial.cases.iter().zip(&parallel.cases) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.reps, b.reps, "case {} diverged", a.label);
+        }
+        assert_eq!(serial.to_csv(), parallel.to_csv());
+    }
+
+    #[test]
+    fn replication_zero_reproduces_direct_run() {
+        use scrip_core::des::SimTime;
+        use scrip_core::market::run_market;
+
+        let mut sc = Scenario::new("direct", MarketSpec::new(30, 10));
+        sc.run.horizon_secs = 400;
+        sc.run.seed = 99;
+        let result = run_scenario(&sc, &RunnerOptions::with_threads(2)).expect("runs");
+        let direct =
+            run_market(sc.base.build().expect("valid"), 99, SimTime::from_secs(400)).expect("runs");
+        assert_eq!(
+            result.cases[0].reps[0].final_balances,
+            direct.balances_sorted()
+        );
+        assert_eq!(result.cases[0].reps[0].purchases, direct.purchases());
+    }
+
+    #[test]
+    fn replications_use_distinct_seeds() {
+        let sc = tiny_scenario();
+        let result = run_scenario(&sc, &RunnerOptions::default()).expect("runs");
+        let seeds: Vec<u64> = result.cases[0].reps.iter().map(|r| r.seed).collect();
+        assert_eq!(seeds[0], sc.run.seed, "replication 0 keeps the root seed");
+        assert_eq!(seeds.len(), 3);
+        assert!(seeds[1] != seeds[0] && seeds[2] != seeds[1] && seeds[2] != seeds[0]);
+        // Common random numbers: both cases see the same seeds.
+        let other: Vec<u64> = result.cases[1].reps.iter().map(|r| r.seed).collect();
+        assert_eq!(seeds, other);
+    }
+
+    #[test]
+    fn aggregates_cover_all_requested_metrics() {
+        let sc = tiny_scenario();
+        let result = run_scenario(&sc, &RunnerOptions::default()).expect("runs");
+        let case = &result.cases[0];
+        assert!(!case.gini_aggregate().is_empty());
+        assert!(!case.balances_aggregate().is_empty());
+        assert!(!case.rates_aggregate().is_empty());
+        assert!(!case.snapshot_aggregate(200).is_empty());
+        assert!(case.snapshot_aggregate(12345).is_empty(), "unknown time");
+        let plateau = case.plateau().expect("gini recorded");
+        assert!(plateau.n == 3 && (0.0..=1.0).contains(&plateau.mean));
+        let csv = result.to_csv();
+        for needle in ["gini,", "final-balance,", "spending-rate,", "snapshot200,"] {
+            assert!(csv.contains(needle), "CSV missing {needle}");
+        }
+        assert_eq!(result.summary_lines().len(), 2);
+    }
+
+    #[test]
+    fn invalid_scenarios_are_refused() {
+        let mut sc = tiny_scenario();
+        sc.run.horizon_secs = 0;
+        assert!(run_scenario(&sc, &RunnerOptions::default()).is_err());
+
+        let mut sc = tiny_scenario();
+        sc.cases = vec![CaseSpec::new("broke").with("peers", "1")];
+        assert!(run_scenario(&sc, &RunnerOptions::default()).is_err());
+    }
+}

@@ -62,6 +62,7 @@ pub mod model;
 pub mod policy;
 pub mod pricing;
 pub mod protocol;
+pub mod spec;
 
 pub use credits::Ledger;
 pub use error::CoreError;

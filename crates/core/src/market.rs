@@ -217,7 +217,12 @@ impl MarketConfig {
         self
     }
 
-    fn validate(&self) -> Result<(), CoreError> {
+    /// Checks the scalar parameters (population, rates, intervals,
+    /// pricing) without realizing anything.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::Config`] for out-of-range values.
+    pub fn validate(&self) -> Result<(), CoreError> {
         if self.n < 2 {
             return Err(CoreError::Config(format!(
                 "need n >= 2 peers, got {}",

@@ -1,0 +1,426 @@
+//! Declarative, string-keyed market descriptions.
+//!
+//! [`MarketSpec`] is the bridge between scenario files and
+//! [`MarketConfig`]: every knob of the credit market is addressable by a
+//! stable kebab-case key with a compact textual value syntax, so an
+//! experiment harness can construct, override, and serialize market
+//! configurations without writing Rust. The spec is a plain-data
+//! description — nothing is realized (no graphs, no RNG draws) until
+//! [`MarketSpec::build`] produces a validated [`MarketConfig`] for the
+//! simulator.
+//!
+//! | key                     | value syntax                                   |
+//! |-------------------------|------------------------------------------------|
+//! | `peers`                 | integer ≥ 2                                    |
+//! | `credits`               | integer ≥ 0 (initial credits per peer, `c`)    |
+//! | `base-rate`             | float > 0 (credits/sec, `μ_s`)                 |
+//! | `profile`               | `symmetric` \| `near-symmetric:SPREAD` \| `asymmetric` |
+//! | `pricing`               | `uniform:PRICE` \| `seller-poisson:MEAN` \| `chunk-poisson:MEAN` |
+//! | `spending`              | `fixed` \| `dynamic:THRESHOLD`                 |
+//! | `tax`                   | `none` \| `RATE:THRESHOLD`                     |
+//! | `churn`                 | `none` \| `ARRIVAL:LIFESPAN:ATTACH`            |
+//! | `topology`              | `scale-free` \| `complete` \| `ring` \| `regular:DEGREE` |
+//! | `sample`                | float > 0 (Gini sampling interval, seconds)    |
+//! | `availability-feedback` | `true` \| `false`                              |
+//!
+//! ```
+//! use scrip_core::spec::MarketSpec;
+//!
+//! # fn main() -> Result<(), scrip_core::CoreError> {
+//! let mut spec = MarketSpec::default();
+//! spec.set("peers", "60")?;
+//! spec.set("credits", "200")?;
+//! spec.set("profile", "near-symmetric:0.03")?;
+//! spec.set("tax", "0.2:50")?;
+//! let config = spec.build()?;
+//! assert_eq!(config.n, 60);
+//! assert_eq!(config.initial_credits, 200);
+//! # Ok(())
+//! # }
+//! ```
+
+use scrip_des::SimDuration;
+
+use crate::error::CoreError;
+use crate::market::{ChurnConfig, MarketConfig, TopologyKind};
+use crate::model::UtilizationProfile;
+use crate::policy::{SpendingPolicy, TaxConfig};
+use crate::pricing::PricingConfig;
+
+/// The spec keys, in canonical serialization order.
+pub const MARKET_SPEC_KEYS: [&str; 11] = [
+    "peers",
+    "credits",
+    "base-rate",
+    "profile",
+    "pricing",
+    "spending",
+    "tax",
+    "churn",
+    "topology",
+    "sample",
+    "availability-feedback",
+];
+
+/// A declarative market description with string-keyed access.
+///
+/// Wraps a [`MarketConfig`] (the paper's Sec. VI defaults: 500 peers,
+/// 100 credits each, asymmetric utilization) and exposes it through the
+/// key/value grammar documented at the [module level](self).
+#[derive(Clone, Debug, PartialEq)]
+pub struct MarketSpec {
+    config: MarketConfig,
+}
+
+impl Default for MarketSpec {
+    fn default() -> Self {
+        MarketSpec {
+            config: MarketConfig::new(500, 100),
+        }
+    }
+}
+
+fn bad(key: &str, value: &str, expected: &str) -> CoreError {
+    CoreError::Config(format!(
+        "invalid value {value:?} for key {key:?}: expected {expected}"
+    ))
+}
+
+fn parse_u64(key: &str, value: &str) -> Result<u64, CoreError> {
+    value
+        .parse::<u64>()
+        .map_err(|_| bad(key, value, "a non-negative integer"))
+}
+
+fn parse_usize(key: &str, value: &str) -> Result<usize, CoreError> {
+    value
+        .parse::<usize>()
+        .map_err(|_| bad(key, value, "a non-negative integer"))
+}
+
+fn parse_f64(key: &str, value: &str) -> Result<f64, CoreError> {
+    value
+        .parse::<f64>()
+        .ok()
+        .filter(|x| x.is_finite())
+        .ok_or_else(|| bad(key, value, "a finite number"))
+}
+
+impl MarketSpec {
+    /// A spec with the given population and per-peer initial credits, all
+    /// other knobs at the paper's defaults.
+    pub fn new(peers: usize, credits: u64) -> Self {
+        MarketSpec {
+            config: MarketConfig::new(peers, credits),
+        }
+    }
+
+    /// Wraps an existing configuration.
+    pub fn from_config(config: MarketConfig) -> Self {
+        MarketSpec { config }
+    }
+
+    /// Read-only view of the wrapped configuration.
+    pub fn config(&self) -> &MarketConfig {
+        &self.config
+    }
+
+    /// Validates the spec and returns the configuration it describes.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::Config`] for out-of-range parameter
+    /// combinations.
+    pub fn build(&self) -> Result<MarketConfig, CoreError> {
+        self.config.validate()?;
+        Ok(self.config.clone())
+    }
+
+    /// Sets `key` to the textual `value` (grammar in the
+    /// [module docs](self)).
+    ///
+    /// # Errors
+    /// Returns [`CoreError::Config`] for unknown keys or malformed
+    /// values.
+    pub fn set(&mut self, key: &str, value: &str) -> Result<(), CoreError> {
+        match key {
+            "peers" => {
+                let n = parse_usize(key, value)?;
+                if n < 2 {
+                    return Err(bad(key, value, "an integer >= 2"));
+                }
+                self.config.n = n;
+            }
+            "credits" => self.config.initial_credits = parse_u64(key, value)?,
+            "base-rate" => {
+                let rate = parse_f64(key, value)?;
+                if rate <= 0.0 {
+                    return Err(bad(key, value, "a rate > 0"));
+                }
+                self.config.base_rate = rate;
+            }
+            "profile" => {
+                self.config.profile = match value.split_once(':') {
+                    None if value == "symmetric" => UtilizationProfile::Symmetric,
+                    None if value == "asymmetric" => UtilizationProfile::Asymmetric,
+                    Some(("near-symmetric", spread)) => {
+                        let spread = parse_f64(key, spread)?;
+                        if !(0.0..1.0).contains(&spread) {
+                            return Err(bad(key, value, "a spread in [0, 1)"));
+                        }
+                        UtilizationProfile::NearSymmetric { spread }
+                    }
+                    _ => {
+                        return Err(bad(
+                            key,
+                            value,
+                            "symmetric | near-symmetric:SPREAD | asymmetric",
+                        ))
+                    }
+                };
+            }
+            "pricing" => {
+                let pricing = match value.split_once(':') {
+                    Some(("uniform", p)) => PricingConfig::Uniform {
+                        price: parse_u64(key, p)?,
+                    },
+                    Some(("seller-poisson", m)) => PricingConfig::SellerPoisson {
+                        mean: parse_f64(key, m)?,
+                    },
+                    Some(("chunk-poisson", m)) => PricingConfig::ChunkPoisson {
+                        mean: parse_f64(key, m)?,
+                    },
+                    _ => {
+                        return Err(bad(
+                            key,
+                            value,
+                            "uniform:PRICE | seller-poisson:MEAN | chunk-poisson:MEAN",
+                        ))
+                    }
+                };
+                pricing.validate()?;
+                self.config.pricing = pricing;
+            }
+            "spending" => {
+                self.config.spending = match value.split_once(':') {
+                    None if value == "fixed" => SpendingPolicy::Fixed,
+                    Some(("dynamic", t)) => SpendingPolicy::Dynamic {
+                        threshold: parse_u64(key, t)?,
+                    },
+                    _ => return Err(bad(key, value, "fixed | dynamic:THRESHOLD")),
+                };
+            }
+            "tax" => {
+                self.config.tax = if value == "none" {
+                    None
+                } else {
+                    let (rate, threshold) = value
+                        .split_once(':')
+                        .ok_or_else(|| bad(key, value, "none | RATE:THRESHOLD"))?;
+                    Some(TaxConfig::new(
+                        parse_f64(key, rate)?,
+                        parse_u64(key, threshold)?,
+                    )?)
+                };
+            }
+            "churn" => {
+                self.config.churn = if value == "none" {
+                    None
+                } else {
+                    let parts: Vec<&str> = value.split(':').collect();
+                    let [arrival, lifespan, attach] = parts[..] else {
+                        return Err(bad(key, value, "none | ARRIVAL:LIFESPAN:ATTACH"));
+                    };
+                    Some(ChurnConfig::new(
+                        parse_f64(key, arrival)?,
+                        parse_f64(key, lifespan)?,
+                        parse_usize(key, attach)?,
+                    )?)
+                };
+            }
+            "topology" => {
+                self.config.topology = match value.split_once(':') {
+                    None if value == "scale-free" => TopologyKind::ScaleFree,
+                    None if value == "complete" => TopologyKind::Complete,
+                    None if value == "ring" => TopologyKind::Ring,
+                    Some(("regular", d)) => TopologyKind::Regular(parse_usize(key, d)?),
+                    _ => {
+                        return Err(bad(
+                            key,
+                            value,
+                            "scale-free | complete | ring | regular:DEGREE",
+                        ))
+                    }
+                };
+            }
+            "sample" => {
+                let secs = parse_f64(key, value)?;
+                if secs <= 0.0 {
+                    return Err(bad(key, value, "a positive number of seconds"));
+                }
+                self.config.sample_interval = SimDuration::from_secs_f64(secs);
+            }
+            "availability-feedback" => {
+                self.config.availability_feedback = match value {
+                    "true" => true,
+                    "false" => false,
+                    _ => return Err(bad(key, value, "true | false")),
+                };
+            }
+            _ => {
+                return Err(CoreError::Config(format!(
+                    "unknown market key {key:?} (known keys: {})",
+                    MARKET_SPEC_KEYS.join(", ")
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// The canonical textual value of `key`, or [`None`] for unknown
+    /// keys. `spec.set(key, &spec.get(key)?)` is always a no-op.
+    pub fn get(&self, key: &str) -> Option<String> {
+        let c = &self.config;
+        Some(match key {
+            "peers" => c.n.to_string(),
+            "credits" => c.initial_credits.to_string(),
+            "base-rate" => c.base_rate.to_string(),
+            "profile" => match c.profile {
+                UtilizationProfile::Symmetric => "symmetric".into(),
+                UtilizationProfile::NearSymmetric { spread } => format!("near-symmetric:{spread}"),
+                UtilizationProfile::Asymmetric => "asymmetric".into(),
+            },
+            "pricing" => match c.pricing {
+                PricingConfig::Uniform { price } => format!("uniform:{price}"),
+                PricingConfig::SellerPoisson { mean } => format!("seller-poisson:{mean}"),
+                PricingConfig::ChunkPoisson { mean } => format!("chunk-poisson:{mean}"),
+            },
+            "spending" => match c.spending {
+                SpendingPolicy::Fixed => "fixed".into(),
+                SpendingPolicy::Dynamic { threshold } => format!("dynamic:{threshold}"),
+            },
+            "tax" => match c.tax {
+                None => "none".into(),
+                Some(t) => format!("{}:{}", t.rate, t.threshold),
+            },
+            "churn" => match c.churn {
+                None => "none".into(),
+                Some(ch) => format!(
+                    "{}:{}:{}",
+                    ch.arrival_rate, ch.mean_lifespan, ch.attach_degree
+                ),
+            },
+            "topology" => match c.topology {
+                TopologyKind::ScaleFree => "scale-free".into(),
+                TopologyKind::Complete => "complete".into(),
+                TopologyKind::Ring => "ring".into(),
+                TopologyKind::Regular(d) => format!("regular:{d}"),
+            },
+            "sample" => c.sample_interval.as_secs_f64().to_string(),
+            "availability-feedback" => c.availability_feedback.to_string(),
+            _ => return None,
+        })
+    }
+
+    /// All `(key, canonical value)` pairs in serialization order.
+    pub fn entries(&self) -> Vec<(&'static str, String)> {
+        MARKET_SPEC_KEYS
+            .iter()
+            .map(|&k| (k, self.get(k).expect("known key")))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_config() {
+        let spec = MarketSpec::default();
+        assert_eq!(spec.config(), &MarketConfig::new(500, 100));
+        assert_eq!(spec.build().expect("valid").n, 500);
+    }
+
+    #[test]
+    fn every_key_round_trips_through_get_and_set() {
+        let mut spec = MarketSpec::new(60, 12);
+        for (key, value) in [
+            ("base-rate", "2.5"),
+            ("profile", "near-symmetric:0.03"),
+            ("pricing", "chunk-poisson:1"),
+            ("spending", "dynamic:100"),
+            ("tax", "0.2:50"),
+            ("churn", "1.5:500:20"),
+            ("topology", "regular:8"),
+            ("sample", "50"),
+            ("availability-feedback", "true"),
+        ] {
+            spec.set(key, value)
+                .unwrap_or_else(|e| panic!("{key}: {e}"));
+        }
+        // get() returns canonical forms that set() accepts unchanged.
+        let mut copy = MarketSpec::default();
+        for (key, value) in spec.entries() {
+            copy.set(key, &value).expect("canonical value");
+        }
+        assert_eq!(spec, copy);
+        assert_eq!(copy.get("tax").expect("known"), "0.2:50");
+        assert_eq!(copy.get("churn").expect("known"), "1.5:500:20");
+        assert_eq!(copy.get("profile").expect("known"), "near-symmetric:0.03");
+    }
+
+    #[test]
+    fn variant_values_parse() {
+        let mut spec = MarketSpec::default();
+        spec.set("profile", "symmetric").expect("valid");
+        assert_eq!(spec.config().profile, UtilizationProfile::Symmetric);
+        spec.set("profile", "asymmetric").expect("valid");
+        spec.set("pricing", "uniform:3").expect("valid");
+        assert_eq!(spec.config().pricing, PricingConfig::Uniform { price: 3 });
+        spec.set("pricing", "seller-poisson:2.0").expect("valid");
+        spec.set("spending", "fixed").expect("valid");
+        spec.set("tax", "none").expect("valid");
+        assert_eq!(spec.config().tax, None);
+        spec.set("churn", "none").expect("valid");
+        for t in ["scale-free", "complete", "ring"] {
+            spec.set("topology", t).expect("valid");
+        }
+    }
+
+    #[test]
+    fn malformed_values_are_rejected() {
+        let mut spec = MarketSpec::default();
+        for (key, value) in [
+            ("peers", "1"),
+            ("peers", "many"),
+            ("credits", "-3"),
+            ("base-rate", "0"),
+            ("base-rate", "inf"),
+            ("profile", "lopsided"),
+            ("profile", "near-symmetric:2"),
+            ("pricing", "uniform:0"),
+            ("pricing", "free"),
+            ("spending", "dynamic"),
+            ("tax", "2.0:50"),
+            ("tax", "0.1"),
+            ("churn", "1.0:500"),
+            ("topology", "torus"),
+            ("sample", "0"),
+            ("availability-feedback", "yes"),
+            ("color", "red"),
+        ] {
+            assert!(spec.set(key, value).is_err(), "{key}={value} should fail");
+        }
+        // The failed sets left the spec valid.
+        spec.build().expect("still valid");
+    }
+
+    #[test]
+    fn unknown_key_lists_known_keys() {
+        let err = MarketSpec::default()
+            .set("colour", "blue")
+            .expect_err("unknown");
+        assert!(err.to_string().contains("peers"), "{err}");
+        assert_eq!(MarketSpec::default().get("colour"), None);
+    }
+}

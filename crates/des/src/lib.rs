@@ -62,6 +62,6 @@ pub mod stats;
 pub mod time;
 
 pub use event::{EventQueue, Scheduled, Scheduler};
-pub use rng::SimRng;
+pub use rng::{SeedSequence, SimRng};
 pub use sim::{Model, RunStats, Simulation};
 pub use time::{SimDuration, SimTime};

@@ -8,8 +8,9 @@
 //! computed from the **Lorenz curve** of the credit distribution
 //! (Sec. V-B2, Figs. 1–3 and 7–11). This crate implements those, plus
 //! additional inequality indices (Theil, Hoover, Atkinson) used as
-//! robustness checks, and a compact [`WealthSnapshot`] summary for
-//! experiment logs.
+//! robustness checks, a compact [`WealthSnapshot`] summary for
+//! experiment logs, and cross-replication aggregation ([`aggregate`]) for
+//! batch experiments that repeat a configuration over several seeds.
 //!
 //! ## Example
 //!
@@ -32,12 +33,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aggregate;
 mod error;
 mod gini;
 pub mod inequality;
 pub mod lorenz;
 pub mod snapshot;
 
+pub use aggregate::SummaryStats;
 pub use error::EconError;
 pub use gini::{gini, gini_from_pmf, gini_u64};
 pub use snapshot::WealthSnapshot;

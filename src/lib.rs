@@ -11,7 +11,9 @@
 //! - [`topology`] (`scrip-topology`) — overlay graphs and churn
 //! - [`econ`] (`scrip-econ`) — Gini / Lorenz wealth analytics
 //! - [`streaming`] (`scrip-streaming`) — mesh-pull live-streaming swarm
-//! - [`bench`] (`scrip-bench`) — figure regenerators and Criterion benches
+//! - [`bench`](mod@bench) (`scrip-bench`) — figure regenerators, the
+//!   scenario engine + parallel batch runner behind the `scrip-sim`
+//!   CLI, and Criterion benches
 
 #![forbid(unsafe_code)]
 
