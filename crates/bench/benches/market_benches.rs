@@ -2,7 +2,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use scrip_core::des::SimTime;
-use scrip_core::market::{run_market, MarketConfig};
+use scrip_core::market::{run_market, MarketConfig, TopologyKind};
 use scrip_core::pricing::PricingConfig;
 
 fn bench_queue_market(c: &mut Criterion) {
@@ -39,6 +39,77 @@ fn bench_queue_market(c: &mut Criterion) {
     group.finish();
 }
 
+/// Spend-loop throughput on the two routing shapes the arena refactor
+/// optimized: complete-mixing picks from the dense peer list, and
+/// scale-free neighbor picks from the graph's sorted slices.
+fn bench_spend_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spend_loop_500s");
+    group.sample_size(10);
+    for (label, config) in [
+        (
+            "complete_mixing",
+            MarketConfig::new(300, 50)
+                .symmetric()
+                .topology(TopologyKind::Complete),
+        ),
+        (
+            "scale_free_neighbors",
+            MarketConfig::new(300, 50).asymmetric(),
+        ),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                black_box(
+                    run_market(black_box(config.clone()), 11, SimTime::from_secs(500))
+                        .expect("runs"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The availability-feedback seller pick: the weighted scan over the
+/// neighbor slice through the reused scratch buffer (formerly two Vec
+/// allocations per spend).
+fn bench_availability_feedback(c: &mut Criterion) {
+    let mut group = c.benchmark_group("availability_feedback_500s");
+    group.sample_size(10);
+    for n in [300usize, 1_000] {
+        group.bench_with_input(BenchmarkId::new("weighted_pick", n), &n, |b, &n| {
+            b.iter(|| {
+                black_box(
+                    run_market(
+                        MarketConfig::new(n, 50)
+                            .asymmetric()
+                            .with_availability_feedback(),
+                        11,
+                        SimTime::from_secs(500),
+                    )
+                    .expect("runs"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+/// A wealth-Gini sample at n = 10k: O(1) from the ledger's incremental
+/// accumulator (formerly an O(n log n) sort per sample).
+fn bench_gini_sampling(c: &mut Criterion) {
+    let market = run_market(
+        MarketConfig::new(10_000, 50).asymmetric(),
+        11,
+        SimTime::from_secs(20),
+    )
+    .expect("runs");
+    let mut group = c.benchmark_group("gini_sample_n10k");
+    group.bench_function("wealth_gini", |b| {
+        b.iter(|| black_box(black_box(&market).wealth_gini().expect("non-empty")))
+    });
+    group.finish();
+}
+
 fn bench_protocol_market(c: &mut Criterion) {
     use scrip_core::des::SimRng;
     use scrip_core::protocol::StreamingMarket;
@@ -63,5 +134,12 @@ fn bench_protocol_market(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_queue_market, bench_protocol_market);
+criterion_group!(
+    benches,
+    bench_queue_market,
+    bench_spend_loop,
+    bench_availability_feedback,
+    bench_gini_sampling,
+    bench_protocol_market
+);
 criterion_main!(benches);

@@ -12,6 +12,7 @@
 //! scrip-sim run examples/scenarios/flash_crowd.scn --csv
 //! scrip-sim check examples/scenarios/*.scn     # parse + validate + expand
 //! scrip-sim export fig07                       # print a built-in as a scenario file
+//! scrip-sim bench --json                       # market throughput -> BENCH_market.json
 //! ```
 //!
 //! `SCRIP_QUICK=1` selects the reduced scale for built-in experiments;
@@ -34,34 +35,51 @@ USAGE:
     scrip-sim run <NAME|FILE.scn>... [--csv] [--threads N]
     scrip-sim check <FILE.scn>...
     scrip-sim export <NAME>
+    scrip-sim bench [--json] [--out FILE] [--against FILE]
 
 NAME is a built-in experiment (see `scrip-sim list`); FILE.scn is a
 scenario file (grammar: docs/SCENARIOS.md). SCRIP_QUICK=1 shrinks the
-built-in experiments; SCRIP_THREADS or --threads caps worker threads
-(0 = one per core).";
+built-in experiments and the bench suite; SCRIP_THREADS or --threads
+caps worker threads (0 = one per core). `bench` measures market
+events/sec single-threaded, `--json` writes BENCH_market.json (or
+--out FILE), and `--against BASELINE.json` exits non-zero when any
+matching case regresses more than 30%.";
 
 struct Options {
     csv: bool,
+    json: bool,
     threads: usize,
+    out: Option<String>,
+    against: Option<String>,
     targets: Vec<String>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut options = Options {
         csv: false,
+        json: false,
         threads: RunnerOptions::from_env().threads,
+        out: None,
+        against: None,
         targets: Vec::new(),
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--csv" => options.csv = true,
+            "--json" => options.json = true,
             "--serial" => options.threads = 1,
             "--threads" => {
                 options.threads = iter
                     .next()
                     .and_then(|v| v.parse().ok())
                     .ok_or("--threads expects a number")?;
+            }
+            "--out" => {
+                options.out = Some(iter.next().ok_or("--out expects a path")?.clone());
+            }
+            "--against" => {
+                options.against = Some(iter.next().ok_or("--against expects a path")?.clone());
             }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag {other:?}"));
@@ -189,6 +207,40 @@ fn cmd_check(options: &Options) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_bench(options: &Options) -> Result<(), String> {
+    if let [stray, ..] = options.targets.as_slice() {
+        return Err(format!(
+            "bench takes no positional arguments (got {stray:?})"
+        ));
+    }
+    let scale = RunScale::from_env();
+    eprintln!("running market bench at scale {scale:?} (single-threaded)");
+    let report = scrip_bench::perf::run_bench(scale);
+    // --out implies writing the file even without --json.
+    if options.json || options.out.is_some() {
+        let path = options.out.as_deref().unwrap_or("BENCH_market.json");
+        std::fs::write(path, report.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote {path}");
+    } else {
+        print!("{}", report.to_json());
+    }
+    if let Some(baseline_path) = &options.against {
+        let text =
+            std::fs::read_to_string(baseline_path).map_err(|e| format!("{baseline_path}: {e}"))?;
+        let baseline = scrip_bench::perf::BenchReport::from_json(&text)
+            .map_err(|e| format!("{baseline_path}: {e}"))?;
+        let failures = scrip_bench::perf::compare_against(&report, &baseline, 0.30);
+        if !failures.is_empty() {
+            return Err(format!(
+                "throughput regression vs {baseline_path}:\n  {}",
+                failures.join("\n  ")
+            ));
+        }
+        eprintln!("no case regressed more than 30% vs {baseline_path}");
+    }
+    Ok(())
+}
+
 fn cmd_export(options: &Options) -> Result<(), String> {
     let [name] = options.targets.as_slice() else {
         return Err("export: expected exactly one built-in scenario name".into());
@@ -223,6 +275,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(&options),
         "check" => cmd_check(&options),
         "export" => cmd_export(&options),
+        "bench" => cmd_bench(&options),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

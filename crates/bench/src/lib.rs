@@ -29,5 +29,6 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod perf;
 pub mod scale;
 pub mod scenario;

@@ -1,0 +1,402 @@
+//! The `scrip-sim bench` harness: end-to-end market throughput.
+//!
+//! Measures events/sec of the discrete-event market simulator across the
+//! four hot regimes (asymmetric neighbor routing, availability feedback,
+//! taxation, churn) at n ∈ {1k, 10k, 100k}, plus the cost of a wealth
+//! Gini sample at large n. Results are written to `BENCH_market.json`
+//! (see [`BenchReport::to_json`] for the schema), seeding the repo's
+//! performance trajectory, and CI replays the quick-scale subset to
+//! catch throughput regressions (see [`compare_against`]).
+//!
+//! The harness runs strictly single-threaded: each case is one seeded
+//! simulation on one core, so events/sec is a clean per-core figure.
+
+use std::time::Instant;
+
+use scrip_core::market::{ChurnConfig, CreditMarket, MarketConfig, MarketEvent};
+use scrip_core::policy::TaxConfig;
+use scrip_des::{SimDuration, SimTime, Simulation};
+
+use crate::scale::RunScale;
+
+/// One measured bench case.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchEntry {
+    /// Which hot path this case exercises (`asymmetric`,
+    /// `availability_feedback`, `tax`, `churn`, or `gini_sample`).
+    pub regime: String,
+    /// Number of peers.
+    pub n: usize,
+    /// Scale the case ran at (`quick` or `full`).
+    pub scale: String,
+    /// Dispatched simulator events (Gini samples for `gini_sample`).
+    pub events: u64,
+    /// Wall-clock seconds for the measured section.
+    pub wall_secs: f64,
+    /// `events / wall_secs` — the headline throughput number.
+    pub events_per_sec: f64,
+    /// Process resident-set high-water mark (bytes) after this case, if
+    /// the platform exposes it (Linux `VmHWM`). Monotone across cases in
+    /// one process, so attribute growth to the case that caused it.
+    pub peak_rss_bytes: Option<u64>,
+}
+
+/// A full bench run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BenchReport {
+    /// Measured cases, in execution order (ascending n per regime).
+    pub entries: Vec<BenchEntry>,
+}
+
+/// Reads the process peak RSS (`VmHWM`) in bytes on Linux.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// The benched market configuration for a regime at size `n`.
+fn regime_config(regime: &str, n: usize) -> MarketConfig {
+    let base = MarketConfig::new(n, 50).sample_interval(SimDuration::from_secs(50));
+    match regime {
+        "asymmetric" => base.asymmetric(),
+        "availability_feedback" => base.asymmetric().with_availability_feedback(),
+        "tax" => base
+            .asymmetric()
+            .tax(TaxConfig::new(0.2, 40).expect("valid tax")),
+        "churn" => {
+            let lifespan = 500.0;
+            base.asymmetric()
+                .churn(ChurnConfig::new(n as f64 / lifespan, lifespan, 20).expect("valid churn"))
+        }
+        other => unreachable!("unknown bench regime {other}"),
+    }
+}
+
+const REGIMES: [&str; 4] = ["asymmetric", "availability_feedback", "tax", "churn"];
+
+/// Case list at a scale: (regime, n, horizon_secs). Horizons shrink with
+/// n so every case dispatches a comparable number of events (~2M full,
+/// ~500k quick) — events/sec stays meaningful while wall-clock stays
+/// bounded.
+fn cases(scale: RunScale) -> Vec<(&'static str, usize, u64)> {
+    let sizes: &[usize] = match scale {
+        RunScale::Full => &[1_000, 10_000, 100_000],
+        RunScale::Quick => &[1_000],
+    };
+    // Quick scale still dispatches ~500k events per case so each timed
+    // window is hundreds of milliseconds — long enough that scheduler
+    // jitter on a noisy CI runner stays well inside the 30% regression
+    // gate.
+    let target_events: u64 = match scale {
+        RunScale::Full => 2_000_000,
+        RunScale::Quick => 500_000,
+    };
+    let mut out = Vec::new();
+    for &regime in &REGIMES {
+        for &n in sizes {
+            out.push((regime, n, (target_events / n as u64).max(10)));
+        }
+    }
+    out
+}
+
+/// Measures one market case: build (untimed), then dispatch events to
+/// the horizon (timed).
+fn run_market_case(regime: &'static str, n: usize, horizon_secs: u64, scale: &str) -> BenchEntry {
+    let market = CreditMarket::build(regime_config(regime, n), 42).expect("bench market builds");
+    let capacity = market.queue_capacity_hint();
+    let mut sim = Simulation::with_capacity(market, capacity);
+    sim.schedule(SimTime::ZERO, MarketEvent::Bootstrap);
+    let start = Instant::now();
+    let stats = sim.run_until(SimTime::from_secs(horizon_secs));
+    let wall = start.elapsed().as_secs_f64().max(1e-9);
+    BenchEntry {
+        regime: regime.into(),
+        n,
+        scale: scale.into(),
+        events: stats.events_processed,
+        wall_secs: wall,
+        events_per_sec: stats.events_processed as f64 / wall,
+        peak_rss_bytes: peak_rss_bytes(),
+    }
+}
+
+/// Measures the cost of a wealth-Gini sample at size `n`: run the
+/// asymmetric market briefly to de-equalize wealth, then time repeated
+/// [`CreditMarket::wealth_gini`] calls.
+fn run_gini_case(n: usize, samples: u64, scale: &str) -> BenchEntry {
+    let config = regime_config("asymmetric", n);
+    let market =
+        scrip_core::market::run_market(config, 42, SimTime::from_secs(20)).expect("market runs");
+    let start = Instant::now();
+    let mut acc = 0.0f64;
+    for _ in 0..samples {
+        acc += market.wealth_gini().expect("non-empty market");
+    }
+    let wall = start.elapsed().as_secs_f64().max(1e-9);
+    // Keep the accumulator observable so the loop cannot be elided.
+    assert!(acc.is_finite());
+    BenchEntry {
+        regime: "gini_sample".into(),
+        n,
+        scale: scale.into(),
+        events: samples,
+        wall_secs: wall,
+        events_per_sec: samples as f64 / wall,
+        peak_rss_bytes: peak_rss_bytes(),
+    }
+}
+
+/// Runs the full bench suite at `scale`, printing one progress line per
+/// case to stderr.
+pub fn run_bench(scale: RunScale) -> BenchReport {
+    let scale_name = match scale {
+        RunScale::Full => "full",
+        RunScale::Quick => "quick",
+    };
+    let mut report = BenchReport::default();
+    for (regime, n, horizon) in cases(scale) {
+        let entry = run_market_case(regime, n, horizon, scale_name);
+        eprintln!(
+            "bench {regime:<22} n={n:<7} {:>12.0} events/s ({} events in {:.2}s)",
+            entry.events_per_sec, entry.events, entry.wall_secs
+        );
+        report.entries.push(entry);
+    }
+    // Sample counts are sized for the *post-refactor* O(1) sampler so
+    // the timed window is milliseconds, not timer-resolution noise (the
+    // pre-refactor sampler was ~10^5 times slower and was measured with
+    // proportionally fewer samples; the per-sample rate is what's
+    // compared).
+    let gini_sizes: &[(usize, u64)] = match scale {
+        RunScale::Full => &[(10_000, 2_000_000), (100_000, 2_000_000)],
+        RunScale::Quick => &[(10_000, 1_000_000)],
+    };
+    for &(n, samples) in gini_sizes {
+        let entry = run_gini_case(n, samples, scale_name);
+        eprintln!(
+            "bench {:<22} n={n:<7} {:>12.0} samples/s ({} samples in {:.4}s)",
+            entry.regime, entry.events_per_sec, entry.events, entry.wall_secs
+        );
+        report.entries.push(entry);
+    }
+    report
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+impl BenchEntry {
+    fn to_json(&self) -> String {
+        let rss = match self.peak_rss_bytes {
+            Some(b) => b.to_string(),
+            None => "null".into(),
+        };
+        format!(
+            "    {{\"regime\": \"{}\", \"n\": {}, \"scale\": \"{}\", \"events\": {}, \
+             \"wall_secs\": {:.6}, \"events_per_sec\": {:.1}, \"peak_rss_bytes\": {}}}",
+            json_escape(&self.regime),
+            self.n,
+            json_escape(&self.scale),
+            self.events,
+            self.wall_secs,
+            self.events_per_sec,
+            rss
+        )
+    }
+}
+
+impl BenchReport {
+    /// Serializes the report as JSON (the `BENCH_market.json` schema:
+    /// a `schema` tag plus an `entries` array of flat objects).
+    pub fn to_json(&self) -> String {
+        let mut out =
+            String::from("{\n  \"schema\": \"scrip-bench-market/1\",\n  \"entries\": [\n");
+        let body: Vec<String> = self.entries.iter().map(BenchEntry::to_json).collect();
+        out.push_str(&body.join(",\n"));
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Parses a report back from [`BenchReport::to_json`] output (also
+    /// tolerates the extra `before_events_per_sec` key of the committed
+    /// baseline file). This is a schema-specific reader, not a general
+    /// JSON parser: it scans the known keys per entry object.
+    ///
+    /// # Errors
+    /// Returns a description of the first malformed entry.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        if !text.contains("\"schema\": \"scrip-bench-market/1\"") {
+            return Err("missing schema tag \"scrip-bench-market/1\"".into());
+        }
+        let mut entries = Vec::new();
+        for (i, obj) in text.split('{').skip(2).enumerate() {
+            let obj = obj.split('}').next().unwrap_or("");
+            let field = |key: &str| -> Result<String, String> {
+                let pat = format!("\"{key}\":");
+                let rest = obj
+                    .split(&pat)
+                    .nth(1)
+                    .ok_or_else(|| format!("entry {i}: missing key {key:?}"))?;
+                Ok(rest
+                    .trim_start()
+                    .trim_start_matches('"')
+                    .chars()
+                    .take_while(|&c| !matches!(c, '"' | ',' | '\n'))
+                    .collect::<String>()
+                    .trim()
+                    .to_string())
+            };
+            let num = |key: &str| -> Result<f64, String> {
+                let v = field(key)?;
+                v.parse::<f64>()
+                    .map_err(|e| format!("entry {i}: bad number for {key:?} ({v:?}): {e}"))
+            };
+            entries.push(BenchEntry {
+                regime: field("regime")?,
+                n: num("n")? as usize,
+                scale: field("scale")?,
+                events: num("events")? as u64,
+                wall_secs: num("wall_secs")?,
+                events_per_sec: num("events_per_sec")?,
+                peak_rss_bytes: match field("peak_rss_bytes")?.as_str() {
+                    "null" => None,
+                    v => Some(
+                        v.parse::<u64>()
+                            .map_err(|e| format!("entry {i}: bad peak_rss_bytes {v:?}: {e}"))?,
+                    ),
+                },
+            });
+        }
+        if entries.is_empty() {
+            return Err("no bench entries found".into());
+        }
+        Ok(BenchReport { entries })
+    }
+}
+
+/// Compares a fresh report against a committed baseline: every baseline
+/// entry matching the fresh report's scale must be within
+/// `max_regression` (e.g. 0.30 = allow up to 30% slower). Returns the
+/// offending descriptions.
+pub fn compare_against(
+    fresh: &BenchReport,
+    baseline: &BenchReport,
+    max_regression: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for new in &fresh.entries {
+        let Some(old) = baseline
+            .entries
+            .iter()
+            .find(|b| b.regime == new.regime && b.n == new.n && b.scale == new.scale)
+        else {
+            continue; // new case without a baseline: informational only
+        };
+        let floor = old.events_per_sec * (1.0 - max_regression);
+        if new.events_per_sec < floor {
+            failures.push(format!(
+                "{} n={} ({}): {:.0} events/s is below {:.0} ({}% regression floor of baseline {:.0})",
+                new.regime,
+                new.n,
+                new.scale,
+                new.events_per_sec,
+                floor,
+                (max_regression * 100.0) as u32,
+                old.events_per_sec
+            ));
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(regime: &str, eps: f64) -> BenchEntry {
+        BenchEntry {
+            regime: regime.into(),
+            n: 1_000,
+            scale: "quick".into(),
+            events: 1_000,
+            wall_secs: 1.0,
+            events_per_sec: eps,
+            peak_rss_bytes: Some(12_345_678),
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let report = BenchReport {
+            entries: vec![entry("asymmetric", 1234.5), {
+                let mut e = entry("gini_sample", 99.0);
+                e.peak_rss_bytes = None;
+                e
+            }],
+        };
+        let parsed = BenchReport::from_json(&report.to_json()).expect("parses");
+        assert_eq!(parsed.entries.len(), 2);
+        assert_eq!(parsed.entries[0].regime, "asymmetric");
+        assert_eq!(parsed.entries[0].n, 1_000);
+        assert_eq!(parsed.entries[0].scale, "quick");
+        assert!((parsed.entries[0].events_per_sec - 1234.5).abs() < 0.1);
+        assert_eq!(parsed.entries[0].peak_rss_bytes, Some(12_345_678));
+        assert_eq!(parsed.entries[1].peak_rss_bytes, None);
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(BenchReport::from_json("{}").is_err());
+        assert!(BenchReport::from_json("not json").is_err());
+        let no_entries = "{\"schema\": \"scrip-bench-market/1\", \"entries\": []}";
+        assert!(BenchReport::from_json(no_entries).is_err());
+    }
+
+    #[test]
+    fn regression_detection() {
+        let baseline = BenchReport {
+            entries: vec![entry("asymmetric", 1000.0)],
+        };
+        let ok = BenchReport {
+            entries: vec![entry("asymmetric", 800.0)],
+        };
+        assert!(compare_against(&ok, &baseline, 0.30).is_empty());
+        let slow = BenchReport {
+            entries: vec![entry("asymmetric", 600.0)],
+        };
+        let failures = compare_against(&slow, &baseline, 0.30);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        // Unmatched entries are ignored.
+        let other = BenchReport {
+            entries: vec![entry("churn", 1.0)],
+        };
+        assert!(compare_against(&other, &baseline, 0.30).is_empty());
+    }
+
+    #[test]
+    fn quick_cases_are_small() {
+        for (regime, n, horizon) in cases(RunScale::Quick) {
+            assert_eq!(n, 1_000, "{regime}");
+            assert!(horizon <= 500, "{regime}: horizon {horizon}");
+        }
+        assert_eq!(cases(RunScale::Full).len(), 12);
+    }
+
+    #[test]
+    fn regime_configs_validate() {
+        for regime in REGIMES {
+            regime_config(regime, 100).validate().expect("valid");
+        }
+    }
+}

@@ -6,11 +6,18 @@
 //! peers taking their wallets), so the conservation invariant
 //! `Σ balances + escrow = minted − burned` is checkable at any time —
 //! the market simulators assert it in tests.
+//!
+//! Wallets live in a dense [`PeerArena`]-indexed `Vec` (one array load
+//! per balance access, no tree walk), the wallet total is a cached
+//! running sum so [`Ledger::total`] and [`Ledger::conserved`] are O(1),
+//! and an optional [`IncrementalGini`] accumulator is kept in sync by
+//! every mutation so a wealth-Gini sample is O(1) too
+//! ([`Ledger::enable_wealth_tracking`]).
 
-use std::collections::BTreeMap;
-
+use scrip_econ::IncrementalGini;
 use scrip_topology::NodeId;
 
+use crate::arena::PeerArena;
 use crate::error::CoreError;
 
 /// Integer credit wallets for a set of peers, with mint/burn accounting.
@@ -32,13 +39,40 @@ use crate::error::CoreError;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default)]
 pub struct Ledger {
-    balances: BTreeMap<NodeId, u64>,
+    arena: PeerArena,
+    /// Slot-indexed balances (parallel to `arena`).
+    balances: Vec<u64>,
+    /// Cached `Σ balances` (wallets only, excluding escrow).
+    total: u64,
     minted: u64,
     burned: u64,
     escrow: u64,
+    /// Online Gini accumulator, kept in sync by every balance mutation
+    /// when enabled.
+    tracker: Option<IncrementalGini>,
 }
+
+/// Equality is semantic: same accounts with the same balances and the
+/// same accounting counters, independent of slot layout and of whether
+/// wealth tracking is enabled.
+impl PartialEq for Ledger {
+    fn eq(&self, other: &Self) -> bool {
+        self.minted == other.minted
+            && self.burned == other.burned
+            && self.escrow == other.escrow
+            && self.accounts() == other.accounts()
+            && self
+                .arena
+                .ids()
+                .iter()
+                .zip(&self.balances)
+                .all(|(&id, &b)| other.arena.slot(id).map(|s| other.balances[s]) == Some(b))
+    }
+}
+
+impl Eq for Ledger {}
 
 impl Ledger {
     /// An empty ledger.
@@ -46,10 +80,68 @@ impl Ledger {
         Ledger::default()
     }
 
+    /// Starts maintaining an [`IncrementalGini`] accumulator over the
+    /// wallet balances, so [`Ledger::tracked_gini`] is O(1) per sample.
+    /// Seeds the accumulator with the current balances and pre-sizes its
+    /// wealth histogram for the current supply (the upper bound on any
+    /// single wallet in a closed market), capped at 2¹⁶ values (1 MiB)
+    /// so a huge supply does not preallocate a huge table. Whenever a
+    /// wallet later exceeds the reserved range, the histogram doubles —
+    /// a rare, amortized reallocation (at most log₂(max wealth) times
+    /// per run). Idempotent.
+    pub fn enable_wealth_tracking(&mut self) {
+        if self.tracker.is_some() {
+            return;
+        }
+        let mut tracker = IncrementalGini::new();
+        tracker.reserve_values(self.total.min(1 << 16));
+        for &b in &self.balances {
+            tracker.insert(b);
+        }
+        self.tracker = Some(tracker);
+    }
+
+    /// The Gini index of the current balances from the online
+    /// accumulator: [`None`] when tracking is disabled or no account
+    /// exists. Bit-compatible with [`scrip_econ::gini_u64`] over
+    /// [`Ledger::balances_vec`] (see [`scrip_econ::incremental`]).
+    pub fn tracked_gini(&self) -> Option<f64> {
+        self.tracker.as_ref().and_then(IncrementalGini::gini)
+    }
+
+    /// Applies a balance change to the cached total and the tracker.
+    #[inline]
+    fn on_change(&mut self, old: u64, new: u64) {
+        self.total = self.total - old + new;
+        if let Some(tracker) = &mut self.tracker {
+            tracker.update(old, new);
+        }
+    }
+
     /// Creates an account (if absent) and mints `amount` fresh credits
     /// into it.
+    ///
+    /// Account storage is slot-indexed for densely allocated IDs (as
+    /// handed out by [`scrip_topology::Graph::add_node`]): creating an
+    /// account grows the reverse map to `peer.raw() + 1` entries (see
+    /// [`crate::arena::PeerArena::insert`]). Reads on arbitrary IDs are
+    /// always safe.
     pub fn mint(&mut self, peer: NodeId, amount: u64) {
-        *self.balances.entry(peer).or_insert(0) += amount;
+        match self.arena.slot(peer) {
+            Some(slot) => {
+                let old = self.balances[slot];
+                self.balances[slot] = old + amount;
+                self.on_change(old, old + amount);
+            }
+            None => {
+                self.arena.insert(peer);
+                self.balances.push(amount);
+                self.total += amount;
+                if let Some(tracker) = &mut self.tracker {
+                    tracker.insert(amount);
+                }
+            }
+        }
         self.minted += amount;
     }
 
@@ -57,19 +149,28 @@ impl Ledger {
     /// departing peer "takes away its credits in possession").
     /// Returns the burned amount (0 if the account did not exist).
     pub fn burn_account(&mut self, peer: NodeId) -> u64 {
-        let amount = self.balances.remove(&peer).unwrap_or(0);
+        let Some(removal) = self.arena.remove(peer) else {
+            return 0;
+        };
+        let amount = self.balances.swap_remove(removal.slot);
+        self.total -= amount;
         self.burned += amount;
+        if let Some(tracker) = &mut self.tracker {
+            tracker.remove(amount);
+        }
         amount
     }
 
     /// The balance of `peer` (0 for unknown accounts).
+    #[inline]
     pub fn balance(&self, peer: NodeId) -> u64 {
-        self.balances.get(&peer).copied().unwrap_or(0)
+        self.arena.slot(peer).map_or(0, |s| self.balances[s])
     }
 
     /// Whether the account exists.
+    #[inline]
     pub fn has_account(&self, peer: NodeId) -> bool {
-        self.balances.contains_key(&peer)
+        self.arena.contains(peer)
     }
 
     /// Moves `amount` credits from `from` to `to`.
@@ -78,20 +179,26 @@ impl Ledger {
     /// Returns [`CoreError::Ledger`] if either account is missing or the
     /// sender's balance is insufficient. No partial transfer occurs.
     pub fn transfer(&mut self, from: NodeId, to: NodeId, amount: u64) -> Result<(), CoreError> {
-        if !self.balances.contains_key(&to) {
+        let Some(to_slot) = self.arena.slot(to) else {
             return Err(CoreError::Ledger(format!("unknown payee {to}")));
-        }
-        let src = self
-            .balances
-            .get_mut(&from)
-            .ok_or_else(|| CoreError::Ledger(format!("unknown payer {from}")))?;
-        if *src < amount {
+        };
+        let Some(from_slot) = self.arena.slot(from) else {
+            return Err(CoreError::Ledger(format!("unknown payer {from}")));
+        };
+        let src = self.balances[from_slot];
+        if src < amount {
             return Err(CoreError::Ledger(format!(
                 "insufficient funds: {from} has {src}, needs {amount}"
             )));
         }
-        *src -= amount;
-        *self.balances.get_mut(&to).expect("checked above") += amount;
+        self.balances[from_slot] = src - amount;
+        let dst = self.balances[to_slot];
+        self.balances[to_slot] = dst + amount;
+        // Wallet total is unchanged; only the tracker needs the moves.
+        if let Some(tracker) = &mut self.tracker {
+            tracker.update(src, src - amount);
+            tracker.update(dst, dst + amount);
+        }
         Ok(())
     }
 
@@ -99,25 +206,52 @@ impl Ledger {
     /// (taxation). Returns the amount actually withheld (capped by the
     /// balance).
     pub fn withhold_to_escrow(&mut self, peer: NodeId, amount: u64) -> u64 {
-        let Some(balance) = self.balances.get_mut(&peer) else {
+        let Some(slot) = self.arena.slot(peer) else {
             return 0;
         };
-        let take = amount.min(*balance);
-        *balance -= take;
+        let old = self.balances[slot];
+        let take = amount.min(old);
+        self.balances[slot] = old - take;
         self.escrow += take;
+        self.on_change(old, old - take);
         take
     }
 
     /// Pays `amount` from the escrow to a peer. Returns the amount paid
     /// (capped by the escrow and zero for unknown accounts).
     pub fn pay_from_escrow(&mut self, peer: NodeId, amount: u64) -> u64 {
-        let Some(balance) = self.balances.get_mut(&peer) else {
+        let Some(slot) = self.arena.slot(peer) else {
             return 0;
         };
         let pay = amount.min(self.escrow);
         self.escrow -= pay;
-        *balance += pay;
+        let old = self.balances[slot];
+        self.balances[slot] = old + pay;
+        self.on_change(old, old + pay);
         pay
+    }
+
+    /// Pays up to `amount` from the escrow to *every* account (the
+    /// taxation sweep "returns a unit to each peer") without any
+    /// per-sweep allocation. Returns the total paid; stops early when
+    /// the escrow runs dry.
+    pub fn pay_each_from_escrow(&mut self, amount: u64) -> u64 {
+        let mut paid = 0;
+        for slot in 0..self.balances.len() {
+            if self.escrow == 0 {
+                break;
+            }
+            let pay = amount.min(self.escrow);
+            self.escrow -= pay;
+            let old = self.balances[slot];
+            self.balances[slot] = old + pay;
+            self.total += pay;
+            if let Some(tracker) = &mut self.tracker {
+                tracker.update(old, old + pay);
+            }
+            paid += pay;
+        }
+        paid
     }
 
     /// Credits currently held in the system escrow.
@@ -125,9 +259,10 @@ impl Ledger {
         self.escrow
     }
 
-    /// Total credits in wallets (excluding escrow).
+    /// Total credits in wallets (excluding escrow). O(1): the sum is
+    /// maintained incrementally.
     pub fn total(&self) -> u64 {
-        self.balances.values().sum()
+        self.total
     }
 
     /// Total credits ever minted.
@@ -142,29 +277,38 @@ impl Ledger {
 
     /// Number of accounts.
     pub fn accounts(&self) -> usize {
-        self.balances.len()
+        self.arena.len()
     }
 
     /// Iterates `(peer, balance)` in ascending peer order.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, u64)> + '_ {
-        self.balances.iter().map(|(&id, &b)| (id, b))
+        let mut pairs: Vec<(NodeId, u64)> = self
+            .arena
+            .ids()
+            .iter()
+            .zip(&self.balances)
+            .map(|(&id, &b)| (id, b))
+            .collect();
+        pairs.sort_unstable_by_key(|&(id, _)| id);
+        pairs.into_iter()
     }
 
     /// The balances as a vector in ascending peer order (for Gini etc.).
     pub fn balances_vec(&self) -> Vec<u64> {
-        self.balances.values().copied().collect()
+        self.iter().map(|(_, b)| b).collect()
     }
 
     /// Checks the conservation invariant
-    /// `Σ balances + escrow == minted − burned`.
+    /// `Σ balances + escrow == minted − burned`. O(1).
     pub fn conserved(&self) -> bool {
-        self.total() + self.escrow == self.minted - self.burned
+        self.total + self.escrow == self.minted - self.burned
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use scrip_econ::gini_u64;
 
     fn id(n: u64) -> NodeId {
         NodeId::from_raw(n)
@@ -254,5 +398,63 @@ mod tests {
         assert_eq!(ids, vec![2, 5, 9]);
         assert_eq!(l.balances_vec(), vec![2, 1, 3]);
         assert_eq!(l.accounts(), 3);
+    }
+
+    #[test]
+    fn pay_each_from_escrow_sweeps_all_accounts() {
+        let mut l = Ledger::new();
+        for i in 0..4 {
+            l.mint(id(i), 10);
+        }
+        l.withhold_to_escrow(id(0), 6);
+        assert_eq!(l.pay_each_from_escrow(1), 4);
+        assert_eq!(l.escrow(), 2);
+        assert!(l.conserved());
+        // Escrow runs dry mid-sweep: pays what it can, never goes
+        // negative.
+        assert_eq!(l.pay_each_from_escrow(1), 2);
+        assert_eq!(l.escrow(), 0);
+        assert_eq!(l.pay_each_from_escrow(1), 0);
+        assert!(l.conserved());
+        assert_eq!(l.total(), 40);
+    }
+
+    #[test]
+    fn equality_is_slot_layout_independent() {
+        let mut a = Ledger::new();
+        a.mint(id(0), 5);
+        a.mint(id(1), 7);
+        a.mint(id(2), 9);
+
+        let mut b = Ledger::new();
+        b.mint(id(2), 9);
+        b.mint(id(0), 5);
+        b.mint(id(1), 7);
+        b.enable_wealth_tracking();
+        assert_eq!(a, b, "layout and tracking must not affect equality");
+        b.mint(id(1), 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn tracked_gini_follows_mutations() {
+        let mut l = Ledger::new();
+        assert_eq!(l.tracked_gini(), None, "tracking disabled");
+        for i in 0..5 {
+            l.mint(id(i), 10);
+        }
+        l.enable_wealth_tracking();
+        l.enable_wealth_tracking(); // idempotent
+        assert_eq!(l.tracked_gini(), Some(0.0));
+        l.transfer(id(0), id(1), 10).expect("funded");
+        l.mint(id(5), 3);
+        l.withhold_to_escrow(id(1), 4);
+        l.pay_from_escrow(id(2), 2);
+        l.pay_each_from_escrow(1);
+        l.burn_account(id(3));
+        let reference = gini_u64(&l.balances_vec()).expect("non-empty");
+        assert_eq!(l.tracked_gini(), Some(reference), "bit-exact vs oracle");
+        // Total stays consistent through all of the above.
+        assert!(l.conserved());
     }
 }

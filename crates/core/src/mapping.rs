@@ -138,19 +138,15 @@ impl MarketAnalysis {
 /// Returns [`CoreError`] if the market's overlay is reducible (e.g.
 /// disconnected after churn).
 pub fn analyze_market(market: &CreditMarket) -> Result<MarketAnalysis, CoreError> {
+    let service_rates = market.service_rates();
     if market.config().profile.complete_mixing() {
         let peers: Vec<NodeId> = market.graph().node_ids().collect();
         let matrix = crate::model::complete_mixing_routing(peers.len())?;
-        MarketAnalysis::compute_with_matrix(
-            peers,
-            &matrix,
-            market.service_rates(),
-            market.ledger().total(),
-        )
+        MarketAnalysis::compute_with_matrix(peers, &matrix, &service_rates, market.ledger().total())
     } else {
         MarketAnalysis::compute(
             market.graph(),
-            market.service_rates(),
+            &service_rates,
             &BTreeMap::new(),
             market.ledger().total(),
         )

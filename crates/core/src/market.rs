@@ -21,6 +21,7 @@ use scrip_topology::churn::ChurnTopology;
 use scrip_topology::generators::{self, ScaleFreeConfig};
 use scrip_topology::{Graph, NodeId};
 
+use crate::arena::PeerArena;
 use crate::credits::Ledger;
 use crate::error::CoreError;
 use crate::model::{joiner_spending_rate, spending_rates, UtilizationProfile};
@@ -273,24 +274,37 @@ pub enum MarketEvent {
 /// The running credit market: a [`Model`] for the
 /// [`scrip_des::Simulation`] kernel.
 ///
+/// All per-peer state is slot-indexed through one [`PeerArena`] (see
+/// [`crate::arena`]), the overlay is borrowed as sorted neighbor slices
+/// straight from the [`Graph`], and the wealth Gini is maintained online
+/// by the ledger — so a spend event is allocation-free and O(1), and a
+/// Gini sample is O(1). See the "Performance model" section of
+/// `docs/ARCHITECTURE.md`.
+///
 /// See the [crate-level quickstart](crate) for an end-to-end example.
 #[derive(Clone, Debug)]
 pub struct CreditMarket {
     config: MarketConfig,
     graph: Graph,
     ledger: Ledger,
-    mu: BTreeMap<NodeId, f64>,
     pricing: PricingModel,
     taxation: Option<Taxation>,
     churn_topology: ChurnTopology,
     rng: SimRng,
-    neighbor_cache: BTreeMap<NodeId, Vec<NodeId>>,
-    /// Live peers as a dense vector for O(1) complete-mixing sampling.
-    peers_vec: Vec<NodeId>,
+    /// Live peers; `arena.ids()` doubles as the dense peer vector for
+    /// O(1) complete-mixing sampling. The vectors below are parallel to
+    /// it (index = slot).
+    arena: PeerArena,
+    /// Per-peer maximum spending rates `μ_i`.
+    mu: Vec<f64>,
+    /// Credits spent so far per peer.
+    spent: Vec<u64>,
     /// Exponentially decayed recent-purchase activity per peer (the
-    /// inventory proxy for availability feedback).
-    activity: BTreeMap<NodeId, (f64, SimTime)>,
-    spent: BTreeMap<NodeId, u64>,
+    /// inventory proxy for availability feedback): `(value, last bump)`.
+    activity: Vec<(f64, SimTime)>,
+    /// Reused buffer for availability-feedback seller weights (kept warm
+    /// across events so the hot path never allocates).
+    scratch_weights: Vec<f64>,
     denied: u64,
     purchases: u64,
     gini_series: TimeSeries,
@@ -311,38 +325,27 @@ impl CreditMarket {
         for id in graph.node_ids() {
             ledger.mint(id, config.initial_credits);
         }
-        let mu = spending_rates(&graph, config.profile, config.base_rate, &mut rng)?;
+        ledger.enable_wealth_tracking();
+        let mu_map = spending_rates(&graph, config.profile, config.base_rate, &mut rng)?;
         let peer_ids: Vec<NodeId> = graph.node_ids().collect();
         let pricing = PricingModel::realize(config.pricing, &peer_ids, &mut rng)?;
         let taxation = config.tax.map(Taxation::new);
-        let neighbor_cache = peer_ids
-            .iter()
-            .map(|&id| {
-                let nbrs: Vec<NodeId> = graph
-                    .neighbors(id)
-                    .map(|it| it.collect())
-                    .unwrap_or_default();
-                (id, nbrs)
-            })
-            .collect();
-        let spent = peer_ids.iter().map(|&id| (id, 0u64)).collect();
+        let mu = peer_ids.iter().map(|id| mu_map[id]).collect();
+        let n = peer_ids.len();
         let attach = config.churn.map(|c| c.attach_degree).unwrap_or(20);
         Ok(CreditMarket {
             config,
             graph,
             ledger,
-            mu,
             pricing,
             taxation,
             churn_topology: ChurnTopology::new(attach),
             rng,
-            neighbor_cache,
-            activity: peer_ids
-                .iter()
-                .map(|&id| (id, (1.0, SimTime::ZERO)))
-                .collect(),
-            peers_vec: peer_ids,
-            spent,
+            arena: PeerArena::from_ids(&peer_ids),
+            mu,
+            spent: vec![0; n],
+            activity: vec![(1.0, SimTime::ZERO); n],
+            scratch_weights: Vec::new(),
             denied: 0,
             purchases: 0,
             gini_series: TimeSeries::new(),
@@ -365,9 +368,15 @@ impl CreditMarket {
         &self.ledger
     }
 
-    /// The per-peer maximum spending rates `μ_i`.
-    pub fn service_rates(&self) -> &BTreeMap<NodeId, f64> {
-        &self.mu
+    /// The per-peer maximum spending rates `μ_i`, keyed by peer
+    /// (assembled on demand; the hot path uses the slot-indexed arena).
+    pub fn service_rates(&self) -> BTreeMap<NodeId, f64> {
+        self.arena
+            .ids()
+            .iter()
+            .zip(&self.mu)
+            .map(|(&id, &rate)| (id, rate))
+            .collect()
     }
 
     /// The realized pricing model.
@@ -385,12 +394,17 @@ impl CreditMarket {
         &self.gini_series
     }
 
-    /// Gini index of the current wealth distribution.
+    /// Gini index of the current wealth distribution. O(1): read from
+    /// the ledger's online accumulator (bit-compatible with the
+    /// [`gini_u64`] oracle).
     ///
     /// # Errors
     /// Returns [`CoreError::Econ`] if the market has no peers.
     pub fn wealth_gini(&self) -> Result<f64, CoreError> {
-        Ok(gini_u64(&self.ledger.balances_vec())?)
+        match self.ledger.tracked_gini() {
+            Some(g) => Ok(g),
+            None => Ok(gini_u64(&self.ledger.balances_vec())?),
+        }
     }
 
     /// Current balances sorted ascending (the y-values of the paper's
@@ -401,21 +415,22 @@ impl CreditMarket {
         v
     }
 
-    /// Credits spent so far, per live peer (ascending peer order).
-    pub fn spent_per_peer(&self) -> &BTreeMap<NodeId, u64> {
-        &self.spent
+    /// Credits spent so far, per live peer (assembled on demand; the hot
+    /// path uses the slot-indexed arena).
+    pub fn spent_per_peer(&self) -> BTreeMap<NodeId, u64> {
+        self.arena
+            .ids()
+            .iter()
+            .zip(&self.spent)
+            .map(|(&id, &s)| (id, s))
+            .collect()
     }
 
     /// Per-peer credit spending *rates* over `[0, now]`, sorted ascending
     /// — the series plotted in the paper's Fig. 1.
     pub fn spending_rates_sorted(&self, now: SimTime) -> Vec<f64> {
         let elapsed = now.as_secs_f64().max(1e-9);
-        let mut rates: Vec<f64> = self
-            .spent
-            .iter()
-            .filter(|(id, _)| self.ledger.has_account(**id))
-            .map(|(_, &s)| s as f64 / elapsed)
-            .collect();
+        let mut rates: Vec<f64> = self.spent.iter().map(|&s| s as f64 / elapsed).collect();
         rates.sort_by(|a, b| a.partial_cmp(b).expect("finite rates"));
         rates
     }
@@ -435,13 +450,27 @@ impl CreditMarket {
         self.ledger.accounts()
     }
 
+    /// The steady-state event-queue population this market sustains: one
+    /// spend loop per peer, the sampling chain, and (under churn) one
+    /// leave timer per peer plus the arrival process. Size the
+    /// simulation's queue with this
+    /// ([`scrip_des::Simulation::with_capacity`]) to keep scheduling
+    /// reallocation-free; [`MarketEvent::Bootstrap`] reserves the same
+    /// amount as a fallback for hand-built simulations.
+    pub fn queue_capacity_hint(&self) -> usize {
+        self.arena.len() * (1 + usize::from(self.config.churn.is_some())) + 2
+    }
+
     fn exp_delay(&mut self, rate: f64) -> SimDuration {
         let u = self.rng.uniform_open01();
         SimDuration::from_secs_f64(-u.ln() / rate.max(1e-12))
     }
 
     fn schedule_spend(&mut self, id: NodeId, scheduler: &mut Scheduler<MarketEvent>) {
-        let base = self.mu.get(&id).copied().unwrap_or(self.config.base_rate);
+        let base = self
+            .arena
+            .slot(id)
+            .map_or(self.config.base_rate, |s| self.mu[s]);
         let wealth = self.ledger.balance(id);
         let rate = self.config.spending.effective_rate(base, wealth);
         let attempt_rate = rate / self.pricing.mean_price();
@@ -457,45 +486,65 @@ impl CreditMarket {
         Self::ACTIVITY_DECAY_INTERVALS * self.pricing.mean_price() / self.config.base_rate
     }
 
-    /// Reads a peer's decayed recent-purchase activity.
-    fn activity_at(&self, id: NodeId, now: SimTime) -> f64 {
-        let Some(&(value, last)) = self.activity.get(&id) else {
+    /// Reads a peer's decayed recent-purchase activity. A free function
+    /// over the arena-parallel state so the hot loop can hold disjoint
+    /// borrows (graph slice + scratch buffer) while it runs.
+    #[inline]
+    fn activity_weight(
+        arena: &PeerArena,
+        activity: &[(f64, SimTime)],
+        tau: f64,
+        id: NodeId,
+        now: SimTime,
+    ) -> f64 {
+        let Some(slot) = arena.slot(id) else {
             return 0.0;
         };
+        let (value, last) = activity[slot];
         let dt = now.saturating_duration_since(last).as_secs_f64();
-        value * (-dt / self.activity_time_constant()).exp()
+        value * (-dt / tau).exp()
     }
 
     /// Bumps a peer's activity after a successful purchase.
     fn bump_activity(&mut self, id: NodeId, now: SimTime) {
         let tau = self.activity_time_constant();
-        let entry = self.activity.entry(id).or_insert((0.0, now));
+        let Some(slot) = self.arena.slot(id) else {
+            debug_assert!(false, "activity bump for departed {id}");
+            return;
+        };
+        let entry = &mut self.activity[slot];
         let dt = now.saturating_duration_since(entry.1).as_secs_f64();
         entry.0 = entry.0 * (-dt / tau).exp() + 1.0;
         entry.1 = now;
     }
 
+    /// One purchase attempt — the market hot path. Allocation-free on
+    /// the non-tax paths: the seller pick borrows the graph's neighbor
+    /// slice (or the arena's dense peer list), availability weights go
+    /// through a reused scratch buffer, and all per-peer state is
+    /// slot-indexed.
     fn handle_spend(&mut self, id: NodeId, now: SimTime, scheduler: &mut Scheduler<MarketEvent>) {
         if !self.ledger.has_account(id) {
             return; // departed
         }
         let j = if self.config.profile.complete_mixing() {
             // Paper Sec. V-C: p_ij = (1 - p_ii)/(N - 1) over all peers.
-            if self.peers_vec.len() < 2 {
+            let peers = self.arena.ids();
+            if peers.len() < 2 {
                 self.schedule_spend(id, scheduler);
                 return;
             }
             let mut pick;
             loop {
-                pick = self.peers_vec[self.rng.index(self.peers_vec.len())];
+                pick = peers[self.rng.index(peers.len())];
                 if pick != id {
                     break;
                 }
             }
             pick
         } else {
-            let neighbors = match self.neighbor_cache.get(&id) {
-                Some(n) if !n.is_empty() => n.clone(),
+            let neighbors = match self.graph.neighbor_slice(id) {
+                Some(n) if !n.is_empty() => n,
                 _ => {
                     self.schedule_spend(id, scheduler);
                     return;
@@ -504,11 +553,15 @@ impl CreditMarket {
             if self.config.availability_feedback {
                 // Weight sellers by recent purchase activity: a peer that
                 // has bought nothing lately has nothing on offer.
-                let weights: Vec<f64> = neighbors
-                    .iter()
-                    .map(|&nb| self.activity_at(nb, now) + 0.01)
-                    .collect();
-                let total: f64 = weights.iter().sum();
+                let tau = self.activity_time_constant();
+                let mut weights = std::mem::take(&mut self.scratch_weights);
+                weights.clear();
+                let mut total = 0.0f64;
+                for &nb in neighbors {
+                    let w = Self::activity_weight(&self.arena, &self.activity, tau, nb, now) + 0.01;
+                    total += w;
+                    weights.push(w);
+                }
                 let mut target = self.rng.uniform_f64() * total;
                 let mut pick = neighbors[neighbors.len() - 1];
                 for (k, &w) in weights.iter().enumerate() {
@@ -518,6 +571,7 @@ impl CreditMarket {
                     }
                     target -= w;
                 }
+                self.scratch_weights = weights;
                 pick
             } else {
                 neighbors[self.rng.index(neighbors.len())]
@@ -530,7 +584,8 @@ impl CreditMarket {
             self.ledger
                 .transfer(id, j, price)
                 .expect("balance checked above");
-            *self.spent.entry(id).or_insert(0) += price;
+            let buyer_slot = self.arena.slot(id).expect("buyer is live");
+            self.spent[buyer_slot] += price;
             self.purchases += 1;
             if self.config.availability_feedback {
                 self.bump_activity(id, now);
@@ -548,11 +603,7 @@ impl CreditMarket {
                 // escrow can cover the whole population.
                 let live = self.ledger.accounts() as u64;
                 while live > 0 && self.ledger.escrow() >= live {
-                    let ids: Vec<NodeId> = self.ledger.iter().map(|(id, _)| id).collect();
-                    let mut paid = 0;
-                    for peer in ids {
-                        paid += self.ledger.pay_from_escrow(peer, 1);
-                    }
+                    let paid = self.ledger.pay_each_from_escrow(1);
                     tax.record_redistribution(paid);
                     if paid == 0 {
                         break;
@@ -573,11 +624,10 @@ impl CreditMarket {
         self.ledger.mint(new, self.config.initial_credits);
         self.pricing.on_join(new, &mut self.rng);
         let rate = joiner_spending_rate(self.config.profile, self.config.base_rate, &mut self.rng);
-        self.mu.insert(new, rate);
-        self.spent.insert(new, 0);
-        self.peers_vec.push(new);
-        self.activity.insert(new, (1.0, scheduler.now()));
-        self.refresh_neighbor_cache_around(new);
+        self.arena.insert(new);
+        self.mu.push(rate);
+        self.spent.push(0);
+        self.activity.push((1.0, scheduler.now()));
         self.schedule_spend(new, scheduler);
         let lifespan_delay = self.exp_delay(1.0 / churn.mean_lifespan);
         scheduler.schedule_after(lifespan_delay, MarketEvent::Leave(new));
@@ -589,45 +639,32 @@ impl CreditMarket {
         if !self.graph.has_node(id) {
             return;
         }
-        let former = self.graph.remove_node(id).expect("checked live");
-        if let Some(pos) = self.peers_vec.iter().position(|&p| p == id) {
-            self.peers_vec.swap_remove(pos);
-        }
+        // The graph unlinks the departing peer from its neighbors
+        // incrementally; no neighbor cache to rebuild.
+        self.graph.remove_node(id).expect("checked live");
         self.ledger.burn_account(id);
         self.pricing.on_leave(id);
-        self.mu.remove(&id);
-        self.spent.remove(&id);
-        self.activity.remove(&id);
-        self.neighbor_cache.remove(&id);
-        for nb in former {
-            if self.graph.has_node(nb) {
-                let nbrs: Vec<NodeId> = self
-                    .graph
-                    .neighbors(nb)
-                    .map(|it| it.collect())
-                    .unwrap_or_default();
-                self.neighbor_cache.insert(nb, nbrs);
-            }
-        }
-    }
-
-    fn refresh_neighbor_cache_around(&mut self, id: NodeId) {
-        let mut to_update: Vec<NodeId> = vec![id];
-        if let Some(nbrs) = self.graph.neighbors(id) {
-            to_update.extend(nbrs);
-        }
-        for peer in to_update {
-            let nbrs: Vec<NodeId> = self
-                .graph
-                .neighbors(peer)
-                .map(|it| it.collect())
-                .unwrap_or_default();
-            self.neighbor_cache.insert(peer, nbrs);
-        }
+        let removal = self.arena.remove(id).expect("graph and arena agree");
+        self.mu.swap_remove(removal.slot);
+        self.spent.swap_remove(removal.slot);
+        self.activity.swap_remove(removal.slot);
     }
 
     fn handle_sample(&mut self, now: SimTime, scheduler: &mut Scheduler<MarketEvent>) {
-        if let Ok(g) = gini_u64(&self.ledger.balances_vec()) {
+        // O(1): the ledger maintains the Gini online. (Kept bit-exact
+        // with the sort-based oracle; the golden-trajectory tests pin
+        // this, and debug builds re-check each sample.)
+        let sampled = match self.ledger.tracked_gini() {
+            Some(g) => Some(g),
+            None => gini_u64(&self.ledger.balances_vec()).ok(),
+        };
+        if let Some(g) = sampled {
+            debug_assert!(
+                gini_u64(&self.ledger.balances_vec())
+                    .map(|reference| (g - reference).abs() < 1e-9)
+                    .unwrap_or(false),
+                "online Gini drifted from the sort-based oracle"
+            );
             self.gini_series.record(now, g);
         }
         scheduler.schedule_after(self.config.sample_interval, MarketEvent::Sample);
@@ -645,6 +682,12 @@ impl Model for CreditMarket {
                 }
                 self.bootstrapped = true;
                 let ids: Vec<NodeId> = self.graph.node_ids().collect();
+                // The queue population is known up front: one spend loop
+                // per peer, the sampling chain, and (under churn) one
+                // leave timer per peer plus the arrival process. Reserve
+                // once so steady-state scheduling never reallocates.
+                let churning = self.config.churn.is_some();
+                scheduler.reserve(ids.len() * (1 + usize::from(churning)) + 2);
                 for id in &ids {
                     self.schedule_spend(*id, scheduler);
                 }
@@ -677,7 +720,8 @@ pub fn run_market(
     horizon: SimTime,
 ) -> Result<CreditMarket, CoreError> {
     let market = CreditMarket::build(config, seed)?;
-    let mut sim = scrip_des::Simulation::new(market);
+    let capacity = market.queue_capacity_hint();
+    let mut sim = scrip_des::Simulation::with_capacity(market, capacity);
     sim.schedule(SimTime::ZERO, MarketEvent::Bootstrap);
     sim.run_until(horizon);
     Ok(sim.into_model())
@@ -834,6 +878,44 @@ mod tests {
         // Should not double-count: one Sample chain, one spend loop each.
         let samples = sim.model().gini_series().len();
         assert_eq!(samples, 1, "duplicate bootstrap doubled the sampling");
+    }
+
+    /// The zero-alloc claim for the spend loop, observed from the
+    /// outside: every buffer the hot path touches (event heap, scratch
+    /// weights, slot vectors) reaches a fixed capacity during warmup and
+    /// never grows again, over tens of thousands of further events.
+    /// (The workspace forbids `unsafe`, so a counting global allocator
+    /// is out; `docs/ARCHITECTURE.md` documents the per-event allocation
+    /// audit.)
+    #[test]
+    fn spend_loop_buffers_stop_growing_after_warmup() {
+        let config = MarketConfig::new(40, 50)
+            .asymmetric()
+            .with_availability_feedback();
+        let market = CreditMarket::build(config, 17).expect("built");
+        let mut sim = Simulation::new(market);
+        sim.schedule(SimTime::ZERO, MarketEvent::Bootstrap);
+        sim.run_until(SimTime::from_secs(200)); // warmup (~8k events)
+        let heap_cap = sim.scheduler().capacity();
+        let scratch_cap = sim.model().scratch_weights.capacity();
+        let events_before = sim.stats().events_processed;
+        sim.run_until(SimTime::from_secs(2_200));
+        assert!(
+            sim.stats().events_processed > events_before + 50_000,
+            "workload too small to be meaningful: {} events",
+            sim.stats().events_processed
+        );
+        assert_eq!(
+            sim.scheduler().capacity(),
+            heap_cap,
+            "event heap grew during steady-state spending"
+        );
+        assert_eq!(
+            sim.model().scratch_weights.capacity(),
+            scratch_cap,
+            "availability-feedback scratch buffer grew during steady state"
+        );
+        assert!(scratch_cap > 0, "scratch buffer was exercised");
     }
 
     #[test]

@@ -16,12 +16,11 @@
 //! clamped mean, which the market simulator uses to convert credit
 //! spending rates into purchase-attempt rates.
 
-use std::collections::BTreeMap;
-
 use scrip_des::dist::Poisson;
 use scrip_des::SimRng;
 use scrip_topology::NodeId;
 
+use crate::arena::PeerArena;
 use crate::error::CoreError;
 
 /// Declarative description of a pricing scheme.
@@ -80,16 +79,42 @@ impl PricingConfig {
 }
 
 /// A realized pricing scheme ready to quote prices.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// Per-seller state is slot-indexed through a [`PeerArena`], so a
+/// [`PricingModel::price`] quote on the market hot path is one array
+/// load rather than a tree lookup.
+#[derive(Clone, Debug)]
 pub struct PricingModel {
     config: PricingConfig,
-    /// Posted prices for [`PricingConfig::SellerPoisson`].
-    seller_prices: BTreeMap<NodeId, u64>,
+    /// Sellers with posted prices ([`PricingConfig::SellerPoisson`]).
+    sellers: PeerArena,
+    /// Slot-indexed posted prices (parallel to `sellers`).
+    seller_prices: Vec<u64>,
     /// Hash seed for [`PricingConfig::ChunkPoisson`].
     seed: u64,
     /// Precomputed CDF of the clamped Poisson, for O(log k) hashing-based
     /// quotes.
     chunk_cdf: Vec<f64>,
+}
+
+/// Equality is semantic: same scheme, same hash seed/CDF, and the same
+/// seller → price mapping — independent of slot layout, so models that
+/// reached the same posted prices through different churn histories
+/// compare equal (mirroring [`crate::Ledger`]'s and
+/// [`scrip_topology::Graph`]'s layout-independent equality).
+impl PartialEq for PricingModel {
+    fn eq(&self, other: &Self) -> bool {
+        self.config == other.config
+            && self.seed == other.seed
+            && self.chunk_cdf == other.chunk_cdf
+            && self.sellers.len() == other.sellers.len()
+            && self
+                .sellers
+                .ids()
+                .iter()
+                .zip(&self.seller_prices)
+                .all(|(&id, &p)| other.seller_price(id) == Some(p))
+    }
 }
 
 impl PricingModel {
@@ -105,7 +130,8 @@ impl PricingModel {
         config.validate()?;
         let mut model = PricingModel {
             config,
-            seller_prices: BTreeMap::new(),
+            sellers: PeerArena::new(),
+            seller_prices: Vec::new(),
             seed: 0,
             chunk_cdf: Vec::new(),
         };
@@ -115,7 +141,8 @@ impl PricingModel {
                 let dist = Poisson::new(mean)
                     .map_err(|e| CoreError::Config(format!("price distribution: {e}")))?;
                 for &p in peers {
-                    model.seller_prices.insert(p, dist.sample(rng).max(1));
+                    model.sellers.insert(p);
+                    model.seller_prices.push(dist.sample(rng).max(1));
                 }
             }
             PricingConfig::ChunkPoisson { mean } => {
@@ -132,12 +159,14 @@ impl PricingModel {
     }
 
     /// Quotes the price of `chunk` at `seller`.
+    #[inline]
     pub fn price(&self, seller: NodeId, chunk: u64) -> u64 {
         match self.config {
             PricingConfig::Uniform { price } => price,
-            PricingConfig::SellerPoisson { .. } => {
-                self.seller_prices.get(&seller).copied().unwrap_or(1)
-            }
+            PricingConfig::SellerPoisson { .. } => self
+                .sellers
+                .slot(seller)
+                .map_or(1, |s| self.seller_prices[s]),
             PricingConfig::ChunkPoisson { .. } => {
                 let h = splitmix64(
                     self.seed ^ seller.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ chunk,
@@ -165,18 +194,21 @@ impl PricingModel {
     pub fn on_join(&mut self, peer: NodeId, rng: &mut SimRng) {
         if let PricingConfig::SellerPoisson { mean } = self.config {
             let dist = Poisson::new(mean).expect("validated at realize time");
-            self.seller_prices.insert(peer, dist.sample(rng).max(1));
+            self.sellers.insert(peer);
+            self.seller_prices.push(dist.sample(rng).max(1));
         }
     }
 
     /// Removes a departed seller's posted price.
     pub fn on_leave(&mut self, peer: NodeId) {
-        self.seller_prices.remove(&peer);
+        if let Some(removal) = self.sellers.remove(peer) {
+            self.seller_prices.swap_remove(removal.slot);
+        }
     }
 
     /// The posted per-seller price, when the scheme is per-seller.
     pub fn seller_price(&self, peer: NodeId) -> Option<u64> {
-        self.seller_prices.get(&peer).copied()
+        self.sellers.slot(peer).map(|s| self.seller_prices[s])
     }
 }
 

@@ -87,11 +87,7 @@ impl CreditTradePolicy {
         let live = self.ledger.accounts() as u64;
         let mut total_paid = 0;
         while live > 0 && self.ledger.escrow() >= live {
-            let ids: Vec<NodeId> = self.ledger.iter().map(|(id, _)| id).collect();
-            let mut paid = 0;
-            for peer in ids {
-                paid += self.ledger.pay_from_escrow(peer, 1);
-            }
+            let paid = self.ledger.pay_each_from_escrow(1);
             total_paid += paid;
             if paid == 0 {
                 break;

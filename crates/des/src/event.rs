@@ -78,6 +78,28 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Creates an empty queue with heap capacity for `capacity` pending
+    /// events. Self-perpetuating models (n spend loops + n leave timers)
+    /// know their steady-state queue population up front; pre-reserving
+    /// keeps the hot push/pop cycle free of reallocation.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+        }
+    }
+
+    /// Reserves heap capacity for at least `additional` further events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
+    /// The number of pending events the heap can hold without
+    /// reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// Schedules `event` at absolute time `time`.
     pub fn push(&mut self, time: SimTime, event: E) {
         let seq = self.next_seq;
@@ -137,6 +159,15 @@ impl<E> Scheduler<E> {
         }
     }
 
+    /// Creates a scheduler whose queue is pre-sized for `capacity`
+    /// pending events (see [`EventQueue::with_capacity`]).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Scheduler {
+            queue: EventQueue::with_capacity(capacity),
+            now: SimTime::ZERO,
+        }
+    }
+
     /// The current simulation clock.
     pub fn now(&self) -> SimTime {
         self.now
@@ -154,6 +185,19 @@ impl<E> Scheduler<E> {
     /// Schedules `event` to fire `delay` after the current instant.
     pub fn schedule_after(&mut self, delay: SimDuration, event: E) {
         self.queue.push(self.now + delay, event);
+    }
+
+    /// Reserves queue capacity for at least `additional` further events
+    /// (see [`EventQueue::reserve`]). Models with a known steady-state
+    /// event population call this once at bootstrap.
+    pub fn reserve(&mut self, additional: usize) {
+        self.queue.reserve(additional);
+    }
+
+    /// The number of pending events the queue can hold without
+    /// reallocating.
+    pub fn capacity(&self) -> usize {
+        self.queue.capacity()
     }
 
     /// Number of pending events.
@@ -246,6 +290,37 @@ mod tests {
         assert_eq!(ev.event, 7);
         assert_eq!(s.now(), SimTime::from_secs(4));
         assert!(s.is_idle());
+    }
+
+    #[test]
+    fn with_capacity_pre_reserves() {
+        let q: EventQueue<u32> = EventQueue::with_capacity(64);
+        assert!(q.capacity() >= 64);
+        assert!(q.is_empty());
+        let mut q = EventQueue::with_capacity(8);
+        for i in 0..8 {
+            q.push(SimTime::from_secs(i), i);
+        }
+        assert_eq!(q.len(), 8);
+        assert!(q.capacity() >= 8);
+    }
+
+    #[test]
+    fn scheduler_reserve_prevents_growth() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.reserve(100);
+        let cap = s.capacity();
+        assert!(cap >= 100);
+        // A steady-state push/pop cycle within the reserved capacity
+        // never grows the heap.
+        for i in 0..100 {
+            s.schedule_after(SimDuration::from_secs(i), i as u32);
+        }
+        for _ in 0..1_000 {
+            let ev = s.advance().expect("event");
+            s.schedule_after(SimDuration::from_secs(1), ev.event);
+        }
+        assert_eq!(s.capacity(), cap, "steady-state cycling reallocated");
     }
 
     #[test]

@@ -70,6 +70,18 @@ impl<M: Model> Simulation<M> {
         }
     }
 
+    /// As [`Simulation::new`], with the event queue pre-sized for
+    /// `capacity` pending events — for models whose steady-state event
+    /// population is known up front (e.g. one self-rescheduling loop per
+    /// entity).
+    pub fn with_capacity(model: M, capacity: usize) -> Self {
+        Simulation {
+            model,
+            scheduler: Scheduler::with_capacity(capacity),
+            events_processed: 0,
+        }
+    }
+
     /// The current simulation clock.
     pub fn now(&self) -> SimTime {
         self.scheduler.now()
@@ -83,6 +95,13 @@ impl<M: Model> Simulation<M> {
     /// Mutable access to the model (e.g. to read out collectors mid-run).
     pub fn model_mut(&mut self) -> &mut M {
         &mut self.model
+    }
+
+    /// Read access to the scheduler (clock, queue population, heap
+    /// capacity — e.g. to check that a steady-state model stopped
+    /// allocating).
+    pub fn scheduler(&self) -> &Scheduler<M::Event> {
+        &self.scheduler
     }
 
     /// Consumes the simulation, returning the model.

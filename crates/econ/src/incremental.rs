@@ -1,0 +1,320 @@
+//! Incremental Gini: O(log C) per wealth update, O(1) per sample.
+//!
+//! The market simulators used to recompute the Gini index from a freshly
+//! allocated, freshly sorted balance vector at every sample — O(n log n)
+//! with n the population. [`IncrementalGini`] instead maintains the Gini
+//! index *online* under single-wallet updates:
+//!
+//! * a Fenwick (binary indexed) tree over the **wealth histogram**
+//!   (value → count, value → mass) answers "how many wallets hold ≤ v,
+//!   and how much do they hold" in O(log C), C = largest tracked wealth;
+//! * the total pairwise absolute difference `D = Σᵢⱼ |xᵢ − xⱼ|` is kept
+//!   exactly in a `u128` and adjusted per update from those prefix
+//!   queries;
+//! * a sample is then pure arithmetic: `G = D / (2 n Σx)`.
+//!
+//! All bookkeeping is exact integer arithmetic (u64 histogram sums,
+//! u128 difference total), so [`IncrementalGini::gini`] reproduces the
+//! reference [`crate::gini_u64`] *bit for bit* whenever the rank-weighted
+//! sum `Σ rank·x` stays below 2⁵³ (the f64 integer range) — which holds
+//! for every market in this repo by orders of magnitude; beyond that the
+//! two differ only in final-ulp rounding. The proptest suite pins the
+//! equivalence under random mint/burn/transfer sequences.
+//!
+//! The ledger drives the accumulator through [`IncrementalGini::insert`],
+//! [`IncrementalGini::remove`], and [`IncrementalGini::update`]; the
+//! histogram grows geometrically when a wallet first exceeds the current
+//! capacity (amortized O(1), and never during steady-state trading, whose
+//! balances are bounded by the credit supply reserved up front).
+
+/// A Fenwick tree over the wealth histogram: per value `v`, the number
+/// of wallets holding exactly `v` and their combined wealth.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct WealthFenwick {
+    /// Interleaved `(count, mass)` Fenwick nodes — one cache line per
+    /// tree level. Index `i` corresponds to value `i − 1`.
+    nodes: Vec<(u64, u64)>,
+}
+
+impl WealthFenwick {
+    /// Capacity in representable values (0 ..= cap-1).
+    fn cap(&self) -> u64 {
+        self.nodes.len() as u64
+    }
+
+    fn grow_to(&mut self, cap: u64) {
+        let old = WealthFenwick {
+            nodes: std::mem::take(&mut self.nodes),
+        };
+        self.nodes = vec![(0, 0); cap as usize];
+        // Re-insert per stored value: recover point counts from the old
+        // tree by prefix differencing.
+        let (mut prev_c, mut prev_m) = (0u64, 0u64);
+        for v in 0..old.cap() {
+            let (c, m) = old.prefix(v);
+            if c > prev_c {
+                self.add(v, (c - prev_c) as i64, (m - prev_m) as i64);
+            }
+            (prev_c, prev_m) = (c, m);
+        }
+    }
+
+    /// Point update at `value`: `dc` wallets, `dm` wealth mass.
+    fn add(&mut self, value: u64, dc: i64, dm: i64) {
+        let mut i = value as usize + 1;
+        while i <= self.nodes.len() {
+            let node = &mut self.nodes[i - 1];
+            node.0 = (node.0 as i64 + dc) as u64;
+            node.1 = (node.1 as i64 + dm) as u64;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// `(wallets with value ≤ v, their combined wealth)`.
+    fn prefix(&self, value: u64) -> (u64, u64) {
+        let mut i = (value as usize + 1).min(self.nodes.len());
+        let (mut c, mut m) = (0u64, 0u64);
+        while i > 0 {
+            let node = self.nodes[i - 1];
+            c += node.0;
+            m += node.1;
+            i -= i & i.wrapping_neg();
+        }
+        (c, m)
+    }
+}
+
+/// Online Gini index over a multiset of u64 wealth values.
+///
+/// ```
+/// use scrip_econ::{gini_u64, IncrementalGini};
+///
+/// let mut acc = IncrementalGini::new();
+/// for v in [1u64, 2, 3, 4] {
+///     acc.insert(v);
+/// }
+/// assert_eq!(acc.gini(), Some(gini_u64(&[1, 2, 3, 4]).unwrap()));
+/// acc.update(1, 4); // the poorest wallet earns 3 credits
+/// assert_eq!(acc.gini(), Some(gini_u64(&[4, 2, 3, 4]).unwrap()));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IncrementalGini {
+    hist: WealthFenwick,
+    /// Number of tracked wallets.
+    n: u64,
+    /// Total tracked wealth `Σ x`.
+    total: u64,
+    /// Exact `Σᵢⱼ |xᵢ − xⱼ|` over ordered pairs.
+    diff_sum: u128,
+}
+
+impl IncrementalGini {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        IncrementalGini::default()
+    }
+
+    /// Pre-sizes the histogram for values up to `max_value` so later
+    /// updates below that bound never reallocate. In a closed market the
+    /// natural bound is the total credit supply.
+    pub fn reserve_values(&mut self, max_value: u64) {
+        let needed = max_value + 1;
+        if needed > self.hist.cap() {
+            self.hist.grow_to(needed.next_power_of_two());
+        }
+    }
+
+    /// Number of tracked wallets.
+    pub fn len(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Whether no wallets are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Total tracked wealth.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// `Σ_x |v − x|` over the currently tracked multiset.
+    fn abs_distance_sum(&self, v: u64) -> u128 {
+        let (c_le, m_le) = self.hist.prefix(v);
+        let c_gt = self.n - c_le;
+        let m_gt = self.total - m_le;
+        // Wallets at or below v contribute v−x each; above contribute x−v.
+        (v as u128 * c_le as u128 - m_le as u128) + (m_gt as u128 - v as u128 * c_gt as u128)
+    }
+
+    /// Starts tracking a wallet holding `value`.
+    pub fn insert(&mut self, value: u64) {
+        self.reserve_values(value);
+        self.diff_sum += 2 * self.abs_distance_sum(value);
+        self.hist.add(value, 1, value as i64);
+        self.n += 1;
+        self.total += value;
+    }
+
+    /// Debug-build check that at least one wallet holding exactly
+    /// `value` is tracked (callers own the wallet ↔ accumulator
+    /// correspondence; a mismatched remove would silently corrupt the
+    /// histogram in release builds).
+    fn debug_assert_tracked(&self, value: u64) {
+        #[cfg(debug_assertions)]
+        {
+            let below = if value == 0 {
+                0
+            } else {
+                self.hist.prefix(value - 1).0
+            };
+            debug_assert!(
+                self.hist.prefix(value).0 > below,
+                "no tracked wallet holds {value}"
+            );
+        }
+    }
+
+    /// Stops tracking a wallet holding `value`.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if no wallet with `value` is tracked;
+    /// callers own the wallet ↔ accumulator correspondence.
+    pub fn remove(&mut self, value: u64) {
+        debug_assert!(self.n > 0, "remove from empty accumulator");
+        self.debug_assert_tracked(value);
+        self.hist.add(value, -1, -(value as i64));
+        self.n -= 1;
+        self.total -= value;
+        self.diff_sum -= 2 * self.abs_distance_sum(value);
+    }
+
+    /// Adjusts one wallet from `old` to `new` (a transfer touches two
+    /// wallets → two `update` calls).
+    pub fn update(&mut self, old: u64, new: u64) {
+        if old == new {
+            return;
+        }
+        self.reserve_values(new);
+        self.debug_assert_tracked(old);
+        // Take the wallet out so the distance sums exclude it.
+        self.hist.add(old, -1, -(old as i64));
+        self.n -= 1;
+        self.total -= old;
+        let gained = self.abs_distance_sum(new);
+        let lost = self.abs_distance_sum(old);
+        self.diff_sum = self.diff_sum + 2 * gained - 2 * lost;
+        self.hist.add(new, 1, new as i64);
+        self.n += 1;
+        self.total += new;
+    }
+
+    /// The Gini index of the tracked wealth values, or [`None`] when no
+    /// wallet is tracked. An all-zero population counts as perfect
+    /// equality, mirroring [`crate::gini_u64`].
+    pub fn gini(&self) -> Option<f64> {
+        if self.n == 0 {
+            return None;
+        }
+        if self.total == 0 {
+            return Some(0.0);
+        }
+        // D = 4·Σ rank·x − 2(n+1)·Σx  ⇒  Σ rank·x = (D + 2(n+1)Σx) / 4,
+        // exactly divisible because the left side is an integer. Feeding
+        // that through the reference formula keeps bit-compatibility with
+        // `gini_u64` (which accumulates the same integer in f64).
+        let weighted = (self.diff_sum + 2 * (self.n as u128 + 1) * self.total as u128) / 4;
+        let n = self.n as f64;
+        let total = self.total as f64;
+        Some((2.0 * weighted as f64 / (n * total) - (n + 1.0) / n).max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gini_u64;
+
+    fn reference(values: &[u64]) -> f64 {
+        gini_u64(values).expect("non-empty")
+    }
+
+    #[test]
+    fn matches_reference_on_small_sets() {
+        let mut acc = IncrementalGini::new();
+        let mut values = Vec::new();
+        for v in [5u64, 0, 3, 3, 12, 7, 0, 1] {
+            acc.insert(v);
+            values.push(v);
+            assert_eq!(acc.gini(), Some(reference(&values)), "after insert {v}");
+        }
+        assert_eq!(acc.len(), 8);
+        assert_eq!(acc.total(), 31);
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        let mut acc = IncrementalGini::new();
+        assert_eq!(acc.gini(), None);
+        assert!(acc.is_empty());
+        acc.insert(0);
+        acc.insert(0);
+        assert_eq!(acc.gini(), Some(0.0), "all broke = perfect equality");
+        acc.insert(9);
+        assert_eq!(acc.gini(), Some(reference(&[0, 0, 9])));
+        acc.remove(9);
+        acc.remove(0);
+        acc.remove(0);
+        assert_eq!(acc.gini(), None);
+        assert_eq!(acc.total(), 0);
+    }
+
+    #[test]
+    fn update_tracks_transfers() {
+        let mut acc = IncrementalGini::new();
+        let mut values = vec![10u64, 10, 10, 10];
+        for &v in &values {
+            acc.insert(v);
+        }
+        // Transfer 4 credits from wallet 0 to wallet 1.
+        acc.update(10, 6);
+        acc.update(10, 14);
+        values[0] = 6;
+        values[1] = 14;
+        assert_eq!(acc.gini(), Some(reference(&values)));
+        // No-op update changes nothing.
+        let before = acc.clone();
+        acc.update(6, 6);
+        assert_eq!(acc, before);
+    }
+
+    #[test]
+    fn histogram_growth_preserves_state() {
+        let mut acc = IncrementalGini::new();
+        for v in [1u64, 2, 3] {
+            acc.insert(v);
+        }
+        // Force several geometric growths.
+        acc.insert(1_000);
+        acc.update(1_000, 100_000);
+        let values = [1u64, 2, 3, 100_000];
+        assert_eq!(acc.gini(), Some(reference(&values)));
+        // reserve_values is idempotent and never shrinks.
+        let cap_before = acc.hist.cap();
+        acc.reserve_values(10);
+        assert_eq!(acc.hist.cap(), cap_before);
+    }
+
+    #[test]
+    fn remove_then_reinsert_roundtrips() {
+        let mut acc = IncrementalGini::new();
+        for v in [4u64, 9, 2, 2, 30] {
+            acc.insert(v);
+        }
+        let snapshot = acc.clone();
+        acc.remove(9);
+        acc.insert(9);
+        assert_eq!(acc, snapshot);
+    }
+}

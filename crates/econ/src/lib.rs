@@ -36,6 +36,7 @@
 pub mod aggregate;
 mod error;
 mod gini;
+pub mod incremental;
 pub mod inequality;
 pub mod lorenz;
 pub mod snapshot;
@@ -43,4 +44,5 @@ pub mod snapshot;
 pub use aggregate::SummaryStats;
 pub use error::EconError;
 pub use gini::{gini, gini_from_pmf, gini_u64};
+pub use incremental::IncrementalGini;
 pub use snapshot::WealthSnapshot;

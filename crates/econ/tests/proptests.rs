@@ -3,10 +3,31 @@
 use proptest::prelude::*;
 use scrip_econ::inequality::{hoover, theil};
 use scrip_econ::lorenz::LorenzCurve;
-use scrip_econ::{gini, WealthSnapshot};
+use scrip_econ::{gini, gini_u64, IncrementalGini, WealthSnapshot};
 
 fn wealth_vec() -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(0.0f64..1e6, 2..200)
+}
+
+/// One random wallet operation for the incremental-Gini equivalence
+/// suite: mint into a wallet, burn a wallet, or transfer between two.
+#[derive(Clone, Copy, Debug)]
+enum WalletOp {
+    /// `(wallet index hint, amount)` — creates the wallet if the hint
+    /// lands on a fresh index.
+    Mint(usize, u64),
+    /// Wallet index hint to burn.
+    Burn(usize),
+    /// `(from hint, to hint, amount)` — clamped to the payer's balance.
+    Transfer(usize, usize, u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = WalletOp> {
+    (0u8..3, 0usize..40, 0usize..40, 0u64..5_000).prop_map(|(kind, a, b, amount)| match kind {
+        0 => WalletOp::Mint(a, amount),
+        1 => WalletOp::Burn(a),
+        _ => WalletOp::Transfer(a, b, amount),
+    })
 }
 
 proptest! {
@@ -70,6 +91,71 @@ proptest! {
         prop_assert!(gini(&v).expect("valid") < 1e-12);
         prop_assert!(theil(&v).expect("valid").abs() < 1e-9);
         prop_assert!(hoover(&v).expect("valid") < 1e-12);
+    }
+
+    /// The incremental (Fenwick-histogram) Gini stays equivalent to the
+    /// sort-based `gini_u64` oracle under arbitrary interleaved
+    /// mint/burn/transfer sequences — the exact mutation mix the ledger
+    /// drives it with. Tolerance 1e-12; in practice the two are
+    /// bit-identical at these magnitudes.
+    #[test]
+    fn incremental_gini_matches_oracle_under_wallet_ops(
+        initial in prop::collection::vec(0u64..2_000, 2..30),
+        ops in prop::collection::vec(op_strategy(), 0..120),
+    ) {
+        let mut acc = IncrementalGini::new();
+        let mut wallets: Vec<u64> = initial.clone();
+        for &w in &wallets {
+            acc.insert(w);
+        }
+        for op in ops {
+            match op {
+                WalletOp::Mint(hint, amount) => {
+                    if hint < wallets.len() {
+                        let old = wallets[hint];
+                        wallets[hint] += amount;
+                        acc.update(old, old + amount);
+                    } else {
+                        wallets.push(amount);
+                        acc.insert(amount);
+                    }
+                }
+                WalletOp::Burn(hint) => {
+                    if !wallets.is_empty() {
+                        let victim = wallets.swap_remove(hint % wallets.len());
+                        acc.remove(victim);
+                    }
+                }
+                WalletOp::Transfer(from, to, amount) => {
+                    if wallets.len() >= 2 {
+                        let from = from % wallets.len();
+                        let mut to = to % wallets.len();
+                        if from == to {
+                            to = (to + 1) % wallets.len();
+                        }
+                        let amount = amount.min(wallets[from]);
+                        let (old_from, old_to) = (wallets[from], wallets[to]);
+                        wallets[from] -= amount;
+                        wallets[to] += amount;
+                        acc.update(old_from, old_from - amount);
+                        acc.update(old_to, old_to + amount);
+                    }
+                }
+            }
+            prop_assert_eq!(acc.len(), wallets.len());
+            prop_assert_eq!(acc.total(), wallets.iter().sum::<u64>());
+            match (acc.gini(), gini_u64(&wallets)) {
+                (Some(inc), Ok(oracle)) => prop_assert!(
+                    (inc - oracle).abs() < 1e-12,
+                    "incremental {} vs oracle {} over {:?}", inc, oracle, wallets
+                ),
+                (None, Err(_)) => {} // both agree the set is empty
+                (inc, oracle) => prop_assert!(
+                    false,
+                    "presence mismatch: incremental {:?}, oracle {:?}", inc, oracle.is_ok()
+                ),
+            }
+        }
     }
 
     /// Snapshot totals are consistent.

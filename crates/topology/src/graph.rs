@@ -1,4 +1,11 @@
 //! The overlay graph: undirected, with stable node identities.
+//!
+//! Storage is CSR-style: each live node occupies a dense *slot* and its
+//! neighbors live in one sorted `Vec<NodeId>`, exposed as a stable
+//! [`Graph::neighbor_slice`]. Hot simulation loops borrow that slice
+//! directly (no per-event clone, no tree walk); churn updates it
+//! incrementally (binary-search insert/remove) instead of rebuilding
+//! neighborhoods.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::error::Error;
@@ -72,12 +79,44 @@ impl Error for GraphError {}
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default)]
 pub struct Graph {
-    adjacency: BTreeMap<NodeId, BTreeSet<NodeId>>,
+    // The slot-map discipline below (id_to_slot + swap-remove with
+    // moved-slot repointing) mirrors scrip-core's PeerArena; a fix to
+    // the bookkeeping in one likely applies to the other.
+    /// Dense slot → node ID (swap-removed on node removal).
+    slot_ids: Vec<NodeId>,
+    /// Raw node ID → slot; [`ABSENT`] marks removed/unknown IDs.
+    id_to_slot: Vec<u32>,
+    /// Slot → sorted neighbor IDs (the CSR-style row).
+    adjacency: Vec<Vec<NodeId>>,
+    /// Live IDs in ascending order (kept sorted incrementally so
+    /// [`Graph::node_ids`] stays cheap and deterministic).
+    sorted_ids: Vec<NodeId>,
     next_id: u64,
     edge_count: usize,
 }
+
+/// Slot sentinel for IDs that are not (or no longer) in the graph.
+const ABSENT: u32 = u32::MAX;
+
+/// Equality is semantic: same node set and same edges, plus the same ID
+/// allocation cursor — independent of slot layout, so graphs that went
+/// through different churn histories but describe the same overlay (and
+/// would allocate the same next ID) compare equal.
+impl PartialEq for Graph {
+    fn eq(&self, other: &Self) -> bool {
+        self.next_id == other.next_id
+            && self.edge_count == other.edge_count
+            && self.sorted_ids == other.sorted_ids
+            && self
+                .sorted_ids
+                .iter()
+                .all(|&id| self.neighbor_slice(id) == other.neighbor_slice(id))
+    }
+}
+
+impl Eq for Graph {}
 
 impl Graph {
     /// Creates an empty graph.
@@ -87,38 +126,68 @@ impl Graph {
 
     /// Creates a graph with `n` isolated nodes (IDs `0..n`).
     pub fn with_nodes(n: usize) -> Self {
-        let mut g = Graph::new();
+        let mut g = Graph {
+            slot_ids: Vec::with_capacity(n),
+            id_to_slot: Vec::with_capacity(n),
+            adjacency: Vec::with_capacity(n),
+            sorted_ids: Vec::with_capacity(n),
+            next_id: 0,
+            edge_count: 0,
+        };
         for _ in 0..n {
             g.add_node();
         }
         g
     }
 
+    /// The slot of a live node, if any.
+    fn slot(&self, id: NodeId) -> Option<usize> {
+        match self.id_to_slot.get(id.0 as usize) {
+            Some(&s) if s != ABSENT => Some(s as usize),
+            _ => None,
+        }
+    }
+
     /// Adds a node and returns its fresh, never-reused ID.
     pub fn add_node(&mut self) -> NodeId {
         let id = NodeId(self.next_id);
         self.next_id += 1;
-        self.adjacency.insert(id, BTreeSet::new());
+        debug_assert_eq!(self.id_to_slot.len() as u64, id.0);
+        self.id_to_slot.push(self.slot_ids.len() as u32);
+        self.slot_ids.push(id);
+        self.adjacency.push(Vec::new());
+        // Fresh IDs are the largest ever allocated: push keeps the order.
+        self.sorted_ids.push(id);
         id
     }
 
     /// Removes a node and all incident edges, returning its former
-    /// neighbors.
+    /// neighbors (ascending).
     ///
     /// # Errors
     /// Returns [`GraphError::NoSuchNode`] if the node is absent.
     pub fn remove_node(&mut self, id: NodeId) -> Result<Vec<NodeId>, GraphError> {
-        let neighbors = self
-            .adjacency
-            .remove(&id)
-            .ok_or(GraphError::NoSuchNode(id))?;
+        let slot = self.slot(id).ok_or(GraphError::NoSuchNode(id))?;
+        let neighbors = std::mem::take(&mut self.adjacency[slot]);
         for &nb in &neighbors {
-            if let Some(set) = self.adjacency.get_mut(&nb) {
-                set.remove(&id);
+            let nb_slot = self.slot(nb).expect("adjacency symmetric");
+            let row = &mut self.adjacency[nb_slot];
+            if let Ok(pos) = row.binary_search(&id) {
+                row.remove(pos);
             }
         }
         self.edge_count -= neighbors.len();
-        Ok(neighbors.into_iter().collect())
+        // Swap-remove the slot and repoint the node that moved into it.
+        self.adjacency.swap_remove(slot);
+        self.slot_ids.swap_remove(slot);
+        if let Some(&moved) = self.slot_ids.get(slot) {
+            self.id_to_slot[moved.0 as usize] = slot as u32;
+        }
+        self.id_to_slot[id.0 as usize] = ABSENT;
+        if let Ok(pos) = self.sorted_ids.binary_search(&id) {
+            self.sorted_ids.remove(pos);
+        }
+        Ok(neighbors)
     }
 
     /// Adds an undirected edge. Returns `true` if the edge was new.
@@ -130,18 +199,18 @@ impl Graph {
         if a == b {
             return Err(GraphError::SelfLoop(a));
         }
-        if !self.adjacency.contains_key(&a) {
-            return Err(GraphError::NoSuchNode(a));
-        }
-        if !self.adjacency.contains_key(&b) {
-            return Err(GraphError::NoSuchNode(b));
-        }
-        let inserted = self.adjacency.get_mut(&a).expect("checked above").insert(b);
-        if inserted {
-            self.adjacency.get_mut(&b).expect("checked above").insert(a);
-            self.edge_count += 1;
-        }
-        Ok(inserted)
+        let slot_a = self.slot(a).ok_or(GraphError::NoSuchNode(a))?;
+        let slot_b = self.slot(b).ok_or(GraphError::NoSuchNode(b))?;
+        let Err(pos_a) = self.adjacency[slot_a].binary_search(&b) else {
+            return Ok(false);
+        };
+        self.adjacency[slot_a].insert(pos_a, b);
+        let pos_b = self.adjacency[slot_b]
+            .binary_search(&a)
+            .expect_err("adjacency symmetric");
+        self.adjacency[slot_b].insert(pos_b, a);
+        self.edge_count += 1;
+        Ok(true)
     }
 
     /// Removes an undirected edge. Returns `true` if it existed.
@@ -149,54 +218,53 @@ impl Graph {
     /// # Errors
     /// Returns [`GraphError::NoSuchNode`] when either endpoint is absent.
     pub fn remove_edge(&mut self, a: NodeId, b: NodeId) -> Result<bool, GraphError> {
-        if !self.adjacency.contains_key(&a) {
-            return Err(GraphError::NoSuchNode(a));
-        }
-        if !self.adjacency.contains_key(&b) {
-            return Err(GraphError::NoSuchNode(b));
-        }
-        let removed = self
-            .adjacency
-            .get_mut(&a)
-            .expect("checked above")
-            .remove(&b);
-        if removed {
-            self.adjacency
-                .get_mut(&b)
-                .expect("checked above")
-                .remove(&a);
-            self.edge_count -= 1;
-        }
-        Ok(removed)
+        let slot_a = self.slot(a).ok_or(GraphError::NoSuchNode(a))?;
+        let slot_b = self.slot(b).ok_or(GraphError::NoSuchNode(b))?;
+        let Ok(pos_a) = self.adjacency[slot_a].binary_search(&b) else {
+            return Ok(false);
+        };
+        self.adjacency[slot_a].remove(pos_a);
+        let pos_b = self.adjacency[slot_b]
+            .binary_search(&a)
+            .expect("adjacency symmetric");
+        self.adjacency[slot_b].remove(pos_b);
+        self.edge_count -= 1;
+        Ok(true)
     }
 
     /// Whether the node exists.
     pub fn has_node(&self, id: NodeId) -> bool {
-        self.adjacency.contains_key(&id)
+        self.slot(id).is_some()
     }
 
     /// Whether an edge exists between `a` and `b`.
     pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
-        self.adjacency
-            .get(&a)
-            .map(|set| set.contains(&b))
+        self.slot(a)
+            .map(|s| self.adjacency[s].binary_search(&b).is_ok())
             .unwrap_or(false)
+    }
+
+    /// The neighbors of `id` as a stable sorted slice, or [`None`] if the
+    /// node is absent. This is the zero-copy view the simulation hot
+    /// paths borrow; it stays valid until the next graph mutation.
+    pub fn neighbor_slice(&self, id: NodeId) -> Option<&[NodeId]> {
+        self.slot(id).map(|s| self.adjacency[s].as_slice())
     }
 
     /// The neighbors of `id` in ascending ID order, or [`None`] if the node
     /// is absent.
     pub fn neighbors(&self, id: NodeId) -> Option<impl Iterator<Item = NodeId> + '_> {
-        self.adjacency.get(&id).map(|set| set.iter().copied())
+        self.neighbor_slice(id).map(|s| s.iter().copied())
     }
 
     /// The degree of `id`, or [`None`] if absent.
     pub fn degree(&self, id: NodeId) -> Option<usize> {
-        self.adjacency.get(&id).map(|set| set.len())
+        self.slot(id).map(|s| self.adjacency[s].len())
     }
 
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
-        self.adjacency.len()
+        self.slot_ids.len()
     }
 
     /// Number of undirected edges.
@@ -206,13 +274,15 @@ impl Graph {
 
     /// All node IDs in ascending order.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.adjacency.keys().copied()
+        self.sorted_ids.iter().copied()
     }
 
     /// All edges as `(low, high)` pairs in deterministic order.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.adjacency.iter().flat_map(|(&a, nbrs)| {
-            nbrs.iter()
+        self.sorted_ids.iter().flat_map(move |&a| {
+            self.neighbor_slice(a)
+                .unwrap_or(&[])
+                .iter()
                 .copied()
                 .filter(move |&b| a < b)
                 .map(move |b| (a, b))
@@ -399,6 +469,78 @@ mod tests {
         assert_eq!(index[&ids[1]], 1);
         assert_eq!(index[&ids[3]], 2);
         assert_eq!(index[&ids[4]], 3);
+    }
+
+    #[test]
+    fn neighbor_slice_is_sorted_and_tracks_mutations() {
+        let mut g = Graph::new();
+        let hub = g.add_node();
+        let mut spokes: Vec<NodeId> = (0..5).map(|_| g.add_node()).collect();
+        spokes.reverse();
+        for &s in &spokes {
+            g.add_edge(hub, s).expect("ok");
+        }
+        let slice = g.neighbor_slice(hub).expect("live");
+        let mut sorted = slice.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(slice, sorted.as_slice());
+        // Slice agrees with the iterator view.
+        let via_iter: Vec<NodeId> = g.neighbors(hub).expect("live").collect();
+        assert_eq!(slice, via_iter.as_slice());
+        let victim = sorted[2];
+        g.remove_edge(hub, victim).expect("ok");
+        assert!(!g.neighbor_slice(hub).expect("live").contains(&victim));
+        assert_eq!(g.neighbor_slice(NodeId(999)), None);
+    }
+
+    #[test]
+    fn slot_bookkeeping_survives_interleaved_churn() {
+        let mut g = Graph::with_nodes(6);
+        let ids: Vec<NodeId> = g.node_ids().collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1]).expect("ok");
+        }
+        // Remove from the middle (exercises swap-remove repointing), then
+        // keep mutating through the moved slots.
+        g.remove_node(ids[1]).expect("live");
+        g.remove_node(ids[4]).expect("live");
+        let fresh = g.add_node();
+        g.add_edge(fresh, ids[0]).expect("ok");
+        g.add_edge(fresh, ids[5]).expect("ok");
+        let live: Vec<NodeId> = g.node_ids().collect();
+        assert_eq!(live, vec![ids[0], ids[2], ids[3], ids[5], fresh]);
+        assert_eq!(g.degree(ids[0]), Some(1));
+        assert_eq!(g.degree(ids[2]), Some(1));
+        assert_eq!(g.degree(ids[3]), Some(1));
+        assert_eq!(g.degree(fresh), Some(2));
+        assert!(g.has_edge(ids[5], fresh));
+        assert!(!g.has_node(ids[1]));
+        assert_eq!(
+            g.edge_count(),
+            g.node_ids()
+                .map(|id| g.degree(id).expect("live"))
+                .sum::<usize>()
+                / 2
+        );
+    }
+
+    #[test]
+    fn equality_is_layout_independent() {
+        // Same final overlay reached through different slot histories.
+        let mut a = Graph::with_nodes(4);
+        let ids: Vec<NodeId> = a.node_ids().collect();
+        a.add_edge(ids[0], ids[2]).expect("ok");
+        a.add_edge(ids[2], ids[3]).expect("ok");
+        a.remove_node(ids[1]).expect("live");
+
+        let mut b = Graph::with_nodes(4);
+        b.remove_node(ids[1]).expect("live");
+        b.add_edge(ids[2], ids[3]).expect("ok");
+        b.add_edge(ids[0], ids[2]).expect("ok");
+
+        assert_eq!(a, b);
+        b.remove_edge(ids[0], ids[2]).expect("ok");
+        assert_ne!(a, b);
     }
 
     #[test]
