@@ -1,0 +1,72 @@
+//! Performance benches for the chunk-level streaming trade loop.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use scrip_core::des::{SimDuration, SimTime};
+use scrip_core::market::{ChurnConfig, MarketConfig};
+use scrip_core::protocol::run_streaming_market;
+use scrip_core::streaming::StreamingConfig;
+
+fn paced_config(n: usize, credits: u64) -> MarketConfig {
+    MarketConfig::new(n, credits)
+        .streaming_market(StreamingConfig::market_paced(1.0))
+        .sample_interval(SimDuration::from_secs(50))
+}
+
+/// End-to-end chunk-trade throughput: the whole protocol stack (pull
+/// scheduling, deliveries, playback, settlements through the shared
+/// ledger) at two swarm sizes.
+fn bench_trade_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("streaming_trade_loop_200s");
+    group.sample_size(10);
+    for n in [100usize, 300] {
+        group.bench_with_input(BenchmarkId::new("market_paced", n), &n, |b, &n| {
+            b.iter(|| {
+                black_box(
+                    run_streaming_market(&paced_config(n, 50), 7, SimTime::from_secs(200))
+                        .expect("runs"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The starved regime: most authorizations are denied, so the bench
+/// exercises the deny/retry path of the scheduling round rather than
+/// the delivery path.
+fn bench_starved_swarm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("streaming_starved_200s");
+    group.sample_size(10);
+    group.bench_function("credits_2", |b| {
+        b.iter(|| {
+            black_box(
+                run_streaming_market(&paced_config(200, 2), 7, SimTime::from_secs(200))
+                    .expect("runs"),
+            )
+        })
+    });
+    group.finish();
+}
+
+/// Chunk-level churn: joins rewire the overlay and mint wallets, leaves
+/// burn them — the swap-remove discipline across graph, arena, peer
+/// states and policy accounting.
+fn bench_churning_swarm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("streaming_churn_200s");
+    group.sample_size(10);
+    group.bench_function("expected_200_peers", |b| {
+        let config = paced_config(200, 50).churn(ChurnConfig::new(1.0, 200.0, 12).expect("valid"));
+        b.iter(|| {
+            black_box(run_streaming_market(&config, 7, SimTime::from_secs(200)).expect("runs"))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_trade_loop,
+    bench_starved_swarm,
+    bench_churning_swarm
+);
+criterion_main!(benches);

@@ -19,6 +19,7 @@ mod fig07_08;
 mod fig09;
 mod fig10;
 mod fig11;
+mod streaming;
 
 pub use ablations::{
     ablation3_queue_scenario, ablation_approx_vs_exact, ablation_queue_vs_protocol,
@@ -37,6 +38,7 @@ pub use fig07_08::{
 pub use fig09::{fig09_scenario, fig09_taxation};
 pub use fig10::{fig10_dynamic_spending, fig10_scenario};
 pub use fig11::{fig11_churn, fig11_scenario};
+pub use streaming::{streaming_scenario, streaming_stall_vs_wealth};
 
 use crate::scale::RunScale;
 use crate::scenario::Scenario;
@@ -66,6 +68,7 @@ pub fn experiments() -> Vec<(&'static str, ExperimentFn)> {
         ("ablation1", ablation_approx_vs_exact),
         ("ablation2", ablation_solvers),
         ("ablation3", ablation_queue_vs_protocol),
+        ("streaming", streaming_stall_vs_wealth),
     ]
 }
 
@@ -165,6 +168,7 @@ pub fn scenarios() -> Vec<(&'static str, ScenarioFn)> {
         ("fig10", fig10_scenario),
         ("fig11", fig11_scenario),
         ("ablation3", ablation3_queue_scenario),
+        ("streaming", streaming_scenario),
     ]
 }
 
@@ -285,10 +289,15 @@ mod tests {
     #[test]
     fn registries_are_complete() {
         let experiments = experiments();
-        assert_eq!(experiments.len(), 14, "11 figures + 3 ablations");
+        assert_eq!(
+            experiments.len(),
+            15,
+            "11 figures + 3 ablations + streaming"
+        );
         let names: Vec<&str> = experiments.iter().map(|&(n, _)| n).collect();
         assert_eq!(names[0], "fig01");
         assert_eq!(names[13], "ablation3");
+        assert_eq!(names[14], "streaming");
         // Every scenario emitter corresponds to a registered experiment
         // (fig04's scenario covers only its simulated series; fig02,
         // fig03, ablation1, ablation2 are purely analytic).

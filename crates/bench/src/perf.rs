@@ -1,8 +1,9 @@
 //! The `scrip-sim bench` harness: end-to-end market throughput.
 //!
 //! Measures events/sec of the discrete-event market simulator across the
-//! four hot regimes (asymmetric neighbor routing, availability feedback,
-//! taxation, churn) at n ∈ {1k, 10k, 100k}, plus the cost of a wealth
+//! four queue-level hot regimes (asymmetric neighbor routing,
+//! availability feedback, taxation, churn) at n ∈ {1k, 10k, 100k}, the
+//! chunk-level streaming market's trade loop, and the cost of a wealth
 //! Gini sample at large n. Results are written to `BENCH_market.json`
 //! (see [`BenchReport::to_json`] for the schema), seeding the repo's
 //! performance trajectory, and CI replays the quick-scale subset to
@@ -15,6 +16,8 @@ use std::time::Instant;
 
 use scrip_core::market::{ChurnConfig, CreditMarket, MarketConfig, MarketEvent};
 use scrip_core::policy::TaxConfig;
+use scrip_core::protocol::build_streaming_market;
+use scrip_core::streaming::{StreamEvent, StreamingConfig};
 use scrip_des::{SimDuration, SimTime, Simulation};
 
 use crate::scale::RunScale;
@@ -123,6 +126,44 @@ fn run_market_case(regime: &'static str, n: usize, horizon_secs: u64, scale: &st
     }
 }
 
+/// Chunk-level streaming cases at a scale: `(n, horizon_secs)`. The
+/// trade loop dispatches ~3 events per peer-second under
+/// `market_paced(1.0)`, so these horizons land near the queue-level
+/// event targets.
+fn streaming_cases(scale: RunScale) -> Vec<(usize, u64)> {
+    match scale {
+        RunScale::Full => vec![(1_000, 100), (10_000, 40)],
+        RunScale::Quick => vec![(1_000, 100)],
+    }
+}
+
+/// Measures the chunk-level streaming market's trade loop: a
+/// `market_paced(1.0)` swarm over the scale-free overlay with 50
+/// credits per peer and uniform pricing, every chunk transfer settling
+/// through the shared ledger. Build is untimed; event dispatch to the
+/// horizon is timed.
+fn run_streaming_case(n: usize, horizon_secs: u64, scale: &str) -> BenchEntry {
+    let config = MarketConfig::new(n, 50)
+        .streaming_market(StreamingConfig::market_paced(1.0))
+        .sample_interval(SimDuration::from_secs(50));
+    let system = build_streaming_market(&config, 42).expect("bench swarm builds");
+    let capacity = system.queue_capacity_hint();
+    let mut sim = Simulation::with_capacity(system, capacity);
+    sim.schedule(SimTime::ZERO, StreamEvent::Bootstrap);
+    let start = Instant::now();
+    let stats = sim.run_until(SimTime::from_secs(horizon_secs));
+    let wall = start.elapsed().as_secs_f64().max(1e-9);
+    BenchEntry {
+        regime: "streaming".into(),
+        n,
+        scale: scale.into(),
+        events: stats.events_processed,
+        wall_secs: wall,
+        events_per_sec: stats.events_processed as f64 / wall,
+        peak_rss_bytes: peak_rss_bytes(),
+    }
+}
+
 /// Measures the cost of a wealth-Gini sample at size `n`: run the
 /// asymmetric market briefly to de-equalize wealth, then time repeated
 /// [`CreditMarket::wealth_gini`] calls.
@@ -162,6 +203,14 @@ pub fn run_bench(scale: RunScale) -> BenchReport {
         eprintln!(
             "bench {regime:<22} n={n:<7} {:>12.0} events/s ({} events in {:.2}s)",
             entry.events_per_sec, entry.events, entry.wall_secs
+        );
+        report.entries.push(entry);
+    }
+    for (n, horizon) in streaming_cases(scale) {
+        let entry = run_streaming_case(n, horizon, scale_name);
+        eprintln!(
+            "bench {:<22} n={n:<7} {:>12.0} events/s ({} events in {:.2}s)",
+            entry.regime, entry.events_per_sec, entry.events, entry.wall_secs
         );
         report.entries.push(entry);
     }

@@ -90,15 +90,20 @@ pub enum Metric {
     SpendingRates,
     /// Sorted wealth snapshots at the configured times (Figs. 5–6).
     Snapshots,
+    /// The stall-rate-over-time trajectory of a chunk-level streaming
+    /// market (not-yet-started peers count as fully stalled). Empty for
+    /// queue-level markets.
+    StallSeries,
 }
 
 impl Metric {
     /// All metrics, in canonical output order.
-    pub const ALL: [Metric; 4] = [
+    pub const ALL: [Metric; 5] = [
         Metric::GiniSeries,
         Metric::FinalBalances,
         Metric::SpendingRates,
         Metric::Snapshots,
+        Metric::StallSeries,
     ];
 
     /// The metric's name in scenario files.
@@ -108,6 +113,7 @@ impl Metric {
             Metric::FinalBalances => "final-balances",
             Metric::SpendingRates => "spending-rates",
             Metric::Snapshots => "snapshots",
+            Metric::StallSeries => "stall-series",
         }
     }
 

@@ -209,9 +209,15 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, ParseError> {
     // Namespaced duplicate-key tracking: "top/name", "market/peers",
     // "case.3/tax", ...
     let mut seen: BTreeSet<String> = BTreeSet::new();
-    // A throwaway spec validates override values at parse time, so bad
-    // values in [case.*]/[sweep] sections are reported with line numbers.
-    let mut probe = MarketSpec::default();
+    // Per-case probe specs: each starts from the base as of the case
+    // header and accumulates that case's overrides in order, mirroring
+    // what `Scenario::expand` will do — so context-dependent values
+    // (e.g. `streaming.*` after the case enables `streaming`) validate
+    // exactly as they will run, with the failing line number. This is
+    // best-effort (a `[market]` section *after* a case header changes
+    // the real base); `Scenario::validate`/`expand` remain the
+    // authority and re-check everything.
+    let mut case_probes: Vec<MarketSpec> = Vec::new();
 
     for (idx, raw_line) in text.lines().enumerate() {
         let line = idx + 1;
@@ -262,6 +268,7 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, ParseError> {
                         return Err(ParseError::new(line, format!("duplicate case {label:?}")));
                     }
                     sc.cases.push(CaseSpec::new(label));
+                    case_probes.push(sc.base.clone());
                     Section::Case(sc.cases.len() - 1)
                 }
             };
@@ -358,7 +365,10 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, ParseError> {
             },
             Section::Case(i) => {
                 let scalar = value.scalar(line, key)?;
-                probe
+                // Apply to the case's cumulative probe so earlier
+                // overrides in the same case provide context (exactly
+                // how `expand` will apply them).
+                case_probes[i]
                     .set(key, &scalar)
                     .map_err(|e| ParseError::new(line, e.to_string()))?;
                 sc.cases[i].overrides.push((key.to_string(), scalar));
@@ -371,10 +381,22 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, ParseError> {
                         format!("sweep axis {key:?} is empty"),
                     ));
                 }
+                // Sweep values apply on top of *each* resolved case, so
+                // a value is only a parse error if it is invalid against
+                // every context seen so far (the base and every case).
+                // False accepts are caught by `expand` with the full
+                // case label; false rejects here would wrongly refuse
+                // runnable files.
                 for v in &values {
-                    probe
-                        .set(key, v)
-                        .map_err(|e| ParseError::new(line, e.to_string()))?;
+                    let base_err = sc.base.clone().set(key, v).err();
+                    if let Some(err) = base_err {
+                        if !case_probes
+                            .iter()
+                            .any(|probe| probe.clone().set(key, v).is_ok())
+                        {
+                            return Err(ParseError::new(line, err.to_string()));
+                        }
+                    }
                 }
                 sc.sweep.push(SweepAxis {
                     key: key.to_string(),
@@ -561,6 +583,39 @@ credits = [50, 100]
         for text in ["name = \"open", "[market", "[run]\nsnapshots = [1, 2"] {
             assert!(parse_scenario(text).is_err(), "{text:?} should fail");
         }
+    }
+
+    #[test]
+    fn case_overrides_provide_context_for_later_lines() {
+        // A case may enable streaming itself and then tune its
+        // sub-keys; each line validates against the case's cumulative
+        // state, exactly as expand() will apply it.
+        let text = "[case.chunk]\nstreaming = \"paced:1\"\nstreaming.window = 48\n";
+        let sc = parse_scenario(text).expect("case-local streaming enables sub-keys");
+        sc.validate().expect("expands and builds");
+        // Interdependent sub-keys inside one case: raise the window,
+        // then a startup that only fits the raised window.
+        let text = "[market]\nstreaming = \"paced:1\"\n\
+                    [case.deep]\nstreaming.window = 256\nstreaming.startup = 100\n";
+        parse_scenario(text).expect("cumulative case probing");
+        // Out-of-context sub-keys are still refused with a line number.
+        let err = parse_scenario("[case.bad]\nstreaming.window = 48\n")
+            .expect_err("no streaming context");
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("streaming"), "{err}");
+    }
+
+    #[test]
+    fn sweep_values_validate_against_any_case_context() {
+        // The sweep axis drives a streaming sub-key; streaming is
+        // enabled only inside the cases, not in the base.
+        let text = "[case.a]\nstreaming = \"paced:1\"\n[case.b]\nstreaming = \"paced:2\"\n\
+                    [sweep]\nstreaming.source-uploads = [1, 8]\n";
+        let sc = parse_scenario(text).expect("case context admits the sweep");
+        sc.validate().expect("expands and builds");
+        // A value invalid in every context still fails at parse time.
+        let bad = "[case.a]\nstreaming = \"paced:1\"\n[sweep]\nstreaming.window = [\"wide\"]\n";
+        assert!(parse_scenario(bad).is_err());
     }
 
     #[test]

@@ -20,7 +20,9 @@ use std::time::{Duration, Instant};
 
 use scrip_core::des::{SeedSequence, SimTime, Simulation};
 use scrip_core::market::{CreditMarket, MarketConfig, MarketEvent};
+use scrip_core::protocol::build_streaming_market;
 use scrip_core::spec::MarketSpec;
+use scrip_core::streaming::StreamEvent;
 use scrip_econ::aggregate::{aggregate_rows, SummaryStats};
 
 use super::{Metric, Scenario, ScenarioError};
@@ -142,6 +144,11 @@ pub struct ReplicationRun {
     pub tax_collected: u64,
     /// Credits redistributed by taxation (0 without tax).
     pub tax_redistributed: u64,
+    /// Stall-rate samples `(t_secs, stall)` of a chunk-level streaming
+    /// market (not-yet-started peers count as fully stalled — see
+    /// [`scrip_core::streaming::StreamingSystem::stall_series`]); empty
+    /// for queue-level markets.
+    pub stalls: Vec<(f64, f64)>,
 }
 
 /// All replications of one expanded case, plus aggregation helpers.
@@ -212,6 +219,24 @@ impl CaseResult {
         Self::aggregate_f64_rows(self.reps.iter().map(|r| r.spending_rates.clone()).collect())
     }
 
+    /// The stall-rate trajectory aggregated across replications:
+    /// `(t_secs, stats)` per sample, truncated to the shortest
+    /// replication. Empty for queue-level markets.
+    pub fn stall_aggregate(&self) -> Vec<(f64, SummaryStats)> {
+        let stats = Self::aggregate_f64_rows(
+            self.reps
+                .iter()
+                .map(|r| r.stalls.iter().map(|&(_, s)| s).collect())
+                .collect(),
+        );
+        self.reps[0]
+            .stalls
+            .iter()
+            .map(|&(t, _)| t)
+            .zip(stats)
+            .collect()
+    }
+
     /// The wealth snapshot at time `t`, aggregated by rank.
     pub fn snapshot_aggregate(&self, t: u64) -> Vec<SummaryStats> {
         Self::aggregate_f64_rows(
@@ -270,16 +295,28 @@ impl ScenarioResult {
                 let denied = case.reps.iter().map(|r| r.denied).sum::<u64>() as f64 / reps;
                 let peers = case.reps.iter().map(|r| r.peer_count).sum::<usize>() as f64 / reps;
                 let wealth_gini = case.reps.iter().map(|r| r.wealth_gini).sum::<f64>() / reps;
+                // Chunk-level cases also report their final stall rate.
+                let stall = if case.reps.iter().all(|r| r.stalls.is_empty()) {
+                    String::new()
+                } else {
+                    let s = case
+                        .reps
+                        .iter()
+                        .filter_map(|r| r.stalls.last().map(|&(_, s)| s))
+                        .sum::<f64>()
+                        / reps;
+                    format!(", stall={s:.4}")
+                };
                 match case.plateau() {
                     Some(p) => format!(
                         "case {}: plateau gini mean={:.4} min={:.4} max={:.4}, final wealth \
                          gini={:.4}, purchases={purchases:.1}, denied={denied:.1}, \
-                         peers={peers:.1}",
+                         peers={peers:.1}{stall}",
                         case.label, p.mean, p.min, p.max, wealth_gini
                     ),
                     None => format!(
                         "case {}: final wealth gini={wealth_gini:.4}, purchases={purchases:.1}, \
-                         denied={denied:.1}, peers={peers:.1}",
+                         denied={denied:.1}, peers={peers:.1}{stall}",
                         case.label
                     ),
                 }
@@ -362,6 +399,16 @@ impl ScenarioResult {
                             );
                         }
                     }
+                    Metric::StallSeries => {
+                        let agg = case.stall_aggregate();
+                        let stats: Vec<SummaryStats> = agg.iter().map(|&(_, s)| s).collect();
+                        push_rows(
+                            "stall",
+                            &case.label,
+                            &mut agg.iter().map(|&(t, _)| t),
+                            &stats,
+                        );
+                    }
                 }
             }
         }
@@ -370,13 +417,18 @@ impl ScenarioResult {
 }
 
 /// Simulates one market to the horizon, recording snapshots along the
-/// way.
+/// way. A config whose `streaming` is set runs at chunk granularity
+/// through the protocol-level simulator; everything else runs the
+/// queue-level spend loop.
 fn run_one(
     config: &MarketConfig,
     seed: u64,
     horizon_secs: u64,
     snapshot_times: &[u64],
 ) -> Result<ReplicationRun, ScenarioError> {
+    if config.streaming.is_some() {
+        return run_one_streaming(config, seed, horizon_secs, snapshot_times);
+    }
     let market = CreditMarket::build(config.clone(), seed)
         .map_err(|e| ScenarioError::Run(format!("seed {seed}: {e}")))?;
     let mut sim = Simulation::new(market);
@@ -409,6 +461,60 @@ fn run_one(
         peer_count: market.peer_count(),
         tax_collected: market.taxation().map_or(0, |t| t.collected),
         tax_redistributed: market.taxation().map_or(0, |t| t.redistributed),
+        stalls: Vec::new(),
+    })
+}
+
+/// Simulates one chunk-level streaming market to the horizon. The
+/// measurements line up with the queue-level ones (`purchases` =
+/// settlements, `denied` = authorization denials) and additionally
+/// carry the stall-rate series.
+fn run_one_streaming(
+    config: &MarketConfig,
+    seed: u64,
+    horizon_secs: u64,
+    snapshot_times: &[u64],
+) -> Result<ReplicationRun, ScenarioError> {
+    let system = build_streaming_market(config, seed)
+        .map_err(|e| ScenarioError::Run(format!("seed {seed}: {e}")))?;
+    let capacity = system.queue_capacity_hint();
+    let mut sim = Simulation::with_capacity(system, capacity);
+    sim.schedule(SimTime::ZERO, StreamEvent::Bootstrap);
+    let mut snapshots = Vec::with_capacity(snapshot_times.len());
+    for &t in snapshot_times {
+        sim.run_until(SimTime::from_secs(t));
+        snapshots.push((t, sim.model().policy().balances_sorted()));
+    }
+    let horizon = SimTime::from_secs(horizon_secs);
+    sim.run_until(horizon);
+    let system = sim.into_model();
+    let policy = system.policy();
+    Ok(ReplicationRun {
+        seed,
+        gini: policy
+            .gini_series()
+            .samples()
+            .iter()
+            .map(|&(t, g)| (t.as_secs_f64(), g))
+            .collect(),
+        final_balances: policy.balances_sorted(),
+        spending_rates: policy.spending_rates_sorted(horizon),
+        snapshots,
+        wealth_gini: policy
+            .wealth_gini()
+            .map_err(|e| ScenarioError::Run(format!("seed {seed}: {e}")))?,
+        purchases: policy.settlements,
+        denied: policy.denials,
+        total_spent: policy.spent().values().sum(),
+        peer_count: system.peer_count(),
+        tax_collected: policy.taxation().map_or(0, |t| t.collected),
+        tax_redistributed: policy.taxation().map_or(0, |t| t.redistributed),
+        stalls: system
+            .stall_series()
+            .samples()
+            .iter()
+            .map(|&(t, s)| (t.as_secs_f64(), s))
+            .collect(),
     })
 }
 
@@ -568,6 +674,36 @@ mod tests {
             assert!(csv.contains(needle), "CSV missing {needle}");
         }
         assert_eq!(result.summary_lines().len(), 2);
+    }
+
+    #[test]
+    fn streaming_scenarios_run_and_record_stalls() {
+        let mut sc = Scenario::new("chunks", MarketSpec::new(30, 50));
+        sc.base.set("streaming", "paced:1").expect("valid");
+        sc.base.set("sample", "25").expect("valid");
+        sc.run.horizon_secs = 150;
+        sc.run.snapshots = vec![75, 150];
+        sc.run.metrics = vec![Metric::GiniSeries, Metric::StallSeries, Metric::Snapshots];
+        let result = run_scenario(&sc, &RunnerOptions::with_threads(2)).expect("runs");
+        let case = &result.cases[0];
+        assert!(!case.single().stalls.is_empty(), "stall series recorded");
+        assert!(!case.single().gini.is_empty(), "gini series recorded");
+        assert!(case.single().purchases > 0, "chunk trades settled");
+        assert!(!case.stall_aggregate().is_empty());
+        assert!(!case.snapshot_aggregate(75).is_empty());
+        let csv = result.to_csv();
+        assert!(
+            csv.contains("stall,base,"),
+            "CSV missing stall rows:\n{csv}"
+        );
+        assert!(
+            result.summary_lines()[0].contains("stall="),
+            "summary notes stall"
+        );
+        // Queue-level cases leave the stall series empty.
+        let queue = run_scenario(&tiny_scenario(), &RunnerOptions::default()).expect("runs");
+        assert!(queue.cases[0].single().stalls.is_empty());
+        assert!(!queue.summary_lines()[0].contains("stall="));
     }
 
     #[test]

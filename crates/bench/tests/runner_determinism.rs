@@ -54,6 +54,52 @@ fn aggregated_output_is_identical_for_1_2_and_8_threads() {
     }
 }
 
+/// A chunk-level streaming grid: 2 cases (one churning) × 2
+/// replications, recording every metric including the stall series.
+fn streaming_grid_scenario() -> Scenario {
+    let mut sc = Scenario::new("streaming-determinism", MarketSpec::new(30, 40));
+    sc.base.set("streaming", "paced:1").expect("valid");
+    sc.base.set("sample", "30").expect("valid");
+    sc.run.horizon_secs = 240;
+    sc.run.seed = 20_260_728;
+    sc.run.replications = 2;
+    sc.run.snapshots = vec![120, 240];
+    sc.run.metrics = vec![
+        Metric::GiniSeries,
+        Metric::FinalBalances,
+        Metric::SpendingRates,
+        Metric::Snapshots,
+        Metric::StallSeries,
+    ];
+    sc.cases = vec![
+        CaseSpec::new("closed"),
+        CaseSpec::new("churning").with("churn", "0.2:150:8"),
+    ];
+    sc
+}
+
+#[test]
+fn streaming_output_is_identical_for_1_2_and_8_threads() {
+    let scenario = streaming_grid_scenario();
+    let baseline = run_scenario(&scenario, &RunnerOptions::with_threads(1)).expect("runs");
+    let baseline_csv = baseline.to_csv();
+    assert!(
+        baseline_csv.contains("stall,"),
+        "stall series missing from CSV"
+    );
+    for threads in [2, 8] {
+        let result = run_scenario(&scenario, &RunnerOptions::with_threads(threads)).expect("runs");
+        assert_eq!(
+            baseline_csv,
+            result.to_csv(),
+            "{threads}-thread streaming CSV diverged from the serial baseline"
+        );
+        for (a, b) in baseline.cases.iter().zip(&result.cases) {
+            assert_eq!(a.reps, b.reps, "case {} raw data diverged", a.label);
+        }
+    }
+}
+
 #[test]
 fn repeated_runs_are_identical() {
     let scenario = grid_scenario();

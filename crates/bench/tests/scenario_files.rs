@@ -73,6 +73,60 @@ fn fig07_golden_matches_builtin_scenario() {
 }
 
 #[test]
+fn streaming_golden_matches_builtin_scenario() {
+    let from_file = Scenario::parse_str(&read("streaming.scn")).expect("golden parses");
+    let builtin = figures::streaming_scenario(RunScale::Full);
+    assert_eq!(
+        from_file, builtin,
+        "examples/scenarios/streaming.scn drifted from figures::streaming_scenario \
+         (regenerate with `scrip-sim export streaming`) — keep docs/SCENARIOS.md's \
+         streaming.* key documentation in step with it"
+    );
+}
+
+#[test]
+fn streaming_example_files_expand_to_the_documented_cases() {
+    let flash = Scenario::parse_str(&read("streaming_flash_crowd.scn")).expect("parses");
+    let labels: Vec<String> = flash
+        .expand()
+        .expect("expands")
+        .into_iter()
+        .map(|c| c.label)
+        .collect();
+    assert_eq!(labels, ["static", "steady", "flash"]);
+
+    let free_rider = Scenario::parse_str(&read("free_rider_stall.scn")).expect("parses");
+    assert_eq!(
+        free_rider.expand().expect("expands").len(),
+        8,
+        "2 price levels × 4 endowments"
+    );
+
+    let seeder = Scenario::parse_str(&read("seeder_incentive.scn")).expect("parses");
+    let seeder_cases = seeder.expand().expect("expands");
+    assert_eq!(seeder_cases.len(), 6, "2 wealth cases × 3 capacities");
+    // The sweep axis drives a streaming protocol sub-key.
+    assert_eq!(
+        seeder_cases[0]
+            .spec
+            .config()
+            .streaming
+            .as_ref()
+            .map(|s| s.source_uploads),
+        Some(1)
+    );
+    assert_eq!(
+        seeder_cases[2]
+            .spec
+            .config()
+            .streaming
+            .as_ref()
+            .map(|s| s.source_uploads),
+        Some(16)
+    );
+}
+
+#[test]
 fn example_files_expand_to_the_documented_cases() {
     let flash = Scenario::parse_str(&read("flash_crowd.scn")).expect("parses");
     let labels: Vec<String> = flash

@@ -53,7 +53,6 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod arena;
 pub mod auction;
 pub mod credits;
 mod error;
@@ -67,6 +66,11 @@ pub mod spec;
 
 pub use credits::Ledger;
 pub use error::CoreError;
+
+// The dense slot map lives in `scrip-topology` (next to the graph that
+// shares its discipline) so the streaming crate can use it too; the old
+// `scrip_core::arena` path keeps working through this re-export.
+pub use scrip_topology::arena;
 
 // Re-export the substrate crates so downstream users need only one
 // dependency.

@@ -128,6 +128,15 @@ pub struct MarketConfig {
     /// queue level. Only affects neighbor routing (the asymmetric
     /// profile).
     pub availability_feedback: bool,
+    /// When set, the market is realized at *chunk granularity*: the
+    /// configured mesh-pull streaming protocol runs on the overlay and
+    /// every peer-to-peer chunk transfer is a credit trade through the
+    /// shared ledger ([`crate::protocol::run_streaming_market`]). The
+    /// topology, credits, pricing, taxation, churn and `sample_interval`
+    /// keys apply as usual; `profile`, `spending`, `base_rate` and
+    /// `availability_feedback` are queue-level concepts and are ignored
+    /// (chunk availability plays their role for real).
+    pub streaming: Option<scrip_streaming::StreamingConfig>,
 }
 
 impl MarketConfig {
@@ -147,6 +156,7 @@ impl MarketConfig {
             topology: TopologyKind::default(),
             sample_interval: SimDuration::from_secs(100),
             availability_feedback: false,
+            streaming: None,
         }
     }
 
@@ -218,6 +228,14 @@ impl MarketConfig {
         self
     }
 
+    /// Realizes this market at chunk granularity: the given mesh-pull
+    /// protocol runs on the overlay and chunk trades settle through the
+    /// shared ledger (see [`MarketConfig::streaming`]).
+    pub fn streaming_market(mut self, streaming: scrip_streaming::StreamingConfig) -> Self {
+        self.streaming = Some(streaming);
+        self
+    }
+
     /// Checks the scalar parameters (population, rates, intervals,
     /// pricing) without realizing anything.
     ///
@@ -240,10 +258,13 @@ impl MarketConfig {
             return Err(CoreError::Config("sample interval must be positive".into()));
         }
         self.pricing.validate()?;
+        if let Some(streaming) = &self.streaming {
+            streaming.validate().map_err(CoreError::Config)?;
+        }
         Ok(())
     }
 
-    fn build_graph(&self, rng: &mut SimRng) -> Result<Graph, CoreError> {
+    pub(crate) fn build_graph(&self, rng: &mut SimRng) -> Result<Graph, CoreError> {
         match self.topology {
             TopologyKind::ScaleFree => {
                 Ok(generators::scale_free(&ScaleFreeConfig::new(self.n)?, rng)?)
@@ -319,6 +340,13 @@ impl CreditMarket {
     /// failures.
     pub fn build(config: MarketConfig, seed: u64) -> Result<Self, CoreError> {
         config.validate()?;
+        if config.streaming.is_some() {
+            return Err(CoreError::Config(
+                "config selects a chunk-level streaming market; build it with \
+                 crate::protocol::run_streaming_market instead"
+                    .into(),
+            ));
+        }
         let mut rng = SimRng::seed_from_u64(seed);
         let graph = config.build_graph(&mut rng)?;
         let mut ledger = Ledger::new();

@@ -4,17 +4,32 @@
 //! [`CreditTradePolicy`] implements [`scrip_streaming::TradePolicy`]:
 //! every peer-to-peer chunk transfer is authorized against the buyer's
 //! wallet and settled by transferring the seller's quoted price, with
-//! optional income taxation. [`StreamingMarket`] bundles policy and
-//! protocol into a runnable simulation.
+//! optional income taxation. All per-peer accounting is slot-indexed
+//! through a [`PeerArena`] and the ledger maintains its wealth Gini
+//! online, so a settlement on the chunk-trade hot path is
+//! allocation-free (see the "Performance model" section of
+//! `docs/ARCHITECTURE.md`).
+//!
+//! Two entry points build the combined system:
+//!
+//! * [`StreamingMarket`] — the ergonomic builder for hand-constructed
+//!   experiments (bring your own [`Graph`]);
+//! * [`build_streaming_market`] / [`run_streaming_market`] — the
+//!   declarative path: realize a [`MarketConfig`] whose
+//!   [`MarketConfig::streaming`] is set (topology, credits, pricing,
+//!   taxation, churn, and Gini sampling all wired through), which is
+//!   what the scenario engine and `scrip-sim` call.
 
 use std::collections::BTreeMap;
 
+use scrip_des::stats::TimeSeries;
 use scrip_des::{SimRng, SimTime, Simulation};
-use scrip_streaming::{StreamEvent, StreamingConfig, StreamingSystem, TradePolicy};
-use scrip_topology::{Graph, NodeId};
+use scrip_streaming::{StreamEvent, StreamingChurn, StreamingConfig, StreamingSystem, TradePolicy};
+use scrip_topology::{Graph, NodeId, PeerArena};
 
 use crate::credits::Ledger;
 use crate::error::CoreError;
+use crate::market::MarketConfig;
 use crate::policy::{TaxConfig, Taxation};
 use crate::pricing::{PricingConfig, PricingModel};
 
@@ -32,8 +47,16 @@ pub struct CreditTradePolicy {
     pricing: PricingModel,
     taxation: Option<Taxation>,
     rng: SimRng,
-    spent: BTreeMap<NodeId, u64>,
-    earned: BTreeMap<NodeId, u64>,
+    /// Live peers; `spent`/`earned` below are slot-indexed through it.
+    arena: PeerArena,
+    /// Credits spent per peer (slot-indexed).
+    spent: Vec<u64>,
+    /// Credits earned per peer (slot-indexed).
+    earned: Vec<u64>,
+    /// Wallet endowment for churn joiners (the paper's `c`).
+    initial_credits: u64,
+    /// `(t, wealth Gini)` samples recorded by [`TradePolicy::sample`].
+    gini_series: TimeSeries,
     /// Purchases refused at authorization time.
     pub denials: u64,
     /// Settlements completed.
@@ -47,7 +70,8 @@ pub struct CreditTradePolicy {
 
 impl CreditTradePolicy {
     /// Creates the policy: every peer in `peers` gets
-    /// `initial_credits`, and prices follow `pricing`.
+    /// `initial_credits`, and prices follow `pricing`. The ledger's
+    /// online Gini accumulator is enabled, so samples are O(1).
     ///
     /// # Errors
     /// Returns [`CoreError::Config`] for invalid pricing parameters.
@@ -63,6 +87,7 @@ impl CreditTradePolicy {
         for &p in peers {
             ledger.mint(p, initial_credits);
         }
+        ledger.enable_wealth_tracking();
         let pricing = PricingModel::realize(pricing, peers, &mut rng)?;
         let source_price = (pricing.mean_price().round() as u64).max(1);
         Ok(CreditTradePolicy {
@@ -70,8 +95,11 @@ impl CreditTradePolicy {
             pricing,
             taxation: tax.map(Taxation::new),
             rng,
-            spent: peers.iter().map(|&p| (p, 0)).collect(),
-            earned: peers.iter().map(|&p| (p, 0)).collect(),
+            arena: PeerArena::from_ids(peers),
+            spent: vec![0; peers.len()],
+            earned: vec![0; peers.len()],
+            initial_credits,
+            gini_series: TimeSeries::new(),
             denials: 0,
             settlements: 0,
             shortfalls: 0,
@@ -111,21 +139,57 @@ impl CreditTradePolicy {
         self.taxation.as_ref()
     }
 
-    /// Credits spent per peer.
-    pub fn spent(&self) -> &BTreeMap<NodeId, u64> {
-        &self.spent
+    /// Credits spent per live peer (assembled on demand; the hot path
+    /// uses the slot-indexed arena).
+    pub fn spent(&self) -> BTreeMap<NodeId, u64> {
+        self.arena
+            .ids()
+            .iter()
+            .zip(&self.spent)
+            .map(|(&id, &s)| (id, s))
+            .collect()
     }
 
-    /// Credits earned per peer.
-    pub fn earned(&self) -> &BTreeMap<NodeId, u64> {
-        &self.earned
+    /// Credits earned per live peer (assembled on demand).
+    pub fn earned(&self) -> BTreeMap<NodeId, u64> {
+        self.arena
+            .ids()
+            .iter()
+            .zip(&self.earned)
+            .map(|(&id, &e)| (id, e))
+            .collect()
+    }
+
+    /// The recorded `(t, wealth Gini)` trajectory — one sample per
+    /// [`StreamEvent::Sample`] tick.
+    pub fn gini_series(&self) -> &TimeSeries {
+        &self.gini_series
+    }
+
+    /// Gini index of the current wealth distribution. O(1): read from
+    /// the ledger's online accumulator.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::Econ`] if the market has no peers.
+    pub fn wealth_gini(&self) -> Result<f64, CoreError> {
+        match self.ledger.tracked_gini() {
+            Some(g) => Ok(g),
+            None => Ok(scrip_econ::gini_u64(&self.ledger.balances_vec())?),
+        }
+    }
+
+    /// Current balances sorted ascending.
+    pub fn balances_sorted(&self) -> Vec<u64> {
+        let mut v = self.ledger.balances_vec();
+        v.sort_unstable();
+        v
     }
 
     /// Per-peer credit spending rates over `[0, now]`, sorted ascending —
     /// the series of the paper's Fig. 1.
     pub fn spending_rates_sorted(&self, now: SimTime) -> Vec<f64> {
         let elapsed = now.as_secs_f64().max(1e-9);
-        let mut rates: Vec<f64> = self.spent.values().map(|&s| s as f64 / elapsed).collect();
+        let mut rates: Vec<f64> = self.spent.iter().map(|&s| s as f64 / elapsed).collect();
         rates.sort_by(|a, b| a.partial_cmp(b).expect("finite rates"));
         rates
     }
@@ -149,8 +213,15 @@ impl TradePolicy for CreditTradePolicy {
             self.shortfalls += 1;
         }
         if afford > 0 && self.ledger.transfer(buyer, seller, afford).is_ok() {
-            *self.spent.entry(buyer).or_insert(0) += afford;
-            *self.earned.entry(seller).or_insert(0) += afford;
+            // The transfer succeeded, so both accounts are live and
+            // slotted (the seller could have departed mid-flight, in
+            // which case the transfer above already refused).
+            if let Some(slot) = self.arena.slot(buyer) {
+                self.spent[slot] += afford;
+            }
+            if let Some(slot) = self.arena.slot(seller) {
+                self.earned[slot] += afford;
+            }
             if let Some(tax) = &mut self.taxation {
                 let wealth = self.ledger.balance(seller);
                 let due = tax.assess(afford, wealth, &mut self.rng);
@@ -188,9 +259,34 @@ impl TradePolicy for CreditTradePolicy {
         if paid < self.source_price {
             self.shortfalls += 1;
         }
-        *self.spent.entry(buyer).or_insert(0) += paid;
+        if let Some(slot) = self.arena.slot(buyer) {
+            self.spent[slot] += paid;
+        }
         self.source_income += paid;
         self.redistribute_escrow();
+    }
+
+    fn on_join(&mut self, peer: NodeId, _now: SimTime) {
+        self.ledger.mint(peer, self.initial_credits);
+        self.pricing.on_join(peer, &mut self.rng);
+        self.arena.insert(peer);
+        self.spent.push(0);
+        self.earned.push(0);
+    }
+
+    fn on_leave(&mut self, peer: NodeId, _now: SimTime) {
+        self.ledger.burn_account(peer);
+        self.pricing.on_leave(peer);
+        if let Some(removal) = self.arena.remove(peer) {
+            self.spent.swap_remove(removal.slot);
+            self.earned.swap_remove(removal.slot);
+        }
+    }
+
+    fn sample(&mut self, now: SimTime) {
+        if let Some(gini) = self.ledger.tracked_gini() {
+            self.gini_series.record(now, gini);
+        }
     }
 }
 
@@ -267,16 +363,90 @@ impl StreamingMarket {
         horizon: SimTime,
     ) -> Result<StreamingSystem<CreditTradePolicy>, CoreError> {
         let system = self.build(graph, seed)?;
-        let mut sim = Simulation::new(system);
+        let capacity = system.queue_capacity_hint();
+        let mut sim = Simulation::with_capacity(system, capacity);
         sim.schedule(SimTime::ZERO, StreamEvent::Bootstrap);
         sim.run_until(horizon);
         Ok(sim.into_model())
     }
 }
 
+/// Realizes a [`MarketConfig`] whose [`MarketConfig::streaming`] is set
+/// as a full protocol-level market: the market's topology, credits,
+/// pricing and taxation wire the [`CreditTradePolicy`]; the market's
+/// `sample_interval` drives the Gini/stall sampling chain; and the
+/// market's churn (if any) becomes chunk-level peer dynamics.
+///
+/// Precedence: `sample_interval`/`churn` set directly on the
+/// [`StreamingConfig`] win; the market-level values only fill in when
+/// the protocol config leaves them unset (which is always the case for
+/// spec-built configs — the `streaming.*` keys don't expose them).
+///
+/// # Errors
+/// Returns [`CoreError::Config`] if `config.streaming` is [`None`] or
+/// any layer's parameters are invalid.
+pub fn build_streaming_market(
+    config: &MarketConfig,
+    seed: u64,
+) -> Result<StreamingSystem<CreditTradePolicy>, CoreError> {
+    config.validate()?;
+    let Some(streaming) = &config.streaming else {
+        return Err(CoreError::Config(
+            "not a streaming market: set MarketConfig::streaming (spec key `streaming`)".into(),
+        ));
+    };
+    let mut streaming = streaming.clone();
+    // Market-level settings fill gaps the protocol config left open;
+    // values set directly on the StreamingConfig win, so API callers
+    // who configured churn/sampling at the protocol layer keep them.
+    if streaming.sample_interval.is_none() {
+        streaming.sample_interval = Some(config.sample_interval);
+    }
+    if streaming.churn.is_none() {
+        streaming.churn = match config.churn {
+            Some(churn) => Some(
+                StreamingChurn::new(churn.arrival_rate, churn.mean_lifespan, churn.attach_degree)
+                    .map_err(CoreError::Config)?,
+            ),
+            None => None,
+        };
+    }
+    let mut rng = SimRng::seed_from_u64(seed);
+    let graph = config.build_graph(&mut rng)?;
+    let peers: Vec<NodeId> = graph.node_ids().collect();
+    let policy = CreditTradePolicy::new(
+        &peers,
+        config.initial_credits,
+        config.pricing,
+        config.tax,
+        seed,
+    )?;
+    StreamingSystem::new(graph, streaming, policy, rng).map_err(CoreError::Config)
+}
+
+/// Convenience runner: builds the streaming market, simulates until
+/// `horizon`, and returns the finished system — the chunk-level
+/// counterpart of [`crate::market::run_market`].
+///
+/// # Errors
+/// Returns [`CoreError`] if construction fails.
+pub fn run_streaming_market(
+    config: &MarketConfig,
+    seed: u64,
+    horizon: SimTime,
+) -> Result<StreamingSystem<CreditTradePolicy>, CoreError> {
+    let system = build_streaming_market(config, seed)?;
+    let capacity = system.queue_capacity_hint();
+    let mut sim = Simulation::with_capacity(system, capacity);
+    sim.schedule(SimTime::ZERO, StreamEvent::Bootstrap);
+    sim.run_until(horizon);
+    Ok(sim.into_model())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::market::ChurnConfig;
     use scrip_topology::generators::{self, ScaleFreeConfig};
 
     fn graph(n: usize, seed: u64) -> Graph {
@@ -313,6 +483,33 @@ mod tests {
         assert_eq!(p.ledger().balance(peers[1]), 6);
         assert_eq!(p.shortfalls, 1);
         assert_eq!(p.settlements, 2);
+        assert_eq!(p.spent()[&peers[0]], 3);
+        assert_eq!(p.earned()[&peers[1]], 3);
+        assert!(p.ledger().conserved());
+    }
+
+    #[test]
+    fn join_and_leave_mint_and_burn() {
+        let peers: Vec<NodeId> = (0..3).map(NodeId::from_raw).collect();
+        let mut p =
+            CreditTradePolicy::new(&peers, 10, PricingConfig::Uniform { price: 1 }, None, 3)
+                .expect("policy");
+        let joiner = NodeId::from_raw(3);
+        p.on_join(joiner, SimTime::ZERO);
+        assert_eq!(p.ledger().balance(joiner), 10);
+        assert_eq!(p.ledger().minted(), 40);
+        assert_eq!(p.spent().len(), 4);
+        p.on_leave(joiner, SimTime::ZERO);
+        assert_eq!(p.ledger().burned(), 10);
+        assert_eq!(p.spent().len(), 3);
+        assert!(p.ledger().conserved());
+        // A settlement naming the departed seller refuses the transfer.
+        p.settle(peers[0], joiner, 0, SimTime::ZERO);
+        assert_eq!(
+            p.ledger().balance(peers[0]),
+            10,
+            "no payment left the buyer"
+        );
         assert!(p.ledger().conserved());
     }
 
@@ -400,5 +597,95 @@ mod tests {
         for w in rates.windows(2) {
             assert!(w[1] >= w[0]);
         }
+    }
+
+    #[test]
+    fn declarative_streaming_market_runs_end_to_end() {
+        let config = MarketConfig::new(40, 60)
+            .streaming_market(StreamingConfig::market_paced(1.0))
+            .sample_interval(scrip_des::SimDuration::from_secs(20));
+        let system = run_streaming_market(&config, 11, SimTime::from_secs(200)).expect("runs");
+        let policy = system.policy();
+        assert!(
+            policy.settlements > 100,
+            "settlements {}",
+            policy.settlements
+        );
+        assert!(policy.ledger().conserved());
+        // The sampling chain recorded both series.
+        assert!(
+            policy.gini_series().len() >= 9,
+            "{}",
+            policy.gini_series().len()
+        );
+        assert!(system.stall_series().len() >= 9);
+        // Non-streaming configs are refused.
+        let queue_level = MarketConfig::new(40, 60);
+        assert!(build_streaming_market(&queue_level, 11).is_err());
+    }
+
+    #[test]
+    fn declarative_streaming_market_with_churn_conserves() {
+        let config = MarketConfig::new(40, 30)
+            .streaming_market(StreamingConfig::market_paced(1.0))
+            .churn(ChurnConfig::new(0.4, 100.0, 8).expect("valid"))
+            .sample_interval(scrip_des::SimDuration::from_secs(20));
+        let system = run_streaming_market(&config, 13, SimTime::from_secs(300)).expect("runs");
+        let policy = system.policy();
+        assert!(policy.ledger().conserved(), "conservation through churn");
+        assert!(policy.ledger().minted() > 40 * 30, "joiners mint credits");
+        assert!(policy.ledger().burned() > 0, "departures burn credits");
+        // Policy accounting tracks the live population exactly.
+        assert_eq!(policy.spent().len(), system.peer_count());
+        assert_eq!(policy.ledger().accounts(), system.peer_count());
+    }
+
+    #[test]
+    fn protocol_level_churn_and_sampling_take_precedence() {
+        use scrip_streaming::StreamingChurn;
+        // Churn/sampling set on the StreamingConfig itself survive the
+        // market wiring even when the MarketConfig leaves them unset.
+        let streaming = StreamingConfig {
+            churn: Some(StreamingChurn::new(0.3, 100.0, 6).expect("valid")),
+            sample_interval: Some(scrip_des::SimDuration::from_secs(7)),
+            ..StreamingConfig::market_paced(1.0)
+        };
+        let config = MarketConfig::new(20, 30).streaming_market(streaming);
+        let system = build_streaming_market(&config, 5).expect("builds");
+        let built = system.config();
+        assert_eq!(
+            built.sample_interval,
+            Some(scrip_des::SimDuration::from_secs(7)),
+            "protocol-level sample interval was overwritten"
+        );
+        assert_eq!(
+            built.churn.map(|c| c.attach_degree),
+            Some(6),
+            "protocol-level churn was overwritten"
+        );
+        // Market-level values still fill the gaps when unset.
+        let config = MarketConfig::new(20, 30)
+            .streaming_market(StreamingConfig::market_paced(1.0))
+            .churn(ChurnConfig::new(0.2, 150.0, 9).expect("valid"));
+        let system = build_streaming_market(&config, 5).expect("builds");
+        assert_eq!(system.config().churn.map(|c| c.attach_degree), Some(9));
+        assert_eq!(
+            system.config().sample_interval,
+            Some(config.sample_interval)
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let config = MarketConfig::new(30, 40)
+            .streaming_market(StreamingConfig::market_paced(1.0))
+            .sample_interval(scrip_des::SimDuration::from_secs(25));
+        let a = run_streaming_market(&config, 21, SimTime::from_secs(150)).expect("runs");
+        let b = run_streaming_market(&config, 21, SimTime::from_secs(150)).expect("runs");
+        assert_eq!(a.policy().balances_sorted(), b.policy().balances_sorted());
+        assert_eq!(a.policy().gini_series(), b.policy().gini_series());
+        assert_eq!(a.stall_series(), b.stall_series());
+        let c = run_streaming_market(&config, 22, SimTime::from_secs(150)).expect("runs");
+        assert_ne!(a.policy().balances_sorted(), c.policy().balances_sorted());
     }
 }

@@ -22,6 +22,35 @@
 //! | `topology`              | `scale-free` \| `complete` \| `ring` \| `regular:DEGREE` |
 //! | `sample`                | float > 0 (Gini sampling interval, seconds)    |
 //! | `availability-feedback` | `true` \| `false`                              |
+//! | `streaming`             | `none` \| `paced:CHUNK_RATE` (chunk-level market) |
+//!
+//! Setting `streaming = paced:CHUNK_RATE` switches the realized market
+//! to *chunk granularity*: the mesh-pull streaming protocol
+//! ([`scrip_streaming::StreamingConfig::market_paced`] at the given
+//! chunk rate) runs on the overlay and every chunk transfer settles
+//! through the shared ledger. The `streaming` value is a **preset**:
+//! every (re-)set of the key reinitializes *all* protocol knobs to the
+//! `market_paced` defaults for that rate, so customize with the
+//! sub-keys *after* it — sweeping or overriding `streaming` itself
+//! deliberately resets any sub-key customization (canonical
+//! serialization always emits `streaming` before its sub-keys, so
+//! round-trips are exact). The protocol knobs below are addressable
+//! while streaming is enabled (setting any of them while `streaming`
+//! is `none` is an error — enable streaming first):
+//!
+//! | key                          | value syntax                            |
+//! |------------------------------|-----------------------------------------|
+//! | `streaming.window`           | integer ≥ 1 (buffer-map width, chunks)  |
+//! | `streaming.startup`          | integer (chunks buffered before playback) |
+//! | `streaming.max-pending`      | integer ≥ 1 (in-flight requests per peer) |
+//! | `streaming.max-uploads`      | integer ≥ 1 (concurrent uploads per peer) |
+//! | `streaming.source-uploads`   | integer ≥ 1 (concurrent source uploads)   |
+//! | `streaming.source-degree`    | `all` \| integer ≥ 1 (source-fed peers)  |
+//! | `streaming.transfer-time`    | float > 0 (mean chunk transfer secs)     |
+//! | `streaming.schedule-interval`| float > 0 (pull-round period, secs)      |
+//! | `streaming.strategy`         | `rarest-first` \| `deadline-first`       |
+//! | `streaming.provider`         | `random` \| `least-uploads`              |
+//! | `streaming.serve-behind`     | integer (chunks kept behind playback)    |
 //!
 //! ```
 //! use scrip_core::spec::MarketSpec;
@@ -40,6 +69,7 @@
 //! ```
 
 use scrip_des::SimDuration;
+use scrip_streaming::{ChunkStrategy, ProviderSelection, StreamingConfig};
 
 use crate::error::CoreError;
 use crate::market::{ChurnConfig, MarketConfig, TopologyKind};
@@ -47,8 +77,10 @@ use crate::model::UtilizationProfile;
 use crate::policy::{SpendingPolicy, TaxConfig};
 use crate::pricing::PricingConfig;
 
-/// The spec keys, in canonical serialization order.
-pub const MARKET_SPEC_KEYS: [&str; 11] = [
+/// The spec keys, in canonical serialization order. The `streaming`
+/// toggle precedes its sub-keys so serialized specs always re-parse
+/// (sub-keys require streaming to be enabled).
+pub const MARKET_SPEC_KEYS: [&str; 23] = [
     "peers",
     "credits",
     "base-rate",
@@ -60,6 +92,18 @@ pub const MARKET_SPEC_KEYS: [&str; 11] = [
     "topology",
     "sample",
     "availability-feedback",
+    "streaming",
+    "streaming.window",
+    "streaming.startup",
+    "streaming.max-pending",
+    "streaming.max-uploads",
+    "streaming.source-uploads",
+    "streaming.source-degree",
+    "streaming.transfer-time",
+    "streaming.schedule-interval",
+    "streaming.strategy",
+    "streaming.provider",
+    "streaming.serve-behind",
 ];
 
 /// A declarative market description with string-keyed access.
@@ -266,6 +310,88 @@ impl MarketSpec {
                     _ => return Err(bad(key, value, "true | false")),
                 };
             }
+            "streaming" => {
+                self.config.streaming = if value == "none" {
+                    None
+                } else {
+                    match value.split_once(':') {
+                        Some(("paced", rate)) => {
+                            let rate = parse_f64(key, rate)?;
+                            if rate <= 0.0 {
+                                return Err(bad(key, value, "a chunk rate > 0"));
+                            }
+                            Some(StreamingConfig::market_paced(rate))
+                        }
+                        _ => return Err(bad(key, value, "none | paced:CHUNK_RATE")),
+                    }
+                };
+            }
+            sub if sub.starts_with("streaming.") => {
+                let Some(current) = self.config.streaming.as_ref() else {
+                    return Err(CoreError::Config(format!(
+                        "key {key:?} requires a streaming market: set \
+                         `streaming` to `paced:CHUNK_RATE` first (in scenario \
+                         files, `streaming` must precede its sub-keys)"
+                    )));
+                };
+                // Mutate a copy and validate the combined protocol
+                // config before committing, so a failed set leaves the
+                // spec untouched and valid.
+                let mut streaming = current.clone();
+                match sub {
+                    "streaming.window" => streaming.window = parse_usize(key, value)?,
+                    "streaming.startup" => streaming.startup_buffer = parse_usize(key, value)?,
+                    "streaming.max-pending" => streaming.max_pending = parse_usize(key, value)?,
+                    "streaming.max-uploads" => streaming.max_uploads = parse_usize(key, value)?,
+                    "streaming.source-uploads" => {
+                        streaming.source_uploads = parse_usize(key, value)?;
+                    }
+                    "streaming.source-degree" => {
+                        streaming.source_degree = if value == "all" {
+                            usize::MAX
+                        } else {
+                            parse_usize(key, value)?
+                        };
+                    }
+                    "streaming.transfer-time" => {
+                        streaming.transfer_time_mean = parse_f64(key, value)?;
+                    }
+                    "streaming.schedule-interval" => {
+                        let secs = parse_f64(key, value)?;
+                        if secs <= 0.0 {
+                            return Err(bad(key, value, "a positive number of seconds"));
+                        }
+                        streaming.schedule_interval = SimDuration::from_secs_f64(secs);
+                    }
+                    "streaming.strategy" => {
+                        streaming.strategy = match value {
+                            "rarest-first" => ChunkStrategy::RarestFirst,
+                            "deadline-first" => ChunkStrategy::DeadlineFirst,
+                            _ => return Err(bad(key, value, "rarest-first | deadline-first")),
+                        };
+                    }
+                    "streaming.provider" => {
+                        streaming.provider_selection = match value {
+                            "random" => ProviderSelection::Random,
+                            "least-uploads" => ProviderSelection::LeastUploads,
+                            _ => return Err(bad(key, value, "random | least-uploads")),
+                        };
+                    }
+                    "streaming.serve-behind" => {
+                        streaming.serve_behind = parse_usize(key, value)?;
+                    }
+                    _ => {
+                        return Err(CoreError::Config(format!(
+                            "unknown market key {key:?} (known keys: {})",
+                            MARKET_SPEC_KEYS.join(", ")
+                        )))
+                    }
+                }
+                streaming
+                    .validate()
+                    .map_err(|e| CoreError::Config(format!("{key}: {e}")))?;
+                self.config.streaming = Some(streaming);
+            }
             _ => {
                 return Err(CoreError::Config(format!(
                     "unknown market key {key:?} (known keys: {})",
@@ -317,15 +443,53 @@ impl MarketSpec {
             },
             "sample" => c.sample_interval.as_secs_f64().to_string(),
             "availability-feedback" => c.availability_feedback.to_string(),
+            "streaming" => match &c.streaming {
+                None => "none".into(),
+                Some(s) => format!("paced:{}", s.chunk_rate),
+            },
+            sub if sub.starts_with("streaming.") => {
+                // Sub-keys are only addressable (and only serialized)
+                // while streaming is enabled.
+                let s = c.streaming.as_ref()?;
+                match sub {
+                    "streaming.window" => s.window.to_string(),
+                    "streaming.startup" => s.startup_buffer.to_string(),
+                    "streaming.max-pending" => s.max_pending.to_string(),
+                    "streaming.max-uploads" => s.max_uploads.to_string(),
+                    "streaming.source-uploads" => s.source_uploads.to_string(),
+                    "streaming.source-degree" => {
+                        if s.source_degree == usize::MAX {
+                            "all".into()
+                        } else {
+                            s.source_degree.to_string()
+                        }
+                    }
+                    "streaming.transfer-time" => s.transfer_time_mean.to_string(),
+                    "streaming.schedule-interval" => s.schedule_interval.as_secs_f64().to_string(),
+                    "streaming.strategy" => match s.strategy {
+                        ChunkStrategy::RarestFirst => "rarest-first".into(),
+                        ChunkStrategy::DeadlineFirst => "deadline-first".into(),
+                    },
+                    "streaming.provider" => match s.provider_selection {
+                        ProviderSelection::Random => "random".into(),
+                        ProviderSelection::LeastUploads => "least-uploads".into(),
+                    },
+                    "streaming.serve-behind" => s.serve_behind.to_string(),
+                    _ => return None,
+                }
+            }
             _ => return None,
         })
     }
 
     /// All `(key, canonical value)` pairs in serialization order.
+    /// Streaming sub-keys appear only when streaming is enabled, so a
+    /// queue-level spec serializes exactly as it did before the
+    /// chunk-level market existed.
     pub fn entries(&self) -> Vec<(&'static str, String)> {
         MARKET_SPEC_KEYS
             .iter()
-            .map(|&k| (k, self.get(k).expect("known key")))
+            .filter_map(|&k| Some((k, self.get(k)?)))
             .collect()
     }
 }
@@ -354,6 +518,18 @@ mod tests {
             ("topology", "regular:8"),
             ("sample", "50"),
             ("availability-feedback", "true"),
+            ("streaming", "paced:2"),
+            ("streaming.window", "96"),
+            ("streaming.startup", "6"),
+            ("streaming.max-pending", "8"),
+            ("streaming.max-uploads", "2"),
+            ("streaming.source-uploads", "6"),
+            ("streaming.source-degree", "20"),
+            ("streaming.transfer-time", "0.25"),
+            ("streaming.schedule-interval", "0.4"),
+            ("streaming.strategy", "deadline-first"),
+            ("streaming.provider", "least-uploads"),
+            ("streaming.serve-behind", "16"),
         ] {
             spec.set(key, value)
                 .unwrap_or_else(|e| panic!("{key}: {e}"));
@@ -367,6 +543,50 @@ mod tests {
         assert_eq!(copy.get("tax").expect("known"), "0.2:50");
         assert_eq!(copy.get("churn").expect("known"), "1.5:500:20");
         assert_eq!(copy.get("profile").expect("known"), "near-symmetric:0.03");
+        assert_eq!(copy.get("streaming").expect("known"), "paced:2");
+        assert_eq!(copy.get("streaming.window").expect("known"), "96");
+        assert_eq!(
+            copy.get("streaming.strategy").expect("known"),
+            "deadline-first"
+        );
+    }
+
+    #[test]
+    fn streaming_keys_gate_on_the_toggle() {
+        let mut spec = MarketSpec::new(40, 20);
+        // Sub-keys are refused while streaming is disabled…
+        let err = spec.set("streaming.window", "64").expect_err("gated");
+        assert!(err.to_string().contains("streaming"), "{err}");
+        assert_eq!(spec.get("streaming").expect("known"), "none");
+        assert_eq!(spec.get("streaming.window"), None, "hidden while disabled");
+        // …and the toggle doesn't serialize them either.
+        assert!(spec.entries().iter().all(|(k, _)| !k.contains('.')));
+
+        spec.set("streaming", "paced:1").expect("enables");
+        assert_eq!(
+            spec.config().streaming.as_ref().expect("set").chunk_rate,
+            1.0
+        );
+        // market_paced source degree is "all".
+        assert_eq!(spec.get("streaming.source-degree").expect("known"), "all");
+        spec.set("streaming.source-degree", "all")
+            .expect("round trips");
+        spec.set("streaming.window", "48")
+            .expect("sub-key works now");
+        assert_eq!(spec.entries().len(), MARKET_SPEC_KEYS.len());
+        spec.build().expect("valid streaming market");
+
+        // A failed sub-key set leaves the spec untouched and valid.
+        assert!(
+            spec.set("streaming.startup", "48").is_err(),
+            "startup >= window"
+        );
+        assert_eq!(spec.get("streaming.startup").expect("known"), "8");
+        spec.build().expect("still valid");
+
+        // Disabling streaming drops the sub-keys again.
+        spec.set("streaming", "none").expect("disables");
+        assert!(spec.build().expect("valid").streaming.is_none());
     }
 
     #[test]
@@ -407,6 +627,10 @@ mod tests {
             ("topology", "torus"),
             ("sample", "0"),
             ("availability-feedback", "yes"),
+            ("streaming", "fast"),
+            ("streaming", "paced:0"),
+            ("streaming.window", "64"),
+            ("streaming.bogus", "1"),
             ("color", "red"),
         ] {
             assert!(spec.set(key, value).is_err(), "{key}={value} should fail");

@@ -161,9 +161,10 @@ impl IncrementalGini {
     /// `value` is tracked (callers own the wallet ↔ accumulator
     /// correspondence; a mismatched remove would silently corrupt the
     /// histogram in release builds).
-    fn debug_assert_tracked(&self, value: u64) {
+    fn debug_assert_tracked(&self, _value: u64) {
         #[cfg(debug_assertions)]
         {
+            let value = _value;
             let below = if value == 0 {
                 0
             } else {

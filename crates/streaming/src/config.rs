@@ -27,6 +27,67 @@ pub enum ProviderSelection {
     LeastUploads,
 }
 
+/// Peer dynamics for a streaming swarm: Poisson arrivals, exponential
+/// lifespans, joiners attaching to `attach_degree` random peers — the
+/// chunk-level counterpart of the queue-level market's churn.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StreamingChurn {
+    /// Poisson arrival rate of new peers (peers/sec).
+    pub arrival_rate: f64,
+    /// Mean exponential lifespan of a peer (seconds).
+    pub mean_lifespan: f64,
+    /// Number of neighbors a joiner attaches to.
+    pub attach_degree: usize,
+}
+
+impl StreamingChurn {
+    /// Creates a validated churn description.
+    ///
+    /// # Errors
+    /// Returns a message for non-positive rates or zero attach degree.
+    pub fn new(
+        arrival_rate: f64,
+        mean_lifespan: f64,
+        attach_degree: usize,
+    ) -> Result<Self, String> {
+        let churn = StreamingChurn {
+            arrival_rate,
+            mean_lifespan,
+            attach_degree,
+        };
+        churn.validate()?;
+        Ok(churn)
+    }
+
+    /// Checks the parameters.
+    ///
+    /// # Errors
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.arrival_rate.is_finite() && self.arrival_rate > 0.0) {
+            return Err(format!(
+                "churn arrival rate must be > 0, got {}",
+                self.arrival_rate
+            ));
+        }
+        if !(self.mean_lifespan.is_finite() && self.mean_lifespan > 0.0) {
+            return Err(format!(
+                "churn mean lifespan must be > 0, got {}",
+                self.mean_lifespan
+            ));
+        }
+        if self.attach_degree == 0 {
+            return Err("churn attach degree must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// The expected steady-state swarm size, `arrival_rate × mean_lifespan`.
+    pub fn expected_size(&self) -> f64 {
+        self.arrival_rate * self.mean_lifespan
+    }
+}
+
 /// Parameters of the mesh-pull streaming protocol.
 ///
 /// Defaults are sized for the paper's experiments: a live stream where
@@ -60,6 +121,14 @@ pub struct StreamingConfig {
     /// How many chunks behind the playback position a peer keeps
     /// available for uploading to others.
     pub serve_behind: usize,
+    /// Interval between [`StreamEvent::Sample`] ticks, which record the
+    /// swarm stall rate and let the trade policy sample its own metrics
+    /// (e.g. the wealth Gini). [`None`] disables sampling.
+    ///
+    /// [`StreamEvent::Sample`]: crate::StreamEvent::Sample
+    pub sample_interval: Option<SimDuration>,
+    /// Peer dynamics (joins/leaves). [`None`] keeps the swarm static.
+    pub churn: Option<StreamingChurn>,
 }
 
 impl Default for StreamingConfig {
@@ -77,6 +146,8 @@ impl Default for StreamingConfig {
             strategy: ChunkStrategy::RarestFirst,
             provider_selection: ProviderSelection::Random,
             serve_behind: 32,
+            sample_interval: None,
+            churn: None,
         }
     }
 }
@@ -117,6 +188,8 @@ impl StreamingConfig {
             strategy: ChunkStrategy::RarestFirst,
             provider_selection: ProviderSelection::LeastUploads,
             serve_behind: 24,
+            sample_interval: None,
+            churn: None,
         }
     }
 
@@ -157,6 +230,12 @@ impl StreamingConfig {
         }
         if self.schedule_interval.is_zero() {
             return Err("schedule_interval must be positive".into());
+        }
+        if self.sample_interval.is_some_and(|s| s.is_zero()) {
+            return Err("sample_interval must be positive when set".into());
+        }
+        if let Some(churn) = &self.churn {
+            churn.validate()?;
         }
         Ok(())
     }
@@ -212,10 +291,37 @@ mod tests {
                 schedule_interval: SimDuration::ZERO,
                 ..defaults.clone()
             },
+            StreamingConfig {
+                sample_interval: Some(SimDuration::ZERO),
+                ..defaults.clone()
+            },
+            StreamingConfig {
+                churn: Some(StreamingChurn {
+                    arrival_rate: 0.0,
+                    mean_lifespan: 100.0,
+                    attach_degree: 5,
+                }),
+                ..defaults.clone()
+            },
         ];
         for c in broken {
             assert!(c.validate().is_err(), "{c:?} should fail validation");
         }
+    }
+
+    #[test]
+    fn churn_validation() {
+        assert!(StreamingChurn::new(0.0, 100.0, 5).is_err());
+        assert!(StreamingChurn::new(1.0, 0.0, 5).is_err());
+        assert!(StreamingChurn::new(1.0, 100.0, 0).is_err());
+        let churn = StreamingChurn::new(0.5, 200.0, 8).expect("valid");
+        assert!((churn.expected_size() - 100.0).abs() < 1e-9);
+        let config = StreamingConfig {
+            churn: Some(churn),
+            sample_interval: Some(SimDuration::from_secs(10)),
+            ..Default::default()
+        };
+        config.validate().expect("valid");
     }
 
     #[test]

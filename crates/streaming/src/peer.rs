@@ -1,7 +1,5 @@
 //! Per-peer protocol state.
 
-use std::collections::BTreeSet;
-
 use crate::chunk::BufferMap;
 
 /// Playback/transfer counters for one peer.
@@ -39,6 +37,67 @@ impl PeerStats {
     }
 }
 
+/// The set of chunk ids a peer is currently fetching: a sorted `Vec`
+/// instead of a tree, because it holds at most `max_pending` (≈ a
+/// dozen) entries — binary search plus a short memmove beats pointer
+/// chasing at that size, and the backing allocation is reused for the
+/// peer's whole lifetime (the trade hot path never allocates for it in
+/// steady state).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PendingSet {
+    chunks: Vec<u64>,
+}
+
+impl PendingSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        PendingSet::default()
+    }
+
+    /// Whether `chunk` is being fetched.
+    #[inline]
+    pub fn contains(&self, chunk: u64) -> bool {
+        self.chunks.binary_search(&chunk).is_ok()
+    }
+
+    /// Starts tracking `chunk`. Returns `true` if newly inserted.
+    pub fn insert(&mut self, chunk: u64) -> bool {
+        match self.chunks.binary_search(&chunk) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.chunks.insert(pos, chunk);
+                true
+            }
+        }
+    }
+
+    /// Stops tracking `chunk`. Returns `true` if it was present.
+    pub fn remove(&mut self, chunk: u64) -> bool {
+        match self.chunks.binary_search(&chunk) {
+            Ok(pos) => {
+                self.chunks.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Number of in-flight requests.
+    pub fn len(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Whether no request is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.chunks.is_empty()
+    }
+
+    /// The in-flight chunk ids, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.chunks.iter().copied()
+    }
+}
+
 /// The protocol state of one streaming peer.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PeerState {
@@ -47,7 +106,7 @@ pub struct PeerState {
     /// Next chunk to play, once playback has started.
     pub playback_pos: Option<u64>,
     /// Chunk ids currently being fetched (requests in flight).
-    pub pending: BTreeSet<u64>,
+    pub pending: PendingSet,
     /// Number of uploads currently in progress from this peer.
     pub active_uploads: usize,
     /// Counters.
@@ -60,7 +119,7 @@ impl PeerState {
         PeerState {
             buffer: BufferMap::new(window),
             playback_pos: None,
-            pending: BTreeSet::new(),
+            pending: PendingSet::new(),
             active_uploads: 0,
             stats: PeerStats::default(),
         }
@@ -116,5 +175,20 @@ mod tests {
         assert!(!p.started());
         p.playback_pos = Some(3);
         assert!(p.started());
+    }
+
+    #[test]
+    fn pending_set_behaves_like_a_set() {
+        let mut p = PendingSet::new();
+        assert!(p.is_empty());
+        assert!(p.insert(5));
+        assert!(p.insert(2));
+        assert!(!p.insert(5), "duplicate insert");
+        assert_eq!(p.len(), 2);
+        assert!(p.contains(2) && p.contains(5) && !p.contains(3));
+        assert_eq!(p.iter().collect::<Vec<_>>(), vec![2, 5], "sorted");
+        assert!(p.remove(2));
+        assert!(!p.remove(2), "double remove");
+        assert_eq!(p.len(), 1);
     }
 }

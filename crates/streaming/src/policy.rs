@@ -49,6 +49,23 @@ pub trait TradePolicy {
 
     /// Settles a source-to-peer delivery. Default: no payment.
     fn settle_source(&mut self, _buyer: NodeId, _chunk: u64, _now: SimTime) {}
+
+    /// A peer joined the swarm (churn). Credit-market policies endow the
+    /// joiner's wallet and register it with the pricing model here.
+    /// Default: no-op.
+    fn on_join(&mut self, _peer: NodeId, _now: SimTime) {}
+
+    /// A peer left the swarm (churn). Credit-market policies burn the
+    /// departing wallet here ("takes away its credits in possession").
+    /// Default: no-op.
+    fn on_leave(&mut self, _peer: NodeId, _now: SimTime) {}
+
+    /// A periodic sampling tick (see
+    /// [`StreamingConfig::sample_interval`]). Credit-market policies
+    /// record their wealth-Gini series here. Default: no-op.
+    ///
+    /// [`StreamingConfig::sample_interval`]: crate::StreamingConfig::sample_interval
+    fn sample(&mut self, _now: SimTime) {}
 }
 
 /// The no-currency policy: every trade is authorized and settlement is a

@@ -1,10 +1,24 @@
 //! The event-driven mesh-pull streaming system.
+//!
+//! ## Hot-path layout
+//!
+//! All per-peer protocol state is slot-indexed through one
+//! [`PeerArena`] (`NodeId → u32` flat slot map, swap-remove on leave):
+//! the [`PeerState`] vector and the source-fed flags are parallel `Vec`s
+//! mirroring its insert/swap-remove discipline, neighbor sets are
+//! borrowed straight from the graph's CSR rows
+//! ([`Graph::neighbor_slice`]), and the per-round work lists (wanted
+//! chunks, rarest-first keys, candidate providers) go through scratch
+//! buffers kept warm across events — a steady-state chunk trade
+//! allocates nothing. This mirrors the market simulator's architecture
+//! (see the "Performance model" section of `docs/ARCHITECTURE.md`).
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 use scrip_des::dist::Exp;
+use scrip_des::stats::TimeSeries;
 use scrip_des::{Model, Scheduler, SimDuration, SimRng, SimTime};
-use scrip_topology::{Graph, NodeId};
+use scrip_topology::{Graph, NodeId, PeerArena};
 
 use crate::config::{ChunkStrategy, StreamingConfig};
 use crate::metrics::SystemReport;
@@ -14,8 +28,9 @@ use crate::policy::TradePolicy;
 /// Events driving the streaming protocol.
 #[derive(Clone, Debug, PartialEq)]
 pub enum StreamEvent {
-    /// Kick-off: starts the source and every peer's scheduling loop.
-    /// Schedule exactly once, at the desired stream start time.
+    /// Kick-off: starts the source, every peer's scheduling loop, the
+    /// sampling chain, and (when configured) churn. Schedule exactly
+    /// once, at the desired stream start time.
     Bootstrap,
     /// The source emits its next chunk.
     SourceChunk,
@@ -47,25 +62,44 @@ pub enum StreamEvent {
     },
     /// A peer departs, dropping its edges and in-flight state.
     Leave(NodeId),
+    /// Periodic metrics tick: records the swarm stall rate and calls
+    /// [`TradePolicy::sample`]. Scheduled by [`StreamEvent::Bootstrap`]
+    /// when [`StreamingConfig::sample_interval`] is set.
+    Sample,
 }
 
 /// The mesh-pull streaming system: a [`Model`] for the
 /// [`scrip_des::Simulation`] kernel.
 ///
 /// See the [crate-level documentation](crate) for the protocol and an
-/// end-to-end example.
+/// end-to-end example, and the [module docs](self) for the hot-path
+/// data layout.
 #[derive(Clone, Debug)]
 pub struct StreamingSystem<T: TradePolicy> {
     config: StreamingConfig,
     graph: Graph,
-    peers: BTreeMap<NodeId, PeerState>,
-    source_neighbors: BTreeSet<NodeId>,
+    /// Live peers; parallel `Vec`s below are slot-indexed through it.
+    arena: PeerArena,
+    /// Slot-indexed protocol state.
+    peers: Vec<PeerState>,
+    /// Slot-indexed "directly fed by the source" flags.
+    source_fed: Vec<bool>,
     source_active_uploads: usize,
     next_chunk: u64,
     policy: T,
     rng: SimRng,
     transfer_time: Exp,
     bootstrapped: bool,
+    /// `(t, stall rate)` samples (see [`StreamingSystem::stall_series`]
+    /// for the exact definition).
+    stall_series: TimeSeries,
+    /// Scratch: missing chunks of the scheduling round (reused so the
+    /// hot path never allocates in steady state).
+    scratch_wanted: Vec<u64>,
+    /// Scratch: `(provider count, chunk)` keys for rarest-first.
+    scratch_keyed: Vec<(usize, u64)>,
+    /// Scratch: candidate providers for one chunk.
+    scratch_providers: Vec<NodeId>,
 }
 
 impl<T: TradePolicy> StreamingSystem<T> {
@@ -85,30 +119,34 @@ impl<T: TradePolicy> StreamingSystem<T> {
         if graph.node_count() == 0 {
             return Err("streaming needs at least one peer".into());
         }
-        let peers: BTreeMap<NodeId, PeerState> = graph
-            .node_ids()
-            .map(|id| (id, PeerState::new(config.window)))
-            .collect();
+        let ids: Vec<NodeId> = graph.node_ids().collect();
+        let arena = PeerArena::from_ids(&ids);
+        let peers: Vec<PeerState> = ids.iter().map(|_| PeerState::new(config.window)).collect();
         // The source feeds a random subset of peers.
-        let mut ids: Vec<NodeId> = graph.node_ids().collect();
-        rng.shuffle(&mut ids);
-        let source_neighbors: BTreeSet<NodeId> = ids
-            .into_iter()
-            .take(config.source_degree.min(peers.len()))
-            .collect();
+        let mut shuffled = ids;
+        rng.shuffle(&mut shuffled);
+        let mut source_fed = vec![false; peers.len()];
+        for &id in shuffled.iter().take(config.source_degree.min(peers.len())) {
+            source_fed[arena.slot(id).expect("freshly slotted")] = true;
+        }
         let transfer_time = Exp::new(1.0 / config.transfer_time_mean)
             .map_err(|e| format!("transfer time distribution: {e}"))?;
         Ok(StreamingSystem {
             config,
             graph,
+            arena,
             peers,
-            source_neighbors,
+            source_fed,
             source_active_uploads: 0,
             next_chunk: 0,
             policy,
             rng,
             transfer_time,
             bootstrapped: false,
+            stall_series: TimeSeries::new(),
+            scratch_wanted: Vec::new(),
+            scratch_keyed: Vec::new(),
+            scratch_providers: Vec::new(),
         })
     }
 
@@ -134,18 +172,28 @@ impl<T: TradePolicy> StreamingSystem<T> {
 
     /// One peer's protocol state, if the peer is (still) in the overlay.
     pub fn peer(&self, id: NodeId) -> Option<&PeerState> {
-        self.peers.get(&id)
+        self.arena.slot(id).map(|slot| &self.peers[slot])
     }
 
     /// Iterates over `(id, state)` for all live peers in ascending ID
-    /// order.
+    /// order (assembled on demand; the hot path uses slot indexing).
     pub fn peers(&self) -> impl Iterator<Item = (NodeId, &PeerState)> {
-        self.peers.iter().map(|(&id, s)| (id, s))
+        let mut pairs: Vec<(NodeId, usize)> = self
+            .arena
+            .ids()
+            .iter()
+            .enumerate()
+            .map(|(slot, &id)| (id, slot))
+            .collect();
+        pairs.sort_unstable_by_key(|&(id, _)| id);
+        pairs
+            .into_iter()
+            .map(move |(id, slot)| (id, &self.peers[slot]))
     }
 
     /// Number of live peers.
     pub fn peer_count(&self) -> usize {
-        self.peers.len()
+        self.arena.len()
     }
 
     /// Sequence number one past the newest chunk the source has emitted.
@@ -153,9 +201,36 @@ impl<T: TradePolicy> StreamingSystem<T> {
         self.next_chunk
     }
 
-    /// The peers directly fed by the source.
-    pub fn source_neighbors(&self) -> &BTreeSet<NodeId> {
-        &self.source_neighbors
+    /// Whether `id` is directly fed by the source.
+    pub fn is_source_fed(&self, id: NodeId) -> bool {
+        self.arena
+            .slot(id)
+            .is_some_and(|slot| self.source_fed[slot])
+    }
+
+    /// The peers directly fed by the source, ascending (assembled on
+    /// demand).
+    pub fn source_neighbors(&self) -> Vec<NodeId> {
+        let mut fed: Vec<NodeId> = self
+            .arena
+            .ids()
+            .iter()
+            .zip(&self.source_fed)
+            .filter(|&(_, &fed)| fed)
+            .map(|(&id, _)| id)
+            .collect();
+        fed.sort_unstable();
+        fed
+    }
+
+    /// The recorded `(t, stall rate)` series — one sample per
+    /// [`StreamEvent::Sample`] tick. The stall rate averages, over live
+    /// peers, each peer's missed-deadline fraction — with a peer that
+    /// has not yet started playback counting as fully stalled, so a
+    /// credit-starved swarm whose peers never leave the startup screen
+    /// reads as stalled rather than as suspiciously healthy.
+    pub fn stall_series(&self) -> &TimeSeries {
+        &self.stall_series
     }
 
     /// Per-peer availability weights for credit routing: for each peer
@@ -165,15 +240,13 @@ impl<T: TradePolicy> StreamingSystem<T> {
     /// streaming".
     pub fn availability_weights(&self) -> BTreeMap<NodeId, Vec<(NodeId, f64)>> {
         let mut out = BTreeMap::new();
-        for (&id, state) in &self.peers {
+        for (id, state) in self.peers() {
             let mut weights = Vec::new();
-            if let Some(nbrs) = self.graph.neighbors(id) {
-                for nb in nbrs {
-                    if let Some(nb_state) = self.peers.get(&nb) {
-                        let useful = state.buffer.useful_from(&nb_state.buffer);
-                        if useful > 0 {
-                            weights.push((nb, useful as f64));
-                        }
+            for &nb in self.graph.neighbor_slice(id).unwrap_or(&[]) {
+                if let Some(nb_state) = self.peer(nb) {
+                    let useful = state.buffer.useful_from(&nb_state.buffer);
+                    if useful > 0 {
+                        weights.push((nb, useful as f64));
                     }
                 }
             }
@@ -187,116 +260,128 @@ impl<T: TradePolicy> StreamingSystem<T> {
         SystemReport::compute(self, now)
     }
 
-    fn sample_transfer(&mut self) -> SimDuration {
-        SimDuration::from_secs_f64(self.transfer_time.sample(&mut self.rng))
+    /// The steady-state event-queue population this swarm sustains: per
+    /// peer one scheduling loop, one playback timer, and up to
+    /// `max_pending` in-flight deliveries; plus the source chunk clock,
+    /// the sampling chain, and (under churn) one leave timer per peer
+    /// and the arrival process. Size the simulation's queue with this
+    /// ([`scrip_des::Simulation::with_capacity`]) to keep scheduling
+    /// reallocation-free.
+    pub fn queue_capacity_hint(&self) -> usize {
+        let per_peer = 2 + self.config.max_pending + usize::from(self.config.churn.is_some());
+        self.arena.len() * per_peer + 3
     }
 
     /// The range of chunks a peer currently wants: from its playback
     /// position (or the live edge for not-yet-started peers) up to the
     /// pull horizon.
-    fn desired_range(&self, state: &PeerState) -> (u64, u64) {
-        let lookahead = (self.config.window - self.config.serve_behind) as u64;
+    fn desired_range(config: &StreamingConfig, next_chunk: u64, state: &PeerState) -> (u64, u64) {
+        let lookahead = (config.window - config.serve_behind) as u64;
         match state.playback_pos {
-            Some(pos) => (pos, (pos + lookahead).min(self.next_chunk)),
+            Some(pos) => (pos, (pos + lookahead).min(next_chunk)),
             None => {
-                let anchor = self
-                    .next_chunk
-                    .saturating_sub(2 * self.config.startup_buffer as u64);
-                (anchor, self.next_chunk)
+                let anchor = next_chunk.saturating_sub(2 * config.startup_buffer as u64);
+                (anchor, next_chunk)
             }
         }
     }
 
+    /// One pull-scheduling round — the streaming hot path. All borrows
+    /// are split at field level so the graph's neighbor slice, the
+    /// slot-indexed peer states, the RNG, and the scratch buffers can
+    /// be used together without any per-round allocation.
     fn handle_schedule(
         &mut self,
         id: NodeId,
         now: SimTime,
         scheduler: &mut Scheduler<StreamEvent>,
     ) {
-        if !self.peers.contains_key(&id) {
+        let StreamingSystem {
+            config,
+            graph,
+            arena,
+            peers,
+            source_fed,
+            source_active_uploads,
+            next_chunk,
+            policy,
+            rng,
+            transfer_time,
+            scratch_wanted: wanted,
+            scratch_keyed: keyed,
+            scratch_providers: providers,
+            ..
+        } = self;
+        let Some(slot) = arena.slot(id) else {
             return; // departed
-        }
-        let (from, to) = {
-            let state = &self.peers[&id];
-            self.desired_range(state)
         };
-        let neighbors: Vec<NodeId> = self
-            .graph
-            .neighbors(id)
-            .map(|it| it.collect())
-            .unwrap_or_default();
-        let is_source_fed = self.source_neighbors.contains(&id);
+        let (from, to) = Self::desired_range(config, *next_chunk, &peers[slot]);
+        let is_source_fed = source_fed[slot];
 
         // Missing, not-in-flight chunks in the desired range.
-        let mut wanted: Vec<u64> = {
-            let state = &self.peers[&id];
-            (from..to)
-                .filter(|&c| !state.buffer.has(c) && !state.pending.contains(&c))
-                .collect()
-        };
-        let capacity = {
-            let state = &self.peers[&id];
-            self.config.max_pending.saturating_sub(state.pending.len())
-        };
+        wanted.clear();
+        {
+            let state = &peers[slot];
+            wanted
+                .extend((from..to).filter(|&c| !state.buffer.has(c) && !state.pending.contains(c)));
+        }
+        let capacity = config.max_pending.saturating_sub(peers[slot].pending.len());
         if capacity == 0 || wanted.is_empty() {
-            scheduler.schedule_after(self.config.schedule_interval, StreamEvent::Schedule(id));
+            scheduler.schedule_after(config.schedule_interval, StreamEvent::Schedule(id));
             return;
         }
+        let neighbors = graph.neighbor_slice(id).unwrap_or(&[]);
 
         // Provider counts for rarest-first ordering.
-        if self.config.strategy == ChunkStrategy::RarestFirst {
-            let mut keyed: Vec<(usize, u64)> = wanted
-                .iter()
-                .map(|&c| {
-                    let providers = neighbors
-                        .iter()
-                        .filter(|nb| self.peers.get(nb).map(|s| s.buffer.has(c)).unwrap_or(false))
-                        .count();
-                    (providers, c)
-                })
-                .collect();
+        if config.strategy == ChunkStrategy::RarestFirst {
+            keyed.clear();
+            keyed.extend(wanted.iter().map(|&c| {
+                let providers = neighbors
+                    .iter()
+                    .filter(|&&nb| {
+                        arena
+                            .slot(nb)
+                            .map(|s| peers[s].buffer.has(c))
+                            .unwrap_or(false)
+                    })
+                    .count();
+                (providers, c)
+            }));
             keyed.sort_unstable();
-            wanted = keyed.into_iter().map(|(_, c)| c).collect();
+            wanted.clear();
+            wanted.extend(keyed.iter().map(|&(_, c)| c));
         } // DeadlineFirst: already ascending by chunk id.
 
         let mut issued = 0usize;
-        for chunk in wanted {
+        for &chunk in wanted.iter() {
             if issued >= capacity {
                 break;
             }
             // Candidate peer providers with a free upload slot.
-            let mut providers: Vec<NodeId> = neighbors
-                .iter()
-                .copied()
-                .filter(|nb| {
-                    self.peers
-                        .get(nb)
-                        .map(|s| s.buffer.has(chunk) && s.can_upload(self.config.max_uploads))
-                        .unwrap_or(false)
-                })
-                .collect();
-            self.rng.shuffle(&mut providers);
-            if self.config.provider_selection == crate::config::ProviderSelection::LeastUploads {
+            providers.clear();
+            providers.extend(neighbors.iter().copied().filter(|&nb| {
+                arena
+                    .slot(nb)
+                    .map(|s| peers[s].buffer.has(chunk) && peers[s].can_upload(config.max_uploads))
+                    .unwrap_or(false)
+            }));
+            rng.shuffle(providers);
+            if config.provider_selection == crate::config::ProviderSelection::LeastUploads {
                 // Fair rotation: least-served provider first (shuffle above
                 // breaks ties randomly thanks to stable sorting).
-                providers
-                    .sort_by_key(|nb| self.peers.get(nb).map(|s| s.stats.uploaded).unwrap_or(0));
+                providers.sort_by_key(|&nb| {
+                    arena.slot(nb).map(|s| peers[s].stats.uploaded).unwrap_or(0)
+                });
             }
 
             let mut served = false;
             let mut denied_any = false;
-            for provider in providers {
-                if self.policy.authorize(id, provider, chunk, now) {
-                    self.peers
-                        .get_mut(&provider)
-                        .expect("provider is live")
-                        .active_uploads += 1;
-                    self.peers
-                        .get_mut(&id)
-                        .expect("peer is live")
-                        .pending
-                        .insert(chunk);
-                    let delay = self.sample_transfer();
+            for &provider in providers.iter() {
+                if policy.authorize(id, provider, chunk, now) {
+                    let provider_slot = arena.slot(provider).expect("provider is live");
+                    peers[provider_slot].active_uploads += 1;
+                    peers[slot].pending.insert(chunk);
+                    let delay = SimDuration::from_secs_f64(transfer_time.sample(rng));
                     scheduler.schedule_after(
                         delay,
                         StreamEvent::PeerDelivery {
@@ -315,39 +400,35 @@ impl<T: TradePolicy> StreamingSystem<T> {
                 continue;
             }
             if denied_any {
-                self.peers.get_mut(&id).expect("peer is live").stats.denied += 1;
+                peers[slot].stats.denied += 1;
             }
             // Fall back to the source when directly fed by it.
             if is_source_fed
-                && chunk < self.next_chunk
-                && self.source_active_uploads < self.config.source_uploads
+                && chunk < *next_chunk
+                && *source_active_uploads < config.source_uploads
             {
-                if self.policy.authorize_source(id, chunk, now) {
-                    self.source_active_uploads += 1;
-                    self.peers
-                        .get_mut(&id)
-                        .expect("peer is live")
-                        .pending
-                        .insert(chunk);
-                    let delay = self.sample_transfer();
+                if policy.authorize_source(id, chunk, now) {
+                    *source_active_uploads += 1;
+                    peers[slot].pending.insert(chunk);
+                    let delay = SimDuration::from_secs_f64(transfer_time.sample(rng));
                     scheduler.schedule_after(delay, StreamEvent::SourceDelivery { to: id, chunk });
                     issued += 1;
                 } else {
-                    self.peers.get_mut(&id).expect("peer is live").stats.denied += 1;
+                    peers[slot].stats.denied += 1;
                 }
             }
         }
-        scheduler.schedule_after(self.config.schedule_interval, StreamEvent::Schedule(id));
+        scheduler.schedule_after(config.schedule_interval, StreamEvent::Schedule(id));
     }
 
-    fn maybe_start_playback(&mut self, id: NodeId, scheduler: &mut Scheduler<StreamEvent>) {
+    fn maybe_start_playback(&mut self, slot: usize, scheduler: &mut Scheduler<StreamEvent>) {
         let period = self.config.playback_period();
         let startup = self.config.startup_buffer;
-        if let Some(state) = self.peers.get_mut(&id) {
-            if !state.started() && state.buffer.held() >= startup {
-                state.playback_pos = state.buffer.first_held();
-                scheduler.schedule_after(period, StreamEvent::Playback(id));
-            }
+        let state = &mut self.peers[slot];
+        if !state.started() && state.buffer.held() >= startup {
+            state.playback_pos = state.buffer.first_held();
+            let id = self.arena.ids()[slot];
+            scheduler.schedule_after(period, StreamEvent::Playback(id));
         }
     }
 
@@ -355,26 +436,38 @@ impl<T: TradePolicy> StreamingSystem<T> {
         let serve_behind = self.config.serve_behind as u64;
         let next_chunk = self.next_chunk;
         let period = self.config.playback_period();
-        if let Some(state) = self.peers.get_mut(&id) {
-            let Some(pos) = state.playback_pos else {
-                return;
-            };
-            if pos < next_chunk {
-                // A deadline actually passes; at the live edge we just wait.
-                if state.buffer.has(pos) {
-                    state.stats.played += 1;
-                } else {
-                    state.stats.missed += 1;
-                }
-                state.playback_pos = Some(pos + 1);
-                let new_base = (pos + 1).saturating_sub(serve_behind);
-                state.buffer.advance_to(new_base);
+        let Some(slot) = self.arena.slot(id) else {
+            return; // departed
+        };
+        let state = &mut self.peers[slot];
+        let Some(pos) = state.playback_pos else {
+            return;
+        };
+        if pos < next_chunk {
+            // A deadline actually passes; at the live edge we just wait.
+            if state.buffer.has(pos) {
+                state.stats.played += 1;
+            } else {
+                state.stats.missed += 1;
             }
-            scheduler.schedule_after(period, StreamEvent::Playback(id));
+            state.playback_pos = Some(pos + 1);
+            let new_base = (pos + 1).saturating_sub(serve_behind);
+            state.buffer.advance_to(new_base);
         }
+        scheduler.schedule_after(period, StreamEvent::Playback(id));
     }
 
-    fn handle_join(&mut self, attach_degree: usize, scheduler: &mut Scheduler<StreamEvent>) {
+    fn exp_delay(&mut self, rate: f64) -> SimDuration {
+        let u = self.rng.uniform_open01();
+        SimDuration::from_secs_f64(-u.ln() / rate.max(1e-12))
+    }
+
+    fn handle_join(
+        &mut self,
+        attach_degree: usize,
+        now: SimTime,
+        scheduler: &mut Scheduler<StreamEvent>,
+    ) {
         let existing: Vec<NodeId> = self.graph.node_ids().collect();
         let new = self.graph.add_node();
         let want = attach_degree.min(existing.len());
@@ -386,18 +479,63 @@ impl<T: TradePolicy> StreamingSystem<T> {
         for &nb in pool.iter().take(want) {
             self.graph.add_edge(new, nb).expect("distinct live nodes");
         }
-        self.peers.insert(new, PeerState::new(self.config.window));
+        self.arena.insert(new);
+        self.peers.push(PeerState::new(self.config.window));
+        self.source_fed.push(false);
+        self.policy.on_join(new, now);
         scheduler.schedule_after(self.config.schedule_interval, StreamEvent::Schedule(new));
+        if let Some(churn) = self.config.churn {
+            let lifespan = self.exp_delay(1.0 / churn.mean_lifespan);
+            scheduler.schedule_after(lifespan, StreamEvent::Leave(new));
+            let arrival = self.exp_delay(churn.arrival_rate);
+            scheduler.schedule_after(
+                arrival,
+                StreamEvent::Join {
+                    attach_degree: churn.attach_degree,
+                },
+            );
+        }
     }
 
-    fn handle_leave(&mut self, id: NodeId) {
-        if self.graph.has_node(id) {
-            self.graph.remove_node(id).expect("checked live");
+    fn handle_leave(&mut self, id: NodeId, now: SimTime) {
+        if !self.graph.has_node(id) {
+            return;
         }
-        self.peers.remove(&id);
-        self.source_neighbors.remove(&id);
+        self.graph.remove_node(id).expect("checked live");
+        let removal = self.arena.remove(id).expect("graph and arena agree");
+        self.peers.swap_remove(removal.slot);
+        self.source_fed.swap_remove(removal.slot);
+        self.policy.on_leave(id, now);
         // In-flight deliveries to/from this peer are dropped on arrival by
         // the liveness guards in the delivery handlers.
+    }
+
+    fn handle_sample(&mut self, now: SimTime, scheduler: &mut Scheduler<StreamEvent>) {
+        let Some(interval) = self.config.sample_interval else {
+            return;
+        };
+        let n = self.peers.len();
+        if n > 0 {
+            // A peer that has not started playback is fully stalled (it
+            // is stuck at the startup screen — exactly the fate of a
+            // broke peer in a credit-starved swarm); a started peer
+            // contributes its missed-deadline fraction.
+            let mean_stall: f64 = self
+                .peers
+                .iter()
+                .map(|s| {
+                    if s.started() {
+                        1.0 - s.stats.continuity()
+                    } else {
+                        1.0
+                    }
+                })
+                .sum::<f64>()
+                / n as f64;
+            self.stall_series.record(now, mean_stall);
+        }
+        self.policy.sample(now);
+        scheduler.schedule_after(interval, StreamEvent::Sample);
     }
 }
 
@@ -411,14 +549,33 @@ impl<T: TradePolicy> Model for StreamingSystem<T> {
                     return;
                 }
                 self.bootstrapped = true;
+                scheduler.reserve(self.queue_capacity_hint());
                 scheduler.schedule_after(SimDuration::ZERO, StreamEvent::SourceChunk);
-                // Stagger peers' scheduling phases to avoid a thundering herd.
-                let ids: Vec<NodeId> = self.peers.keys().copied().collect();
+                // Stagger peers' scheduling phases to avoid a thundering
+                // herd. Slot order == graph construction order here (no
+                // churn can have happened before bootstrap).
+                let ids: Vec<NodeId> = self.arena.ids().to_vec();
                 let interval_us = self.config.schedule_interval.as_micros();
-                for id in ids {
+                for &id in &ids {
                     let phase =
                         SimDuration::from_micros(self.rng.index(interval_us as usize) as u64);
                     scheduler.schedule_after(phase, StreamEvent::Schedule(id));
+                }
+                if self.config.sample_interval.is_some() {
+                    scheduler.schedule_after(SimDuration::ZERO, StreamEvent::Sample);
+                }
+                if let Some(churn) = self.config.churn {
+                    for id in ids {
+                        let d = self.exp_delay(1.0 / churn.mean_lifespan);
+                        scheduler.schedule_after(d, StreamEvent::Leave(id));
+                    }
+                    let d = self.exp_delay(churn.arrival_rate);
+                    scheduler.schedule_after(
+                        d,
+                        StreamEvent::Join {
+                            attach_degree: churn.attach_degree,
+                        },
+                    );
                 }
             }
             StreamEvent::SourceChunk => {
@@ -428,34 +585,34 @@ impl<T: TradePolicy> Model for StreamingSystem<T> {
             StreamEvent::Schedule(id) => self.handle_schedule(id, now, scheduler),
             StreamEvent::Playback(id) => self.handle_playback(id, scheduler),
             StreamEvent::PeerDelivery { to, from, chunk } => {
-                if let Some(provider) = self.peers.get_mut(&from) {
+                if let Some(provider_slot) = self.arena.slot(from) {
+                    let provider = &mut self.peers[provider_slot];
                     provider.active_uploads = provider.active_uploads.saturating_sub(1);
                     provider.stats.uploaded += 1;
                 }
-                let receiver_alive = self.peers.contains_key(&to);
-                if receiver_alive {
-                    {
-                        let state = self.peers.get_mut(&to).expect("checked");
-                        state.pending.remove(&chunk);
-                        state.buffer.insert(chunk);
-                        state.stats.received_from_peers += 1;
-                    }
+                if let Some(slot) = self.arena.slot(to) {
+                    let state = &mut self.peers[slot];
+                    state.pending.remove(chunk);
+                    state.buffer.insert(chunk);
+                    state.stats.received_from_peers += 1;
                     self.policy.settle(to, from, chunk, now);
-                    self.maybe_start_playback(to, scheduler);
+                    self.maybe_start_playback(slot, scheduler);
                 }
             }
             StreamEvent::SourceDelivery { to, chunk } => {
                 self.source_active_uploads = self.source_active_uploads.saturating_sub(1);
-                if let Some(state) = self.peers.get_mut(&to) {
-                    state.pending.remove(&chunk);
+                if let Some(slot) = self.arena.slot(to) {
+                    let state = &mut self.peers[slot];
+                    state.pending.remove(chunk);
                     state.buffer.insert(chunk);
                     state.stats.received_from_source += 1;
                     self.policy.settle_source(to, chunk, now);
-                    self.maybe_start_playback(to, scheduler);
+                    self.maybe_start_playback(slot, scheduler);
                 }
             }
-            StreamEvent::Join { attach_degree } => self.handle_join(attach_degree, scheduler),
-            StreamEvent::Leave(id) => self.handle_leave(id),
+            StreamEvent::Join { attach_degree } => self.handle_join(attach_degree, now, scheduler),
+            StreamEvent::Leave(id) => self.handle_leave(id, now),
+            StreamEvent::Sample => self.handle_sample(now, scheduler),
         }
     }
 }
@@ -463,6 +620,7 @@ impl<T: TradePolicy> Model for StreamingSystem<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::StreamingChurn;
     use crate::policy::{CountingPolicy, FreeTrade};
     use scrip_des::Simulation;
     use scrip_topology::generators::{self, ScaleFreeConfig};
@@ -526,7 +684,7 @@ mod tests {
         let model = sim.model();
         let indirect_received: u64 = model
             .peers()
-            .filter(|(id, _)| !model.source_neighbors().contains(id))
+            .filter(|&(id, _)| !model.is_source_fed(id))
             .map(|(_, s)| s.stats.received())
             .sum();
         assert!(
@@ -584,11 +742,62 @@ mod tests {
         sim.schedule(sim.now(), StreamEvent::Leave(victim));
         sim.run_until(SimTime::from_secs(60));
         assert_eq!(sim.model().peer_count(), before);
-        assert!(!sim.model().peers.contains_key(&victim));
+        assert!(sim.model().peer(victim).is_none());
         // The joiner eventually receives chunks.
         let max_id = sim.model().peers().map(|(id, _)| id).max().expect("some");
         let joiner = sim.model().peer(max_id).expect("live");
         assert!(joiner.stats.received() > 0, "joiner never received a chunk");
+    }
+
+    #[test]
+    fn churn_config_drives_joins_and_leaves() {
+        let mut rng = SimRng::seed_from_u64(17);
+        let graph = generators::scale_free(&ScaleFreeConfig::new(40).expect("cfg"), &mut rng)
+            .expect("graph");
+        let config = StreamingConfig {
+            churn: Some(StreamingChurn::new(0.4, 100.0, 8).expect("valid")),
+            ..Default::default()
+        };
+        let system = StreamingSystem::new(graph, config, FreeTrade, rng).expect("system");
+        let mut sim = Simulation::new(system);
+        sim.schedule(SimTime::ZERO, StreamEvent::Bootstrap);
+        sim.run_until(SimTime::from_secs(300));
+        let model = sim.model();
+        // Arrivals happened: IDs beyond the initial 40 exist.
+        let max_id = model.peers().map(|(id, _)| id.raw()).max().expect("some");
+        assert!(
+            max_id >= 40,
+            "no joiner was ever admitted (max id {max_id})"
+        );
+        // Expected population 0.4 × 100 = 40; allow a generous band.
+        let n = model.peer_count();
+        assert!((15..=90).contains(&n), "population drifted to {n}");
+        // The swarm keeps streaming through the churn.
+        let report = model.report(sim.now());
+        assert!(report.total_uploads > 100, "{report}");
+    }
+
+    #[test]
+    fn sampling_records_stall_series() {
+        let mut rng = SimRng::seed_from_u64(18);
+        let graph = generators::scale_free(&ScaleFreeConfig::new(30).expect("cfg"), &mut rng)
+            .expect("graph");
+        let config = StreamingConfig {
+            sample_interval: Some(SimDuration::from_secs(10)),
+            ..Default::default()
+        };
+        let system = StreamingSystem::new(graph, config, FreeTrade, rng).expect("system");
+        let mut sim = Simulation::new(system);
+        sim.schedule(SimTime::ZERO, StreamEvent::Bootstrap);
+        sim.run_until(SimTime::from_secs(120));
+        let series = sim.model().stall_series();
+        assert!(series.len() >= 12, "samples {}", series.len());
+        for &(_, stall) in series.samples() {
+            assert!((0.0..=1.0).contains(&stall), "stall {stall}");
+        }
+        // A healthy free-trade swarm stalls rarely once warmed up.
+        let last = series.samples().last().expect("non-empty").1;
+        assert!(last < 0.5, "stall rate {last}");
     }
 
     #[test]
@@ -609,5 +818,36 @@ mod tests {
         sim.run_until(SimTime::from_secs(10));
         let head_after = sim.model().stream_head();
         assert_eq!(head_after, head_before + 50);
+    }
+
+    /// The zero-alloc claim for the trade loop, observed from the
+    /// outside: every reusable buffer the hot path touches reaches a
+    /// fixed capacity during warmup and never grows again.
+    #[test]
+    fn trade_loop_buffers_stop_growing_after_warmup() {
+        let mut sim = run(small_system(9), 60); // warmup
+        let caps = |m: &StreamingSystem<FreeTrade>| {
+            (
+                m.scratch_wanted.capacity(),
+                m.scratch_keyed.capacity(),
+                m.scratch_providers.capacity(),
+            )
+        };
+        let warm = caps(sim.model());
+        let heap_cap = sim.scheduler().capacity();
+        let events_before = sim.stats().events_processed;
+        sim.run_until(SimTime::from_secs(300));
+        assert!(
+            sim.stats().events_processed > events_before + 50_000,
+            "workload too small: {} events",
+            sim.stats().events_processed
+        );
+        assert_eq!(caps(sim.model()), warm, "scratch buffers grew");
+        assert_eq!(
+            sim.scheduler().capacity(),
+            heap_cap,
+            "event heap grew during steady-state streaming"
+        );
+        assert!(warm.0 > 0 && warm.2 > 0, "scratch buffers were exercised");
     }
 }

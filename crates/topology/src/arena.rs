@@ -14,15 +14,14 @@
 //! bit for bit.
 //!
 //! The reverse map is a flat `Vec<u32>` indexed by raw [`NodeId`] value:
-//! IDs are allocated densely from 0 by [`scrip_topology::Graph`] and
+//! IDs are allocated densely from 0 by [`crate::Graph`] and
 //! never reused, so the map stays small ( ≈ 4 bytes × IDs ever minted).
 //!
-//! [`scrip_topology::Graph`] applies the same slot-map discipline
-//! internally (interleaved with its adjacency rows and sorted-id list);
-//! a change to the swap-remove bookkeeping here likely applies there
-//! too.
+//! [`crate::Graph`] applies the same slot-map discipline internally
+//! (interleaved with its adjacency rows and sorted-id list); a change
+//! to the swap-remove bookkeeping here likely applies there too.
 
-use scrip_topology::NodeId;
+use crate::NodeId;
 
 /// Slot sentinel for IDs not present in the arena.
 const ABSENT: u32 = u32::MAX;
@@ -102,7 +101,7 @@ impl PeerArena {
     ///
     /// The reverse map grows to `id.raw() + 1` entries, so this is for
     /// *densely allocated* IDs (as handed out by
-    /// [`scrip_topology::Graph::add_node`]); inserting an arbitrary
+    /// [`crate::Graph::add_node`]); inserting an arbitrary
     /// huge `NodeId::from_raw` value would allocate proportional
     /// memory. Lookups ([`PeerArena::slot`], [`PeerArena::contains`])
     /// are safe for any ID.

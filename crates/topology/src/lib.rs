@@ -36,9 +36,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod churn;
 pub mod generators;
 pub mod graph;
 pub mod metrics;
 
+pub use arena::{PeerArena, SlotRemoval};
 pub use graph::{Graph, GraphError, NodeId};

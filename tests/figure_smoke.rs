@@ -132,6 +132,31 @@ fn fig11_churn_lowers_gini() {
 }
 
 #[test]
+fn streaming_stall_tracks_wealth() {
+    let fig = figures::streaming_stall_vs_wealth(Q);
+    assert_eq!(fig.series.len(), 6, "stall + gini per wealth level");
+    let final_stall = |label: &str| {
+        fig.series(label)
+            .unwrap_or_else(|| panic!("missing series {label}"))
+            .last_y()
+            .expect("non-empty")
+    };
+    // The starved swarm stalls more than the rich one — bankruptcy
+    // surfaces as playback quality.
+    let poor = final_stall("stall_c2");
+    let rich = final_stall("stall_c100");
+    assert!(
+        poor > rich + 0.05,
+        "poor stall {poor:.3} should clearly exceed rich {rich:.3}"
+    );
+    for s in &fig.series {
+        for &(_, y) in &s.points {
+            assert!((0.0..=1.0).contains(&y), "{}: out of range {y}", s.label);
+        }
+    }
+}
+
+#[test]
 fn ablations_run() {
     let a = figures::ablation_approx_vs_exact(Q);
     assert!(a.series("tv_distance").is_some());

@@ -1,12 +1,19 @@
-//! Golden-trajectory pins for the market hot path.
+//! Golden-trajectory pins for the market hot paths.
 //!
-//! These trajectories were captured from the pre-arena (BTreeMap-based)
-//! implementation of [`scrip_core::market::CreditMarket`] and pin the
-//! exact per-peer balances, the full Gini-over-time series, and the
-//! conservation counters for two seeded market configurations. The dense
-//! peer-arena / incremental-Gini refactor must reproduce them *bit for
-//! bit*: every RNG draw, every transfer, and every recorded sample has
-//! to land identically.
+//! The two queue-level trajectories were captured from the pre-arena
+//! (BTreeMap-based) implementation of
+//! [`scrip_core::market::CreditMarket`] and pin the exact per-peer
+//! balances, the full Gini-over-time series, and the conservation
+//! counters for two seeded market configurations. The dense peer-arena
+//! / incremental-Gini refactor must reproduce them *bit for bit*: every
+//! RNG draw, every transfer, and every recorded sample has to land
+//! identically.
+//!
+//! The chunk-level trajectory pins the arena-based streaming market
+//! (`scrip_core::protocol::run_streaming_market`): balances, the stall
+//! and Gini series, and the settlement/denial counters. Any change to
+//! the trade loop's RNG draws, scheduling order, or settlement
+//! arithmetic shows up as a diff.
 //!
 //! Regenerate (only when an intentional behaviour change is made) with:
 //!
@@ -20,6 +27,7 @@ use std::path::Path;
 use scrip_core::market::{ChurnConfig, MarketConfig, TopologyKind};
 use scrip_core::policy::{SpendingPolicy, TaxConfig};
 use scrip_core::pricing::PricingConfig;
+use scrip_core::streaming::StreamingConfig;
 use scrip_des::{SimDuration, SimTime};
 
 const GOLDEN_PATH: &str = "tests/golden/market_trajectories.txt";
@@ -81,13 +89,64 @@ fn render(label: &str, config: MarketConfig, seed: u64, horizon_secs: u64) -> St
     out
 }
 
+/// Config C: the chunk-level streaming market — exercises the arena
+/// hot path of `scrip-streaming` (pull scheduling, rarest-first,
+/// provider rotation) plus `CreditTradePolicy` settlement, taxation,
+/// chunk-level churn (mint/burn), and the stall/Gini sampling chain.
+fn config_c() -> (MarketConfig, u64, u64) {
+    let config = MarketConfig::new(50, 30)
+        .streaming_market(StreamingConfig::market_paced(1.0))
+        .pricing(PricingConfig::SellerPoisson { mean: 2.0 })
+        .tax(TaxConfig::new(0.2, 40).expect("valid tax"))
+        .churn(ChurnConfig::new(0.25, 200.0, 8).expect("valid churn"))
+        .sample_interval(SimDuration::from_secs(50));
+    (config, 31, 600)
+}
+
+/// Renders one streaming-market run as a deterministic text block.
+fn render_streaming(label: &str, config: MarketConfig, seed: u64, horizon_secs: u64) -> String {
+    let system =
+        scrip_core::protocol::run_streaming_market(&config, seed, SimTime::from_secs(horizon_secs))
+            .expect("streaming market runs");
+    let policy = system.policy();
+    let mut out = String::new();
+    writeln!(out, "[{label} seed={seed} horizon={horizon_secs}]").unwrap();
+    writeln!(out, "balances={:?}", policy.balances_sorted()).unwrap();
+    let series = |ts: &scrip_des::stats::TimeSeries| -> Vec<(f64, f64)> {
+        ts.samples()
+            .iter()
+            .map(|&(t, v)| (t.as_secs_f64(), v))
+            .collect()
+    };
+    writeln!(out, "gini={:?}", series(policy.gini_series())).unwrap();
+    writeln!(out, "stall={:?}", series(system.stall_series())).unwrap();
+    writeln!(
+        out,
+        "settlements={} denials={} shortfalls={} source_income={} minted={} burned={} escrow={} \
+         peers={}",
+        policy.settlements,
+        policy.denials,
+        policy.shortfalls,
+        policy.source_income,
+        policy.ledger().minted(),
+        policy.ledger().burned(),
+        policy.ledger().escrow(),
+        system.peer_count(),
+    )
+    .unwrap();
+    assert!(policy.ledger().conserved(), "golden run must conserve");
+    out
+}
+
 fn current_goldens() -> String {
     let (ca, seed_a, horizon_a) = config_a();
     let (cb, seed_b, horizon_b) = config_b();
+    let (cc, seed_c, horizon_c) = config_c();
     format!(
-        "{}{}",
+        "{}{}{}",
         render("availability-feedback", ca, seed_a, horizon_a),
-        render("tax-churn-dynamic", cb, seed_b, horizon_b)
+        render("tax-churn-dynamic", cb, seed_b, horizon_b),
+        render_streaming("streaming-tax-churn", cc, seed_c, horizon_c)
     )
 }
 
