@@ -7,6 +7,7 @@
 //!
 //! ```text
 //! scrip-sim list                               # built-in experiments & scenarios
+//! scrip-sim metrics                            # every registered metric probe
 //! scrip-sim all [--csv] [--threads N]          # every figure + ablation, in parallel
 //! scrip-sim run fig07 [--csv]                  # one built-in experiment
 //! scrip-sim run examples/scenarios/flash_crowd.scn --csv
@@ -24,13 +25,14 @@ use std::process::ExitCode;
 
 use scrip_bench::figures;
 use scrip_bench::scale::RunScale;
-use scrip_bench::scenario::{run_scenario, RunnerOptions, Scenario};
+use scrip_bench::scenario::{run_scenario, Metric, RunnerOptions, Scenario};
 
 const USAGE: &str = "\
 scrip-sim — scenario-driven experiment runner for the scrip reproduction
 
 USAGE:
     scrip-sim list
+    scrip-sim metrics
     scrip-sim all [--csv] [--threads N]
     scrip-sim run <NAME|FILE.scn>... [--csv] [--threads N]
     scrip-sim check <FILE.scn>...
@@ -38,12 +40,13 @@ USAGE:
     scrip-sim bench [--json] [--out FILE] [--against FILE]
 
 NAME is a built-in experiment (see `scrip-sim list`); FILE.scn is a
-scenario file (grammar: docs/SCENARIOS.md). SCRIP_QUICK=1 shrinks the
-built-in experiments and the bench suite; SCRIP_THREADS or --threads
-caps worker threads (0 = one per core). `bench` measures market
-events/sec single-threaded, `--json` writes BENCH_market.json (or
---out FILE), and `--against BASELINE.json` exits non-zero when any
-matching case regresses more than 30%.";
+scenario file (grammar: docs/SCENARIOS.md); `metrics` lists every
+registered metric probe selectable via `metrics = [...]` in [run].
+SCRIP_QUICK=1 shrinks the built-in experiments and the bench suite;
+SCRIP_THREADS or --threads caps worker threads (0 = one per core).
+`bench` measures market events/sec single-threaded, `--json` writes
+BENCH_market.json (or --out FILE), and `--against BASELINE.json` exits
+non-zero when any matching case regresses more than 30%.";
 
 struct Options {
     csv: bool,
@@ -184,6 +187,22 @@ fn print_list() {
     }
 }
 
+fn cmd_metrics(options: &Options) -> Result<(), String> {
+    if !options.targets.is_empty() {
+        return Err("metrics takes no arguments".into());
+    }
+    println!("registered metrics (scenario files: metrics = [\"<name>\", ...] under [run]):");
+    for metric in Metric::registry() {
+        let tag = if metric.always_on() {
+            "always measured"
+        } else {
+            "opt-in"
+        };
+        println!("  {:<18} {:<16} {}", metric.name(), tag, metric.doc());
+    }
+    Ok(())
+}
+
 fn cmd_check(options: &Options) -> Result<(), String> {
     if options.targets.is_empty() {
         return Err("check: no scenario file given".into());
@@ -271,6 +290,7 @@ fn main() -> ExitCode {
     };
     let outcome = match command.as_str() {
         "list" => cmd_list(&options),
+        "metrics" => cmd_metrics(&options),
         "all" => cmd_all(&options),
         "run" => cmd_run(&options),
         "check" => cmd_check(&options),

@@ -130,7 +130,7 @@ pub fn ablation3_queue_scenario(scale: RunScale) -> Scenario {
     scenario.title = "Queue-level market vs emergent protocol-level market".into();
     scenario.run.horizon_secs = scale.pick(4_000, 600);
     scenario.run.seed = 31;
-    scenario.run.metrics = vec![Metric::SpendingRates, Metric::GiniSeries];
+    scenario.run.metrics = vec![Metric::SPENDING_RATES, Metric::GINI_SERIES];
     scenario
 }
 
@@ -148,9 +148,9 @@ pub fn ablation_queue_vs_protocol(scale: RunScale) -> FigureResult {
     let queue_result =
         run_scenario(&scenario, &RunnerOptions::from_env()).expect("queue market runs");
     let queue_market = queue_result.cases[0].single();
-    let queue_rates = &queue_market.spending_rates;
+    let queue_rates = &queue_market.spending_rates();
     let queue_gini = gini(queue_rates).expect("non-empty");
-    let queue_wealth_gini = queue_market.wealth_gini;
+    let queue_wealth_gini = queue_market.wealth_gini();
 
     // Protocol level: same overlay family, 1 chunk/s economy.
     let mut rng = SimRng::seed_from_u64(31);

@@ -27,7 +27,7 @@ pub fn fig01_scenario(scale: RunScale) -> Scenario {
         "Distribution of credit spending rates, with and without wealth condensation".into();
     scenario.run.horizon_secs = scale.pick(20_000, 1_500);
     scenario.run.seed = 42;
-    scenario.run.metrics = vec![Metric::SpendingRates, Metric::FinalBalances];
+    scenario.run.metrics = vec![Metric::SPENDING_RATES, Metric::FINAL_BALANCES];
     scenario.cases = vec![
         // Case 2 (balanced): c = 12, uniform pricing, symmetric
         // utilization — the streaming-with-uniform-pricing regime of
@@ -52,8 +52,8 @@ pub fn fig01_spending_rates(scale: RunScale) -> FigureResult {
     let balanced = result.cases[0].single();
     let condensed = result.cases[1].single();
 
-    let g_balanced = gini(&balanced.spending_rates).expect("non-empty");
-    let g_condensed = gini(&condensed.spending_rates).expect("non-empty");
+    let g_balanced = gini(balanced.spending_rates()).expect("non-empty");
+    let g_condensed = gini(condensed.spending_rates()).expect("non-empty");
     let broke = |balances: &[u64]| balances.iter().filter(|&&b| b == 0).count();
 
     let to_points = |rates: &[f64]| {
@@ -74,10 +74,10 @@ pub fn fig01_spending_rates(scale: RunScale) -> FigureResult {
         x_label: "peer rank (sorted by spending rate)".into(),
         y_label: "credit spending rate (credits/sec)".into(),
         series: vec![
-            Series::new("balanced_c12_uniform", to_points(&balanced.spending_rates)),
+            Series::new("balanced_c12_uniform", to_points(balanced.spending_rates())),
             Series::new(
                 "condensed_c200_poisson",
-                to_points(&condensed.spending_rates),
+                to_points(condensed.spending_rates()),
             ),
         ],
         notes: vec![
@@ -85,10 +85,10 @@ pub fn fig01_spending_rates(scale: RunScale) -> FigureResult {
             format!("condensed spending-rate Gini = {g_condensed:.3}"),
             format!(
                 "condensed market broke peers = {}/{} vs balanced {}/{}",
-                broke(&condensed.final_balances),
-                condensed.peer_count,
-                broke(&balanced.final_balances),
-                balanced.peer_count,
+                broke(condensed.final_balances()),
+                condensed.peer_count(),
+                broke(balanced.final_balances()),
+                balanced.peer_count(),
             ),
         ],
     }

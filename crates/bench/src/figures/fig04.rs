@@ -28,7 +28,7 @@ pub fn fig04_scenario(scale: RunScale) -> Scenario {
     scenario.title = "1 − Q{B_i = 0} vs average wealth c".into();
     scenario.run.horizon_secs = scale.pick(4_000, 800);
     scenario.run.seed = 7;
-    scenario.run.metrics = vec![Metric::SpendingRates];
+    scenario.run.metrics = vec![Metric::SPENDING_RATES];
     scenario.sweep = vec![SweepAxis::new("credits", sim_grid(scale))];
     scenario
 }
@@ -62,7 +62,7 @@ pub fn fig04_efficiency(scale: RunScale) -> FigureResult {
     let mut notes = Vec::new();
     for (case, c) in result.cases.iter().zip(sim_grid(scale)) {
         // Base rate is 1 credit/sec, so the max possible is n·horizon.
-        let efficiency = case.single().total_spent as f64 / (n_sim as f64 * horizon_secs as f64);
+        let efficiency = case.single().total_spent() as f64 / (n_sim as f64 * horizon_secs as f64);
         simulated.push((c as f64, efficiency));
         notes.push(format!(
             "simulated efficiency at c={c}: {efficiency:.3} (exact c/(1+c) = {:.3}, Eq. 9 = {:.3})",

@@ -24,7 +24,7 @@ fn snapshot_scenario(scale: RunScale, name: &str, title: &str, times: Vec<u64>) 
     scenario.run.horizon_secs = *times.last().expect("non-empty snapshot grid");
     scenario.run.seed = 99;
     scenario.run.snapshots = times;
-    scenario.run.metrics = vec![Metric::Snapshots];
+    scenario.run.metrics = vec![Metric::SNAPSHOTS];
     scenario
 }
 
@@ -56,7 +56,7 @@ pub fn fig06_scenario(scale: RunScale) -> Scenario {
 
 fn to_figure(id: &str, expectation: &str, scenario: Scenario) -> FigureResult {
     let result = run_scenario(&scenario, &RunnerOptions::from_env()).expect("scenario runs");
-    let snaps = &result.cases[0].single().snapshots;
+    let snaps = &result.cases[0].single().snapshots();
     let mut notes = Vec::new();
     // Quantify overlap between successive curves: mean |Δ| between
     // consecutive sorted-wealth snapshots, relative to the mean wealth.

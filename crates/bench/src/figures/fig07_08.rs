@@ -32,7 +32,7 @@ fn gini_scenario(scale: RunScale, name: &str, title: &str, profile: &str) -> Sce
     scenario.title = title.into();
     scenario.run.horizon_secs = horizon_secs;
     scenario.run.seed = 4242;
-    scenario.run.metrics = vec![Metric::GiniSeries];
+    scenario.run.metrics = vec![Metric::GINI_SERIES];
     scenario.sweep = vec![SweepAxis::new("credits", WEALTH_LEVELS)];
     scenario
 }
@@ -62,7 +62,7 @@ fn gini_evolution(scenario: &Scenario) -> (Vec<Series>, Vec<String>) {
     let mut series = Vec::new();
     let mut notes = Vec::new();
     for (case, &c) in result.cases.iter().zip(&WEALTH_LEVELS) {
-        let s = Series::new(format!("c{c}"), case.single().gini.clone());
+        let s = Series::new(format!("c{c}"), case.single().gini().to_vec());
         let plateau = s.tail_mean(10).unwrap_or(0.0);
         let converged = s.has_converged(10, 0.05);
         notes.push(format!(

@@ -36,7 +36,7 @@ pub fn fig09_scenario(scale: RunScale) -> Scenario {
     scenario.title = "Skewness of credit distribution at different tax rates and thresholds".into();
     scenario.run.horizon_secs = scale.pick(20_000, 2_000);
     scenario.run.seed = 777;
-    scenario.run.metrics = vec![Metric::GiniSeries];
+    scenario.run.metrics = vec![Metric::GINI_SERIES];
     scenario.cases = vec![
         CaseSpec::new("no_taxation"),
         CaseSpec::new("rate0.1_thr50").with("tax", "0.1:50"),
@@ -55,11 +55,12 @@ pub fn fig09_taxation(scale: RunScale) -> FigureResult {
     let mut notes = Vec::new();
     for case in &result.cases {
         let rep = case.single();
-        let s = Series::new(case.label.clone(), rep.gini.clone());
+        let s = Series::new(case.label.clone(), rep.gini().to_vec());
         let plateau = s.tail_mean(10).unwrap_or(0.0);
         notes.push(format!(
             "{}: plateau Gini = {plateau:.3}, collected = {}",
-            case.label, rep.tax_collected
+            case.label,
+            rep.tax_collected()
         ));
         series.push(s);
     }

@@ -22,7 +22,7 @@ pub fn fig10_scenario(scale: RunScale) -> Scenario {
     scenario.title = "Static vs dynamic spending rate".into();
     scenario.run.horizon_secs = horizon_secs;
     scenario.run.seed = 888;
-    scenario.run.metrics = vec![Metric::GiniSeries];
+    scenario.run.metrics = vec![Metric::GINI_SERIES];
     scenario.cases = vec![
         CaseSpec::new("without_adjustment"),
         // Threshold 100 = the average wealth, as in the paper's setup.
@@ -39,7 +39,7 @@ pub fn fig10_dynamic_spending(scale: RunScale) -> FigureResult {
     let mut notes = Vec::new();
     let mut plateaus = Vec::new();
     for case in &result.cases {
-        let s = Series::new(case.label.clone(), case.single().gini.clone());
+        let s = Series::new(case.label.clone(), case.single().gini().to_vec());
         let plateau = s.tail_mean(10).unwrap_or(0.0);
         plateaus.push(plateau);
         notes.push(format!("{}: plateau Gini = {plateau:.3}", case.label));

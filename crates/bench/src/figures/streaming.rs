@@ -30,7 +30,7 @@ pub fn streaming_scenario(scale: RunScale) -> Scenario {
     scenario.title = "Chunk-level market: playback stalls vs average wealth".into();
     scenario.run.horizon_secs = horizon_secs;
     scenario.run.seed = 4242;
-    scenario.run.metrics = vec![Metric::GiniSeries, Metric::StallSeries];
+    scenario.run.metrics = vec![Metric::GINI_SERIES, Metric::STALL_SERIES];
     scenario.sweep = vec![SweepAxis::new("credits", WEALTH_LEVELS)];
     scenario
 }
@@ -44,15 +44,15 @@ pub fn streaming_stall_vs_wealth(scale: RunScale) -> FigureResult {
     let mut notes = Vec::new();
     for (case, &c) in result.cases.iter().zip(&WEALTH_LEVELS) {
         let rep = case.single();
-        let stall = Series::new(format!("stall_c{c}"), rep.stalls.clone());
-        let gini = Series::new(format!("gini_c{c}"), rep.gini.clone());
+        let stall = Series::new(format!("stall_c{c}"), rep.stalls().to_vec());
+        let gini = Series::new(format!("gini_c{c}"), rep.gini().to_vec());
         notes.push(format!(
             "c={c}: final stall rate = {:.3}, final wealth Gini = {:.3}, settlements = {}, \
              denials = {}",
             stall.last_y().unwrap_or(1.0),
-            rep.wealth_gini,
-            rep.purchases,
-            rep.denied,
+            rep.wealth_gini(),
+            rep.purchases(),
+            rep.denied(),
         ));
         series.push(stall);
         series.push(gini);

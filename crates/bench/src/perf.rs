@@ -3,9 +3,11 @@
 //! Measures events/sec of the discrete-event market simulator across the
 //! four queue-level hot regimes (asymmetric neighbor routing,
 //! availability feedback, taxation, churn) at n ∈ {1k, 10k, 100k}, the
-//! chunk-level streaming market's trade loop, and the cost of a wealth
-//! Gini sample at large n. Results are written to `BENCH_market.json`
-//! (see [`BenchReport::to_json`] for the schema), seeding the repo's
+//! chunk-level streaming market's trade loop, the cost of a wealth
+//! Gini sample at large n, and the observation layer's probe-dispatch
+//! overhead (a full probe set attached vs a detached recorder on the
+//! n=10k market). Results are written to `BENCH_market.json` (see
+//! [`BenchReport::to_json`] for the schema), seeding the repo's
 //! performance trajectory, and CI replays the quick-scale subset to
 //! catch throughput regressions (see [`compare_against`]).
 //!
@@ -15,12 +17,14 @@
 use std::time::Instant;
 
 use scrip_core::market::{ChurnConfig, CreditMarket, MarketConfig, MarketEvent};
+use scrip_core::obs::Session;
 use scrip_core::policy::TaxConfig;
 use scrip_core::protocol::build_streaming_market;
 use scrip_core::streaming::{StreamEvent, StreamingConfig};
 use scrip_des::{SimDuration, SimTime, Simulation};
 
 use crate::scale::RunScale;
+use crate::scenario::{Metric, RunSpec};
 
 /// One measured bench case.
 #[derive(Clone, Debug, PartialEq)]
@@ -164,6 +168,58 @@ fn run_streaming_case(n: usize, horizon_secs: u64, scale: &str) -> BenchEntry {
     }
 }
 
+/// Measures the observation layer's dispatch overhead on the n=10k
+/// asymmetric market: one [`Session`] with every registry probe
+/// attached (`probe_attached`, snapshots at mid-run and horizon) versus
+/// a probe-less session (`probe_detached`, the zero-overhead fast
+/// path). Probe dispatch is sample-time only, so the two rates should
+/// track each other closely; the regression gate catches any creep of
+/// observation cost onto the spend hot path.
+fn run_probe_case(attached: bool, n: usize, horizon_secs: u64, scale: &str) -> BenchEntry {
+    let config = regime_config("asymmetric", n);
+    let mut session = Session::from_config(&config, 42).expect("bench session builds");
+    if attached {
+        let run = RunSpec {
+            horizon_secs,
+            snapshots: vec![horizon_secs / 2, horizon_secs],
+            ..RunSpec::default()
+        };
+        for metric in Metric::registry() {
+            session.attach(metric.make_probe(&run));
+        }
+    }
+    let start = Instant::now();
+    session.run_until(SimTime::from_secs(horizon_secs));
+    let stats = session.stats();
+    let wall = start.elapsed().as_secs_f64().max(1e-9);
+    // Keep the record observable so the probe work cannot be elided.
+    let (record, _) = session.finish();
+    assert!(record.counter(scrip_core::obs::ids::PURCHASES) > 0);
+    BenchEntry {
+        regime: if attached {
+            "probe_attached".into()
+        } else {
+            "probe_detached".into()
+        },
+        n,
+        scale: scale.into(),
+        events: stats.events_processed,
+        wall_secs: wall,
+        events_per_sec: stats.events_processed as f64 / wall,
+        peak_rss_bytes: peak_rss_bytes(),
+    }
+}
+
+/// Probe-overhead cases at a scale: `(attached, n, horizon_secs)` —
+/// always the n=10k market, sized near the queue-level event targets.
+fn probe_cases(scale: RunScale) -> Vec<(bool, usize, u64)> {
+    let horizon = match scale {
+        RunScale::Full => 200,
+        RunScale::Quick => 50,
+    };
+    vec![(false, 10_000, horizon), (true, 10_000, horizon)]
+}
+
 /// Measures the cost of a wealth-Gini sample at size `n`: run the
 /// asymmetric market briefly to de-equalize wealth, then time repeated
 /// [`CreditMarket::wealth_gini`] calls.
@@ -208,6 +264,14 @@ pub fn run_bench(scale: RunScale) -> BenchReport {
     }
     for (n, horizon) in streaming_cases(scale) {
         let entry = run_streaming_case(n, horizon, scale_name);
+        eprintln!(
+            "bench {:<22} n={n:<7} {:>12.0} events/s ({} events in {:.2}s)",
+            entry.regime, entry.events_per_sec, entry.events, entry.wall_secs
+        );
+        report.entries.push(entry);
+    }
+    for (attached, n, horizon) in probe_cases(scale) {
+        let entry = run_probe_case(attached, n, horizon, scale_name);
         eprintln!(
             "bench {:<22} n={n:<7} {:>12.0} events/s ({} events in {:.2}s)",
             entry.regime, entry.events_per_sec, entry.events, entry.wall_secs
@@ -440,6 +504,33 @@ mod tests {
             assert!(horizon <= 500, "{regime}: horizon {horizon}");
         }
         assert_eq!(cases(RunScale::Full).len(), 12);
+    }
+
+    #[test]
+    fn probe_cases_cover_both_recorder_states() {
+        for scale in [RunScale::Quick, RunScale::Full] {
+            let cases = probe_cases(scale);
+            assert_eq!(cases.len(), 2);
+            assert!(!cases[0].0, "detached first");
+            assert!(cases[1].0);
+            assert!(cases.iter().all(|&(_, n, _)| n == 10_000));
+        }
+    }
+
+    #[test]
+    fn probe_bench_entries_measure_events() {
+        // A miniature run of both recorder states (tiny n + horizon so
+        // the unit test stays fast); the real sizes run under
+        // `scrip-sim bench`.
+        let detached = run_probe_case(false, 100, 20, "test");
+        let attached = run_probe_case(true, 100, 20, "test");
+        assert_eq!(detached.regime, "probe_detached");
+        assert_eq!(attached.regime, "probe_attached");
+        assert_eq!(
+            detached.events, attached.events,
+            "probes must not change the event stream"
+        );
+        assert!(detached.events_per_sec > 0.0 && attached.events_per_sec > 0.0);
     }
 
     #[test]

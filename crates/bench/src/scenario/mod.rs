@@ -31,6 +31,7 @@ pub mod runner;
 
 use std::fmt;
 
+use scrip_core::obs::{probes as obs_probes, Probe};
 use scrip_core::spec::MarketSpec;
 use scrip_core::CoreError;
 
@@ -79,49 +80,197 @@ impl From<CoreError> for ScenarioError {
     }
 }
 
-/// A metric recorded into the aggregated scenario output.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Metric {
+/// One row of the metric registry: everything the scenario engine needs
+/// to know about a recordable metric — its scenario-file name, the
+/// [`Probe`] that measures it, and the CSV emitter that renders its
+/// aggregate. New observables are added by appending a row here (and a
+/// probe in [`scrip_core::obs::probes`]); the parser, the CSV pipeline,
+/// and `scrip-sim metrics` all read this table.
+pub struct MetricDef {
+    /// The metric's name in scenario files.
+    name: &'static str,
+    /// One-line description (shown by `scrip-sim metrics` and the
+    /// SCENARIOS.md table).
+    doc: &'static str,
+    /// Whether the probe is attached to every run regardless of the
+    /// scenario's `metrics` selection. The five legacy metrics are
+    /// always-on: they back [`ReplicationRun`]'s typed accessors and
+    /// the per-case summary lines.
+    always_on: bool,
+    /// Builds the probe recording this metric.
+    make_probe: fn(&RunSpec) -> Box<dyn Probe>,
+    /// Appends the aggregated CSV rows for one case.
+    emit: fn(&Scenario, &runner::CaseResult, &mut String),
+}
+
+fn gini_probe(_run: &RunSpec) -> Box<dyn Probe> {
+    Box::new(obs_probes::GiniSeriesProbe)
+}
+fn balances_probe(_run: &RunSpec) -> Box<dyn Probe> {
+    Box::new(obs_probes::FinalBalancesProbe)
+}
+fn rates_probe(_run: &RunSpec) -> Box<dyn Probe> {
+    Box::new(obs_probes::SpendingRatesProbe)
+}
+fn snapshots_probe(run: &RunSpec) -> Box<dyn Probe> {
+    Box::new(obs_probes::SnapshotsProbe::new(run.snapshots.clone()))
+}
+fn stall_probe(_run: &RunSpec) -> Box<dyn Probe> {
+    Box::new(obs_probes::StallSeriesProbe)
+}
+fn throughput_probe(_run: &RunSpec) -> Box<dyn Probe> {
+    Box::new(obs_probes::ThroughputSeriesProbe::new())
+}
+fn population_probe(_run: &RunSpec) -> Box<dyn Probe> {
+    Box::new(obs_probes::PopulationSeriesProbe::new())
+}
+fn lorenz_probe(_run: &RunSpec) -> Box<dyn Probe> {
+    Box::new(obs_probes::LorenzProbe::default())
+}
+
+/// The probe registry, in canonical output order. The first five rows
+/// are the original `Metric` enum re-registered (names and CSV output
+/// byte-identical — pinned by `tests/scenario_golden.rs`); the rest are
+/// registry-only additions.
+static REGISTRY: [MetricDef; 8] = [
+    MetricDef {
+        name: "gini-series",
+        doc: "Gini-over-time trajectory (the paper's Figs. 7-11)",
+        always_on: true,
+        make_probe: gini_probe,
+        emit: runner::emit_gini,
+    },
+    MetricDef {
+        name: "final-balances",
+        doc: "final wealth distribution, sorted ascending (Figs. 5-6)",
+        always_on: true,
+        make_probe: balances_probe,
+        emit: runner::emit_final_balances,
+    },
+    MetricDef {
+        name: "spending-rates",
+        doc: "sorted per-peer credit spending rates (Fig. 1)",
+        always_on: true,
+        make_probe: rates_probe,
+        emit: runner::emit_spending_rates,
+    },
+    MetricDef {
+        name: "snapshots",
+        doc: "sorted wealth snapshots at the configured times (Figs. 5-6)",
+        always_on: true,
+        make_probe: snapshots_probe,
+        emit: runner::emit_snapshots,
+    },
+    MetricDef {
+        name: "stall-series",
+        doc: "stall-rate trajectory of a chunk-level market (empty at queue level)",
+        always_on: true,
+        make_probe: stall_probe,
+        emit: runner::emit_stalls,
+    },
+    MetricDef {
+        name: "throughput-series",
+        doc: "system throughput over time (purchases/sec per sampling interval)",
+        always_on: false,
+        make_probe: throughput_probe,
+        emit: runner::emit_throughput,
+    },
+    MetricDef {
+        name: "population-series",
+        doc: "live peers over time (the arrival/departure balance under churn)",
+        always_on: false,
+        make_probe: population_probe,
+        emit: runner::emit_population,
+    },
+    MetricDef {
+        name: "lorenz",
+        doc: "final wealth Lorenz curve sampled at 100 population shares (Fig. 2)",
+        always_on: false,
+        make_probe: lorenz_probe,
+        emit: runner::emit_lorenz,
+    },
+];
+
+/// A metric recorded into the aggregated scenario output: a copyable
+/// handle into the probe registry (see [`MetricDef`]).
+#[derive(Clone, Copy)]
+pub struct Metric(&'static MetricDef);
+
+impl Metric {
     /// The Gini-over-time trajectory (the paper's Figs. 7–11).
-    GiniSeries,
+    pub const GINI_SERIES: Metric = Metric(&REGISTRY[0]);
     /// The final sorted wealth distribution.
-    FinalBalances,
+    pub const FINAL_BALANCES: Metric = Metric(&REGISTRY[1]);
     /// The sorted per-peer credit spending rates (Fig. 1).
-    SpendingRates,
+    pub const SPENDING_RATES: Metric = Metric(&REGISTRY[2]);
     /// Sorted wealth snapshots at the configured times (Figs. 5–6).
-    Snapshots,
+    pub const SNAPSHOTS: Metric = Metric(&REGISTRY[3]);
     /// The stall-rate-over-time trajectory of a chunk-level streaming
     /// market (not-yet-started peers count as fully stalled). Empty for
     /// queue-level markets.
-    StallSeries,
-}
+    pub const STALL_SERIES: Metric = Metric(&REGISTRY[4]);
+    /// System throughput over time: purchases/sec between sampling
+    /// boundaries.
+    pub const THROUGHPUT_SERIES: Metric = Metric(&REGISTRY[5]);
+    /// Live peers over time (flat without churn).
+    pub const POPULATION_SERIES: Metric = Metric(&REGISTRY[6]);
+    /// The final wealth Lorenz curve.
+    pub const LORENZ: Metric = Metric(&REGISTRY[7]);
 
-impl Metric {
-    /// All metrics, in canonical output order.
-    pub const ALL: [Metric; 5] = [
-        Metric::GiniSeries,
-        Metric::FinalBalances,
-        Metric::SpendingRates,
-        Metric::Snapshots,
-        Metric::StallSeries,
-    ];
+    /// Every registered metric, in canonical output order. Derived
+    /// from the [`REGISTRY`] rows themselves, so appending a row is
+    /// all it takes for a new metric to reach the parser, the
+    /// unknown-metric error list, and `scrip-sim metrics`.
+    pub fn registry() -> Vec<Metric> {
+        REGISTRY.iter().map(Metric).collect()
+    }
 
     /// The metric's name in scenario files.
     pub fn name(&self) -> &'static str {
-        match self {
-            Metric::GiniSeries => "gini-series",
-            Metric::FinalBalances => "final-balances",
-            Metric::SpendingRates => "spending-rates",
-            Metric::Snapshots => "snapshots",
-            Metric::StallSeries => "stall-series",
-        }
+        self.0.name
     }
 
-    /// Parses a scenario-file metric name.
+    /// One-line description of what the metric records.
+    pub fn doc(&self) -> &'static str {
+        self.0.doc
+    }
+
+    /// Whether the metric is measured on every run regardless of the
+    /// scenario's `metrics` selection (see [`MetricDef`]).
+    pub fn always_on(&self) -> bool {
+        self.0.always_on
+    }
+
+    /// Parses a scenario-file metric name against the registry.
     pub fn from_name(name: &str) -> Option<Metric> {
-        Metric::ALL.into_iter().find(|m| m.name() == name)
+        Metric::registry().into_iter().find(|m| m.name() == name)
+    }
+
+    /// Builds the probe that records this metric for one run.
+    pub fn make_probe(&self, run: &RunSpec) -> Box<dyn Probe> {
+        (self.0.make_probe)(run)
+    }
+
+    /// Appends this metric's aggregated CSV rows for one case.
+    pub(crate) fn emit_csv(&self, sc: &Scenario, case: &runner::CaseResult, out: &mut String) {
+        (self.0.emit)(sc, case, out)
     }
 }
+
+impl fmt::Debug for Metric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Metric({})", self.0.name)
+    }
+}
+
+impl PartialEq for Metric {
+    fn eq(&self, other: &Metric) -> bool {
+        // Registry rows are singletons, so name equality is identity.
+        self.0.name == other.0.name
+    }
+}
+
+impl Eq for Metric {}
 
 /// Execution parameters of a scenario.
 #[derive(Clone, Debug, PartialEq)]
@@ -148,7 +297,7 @@ impl Default for RunSpec {
             seed: DEFAULT_SEED,
             replications: 1,
             snapshots: Vec::new(),
-            metrics: vec![Metric::GiniSeries],
+            metrics: vec![Metric::GINI_SERIES],
         }
     }
 }
@@ -347,7 +496,7 @@ impl Scenario {
                 )));
             }
         }
-        if self.run.metrics.contains(&Metric::Snapshots) && self.run.snapshots.is_empty() {
+        if self.run.metrics.contains(&Metric::SNAPSHOTS) && self.run.snapshots.is_empty() {
             return Err(ScenarioError::Config(
                 "the snapshots metric requires snapshot times".into(),
             ));
@@ -468,7 +617,7 @@ mod tests {
         assert!(sc.validate().is_err(), "snapshot beyond horizon");
 
         let mut sc = demo();
-        sc.run.metrics = vec![Metric::Snapshots];
+        sc.run.metrics = vec![Metric::SNAPSHOTS];
         assert!(sc.validate().is_err(), "snapshots metric without times");
 
         let mut sc = demo();
@@ -504,9 +653,36 @@ mod tests {
 
     #[test]
     fn metric_names_round_trip() {
-        for m in Metric::ALL {
+        for m in Metric::registry() {
             assert_eq!(Metric::from_name(m.name()), Some(m));
+            assert!(!m.doc().is_empty());
         }
         assert_eq!(Metric::from_name("entropy"), None);
+    }
+
+    #[test]
+    fn registry_keeps_legacy_metrics_always_on() {
+        let always_on: Vec<&str> = Metric::registry()
+            .into_iter()
+            .filter(Metric::always_on)
+            .map(|m| m.name())
+            .collect();
+        assert_eq!(
+            always_on,
+            [
+                "gini-series",
+                "final-balances",
+                "spending-rates",
+                "snapshots",
+                "stall-series"
+            ],
+            "the original five metrics back ReplicationRun's accessors"
+        );
+        let extras: Vec<&str> = Metric::registry()
+            .into_iter()
+            .filter(|m| !m.always_on())
+            .map(|m| m.name())
+            .collect();
+        assert_eq!(extras, ["throughput-series", "population-series", "lorenz"]);
     }
 }

@@ -8,6 +8,13 @@
 //! output — including [`ScenarioResult::to_csv`] — is byte-identical
 //! whether the batch runs on 1 thread or 64.
 //!
+//! Each job is one [`scrip_core::obs::Session`]: the unified runner
+//! drives either market granularity and the metric registry's probes
+//! ([`super::Metric`]) deposit their measurements into the job's
+//! [`RunRecord`]. The always-on probes back [`ReplicationRun`]'s typed
+//! accessors; metrics requested via `run.metrics` additionally select
+//! which aggregated series reach the CSV.
+//!
 //! Replication 0 of every case reuses the scenario's root seed and all
 //! cases share the same replication seed stream (common random numbers),
 //! which makes single-replication batch runs reproduce direct
@@ -18,14 +25,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use scrip_core::des::{SeedSequence, SimTime, Simulation};
-use scrip_core::market::{CreditMarket, MarketConfig, MarketEvent};
-use scrip_core::protocol::build_streaming_market;
+use scrip_core::des::{SeedSequence, SimTime};
+use scrip_core::market::MarketConfig;
+use scrip_core::obs::{ids, RunRecord, Session};
 use scrip_core::spec::MarketSpec;
-use scrip_core::streaming::StreamEvent;
 use scrip_econ::aggregate::{aggregate_rows, SummaryStats};
 
-use super::{Metric, Scenario, ScenarioError};
+use super::{Metric, RunSpec, Scenario, ScenarioError};
 
 /// Batch-execution options.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -116,39 +122,83 @@ where
         .collect()
 }
 
-/// Everything measured in one simulated market run.
+/// Everything measured in one simulated market run: the seed it ran
+/// with plus the [`RunRecord`] the session's probes deposited. The
+/// typed accessors read the always-on metrics (recorded for every run
+/// regardless of the scenario's `metrics` selection); anything else —
+/// including metrics minted by downstream code — is reachable through
+/// [`ReplicationRun::record`].
 #[derive(Clone, Debug, PartialEq)]
 pub struct ReplicationRun {
     /// The seed this replication ran with.
     pub seed: u64,
+    /// All measurements, keyed by metric id (see
+    /// [`scrip_core::obs::ids`]).
+    pub record: RunRecord,
+}
+
+impl ReplicationRun {
     /// Gini-over-time samples `(t_secs, gini)`.
-    pub gini: Vec<(f64, f64)>,
+    pub fn gini(&self) -> &[(f64, f64)] {
+        self.record.series(ids::GINI_SERIES)
+    }
+
     /// Final wealth distribution, sorted ascending.
-    pub final_balances: Vec<u64>,
+    pub fn final_balances(&self) -> &[u64] {
+        self.record.sorted_u64(ids::FINAL_BALANCES)
+    }
+
     /// Per-peer credit spending rates over the whole run, sorted
     /// ascending.
-    pub spending_rates: Vec<f64>,
+    pub fn spending_rates(&self) -> &[f64] {
+        self.record.sorted_f64(ids::SPENDING_RATES)
+    }
+
     /// Sorted wealth snapshots at the configured times.
-    pub snapshots: Vec<(u64, Vec<u64>)>,
-    /// Gini of the final wealth distribution.
-    pub wealth_gini: f64,
-    /// Successful purchases.
-    pub purchases: u64,
-    /// Purchase attempts denied for lack of credits.
-    pub denied: u64,
-    /// Total credits spent by live peers.
-    pub total_spent: u64,
-    /// Live peers at the horizon.
-    pub peer_count: usize,
-    /// Credits collected by taxation (0 without tax).
-    pub tax_collected: u64,
-    /// Credits redistributed by taxation (0 without tax).
-    pub tax_redistributed: u64,
+    pub fn snapshots(&self) -> &[(u64, Vec<u64>)] {
+        self.record.snapshots(ids::SNAPSHOTS)
+    }
+
     /// Stall-rate samples `(t_secs, stall)` of a chunk-level streaming
-    /// market (not-yet-started peers count as fully stalled — see
-    /// [`scrip_core::streaming::StreamingSystem::stall_series`]); empty
-    /// for queue-level markets.
-    pub stalls: Vec<(f64, f64)>,
+    /// market; empty for queue-level markets.
+    pub fn stalls(&self) -> &[(f64, f64)] {
+        self.record.series(ids::STALL_SERIES)
+    }
+
+    /// Gini of the final wealth distribution.
+    pub fn wealth_gini(&self) -> f64 {
+        self.record.scalar(ids::WEALTH_GINI)
+    }
+
+    /// Successful purchases (settlements at chunk granularity).
+    pub fn purchases(&self) -> u64 {
+        self.record.counter(ids::PURCHASES)
+    }
+
+    /// Purchase attempts denied for lack of credits.
+    pub fn denied(&self) -> u64 {
+        self.record.counter(ids::DENIED)
+    }
+
+    /// Total credits spent by live peers.
+    pub fn total_spent(&self) -> u64 {
+        self.record.counter(ids::TOTAL_SPENT)
+    }
+
+    /// Live peers at the horizon.
+    pub fn peer_count(&self) -> usize {
+        self.record.counter(ids::PEER_COUNT) as usize
+    }
+
+    /// Credits collected by taxation (0 without tax).
+    pub fn tax_collected(&self) -> u64 {
+        self.record.counter(ids::TAX_COLLECTED)
+    }
+
+    /// Credits redistributed by taxation (0 without tax).
+    pub fn tax_redistributed(&self) -> u64 {
+        self.record.counter(ids::TAX_REDISTRIBUTED)
+    }
 }
 
 /// All replications of one expanded case, plus aggregation helpers.
@@ -186,22 +236,29 @@ impl CaseResult {
         aggregate_rows(&trimmed).expect("aligned finite rows")
     }
 
-    /// The Gini trajectory aggregated across replications:
-    /// `(t_secs, stats)` per sample, truncated to the shortest
-    /// replication.
-    pub fn gini_aggregate(&self) -> Vec<(f64, SummaryStats)> {
+    /// Any recorded `(x, y)` series aggregated across replications:
+    /// `(x, stats)` per sample, truncated to the shortest replication,
+    /// with x values taken from replication 0. Empty when the metric
+    /// was not recorded.
+    pub fn series_aggregate(&self, id: &str) -> Vec<(f64, SummaryStats)> {
         let stats = Self::aggregate_f64_rows(
             self.reps
                 .iter()
-                .map(|r| r.gini.iter().map(|&(_, g)| g).collect())
+                .map(|r| r.record.series(id).iter().map(|&(_, y)| y).collect())
                 .collect(),
         );
         self.reps[0]
-            .gini
+            .record
+            .series(id)
             .iter()
-            .map(|&(t, _)| t)
+            .map(|&(x, _)| x)
             .zip(stats)
             .collect()
+    }
+
+    /// The Gini trajectory aggregated across replications.
+    pub fn gini_aggregate(&self) -> Vec<(f64, SummaryStats)> {
+        self.series_aggregate(ids::GINI_SERIES)
     }
 
     /// The final wealth distribution aggregated by rank.
@@ -209,32 +266,25 @@ impl CaseResult {
         Self::aggregate_f64_rows(
             self.reps
                 .iter()
-                .map(|r| r.final_balances.iter().map(|&b| b as f64).collect())
+                .map(|r| r.final_balances().iter().map(|&b| b as f64).collect())
                 .collect(),
         )
     }
 
     /// The spending-rate distribution aggregated by rank.
     pub fn rates_aggregate(&self) -> Vec<SummaryStats> {
-        Self::aggregate_f64_rows(self.reps.iter().map(|r| r.spending_rates.clone()).collect())
-    }
-
-    /// The stall-rate trajectory aggregated across replications:
-    /// `(t_secs, stats)` per sample, truncated to the shortest
-    /// replication. Empty for queue-level markets.
-    pub fn stall_aggregate(&self) -> Vec<(f64, SummaryStats)> {
-        let stats = Self::aggregate_f64_rows(
+        Self::aggregate_f64_rows(
             self.reps
                 .iter()
-                .map(|r| r.stalls.iter().map(|&(_, s)| s).collect())
+                .map(|r| r.spending_rates().to_vec())
                 .collect(),
-        );
-        self.reps[0]
-            .stalls
-            .iter()
-            .map(|&(t, _)| t)
-            .zip(stats)
-            .collect()
+        )
+    }
+
+    /// The stall-rate trajectory aggregated across replications. Empty
+    /// for queue-level markets.
+    pub fn stall_aggregate(&self) -> Vec<(f64, SummaryStats)> {
+        self.series_aggregate(ids::STALL_SERIES)
     }
 
     /// The wealth snapshot at time `t`, aggregated by rank.
@@ -243,7 +293,7 @@ impl CaseResult {
             self.reps
                 .iter()
                 .map(|r| {
-                    r.snapshots
+                    r.snapshots()
                         .iter()
                         .find(|&&(st, _)| st == t)
                         .map(|(_, balances)| balances.iter().map(|&b| b as f64).collect())
@@ -260,15 +310,112 @@ impl CaseResult {
             .reps
             .iter()
             .filter_map(|r| {
-                if r.gini.is_empty() {
+                let gini = r.gini();
+                if gini.is_empty() {
                     return None;
                 }
-                let tail = &r.gini[r.gini.len().saturating_sub(10)..];
+                let tail = &gini[gini.len().saturating_sub(10)..];
                 Some(tail.iter().map(|&(_, g)| g).sum::<f64>() / tail.len() as f64)
             })
             .collect();
         SummaryStats::from_samples(&plateaus).ok()
     }
+}
+
+/// Appends aggregated `metric,case,x,mean,min,max` CSV rows.
+fn push_rows(
+    out: &mut String,
+    metric: &str,
+    label: &str,
+    xs: impl Iterator<Item = f64>,
+    stats: &[SummaryStats],
+) {
+    for (x, s) in xs.zip(stats) {
+        out.push_str(&format!(
+            "{metric},{label},{x:.6},{:.6},{:.6},{:.6}\n",
+            s.mean, s.min, s.max
+        ));
+    }
+}
+
+/// Appends a series metric's rows (x values from the aggregate).
+fn push_series(out: &mut String, metric: &str, label: &str, agg: &[(f64, SummaryStats)]) {
+    let stats: Vec<SummaryStats> = agg.iter().map(|&(_, s)| s).collect();
+    push_rows(out, metric, label, agg.iter().map(|&(x, _)| x), &stats);
+}
+
+/// Appends a rank-indexed distribution metric's rows (x = rank).
+fn push_ranked(out: &mut String, metric: &str, label: &str, stats: &[SummaryStats]) {
+    push_rows(
+        out,
+        metric,
+        label,
+        (0..stats.len()).map(|i| i as f64),
+        stats,
+    );
+}
+
+// CSV emitters behind the metric registry (`super::Metric`), one per
+// registered metric. Row formats are pinned byte-for-byte by
+// `tests/scenario_golden.rs`.
+
+pub(super) fn emit_gini(_sc: &Scenario, case: &CaseResult, out: &mut String) {
+    push_series(out, "gini", &case.label, &case.gini_aggregate());
+}
+
+pub(super) fn emit_final_balances(_sc: &Scenario, case: &CaseResult, out: &mut String) {
+    push_ranked(
+        out,
+        "final-balance",
+        &case.label,
+        &case.balances_aggregate(),
+    );
+}
+
+pub(super) fn emit_spending_rates(_sc: &Scenario, case: &CaseResult, out: &mut String) {
+    push_ranked(out, "spending-rate", &case.label, &case.rates_aggregate());
+}
+
+pub(super) fn emit_snapshots(sc: &Scenario, case: &CaseResult, out: &mut String) {
+    for &t in &sc.run.snapshots {
+        push_ranked(
+            out,
+            &format!("snapshot{t}"),
+            &case.label,
+            &case.snapshot_aggregate(t),
+        );
+    }
+}
+
+pub(super) fn emit_stalls(_sc: &Scenario, case: &CaseResult, out: &mut String) {
+    push_series(out, "stall", &case.label, &case.stall_aggregate());
+}
+
+pub(super) fn emit_throughput(_sc: &Scenario, case: &CaseResult, out: &mut String) {
+    push_series(
+        out,
+        "throughput",
+        &case.label,
+        &case.series_aggregate(ids::THROUGHPUT_SERIES),
+    );
+}
+
+pub(super) fn emit_population(_sc: &Scenario, case: &CaseResult, out: &mut String) {
+    push_series(
+        out,
+        "population",
+        &case.label,
+        &case.series_aggregate(ids::POPULATION_SERIES),
+    );
+}
+
+pub(super) fn emit_lorenz(_sc: &Scenario, case: &CaseResult, out: &mut String) {
+    push_series(
+        out,
+        "lorenz",
+        &case.label,
+        &case.series_aggregate(ids::LORENZ),
+    );
 }
 
 /// A finished scenario: per-case results plus timing.
@@ -291,18 +438,18 @@ impl ScenarioResult {
             .iter()
             .map(|case| {
                 let reps = case.reps.len() as f64;
-                let purchases = case.reps.iter().map(|r| r.purchases).sum::<u64>() as f64 / reps;
-                let denied = case.reps.iter().map(|r| r.denied).sum::<u64>() as f64 / reps;
-                let peers = case.reps.iter().map(|r| r.peer_count).sum::<usize>() as f64 / reps;
-                let wealth_gini = case.reps.iter().map(|r| r.wealth_gini).sum::<f64>() / reps;
+                let purchases = case.reps.iter().map(|r| r.purchases()).sum::<u64>() as f64 / reps;
+                let denied = case.reps.iter().map(|r| r.denied()).sum::<u64>() as f64 / reps;
+                let peers = case.reps.iter().map(|r| r.peer_count()).sum::<usize>() as f64 / reps;
+                let wealth_gini = case.reps.iter().map(|r| r.wealth_gini()).sum::<f64>() / reps;
                 // Chunk-level cases also report their final stall rate.
-                let stall = if case.reps.iter().all(|r| r.stalls.is_empty()) {
+                let stall = if case.reps.iter().all(|r| r.stalls().is_empty()) {
                     String::new()
                 } else {
                     let s = case
                         .reps
                         .iter()
-                        .filter_map(|r| r.stalls.last().map(|&(_, s)| s))
+                        .filter_map(|r| r.stalls().last().map(|&(_, s)| s))
                         .sum::<f64>()
                         / reps;
                     format!(", stall={s:.4}")
@@ -326,7 +473,7 @@ impl ScenarioResult {
 
     /// Renders the replication-aggregated metrics as CSV with
     /// `#`-prefixed metadata, in scenario metric order. Byte-identical
-    /// for every thread count.
+    /// for every thread count (pinned by `tests/scenario_golden.rs`).
     pub fn to_csv(&self) -> String {
         let sc = &self.scenario;
         let mut out = String::new();
@@ -346,176 +493,53 @@ impl ScenarioResult {
             out.push_str(&format!("# {line}\n"));
         }
         out.push_str("metric,case,x,mean,min,max\n");
-        let mut push_rows = |metric: &str,
-                             label: &str,
-                             xs: &mut dyn Iterator<Item = f64>,
-                             stats: &[SummaryStats]| {
-            for (x, s) in xs.zip(stats) {
-                out.push_str(&format!(
-                    "{metric},{label},{x:.6},{:.6},{:.6},{:.6}\n",
-                    s.mean, s.min, s.max
-                ));
-            }
-        };
         for metric in &sc.run.metrics {
             for case in &self.cases {
-                match metric {
-                    Metric::GiniSeries => {
-                        let agg = case.gini_aggregate();
-                        let stats: Vec<SummaryStats> = agg.iter().map(|&(_, s)| s).collect();
-                        push_rows(
-                            "gini",
-                            &case.label,
-                            &mut agg.iter().map(|&(t, _)| t),
-                            &stats,
-                        );
-                    }
-                    Metric::FinalBalances => {
-                        let stats = case.balances_aggregate();
-                        push_rows(
-                            "final-balance",
-                            &case.label,
-                            &mut (0..stats.len()).map(|i| i as f64),
-                            &stats,
-                        );
-                    }
-                    Metric::SpendingRates => {
-                        let stats = case.rates_aggregate();
-                        push_rows(
-                            "spending-rate",
-                            &case.label,
-                            &mut (0..stats.len()).map(|i| i as f64),
-                            &stats,
-                        );
-                    }
-                    Metric::Snapshots => {
-                        for &t in &sc.run.snapshots {
-                            let stats = case.snapshot_aggregate(t);
-                            push_rows(
-                                &format!("snapshot{t}"),
-                                &case.label,
-                                &mut (0..stats.len()).map(|i| i as f64),
-                                &stats,
-                            );
-                        }
-                    }
-                    Metric::StallSeries => {
-                        let agg = case.stall_aggregate();
-                        let stats: Vec<SummaryStats> = agg.iter().map(|&(_, s)| s).collect();
-                        push_rows(
-                            "stall",
-                            &case.label,
-                            &mut agg.iter().map(|&(t, _)| t),
-                            &stats,
-                        );
-                    }
-                }
+                metric.emit_csv(sc, case, &mut out);
             }
         }
         out
     }
 }
 
-/// Simulates one market to the horizon, recording snapshots along the
-/// way. A config whose `streaming` is set runs at chunk granularity
-/// through the protocol-level simulator; everything else runs the
-/// queue-level spend loop.
+/// The probes one job attaches: every always-on registry metric (they
+/// back [`ReplicationRun`]'s accessors and the summary lines) plus any
+/// additionally requested ones, deduplicated.
+fn attached_metrics(requested: &[Metric]) -> Vec<Metric> {
+    let mut out: Vec<Metric> = Metric::registry()
+        .into_iter()
+        .filter(Metric::always_on)
+        .collect();
+    for &metric in requested {
+        if !out.contains(&metric) {
+            out.push(metric);
+        }
+    }
+    out
+}
+
+/// Simulates one market to the horizon through a unified
+/// [`Session`]: a config whose `streaming` is set runs at chunk
+/// granularity, everything else runs the queue-level spend loop — the
+/// attached probes observe either one identically.
 fn run_one(
     config: &MarketConfig,
     seed: u64,
-    horizon_secs: u64,
-    snapshot_times: &[u64],
+    run: &RunSpec,
 ) -> Result<ReplicationRun, ScenarioError> {
-    if config.streaming.is_some() {
-        return run_one_streaming(config, seed, horizon_secs, snapshot_times);
-    }
-    let market = CreditMarket::build(config.clone(), seed)
+    let mut session = Session::from_config(config, seed)
         .map_err(|e| ScenarioError::Run(format!("seed {seed}: {e}")))?;
-    let mut sim = Simulation::new(market);
-    sim.schedule(SimTime::ZERO, MarketEvent::Bootstrap);
-    let mut snapshots = Vec::with_capacity(snapshot_times.len());
-    for &t in snapshot_times {
-        sim.run_until(SimTime::from_secs(t));
-        snapshots.push((t, sim.model().balances_sorted()));
+    for metric in attached_metrics(&run.metrics) {
+        session.attach(metric.make_probe(run));
     }
-    let horizon = SimTime::from_secs(horizon_secs);
-    sim.run_until(horizon);
-    let market = sim.into_model();
-    Ok(ReplicationRun {
-        seed,
-        gini: market
-            .gini_series()
-            .samples()
-            .iter()
-            .map(|&(t, g)| (t.as_secs_f64(), g))
-            .collect(),
-        final_balances: market.balances_sorted(),
-        spending_rates: market.spending_rates_sorted(horizon),
-        snapshots,
-        wealth_gini: market
-            .wealth_gini()
-            .map_err(|e| ScenarioError::Run(format!("seed {seed}: {e}")))?,
-        purchases: market.purchases(),
-        denied: market.denied(),
-        total_spent: market.spent_per_peer().values().sum(),
-        peer_count: market.peer_count(),
-        tax_collected: market.taxation().map_or(0, |t| t.collected),
-        tax_redistributed: market.taxation().map_or(0, |t| t.redistributed),
-        stalls: Vec::new(),
-    })
-}
-
-/// Simulates one chunk-level streaming market to the horizon. The
-/// measurements line up with the queue-level ones (`purchases` =
-/// settlements, `denied` = authorization denials) and additionally
-/// carry the stall-rate series.
-fn run_one_streaming(
-    config: &MarketConfig,
-    seed: u64,
-    horizon_secs: u64,
-    snapshot_times: &[u64],
-) -> Result<ReplicationRun, ScenarioError> {
-    let system = build_streaming_market(config, seed)
-        .map_err(|e| ScenarioError::Run(format!("seed {seed}: {e}")))?;
-    let capacity = system.queue_capacity_hint();
-    let mut sim = Simulation::with_capacity(system, capacity);
-    sim.schedule(SimTime::ZERO, StreamEvent::Bootstrap);
-    let mut snapshots = Vec::with_capacity(snapshot_times.len());
-    for &t in snapshot_times {
-        sim.run_until(SimTime::from_secs(t));
-        snapshots.push((t, sim.model().policy().balances_sorted()));
+    session.run_until(SimTime::from_secs(run.horizon_secs));
+    let (record, _model) = session.finish();
+    if record.get(ids::WEALTH_GINI).is_none() {
+        return Err(ScenarioError::Run(format!(
+            "seed {seed}: market has no peers at the horizon"
+        )));
     }
-    let horizon = SimTime::from_secs(horizon_secs);
-    sim.run_until(horizon);
-    let system = sim.into_model();
-    let policy = system.policy();
-    Ok(ReplicationRun {
-        seed,
-        gini: policy
-            .gini_series()
-            .samples()
-            .iter()
-            .map(|&(t, g)| (t.as_secs_f64(), g))
-            .collect(),
-        final_balances: policy.balances_sorted(),
-        spending_rates: policy.spending_rates_sorted(horizon),
-        snapshots,
-        wealth_gini: policy
-            .wealth_gini()
-            .map_err(|e| ScenarioError::Run(format!("seed {seed}: {e}")))?,
-        purchases: policy.settlements,
-        denied: policy.denials,
-        total_spent: policy.spent().values().sum(),
-        peer_count: system.peer_count(),
-        tax_collected: policy.taxation().map_or(0, |t| t.collected),
-        tax_redistributed: policy.taxation().map_or(0, |t| t.redistributed),
-        stalls: system
-            .stall_series()
-            .samples()
-            .iter()
-            .map(|&(t, s)| (t.as_secs_f64(), s))
-            .collect(),
-    })
+    Ok(ReplicationRun { seed, record })
 }
 
 /// Runs a scenario's full `cases × replications` grid, sharded across
@@ -552,12 +576,7 @@ pub fn run_scenario(
             let (case, rep) = jobs[i];
             let seed = seq.replication_seed(rep);
             let t0 = Instant::now();
-            let run = run_one(
-                &configs[case],
-                seed,
-                scenario.run.horizon_secs,
-                &scenario.run.snapshots,
-            );
+            let run = run_one(&configs[case], seed, &scenario.run);
             (run, t0.elapsed())
         });
     let wall = start.elapsed();
@@ -595,10 +614,10 @@ mod tests {
         sc.run.replications = 3;
         sc.run.snapshots = vec![200, 400];
         sc.run.metrics = vec![
-            Metric::GiniSeries,
-            Metric::FinalBalances,
-            Metric::SpendingRates,
-            Metric::Snapshots,
+            Metric::GINI_SERIES,
+            Metric::FINAL_BALANCES,
+            Metric::SPENDING_RATES,
+            Metric::SNAPSHOTS,
         ];
         sc.sweep = vec![SweepAxis::new("credits", [5u64, 10])];
         sc
@@ -638,10 +657,10 @@ mod tests {
         let direct =
             run_market(sc.base.build().expect("valid"), 99, SimTime::from_secs(400)).expect("runs");
         assert_eq!(
-            result.cases[0].reps[0].final_balances,
+            result.cases[0].reps[0].final_balances(),
             direct.balances_sorted()
         );
-        assert_eq!(result.cases[0].reps[0].purchases, direct.purchases());
+        assert_eq!(result.cases[0].reps[0].purchases(), direct.purchases());
     }
 
     #[test]
@@ -677,18 +696,50 @@ mod tests {
     }
 
     #[test]
+    fn new_registry_metrics_reach_the_csv() {
+        let mut sc = Scenario::new("extras", MarketSpec::new(30, 10));
+        sc.base.set("sample", "50").expect("valid");
+        sc.run.horizon_secs = 300;
+        sc.run.metrics = vec![
+            Metric::THROUGHPUT_SERIES,
+            Metric::POPULATION_SERIES,
+            Metric::LORENZ,
+        ];
+        let result = run_scenario(&sc, &RunnerOptions::with_threads(2)).expect("runs");
+        let case = &result.cases[0];
+        assert_eq!(
+            case.series_aggregate(ids::THROUGHPUT_SERIES).len(),
+            6,
+            "one throughput point per sampling boundary"
+        );
+        assert_eq!(
+            case.series_aggregate(ids::POPULATION_SERIES).len(),
+            7,
+            "bootstrap point + 6 boundaries"
+        );
+        assert_eq!(case.series_aggregate(ids::LORENZ).len(), 101);
+        let csv = result.to_csv();
+        for needle in ["throughput,base,", "population,base,", "lorenz,base,"] {
+            assert!(csv.contains(needle), "CSV missing {needle}:\n{csv}");
+        }
+        // The always-on metrics are still measured even when unselected.
+        assert!(!case.single().final_balances().is_empty());
+        assert!(!csv.contains("final-balance,"), "unselected metric leaked");
+    }
+
+    #[test]
     fn streaming_scenarios_run_and_record_stalls() {
         let mut sc = Scenario::new("chunks", MarketSpec::new(30, 50));
         sc.base.set("streaming", "paced:1").expect("valid");
         sc.base.set("sample", "25").expect("valid");
         sc.run.horizon_secs = 150;
         sc.run.snapshots = vec![75, 150];
-        sc.run.metrics = vec![Metric::GiniSeries, Metric::StallSeries, Metric::Snapshots];
+        sc.run.metrics = vec![Metric::GINI_SERIES, Metric::STALL_SERIES, Metric::SNAPSHOTS];
         let result = run_scenario(&sc, &RunnerOptions::with_threads(2)).expect("runs");
         let case = &result.cases[0];
-        assert!(!case.single().stalls.is_empty(), "stall series recorded");
-        assert!(!case.single().gini.is_empty(), "gini series recorded");
-        assert!(case.single().purchases > 0, "chunk trades settled");
+        assert!(!case.single().stalls().is_empty(), "stall series recorded");
+        assert!(!case.single().gini().is_empty(), "gini series recorded");
+        assert!(case.single().purchases() > 0, "chunk trades settled");
         assert!(!case.stall_aggregate().is_empty());
         assert!(!case.snapshot_aggregate(75).is_empty());
         let csv = result.to_csv();
@@ -702,7 +753,7 @@ mod tests {
         );
         // Queue-level cases leave the stall series empty.
         let queue = run_scenario(&tiny_scenario(), &RunnerOptions::default()).expect("runs");
-        assert!(queue.cases[0].single().stalls.is_empty());
+        assert!(queue.cases[0].single().stalls().is_empty());
         assert!(!queue.summary_lines()[0].contains("stall="));
     }
 

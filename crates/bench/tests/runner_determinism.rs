@@ -16,10 +16,10 @@ fn grid_scenario() -> Scenario {
     sc.run.replications = 3;
     sc.run.snapshots = vec![300, 600];
     sc.run.metrics = vec![
-        Metric::GiniSeries,
-        Metric::FinalBalances,
-        Metric::SpendingRates,
-        Metric::Snapshots,
+        Metric::GINI_SERIES,
+        Metric::FINAL_BALANCES,
+        Metric::SPENDING_RATES,
+        Metric::SNAPSHOTS,
     ];
     sc.cases = vec![
         CaseSpec::new("closed"),
@@ -65,11 +65,11 @@ fn streaming_grid_scenario() -> Scenario {
     sc.run.replications = 2;
     sc.run.snapshots = vec![120, 240];
     sc.run.metrics = vec![
-        Metric::GiniSeries,
-        Metric::FinalBalances,
-        Metric::SpendingRates,
-        Metric::Snapshots,
-        Metric::StallSeries,
+        Metric::GINI_SERIES,
+        Metric::FINAL_BALANCES,
+        Metric::SPENDING_RATES,
+        Metric::SNAPSHOTS,
+        Metric::STALL_SERIES,
     ];
     sc.cases = vec![
         CaseSpec::new("closed"),
@@ -93,6 +93,57 @@ fn streaming_output_is_identical_for_1_2_and_8_threads() {
             baseline_csv,
             result.to_csv(),
             "{threads}-thread streaming CSV diverged from the serial baseline"
+        );
+        for (a, b) in baseline.cases.iter().zip(&result.cases) {
+            assert_eq!(a.reps, b.reps, "case {} raw data diverged", a.label);
+        }
+    }
+}
+
+/// A grid recording the three registry-only probes — throughput,
+/// population (with churn so it actually moves), and the Lorenz curve —
+/// at both market granularities.
+fn new_probe_scenario() -> Scenario {
+    let mut sc = Scenario::new("new-probes", MarketSpec::new(40, 20));
+    sc.base.set("sample", "50").expect("valid");
+    sc.run.horizon_secs = 400;
+    sc.run.seed = 20_260_728;
+    sc.run.replications = 2;
+    sc.run.metrics = vec![
+        Metric::THROUGHPUT_SERIES,
+        Metric::POPULATION_SERIES,
+        Metric::LORENZ,
+    ];
+    sc.cases = vec![
+        CaseSpec::new("queue").with("churn", "0.2:200:10"),
+        CaseSpec::new("chunks")
+            .with("streaming", "paced:1")
+            .with("credits", "40"),
+    ];
+    sc
+}
+
+#[test]
+fn new_probe_output_is_identical_for_1_2_and_8_threads() {
+    let scenario = new_probe_scenario();
+    let baseline = run_scenario(&scenario, &RunnerOptions::with_threads(1)).expect("runs");
+    let baseline_csv = baseline.to_csv();
+    for needle in [
+        "throughput,queue,",
+        "throughput,chunks,",
+        "population,queue,",
+        "population,chunks,",
+        "lorenz,queue,",
+        "lorenz,chunks,",
+    ] {
+        assert!(baseline_csv.contains(needle), "CSV missing {needle}");
+    }
+    for threads in [2, 8] {
+        let result = run_scenario(&scenario, &RunnerOptions::with_threads(threads)).expect("runs");
+        assert_eq!(
+            baseline_csv,
+            result.to_csv(),
+            "{threads}-thread new-probe CSV diverged from the serial baseline"
         );
         for (a, b) in baseline.cases.iter().zip(&result.cases) {
             assert_eq!(a.reps, b.reps, "case {} raw data diverged", a.label);

@@ -24,7 +24,10 @@
 //!    live-streaming swarm ([`scrip_streaming`]). Counter-measures —
 //!    taxation ([`policy::Taxation`]) and dynamic spending rates
 //!    ([`policy::SpendingPolicy`]) — and churn (open market) are
-//!    supported by both the simulators and the analytics.
+//!    supported by both the simulators and the analytics. One
+//!    observation layer ([`obs`]) runs either simulator behind a
+//!    unified [`obs::Session`] and measures it through pluggable
+//!    [`obs::Probe`]s.
 //!
 //! ## Quickstart
 //!
@@ -59,6 +62,7 @@ mod error;
 pub mod mapping;
 pub mod market;
 pub mod model;
+pub mod obs;
 pub mod policy;
 pub mod pricing;
 pub mod protocol;

@@ -320,6 +320,10 @@ pub struct CreditMarket {
     mu: Vec<f64>,
     /// Credits spent so far per peer.
     spent: Vec<u64>,
+    /// Σ `spent` over live peers, maintained incrementally (bumped per
+    /// purchase, reduced on departure) so [`CreditMarket::total_spent`]
+    /// is O(1).
+    total_spent: u64,
     /// Exponentially decayed recent-purchase activity per peer (the
     /// inventory proxy for availability feedback): `(value, last bump)`.
     activity: Vec<(f64, SimTime)>,
@@ -372,6 +376,7 @@ impl CreditMarket {
             arena: PeerArena::from_ids(&peer_ids),
             mu,
             spent: vec![0; n],
+            total_spent: 0,
             activity: vec![(1.0, SimTime::ZERO); n],
             scratch_weights: Vec::new(),
             denied: 0,
@@ -452,6 +457,13 @@ impl CreditMarket {
             .zip(&self.spent)
             .map(|(&id, &s)| (id, s))
             .collect()
+    }
+
+    /// Total credits spent by live peers. O(1): maintained incrementally
+    /// alongside the per-peer counters (equal to
+    /// `spent_per_peer().values().sum()`, without assembling the map).
+    pub fn total_spent(&self) -> u64 {
+        self.total_spent
     }
 
     /// Per-peer credit spending *rates* over `[0, now]`, sorted ascending
@@ -614,6 +626,7 @@ impl CreditMarket {
                 .expect("balance checked above");
             let buyer_slot = self.arena.slot(id).expect("buyer is live");
             self.spent[buyer_slot] += price;
+            self.total_spent += price;
             self.purchases += 1;
             if self.config.availability_feedback {
                 self.bump_activity(id, now);
@@ -674,6 +687,9 @@ impl CreditMarket {
         self.pricing.on_leave(id);
         let removal = self.arena.remove(id).expect("graph and arena agree");
         self.mu.swap_remove(removal.slot);
+        // A departing peer takes its spending history with it, exactly
+        // as `spent_per_peer()` (live peers only) always reported.
+        self.total_spent -= self.spent[removal.slot];
         self.spent.swap_remove(removal.slot);
         self.activity.swap_remove(removal.slot);
     }
@@ -739,6 +755,11 @@ impl Model for CreditMarket {
 
 /// Convenience runner: builds the market, simulates until `horizon`, and
 /// returns the finished model.
+#[doc = "\n\nPrefer [`crate::obs::Session`] for new code: it runs both market \
+granularities behind one entry point and supports pluggable \
+[`crate::obs::Probe`]s. This function is kept as a thin wrapper over a \
+probe-less session (bit-identical results, zero overhead) so existing \
+callers keep working."]
 ///
 /// # Errors
 /// Returns [`CoreError`] if market construction fails.
@@ -747,12 +768,22 @@ pub fn run_market(
     seed: u64,
     horizon: SimTime,
 ) -> Result<CreditMarket, CoreError> {
-    let market = CreditMarket::build(config, seed)?;
-    let capacity = market.queue_capacity_hint();
-    let mut sim = scrip_des::Simulation::with_capacity(market, capacity);
-    sim.schedule(SimTime::ZERO, MarketEvent::Bootstrap);
-    sim.run_until(horizon);
-    Ok(sim.into_model())
+    if config.streaming.is_some() {
+        // Preserve CreditMarket::build's refusal without running the
+        // chunk-level stack.
+        return Err(CoreError::Config(
+            "config selects a chunk-level streaming market; build it with \
+             crate::protocol::run_streaming_market instead"
+                .into(),
+        ));
+    }
+    let mut session = crate::obs::Session::from_config(&config, seed)?;
+    session.run_until(horizon);
+    Ok(session
+        .finish()
+        .1
+        .queue()
+        .expect("queue-level config yields a queue-level model"))
 }
 
 #[cfg(test)]

@@ -1,0 +1,831 @@
+//! The unified observation API: pluggable probes over one `Session`
+//! runner that drives *both* market granularities.
+//!
+//! The paper's evaluation is a family of observations — Gini
+//! trajectories, wealth distributions, spending rates, stall rates —
+//! over one simulated economy. This module turns "what we measure" into
+//! data instead of code:
+//!
+//! * [`MarketView`] — the read-only facade a probe observes. Both the
+//!   queue-level [`CreditMarket`] and the chunk-level
+//!   [`StreamingSystem<CreditTradePolicy>`] implement it, so a probe
+//!   written once works at either granularity.
+//! * [`Probe`] — the observer interface: [`Probe::on_bootstrap`] at the
+//!   start of the run, [`Probe::on_settle`] /  [`Probe::on_sample`] at
+//!   each sampling boundary, [`Probe::at_horizon`] once at the end.
+//! * [`Recorder`] / [`RunRecord`] — the typed-series container probes
+//!   write into, keyed by string [`MetricId`]s (well-known ids in
+//!   [`ids`]).
+//! * [`Session`] — the one entry point that subsumes
+//!   [`crate::market::run_market`] and
+//!   [`crate::protocol::run_streaming_market`]: build from any
+//!   [`MarketConfig`], [`Session::attach`] probes, [`Session::run_until`]
+//!   the horizon, [`Session::finish`] into a [`RunRecord`] plus the
+//!   finished model.
+//!
+//! ## Hot-path cost
+//!
+//! Probe dispatch happens **only at sampling boundaries** (the market's
+//! `sample_interval`, plus any extra stop times probes request): the
+//! session runs the simulator in uninterrupted spans between stops and
+//! never interposes on individual spend/settle events, so the
+//! allocation-free spend and chunk-trade hot paths are untouched. With
+//! no probes attached the session is a single `run_until` call — zero
+//! overhead over the old entry points (measured by the
+//! `probe_attached`/`probe_detached` entries of `scrip-sim bench`).
+//!
+//! ## Example
+//!
+//! ```
+//! use scrip_core::market::MarketConfig;
+//! use scrip_core::obs::{probes, Session};
+//! use scrip_des::SimTime;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = MarketConfig::new(50, 20);
+//! let mut session = Session::from_config(&config, 7)?;
+//! session.attach(Box::new(probes::PopulationSeriesProbe::new()));
+//! session.attach(Box::new(probes::LorenzProbe::new(20)));
+//! session.run_until(SimTime::from_secs(500));
+//! let (record, _model) = session.finish();
+//! let population = record.series(scrip_core::obs::ids::POPULATION_SERIES);
+//! assert_eq!(population.first(), Some(&(0.0, 50.0)));
+//! assert_eq!(record.counter(scrip_core::obs::ids::PEER_COUNT), 50);
+//! # Ok(())
+//! # }
+//! ```
+
+use scrip_des::stats::TimeSeries;
+use scrip_des::{RunStats, SimDuration, SimTime, Simulation};
+use scrip_streaming::{StreamEvent, StreamingSystem};
+
+use crate::credits::Ledger;
+use crate::error::CoreError;
+use crate::market::{CreditMarket, MarketConfig, MarketEvent};
+use crate::policy::Taxation;
+use crate::protocol::{build_streaming_market, CreditTradePolicy};
+
+pub mod probes;
+
+/// Identifies one recorded metric inside a [`RunRecord`]. Plain strings
+/// so downstream registries (e.g. the scenario engine's) can mint new
+/// metrics without touching this crate.
+pub type MetricId = String;
+
+/// Well-known [`MetricId`]s: what the built-in [`probes`] and
+/// [`Session::finish`] record.
+pub mod ids {
+    /// `(t, Gini)` trajectory ([`super::probes::GiniSeriesProbe`]).
+    pub const GINI_SERIES: &str = "gini-series";
+    /// Final wealth distribution, sorted ascending
+    /// ([`super::probes::FinalBalancesProbe`]).
+    pub const FINAL_BALANCES: &str = "final-balances";
+    /// Per-peer spending rates, sorted ascending
+    /// ([`super::probes::SpendingRatesProbe`]).
+    pub const SPENDING_RATES: &str = "spending-rates";
+    /// Sorted wealth snapshots at requested times
+    /// ([`super::probes::SnapshotsProbe`]).
+    pub const SNAPSHOTS: &str = "snapshots";
+    /// `(t, stall rate)` trajectory; empty for queue-level markets
+    /// ([`super::probes::StallSeriesProbe`]).
+    pub const STALL_SERIES: &str = "stall-series";
+    /// `(t, purchases/sec)` trajectory
+    /// ([`super::probes::ThroughputSeriesProbe`]).
+    pub const THROUGHPUT_SERIES: &str = "throughput-series";
+    /// `(t, live peers)` trajectory
+    /// ([`super::probes::PopulationSeriesProbe`]).
+    pub const POPULATION_SERIES: &str = "population-series";
+    /// Final Lorenz curve `(population share, wealth share)`
+    /// ([`super::probes::LorenzProbe`]).
+    pub const LORENZ: &str = "lorenz";
+    /// Successful purchases (settlements at chunk granularity) —
+    /// recorded by [`super::Session::finish`].
+    pub const PURCHASES: &str = "purchases";
+    /// Purchase attempts refused for lack of credits.
+    pub const DENIED: &str = "denied";
+    /// Total credits spent by live peers.
+    pub const TOTAL_SPENT: &str = "total-spent";
+    /// Live peers at the horizon.
+    pub const PEER_COUNT: &str = "peer-count";
+    /// Gini of the final wealth distribution (absent when the market
+    /// has no peers at the horizon).
+    pub const WEALTH_GINI: &str = "wealth-gini";
+    /// Credits collected by taxation (0 without tax).
+    pub const TAX_COLLECTED: &str = "tax-collected";
+    /// Credits redistributed by taxation (0 without tax).
+    pub const TAX_REDISTRIBUTED: &str = "tax-redistributed";
+}
+
+/// One recorded value: every shape the evaluation pipeline aggregates.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// An `(x, y)` series — trajectories and curves.
+    Series(Vec<(f64, f64)>),
+    /// A sorted integer distribution (e.g. final balances).
+    SortedU64(Vec<u64>),
+    /// A sorted float distribution (e.g. spending rates).
+    SortedF64(Vec<f64>),
+    /// Sorted wealth snapshots: `(time secs, sorted balances)`.
+    Snapshots(Vec<(u64, Vec<u64>)>),
+    /// An event count.
+    Counter(u64),
+    /// A single number.
+    Scalar(f64),
+}
+
+/// Everything measured in one finished run: `(MetricId, MetricValue)`
+/// entries in recording order. The typed accessors return empty/zero
+/// defaults for absent or differently-typed ids, so consumers read the
+/// metrics they care about without `match` boilerplate; use
+/// [`RunRecord::get`] when absence must be distinguished.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunRecord {
+    entries: Vec<(MetricId, MetricValue)>,
+}
+
+impl RunRecord {
+    /// The raw value recorded under `id`, if any.
+    pub fn get(&self, id: &str) -> Option<&MetricValue> {
+        self.entries
+            .iter()
+            .find(|(name, _)| name == id)
+            .map(|(_, v)| v)
+    }
+
+    /// All recorded ids, in recording order.
+    pub fn ids(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(name, _)| name.as_str())
+    }
+
+    /// The `(x, y)` series under `id` (empty if absent or not a series).
+    pub fn series(&self, id: &str) -> &[(f64, f64)] {
+        match self.get(id) {
+            Some(MetricValue::Series(points)) => points,
+            _ => &[],
+        }
+    }
+
+    /// The sorted integer distribution under `id` (empty if absent).
+    pub fn sorted_u64(&self, id: &str) -> &[u64] {
+        match self.get(id) {
+            Some(MetricValue::SortedU64(values)) => values,
+            _ => &[],
+        }
+    }
+
+    /// The sorted float distribution under `id` (empty if absent).
+    pub fn sorted_f64(&self, id: &str) -> &[f64] {
+        match self.get(id) {
+            Some(MetricValue::SortedF64(values)) => values,
+            _ => &[],
+        }
+    }
+
+    /// The snapshots under `id` (empty if absent).
+    pub fn snapshots(&self, id: &str) -> &[(u64, Vec<u64>)] {
+        match self.get(id) {
+            Some(MetricValue::Snapshots(taken)) => taken,
+            _ => &[],
+        }
+    }
+
+    /// The counter under `id` (0 if absent).
+    pub fn counter(&self, id: &str) -> u64 {
+        match self.get(id) {
+            Some(MetricValue::Counter(n)) => *n,
+            _ => 0,
+        }
+    }
+
+    /// The scalar under `id` (NaN if absent — check [`RunRecord::get`]
+    /// when absence matters).
+    pub fn scalar(&self, id: &str) -> f64 {
+        match self.get(id) {
+            Some(MetricValue::Scalar(x)) => *x,
+            _ => f64::NAN,
+        }
+    }
+}
+
+/// The write side of a [`RunRecord`]: handed to [`Probe::at_horizon`] so
+/// every probe deposits its measurements under its own ids.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    record: RunRecord,
+}
+
+impl Recorder {
+    /// Records `value` under `id`.
+    ///
+    /// # Panics
+    /// Panics on a duplicate id — two probes claiming the same metric is
+    /// a wiring bug, not a runtime condition.
+    pub fn record(&mut self, id: impl Into<MetricId>, value: MetricValue) {
+        let id = id.into();
+        assert!(
+            self.record.get(&id).is_none(),
+            "duplicate metric id {id:?} recorded"
+        );
+        self.record.entries.push((id, value));
+    }
+
+    /// Finalizes into the immutable [`RunRecord`].
+    pub fn finish(self) -> RunRecord {
+        self.record
+    }
+}
+
+/// Read-only view of a running market, shared by both granularities:
+/// the queue-level [`CreditMarket`] and the chunk-level
+/// [`StreamingSystem<CreditTradePolicy>`]. Everything a probe can
+/// observe goes through this trait, so probes are written once and run
+/// against either simulator.
+///
+/// The counter accessors are O(1); the distribution accessors assemble
+/// owned vectors and are intended for sampling boundaries, not hot
+/// paths.
+pub trait MarketView {
+    /// Number of live peers.
+    fn peer_count(&self) -> usize;
+    /// Successful purchases so far (settlements at chunk granularity).
+    fn purchases(&self) -> u64;
+    /// Purchase attempts refused for lack of credits.
+    fn denied(&self) -> u64;
+    /// Total credits spent by live peers (O(1)).
+    fn total_spent(&self) -> u64;
+    /// The credit ledger.
+    fn ledger(&self) -> &Ledger;
+    /// Taxation state, when taxation is enabled.
+    fn taxation(&self) -> Option<&Taxation>;
+    /// Current balances sorted ascending.
+    fn balances_sorted(&self) -> Vec<u64>;
+    /// Gini of the current wealth distribution (O(1) via the ledger's
+    /// online accumulator).
+    ///
+    /// # Errors
+    /// Returns [`CoreError::Econ`] if the market has no peers.
+    fn wealth_gini(&self) -> Result<f64, CoreError>;
+    /// Per-peer credit spending rates over `[0, now]`, sorted ascending.
+    fn spending_rates_sorted(&self, now: SimTime) -> Vec<f64>;
+    /// The internally recorded `(t, Gini)` trajectory.
+    fn gini_series(&self) -> &TimeSeries;
+    /// The `(t, stall rate)` trajectory — [`None`] for queue-level
+    /// markets, which have no playback to stall.
+    fn stall_series(&self) -> Option<&TimeSeries>;
+}
+
+impl MarketView for CreditMarket {
+    fn peer_count(&self) -> usize {
+        CreditMarket::peer_count(self)
+    }
+    fn purchases(&self) -> u64 {
+        CreditMarket::purchases(self)
+    }
+    fn denied(&self) -> u64 {
+        CreditMarket::denied(self)
+    }
+    fn total_spent(&self) -> u64 {
+        CreditMarket::total_spent(self)
+    }
+    fn ledger(&self) -> &Ledger {
+        CreditMarket::ledger(self)
+    }
+    fn taxation(&self) -> Option<&Taxation> {
+        CreditMarket::taxation(self)
+    }
+    fn balances_sorted(&self) -> Vec<u64> {
+        CreditMarket::balances_sorted(self)
+    }
+    fn wealth_gini(&self) -> Result<f64, CoreError> {
+        CreditMarket::wealth_gini(self)
+    }
+    fn spending_rates_sorted(&self, now: SimTime) -> Vec<f64> {
+        CreditMarket::spending_rates_sorted(self, now)
+    }
+    fn gini_series(&self) -> &TimeSeries {
+        CreditMarket::gini_series(self)
+    }
+    fn stall_series(&self) -> Option<&TimeSeries> {
+        None
+    }
+}
+
+impl MarketView for StreamingSystem<CreditTradePolicy> {
+    fn peer_count(&self) -> usize {
+        StreamingSystem::peer_count(self)
+    }
+    fn purchases(&self) -> u64 {
+        self.policy().settlements
+    }
+    fn denied(&self) -> u64 {
+        self.policy().denials
+    }
+    fn total_spent(&self) -> u64 {
+        self.policy().total_spent()
+    }
+    fn ledger(&self) -> &Ledger {
+        self.policy().ledger()
+    }
+    fn taxation(&self) -> Option<&Taxation> {
+        self.policy().taxation()
+    }
+    fn balances_sorted(&self) -> Vec<u64> {
+        self.policy().balances_sorted()
+    }
+    fn wealth_gini(&self) -> Result<f64, CoreError> {
+        self.policy().wealth_gini()
+    }
+    fn spending_rates_sorted(&self, now: SimTime) -> Vec<f64> {
+        self.policy().spending_rates_sorted(now)
+    }
+    fn gini_series(&self) -> &TimeSeries {
+        self.policy().gini_series()
+    }
+    fn stall_series(&self) -> Option<&TimeSeries> {
+        Some(StreamingSystem::stall_series(self))
+    }
+}
+
+/// A pluggable observer over one market run.
+///
+/// Hooks fire **only at sampling boundaries** (never per simulator
+/// event), so attaching probes cannot perturb the spend/trade hot
+/// paths; see the [module docs](self) for the cost model. All hooks
+/// have empty defaults except [`Probe::at_horizon`], where the probe
+/// deposits whatever it measured into the [`Recorder`].
+pub trait Probe: Send {
+    /// Extra simulated instants (besides the regular sampling grid) at
+    /// which this probe needs [`Probe::on_sample`] — e.g. wealth
+    /// snapshot times. Queried once at [`Session::attach`].
+    fn extra_stops(&self) -> Vec<SimTime> {
+        Vec::new()
+    }
+
+    /// Called once at the start of the run, after the market has
+    /// bootstrapped (time zero events processed).
+    fn on_bootstrap(&mut self, view: &dyn MarketView) {
+        let _ = view;
+    }
+
+    /// Batched settlement notification: how many purchases settled and
+    /// how many were denied since the previous sampling boundary.
+    /// Delivered immediately before [`Probe::on_sample`] at every stop —
+    /// this is how throughput-style probes observe purchase flow without
+    /// any per-event dispatch.
+    fn on_settle(&mut self, now: SimTime, settled: u64, denied: u64) {
+        let _ = (now, settled, denied);
+    }
+
+    /// Called at every sampling boundary: the market's
+    /// `sample_interval` grid plus any [`Probe::extra_stops`] requested
+    /// by an attached probe.
+    fn on_sample(&mut self, now: SimTime, view: &dyn MarketView) {
+        let _ = (now, view);
+    }
+
+    /// Called once when the session finishes: deposit measurements into
+    /// the recorder.
+    fn at_horizon(&mut self, now: SimTime, view: &dyn MarketView, rec: &mut Recorder);
+}
+
+/// The simulator behind a session: one of the two market granularities.
+enum SessionSim {
+    /// The queue-level spend-loop market.
+    Queue(Simulation<CreditMarket>),
+    /// The chunk-level streaming market.
+    Chunk(Simulation<StreamingSystem<CreditTradePolicy>>),
+}
+
+/// The finished model a [`Session`] hands back, for callers that want
+/// more than the [`RunRecord`] (e.g. the deprecated `run_market` /
+/// `run_streaming_market` wrappers).
+pub enum SessionModel {
+    /// A finished queue-level market.
+    Queue(CreditMarket),
+    /// A finished chunk-level streaming market.
+    Chunk(StreamingSystem<CreditTradePolicy>),
+}
+
+impl SessionModel {
+    /// The queue-level market, if that is what ran.
+    pub fn queue(self) -> Option<CreditMarket> {
+        match self {
+            SessionModel::Queue(market) => Some(market),
+            SessionModel::Chunk(_) => None,
+        }
+    }
+
+    /// The chunk-level streaming system, if that is what ran.
+    pub fn chunk(self) -> Option<StreamingSystem<CreditTradePolicy>> {
+        match self {
+            SessionModel::Queue(_) => None,
+            SessionModel::Chunk(system) => Some(system),
+        }
+    }
+}
+
+/// One market run under observation: the unified entry point for both
+/// granularities. See the [module docs](self) for the full picture and
+/// an example.
+pub struct Session {
+    sim: SessionSim,
+    probes: Vec<Box<dyn Probe>>,
+    /// The sampling-grid spacing (the market's effective
+    /// `sample_interval`).
+    interval: SimDuration,
+    /// Next regular sampling boundary.
+    next_tick: SimTime,
+    /// Pending extra stops from probes, ascending and deduplicated.
+    stops: Vec<SimTime>,
+    /// Purchase/denial counts at the previous boundary (for
+    /// [`Probe::on_settle`] deltas).
+    last_purchases: u64,
+    last_denied: u64,
+    started: bool,
+}
+
+impl Session {
+    /// Builds a session from any market configuration: a config whose
+    /// [`MarketConfig::streaming`] is set runs at chunk granularity
+    /// through the protocol stack, everything else runs the queue-level
+    /// spend loop. The simulation is pre-sized
+    /// (`queue_capacity_hint`) and its bootstrap event scheduled; call
+    /// [`Session::attach`] before [`Session::run_until`].
+    ///
+    /// # Errors
+    /// Returns [`CoreError`] for invalid configurations or topology
+    /// failures.
+    pub fn from_config(config: &MarketConfig, seed: u64) -> Result<Session, CoreError> {
+        let (sim, interval) = if config.streaming.is_some() {
+            let system = build_streaming_market(config, seed)?;
+            let interval = system
+                .config()
+                .sample_interval
+                .unwrap_or(config.sample_interval);
+            let capacity = system.queue_capacity_hint();
+            let mut sim = Simulation::with_capacity(system, capacity);
+            sim.schedule(SimTime::ZERO, StreamEvent::Bootstrap);
+            (SessionSim::Chunk(sim), interval)
+        } else {
+            let market = CreditMarket::build(config.clone(), seed)?;
+            let interval = config.sample_interval;
+            let capacity = market.queue_capacity_hint();
+            let mut sim = Simulation::with_capacity(market, capacity);
+            sim.schedule(SimTime::ZERO, MarketEvent::Bootstrap);
+            (SessionSim::Queue(sim), interval)
+        };
+        Ok(Session {
+            sim,
+            probes: Vec::new(),
+            interval,
+            next_tick: SimTime::ZERO + interval,
+            stops: Vec::new(),
+            last_purchases: 0,
+            last_denied: 0,
+            started: false,
+        })
+    }
+
+    /// Attaches a probe. Its [`Probe::extra_stops`] are merged into the
+    /// session's stop schedule.
+    ///
+    /// # Panics
+    /// Panics if the session has already started running — probes must
+    /// observe the run from the beginning.
+    pub fn attach(&mut self, probe: Box<dyn Probe>) {
+        assert!(
+            !self.started,
+            "attach probes before the first run_until call"
+        );
+        self.stops.extend(probe.extra_stops());
+        self.stops.sort_unstable();
+        self.stops.dedup();
+        self.probes.push(probe);
+    }
+
+    /// Number of attached probes.
+    pub fn probe_count(&self) -> usize {
+        self.probes.len()
+    }
+
+    /// The current simulation clock.
+    pub fn now(&self) -> SimTime {
+        match &self.sim {
+            SessionSim::Queue(sim) => sim.now(),
+            SessionSim::Chunk(sim) => sim.now(),
+        }
+    }
+
+    /// Kernel counters for the run so far (events processed/pending).
+    pub fn stats(&self) -> RunStats {
+        match &self.sim {
+            SessionSim::Queue(sim) => sim.stats(),
+            SessionSim::Chunk(sim) => sim.stats(),
+        }
+    }
+
+    /// The observable market state, at either granularity.
+    pub fn view(&self) -> &dyn MarketView {
+        match &self.sim {
+            SessionSim::Queue(sim) => sim.model(),
+            SessionSim::Chunk(sim) => sim.model(),
+        }
+    }
+
+    fn sim_run_until(&mut self, t: SimTime) {
+        match &mut self.sim {
+            SessionSim::Queue(sim) => {
+                sim.run_until(t);
+            }
+            SessionSim::Chunk(sim) => {
+                sim.run_until(t);
+            }
+        }
+    }
+
+    /// Delivers `on_settle` + `on_sample` to every probe at boundary
+    /// `now`.
+    fn dispatch_sample(&mut self, now: SimTime) {
+        let view: &dyn MarketView = match &self.sim {
+            SessionSim::Queue(sim) => sim.model(),
+            SessionSim::Chunk(sim) => sim.model(),
+        };
+        let purchases = view.purchases();
+        let denied = view.denied();
+        let settled_delta = purchases - self.last_purchases;
+        let denied_delta = denied - self.last_denied;
+        self.last_purchases = purchases;
+        self.last_denied = denied;
+        for probe in &mut self.probes {
+            probe.on_settle(now, settled_delta, denied_delta);
+            probe.on_sample(now, view);
+        }
+    }
+
+    /// Processes the time-zero events (bootstrap) and delivers
+    /// [`Probe::on_bootstrap`], exactly once.
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        self.sim_run_until(SimTime::ZERO);
+        let view: &dyn MarketView = match &self.sim {
+            SessionSim::Queue(sim) => sim.model(),
+            SessionSim::Chunk(sim) => sim.model(),
+        };
+        self.last_purchases = view.purchases();
+        self.last_denied = view.denied();
+        for probe in &mut self.probes {
+            probe.on_bootstrap(view);
+        }
+        // Extra stops at time zero (e.g. a snapshot at t = 0) fire right
+        // after bootstrap.
+        while self.stops.first() == Some(&SimTime::ZERO) {
+            self.stops.remove(0);
+            self.dispatch_sample(SimTime::ZERO);
+        }
+    }
+
+    /// Advances the simulation to `horizon` (inclusive), stopping at
+    /// every sampling boundary in between to dispatch probe hooks. With
+    /// no probes attached this is a single uninterrupted `run_until` —
+    /// zero overhead over driving the simulator directly. May be called
+    /// repeatedly with increasing horizons.
+    pub fn run_until(&mut self, horizon: SimTime) {
+        if self.probes.is_empty() {
+            self.started = true;
+            self.sim_run_until(horizon);
+            return;
+        }
+        self.ensure_started();
+        while self.now() < horizon {
+            let mut stop = horizon;
+            if self.next_tick <= stop {
+                stop = self.next_tick;
+            }
+            if let Some(&extra) = self.stops.first() {
+                if extra > self.now() && extra <= stop {
+                    stop = extra;
+                }
+            }
+            self.sim_run_until(stop);
+            let is_tick = stop == self.next_tick;
+            let is_extra = self.stops.first() == Some(&stop);
+            if is_tick || is_extra {
+                if is_tick {
+                    self.next_tick += self.interval;
+                }
+                if is_extra {
+                    self.stops.remove(0);
+                }
+                self.dispatch_sample(stop);
+            }
+        }
+    }
+
+    /// Finishes the run: every probe's [`Probe::at_horizon`] deposits
+    /// into the record, the session adds the core counters
+    /// ([`ids::PURCHASES`], [`ids::DENIED`], [`ids::TOTAL_SPENT`],
+    /// [`ids::PEER_COUNT`], [`ids::WEALTH_GINI`] — absent when no peers
+    /// remain — [`ids::TAX_COLLECTED`], [`ids::TAX_REDISTRIBUTED`]), and
+    /// the finished model is handed back alongside.
+    pub fn finish(mut self) -> (RunRecord, SessionModel) {
+        let now = self.now();
+        let mut recorder = Recorder::default();
+        {
+            let view: &dyn MarketView = match &self.sim {
+                SessionSim::Queue(sim) => sim.model(),
+                SessionSim::Chunk(sim) => sim.model(),
+            };
+            recorder.record(ids::PURCHASES, MetricValue::Counter(view.purchases()));
+            recorder.record(ids::DENIED, MetricValue::Counter(view.denied()));
+            recorder.record(ids::TOTAL_SPENT, MetricValue::Counter(view.total_spent()));
+            recorder.record(
+                ids::PEER_COUNT,
+                MetricValue::Counter(view.peer_count() as u64),
+            );
+            if let Ok(gini) = view.wealth_gini() {
+                recorder.record(ids::WEALTH_GINI, MetricValue::Scalar(gini));
+            }
+            let (collected, redistributed) = view
+                .taxation()
+                .map_or((0, 0), |t| (t.collected, t.redistributed));
+            recorder.record(ids::TAX_COLLECTED, MetricValue::Counter(collected));
+            recorder.record(ids::TAX_REDISTRIBUTED, MetricValue::Counter(redistributed));
+            for probe in &mut self.probes {
+                probe.at_horizon(now, view, &mut recorder);
+            }
+        }
+        let model = match self.sim {
+            SessionSim::Queue(sim) => SessionModel::Queue(sim.into_model()),
+            SessionSim::Chunk(sim) => SessionModel::Chunk(sim.into_model()),
+        };
+        (recorder.finish(), model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::market::run_market;
+    use scrip_streaming::StreamingConfig;
+
+    /// A probe exercising every hook: counts dispatches and checks the
+    /// view is usable from each.
+    struct CountingProbe {
+        bootstraps: u32,
+        samples: Vec<SimTime>,
+        settled_total: u64,
+        denied_total: u64,
+    }
+
+    impl CountingProbe {
+        fn new() -> Self {
+            CountingProbe {
+                bootstraps: 0,
+                samples: Vec::new(),
+                settled_total: 0,
+                denied_total: 0,
+            }
+        }
+    }
+
+    impl Probe for CountingProbe {
+        fn extra_stops(&self) -> Vec<SimTime> {
+            vec![SimTime::from_secs(42)]
+        }
+        fn on_bootstrap(&mut self, view: &dyn MarketView) {
+            self.bootstraps += 1;
+            assert!(view.peer_count() > 0);
+        }
+        fn on_settle(&mut self, _now: SimTime, settled: u64, denied: u64) {
+            self.settled_total += settled;
+            self.denied_total += denied;
+        }
+        fn on_sample(&mut self, now: SimTime, view: &dyn MarketView) {
+            assert!(view.ledger().conserved());
+            self.samples.push(now);
+        }
+        fn at_horizon(&mut self, now: SimTime, view: &dyn MarketView, rec: &mut Recorder) {
+            assert_eq!(now, *self.samples.last().expect("sampled"));
+            rec.record("bootstraps", MetricValue::Counter(self.bootstraps.into()));
+            rec.record("settled", MetricValue::Counter(self.settled_total));
+            rec.record(
+                "sample-count",
+                MetricValue::Counter(self.samples.len() as u64),
+            );
+            let _ = view;
+        }
+    }
+
+    #[test]
+    fn session_dispatches_hooks_at_boundaries_only() {
+        let config = MarketConfig::new(30, 20);
+        let mut session = Session::from_config(&config, 5).expect("builds");
+        session.attach(Box::new(CountingProbe::new()));
+        session.run_until(SimTime::from_secs(500));
+        let (record, model) = session.finish();
+        assert_eq!(record.counter("bootstraps"), 1);
+        // 5 regular ticks (100..=500) + the extra stop at 42.
+        assert_eq!(record.counter("sample-count"), 6);
+        // The settle deltas sum to the final purchase counter.
+        assert_eq!(record.counter("settled"), record.counter(ids::PURCHASES));
+        assert!(record.counter(ids::PURCHASES) > 0);
+        assert!(model.queue().is_some());
+    }
+
+    #[test]
+    fn session_reproduces_run_market_exactly() {
+        let config = MarketConfig::new(40, 20);
+        let horizon = SimTime::from_secs(1_000);
+        let direct = run_market(config.clone(), 9, horizon).expect("runs");
+
+        // Detached session.
+        let mut session = Session::from_config(&config, 9).expect("builds");
+        session.run_until(horizon);
+        let (record, model) = session.finish();
+        let market = model.queue().expect("queue config");
+        assert_eq!(market.balances_sorted(), direct.balances_sorted());
+        assert_eq!(record.counter(ids::PURCHASES), direct.purchases());
+
+        // Attached session: probes observe, results stay bit-identical.
+        let mut observed = Session::from_config(&config, 9).expect("builds");
+        observed.attach(Box::new(CountingProbe::new()));
+        observed.run_until(horizon);
+        let (orec, omodel) = observed.finish();
+        let omarket = omodel.queue().expect("queue config");
+        assert_eq!(omarket.balances_sorted(), direct.balances_sorted());
+        assert_eq!(omarket.gini_series(), direct.gini_series());
+        assert_eq!(orec.counter(ids::PURCHASES), direct.purchases());
+    }
+
+    #[test]
+    fn session_runs_chunk_level_configs() {
+        let config = MarketConfig::new(30, 40)
+            .streaming_market(StreamingConfig::market_paced(1.0))
+            .sample_interval(SimDuration::from_secs(25));
+        let mut session = Session::from_config(&config, 21).expect("builds");
+        session.attach(Box::new(CountingProbe::new()));
+        session.run_until(SimTime::from_secs(150));
+        let (record, model) = session.finish();
+        let system = model.chunk().expect("chunk config");
+        assert!(record.counter(ids::PURCHASES) > 100, "settlements recorded");
+        assert_eq!(
+            record.counter(ids::PURCHASES),
+            system.policy().settlements,
+            "view and model agree"
+        );
+        assert!(system.stall_series().len() >= 6);
+        // 150 / 25 = 6 regular ticks + extra stop at 42.
+        assert_eq!(record.counter("sample-count"), 7);
+    }
+
+    #[test]
+    fn finish_skips_wealth_gini_for_empty_markets() {
+        // A market whose every peer departs before the horizon.
+        use crate::market::{ChurnConfig, TopologyKind};
+        let config = MarketConfig::new(4, 5)
+            .topology(TopologyKind::Complete)
+            .churn(ChurnConfig::new(1e-9, 0.5, 1).expect("valid"))
+            .sample_interval(SimDuration::from_secs(10));
+        let mut session = Session::from_config(&config, 3).expect("builds");
+        session.run_until(SimTime::from_secs(5_000));
+        let (record, _) = session.finish();
+        if record.counter(ids::PEER_COUNT) == 0 {
+            assert!(record.get(ids::WEALTH_GINI).is_none());
+        }
+    }
+
+    #[test]
+    fn record_accessors_default_on_absence_and_type_mismatch() {
+        let mut rec = Recorder::default();
+        rec.record("a-series", MetricValue::Series(vec![(1.0, 2.0)]));
+        rec.record("a-count", MetricValue::Counter(7));
+        let record = rec.finish();
+        assert_eq!(record.series("a-series"), &[(1.0, 2.0)]);
+        assert_eq!(record.counter("a-count"), 7);
+        assert!(record.series("missing").is_empty());
+        assert!(record.series("a-count").is_empty(), "type mismatch");
+        assert_eq!(record.counter("a-series"), 0, "type mismatch");
+        assert!(record.scalar("missing").is_nan());
+        assert_eq!(record.ids().collect::<Vec<_>>(), ["a-series", "a-count"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate metric id")]
+    fn duplicate_metric_ids_panic() {
+        let mut rec = Recorder::default();
+        rec.record("x", MetricValue::Counter(1));
+        rec.record("x", MetricValue::Counter(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "attach probes before")]
+    fn attach_after_start_panics() {
+        let config = MarketConfig::new(10, 5);
+        let mut session = Session::from_config(&config, 1).expect("builds");
+        session.run_until(SimTime::from_secs(10));
+        session.attach(Box::new(CountingProbe::new()));
+    }
+}

@@ -51,6 +51,10 @@ pub struct CreditTradePolicy {
     arena: PeerArena,
     /// Credits spent per peer (slot-indexed).
     spent: Vec<u64>,
+    /// Σ `spent` over live peers, maintained incrementally (bumped per
+    /// settlement, reduced on departure) so
+    /// [`CreditTradePolicy::total_spent`] is O(1).
+    total_spent: u64,
     /// Credits earned per peer (slot-indexed).
     earned: Vec<u64>,
     /// Wallet endowment for churn joiners (the paper's `c`).
@@ -97,6 +101,7 @@ impl CreditTradePolicy {
             rng,
             arena: PeerArena::from_ids(peers),
             spent: vec![0; peers.len()],
+            total_spent: 0,
             earned: vec![0; peers.len()],
             initial_credits,
             gini_series: TimeSeries::new(),
@@ -148,6 +153,13 @@ impl CreditTradePolicy {
             .zip(&self.spent)
             .map(|(&id, &s)| (id, s))
             .collect()
+    }
+
+    /// Total credits spent by live peers. O(1): maintained incrementally
+    /// alongside the per-peer counters (equal to
+    /// `spent().values().sum()`, without assembling the map).
+    pub fn total_spent(&self) -> u64 {
+        self.total_spent
     }
 
     /// Credits earned per live peer (assembled on demand).
@@ -218,6 +230,7 @@ impl TradePolicy for CreditTradePolicy {
             // which case the transfer above already refused).
             if let Some(slot) = self.arena.slot(buyer) {
                 self.spent[slot] += afford;
+                self.total_spent += afford;
             }
             if let Some(slot) = self.arena.slot(seller) {
                 self.earned[slot] += afford;
@@ -261,6 +274,7 @@ impl TradePolicy for CreditTradePolicy {
         }
         if let Some(slot) = self.arena.slot(buyer) {
             self.spent[slot] += paid;
+            self.total_spent += paid;
         }
         self.source_income += paid;
         self.redistribute_escrow();
@@ -278,6 +292,9 @@ impl TradePolicy for CreditTradePolicy {
         self.ledger.burn_account(peer);
         self.pricing.on_leave(peer);
         if let Some(removal) = self.arena.remove(peer) {
+            // A departing peer takes its spending history with it,
+            // exactly as `spent()` (live peers only) always reported.
+            self.total_spent -= self.spent[removal.slot];
             self.spent.swap_remove(removal.slot);
             self.earned.swap_remove(removal.slot);
         }
@@ -427,6 +444,11 @@ pub fn build_streaming_market(
 /// Convenience runner: builds the streaming market, simulates until
 /// `horizon`, and returns the finished system — the chunk-level
 /// counterpart of [`crate::market::run_market`].
+#[doc = "\n\nPrefer [`crate::obs::Session`] for new code: it runs both market \
+granularities behind one entry point and supports pluggable \
+[`crate::obs::Probe`]s. This function is kept as a thin wrapper over a \
+probe-less session (bit-identical results, zero overhead) so existing \
+callers keep working."]
 ///
 /// # Errors
 /// Returns [`CoreError`] if construction fails.
@@ -435,12 +457,20 @@ pub fn run_streaming_market(
     seed: u64,
     horizon: SimTime,
 ) -> Result<StreamingSystem<CreditTradePolicy>, CoreError> {
-    let system = build_streaming_market(config, seed)?;
-    let capacity = system.queue_capacity_hint();
-    let mut sim = Simulation::with_capacity(system, capacity);
-    sim.schedule(SimTime::ZERO, StreamEvent::Bootstrap);
-    sim.run_until(horizon);
-    Ok(sim.into_model())
+    if config.streaming.is_none() {
+        // Preserve build_streaming_market's refusal before the session
+        // would otherwise fall back to the queue-level stack.
+        return Err(CoreError::Config(
+            "not a streaming market: set MarketConfig::streaming (spec key `streaming`)".into(),
+        ));
+    }
+    let mut session = crate::obs::Session::from_config(config, seed)?;
+    session.run_until(horizon);
+    Ok(session
+        .finish()
+        .1
+        .chunk()
+        .expect("chunk-level config yields a chunk-level model"))
 }
 
 #[cfg(test)]

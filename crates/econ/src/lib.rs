@@ -45,4 +45,5 @@ pub use aggregate::SummaryStats;
 pub use error::EconError;
 pub use gini::{gini, gini_from_pmf, gini_u64};
 pub use incremental::IncrementalGini;
+pub use lorenz::LorenzCurve;
 pub use snapshot::WealthSnapshot;

@@ -1,0 +1,120 @@
+//! Golden pins for the scenario engine's CSV output.
+//!
+//! The goldens were captured from the pre-observation-API runner (the
+//! one with hard-coded `ReplicationRun` fields and a `Metric` enum) and
+//! pin the aggregated CSV byte for byte, so the `Session`/`Probe`
+//! redesign is provably output-preserving. Two scales are covered:
+//!
+//! * **Reduced** copies of `examples/scenarios/streaming.scn` and
+//!   `examples/scenarios/fig07.scn` (same structure, smaller population
+//!   and horizon) run inside plain `cargo test`;
+//! * the **full** files run when `SCRIP_GOLDEN_FULL=1` is set (CI does
+//!   the same comparison cheaply through the release binary — see the
+//!   "scenario CSV goldens" step in `.github/workflows/ci.yml`).
+//!
+//! Every comparison also re-runs the batch at a different worker count,
+//! so merge-order determinism is pinned alongside the bytes.
+//!
+//! Regenerate (only for intentional output changes) with:
+//!
+//! ```text
+//! SCRIP_BLESS=1 cargo test --test scenario_golden
+//! SCRIP_BLESS=1 SCRIP_GOLDEN_FULL=1 cargo test --release --test scenario_golden
+//! ```
+
+use std::path::{Path, PathBuf};
+
+use scrip_bench::scenario::{run_scenario, RunnerOptions, Scenario};
+
+fn repo_path(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+fn load_scenario(name: &str) -> Scenario {
+    let path = repo_path(&format!("examples/scenarios/{name}"));
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    Scenario::parse_str(&text).unwrap_or_else(|e| panic!("{name}: {e}"))
+}
+
+/// `fig07.scn` shrunk to test scale: same shape (near-symmetric
+/// mixing, credits sweep, gini series), smaller population and horizon.
+fn reduced_fig07() -> Scenario {
+    let mut sc = load_scenario("fig07.scn");
+    sc.base.set("peers", "80").expect("valid");
+    sc.base.set("sample", "100").expect("valid");
+    sc.run.horizon_secs = 2_000;
+    sc
+}
+
+/// `streaming.scn` shrunk to test scale: same chunk-level protocol
+/// stack and metrics, smaller swarm and horizon.
+fn reduced_streaming() -> Scenario {
+    let mut sc = load_scenario("streaming.scn");
+    sc.base.set("peers", "60").expect("valid");
+    sc.run.horizon_secs = 300;
+    sc
+}
+
+/// Runs `scenario` at two worker counts, asserts the CSVs agree, and
+/// compares them against the committed golden (or rewrites it under
+/// `SCRIP_BLESS`).
+fn check_against_golden(scenario: &Scenario, golden_rel: &str) {
+    let serial = run_scenario(scenario, &RunnerOptions::with_threads(1)).expect("scenario runs");
+    let parallel = run_scenario(scenario, &RunnerOptions::with_threads(4)).expect("scenario runs");
+    let csv = serial.to_csv();
+    assert_eq!(
+        csv,
+        parallel.to_csv(),
+        "{}: CSV differs between 1 and 4 worker threads",
+        scenario.name
+    );
+    let path = repo_path(golden_rel);
+    if std::env::var("SCRIP_BLESS").is_ok_and(|v| !v.is_empty() && v != "0") {
+        std::fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+        std::fs::write(&path, &csv).expect("write golden");
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+    assert_eq!(
+        golden, csv,
+        "{}: scenario CSV drifted from the pre-redesign golden \
+         (regenerate with SCRIP_BLESS=1 only for intentional changes)",
+        scenario.name
+    );
+}
+
+#[test]
+fn fig07_reduced_csv_matches_pre_redesign_golden() {
+    check_against_golden(&reduced_fig07(), "tests/golden/scenario_fig07_reduced.csv");
+}
+
+#[test]
+fn streaming_reduced_csv_matches_pre_redesign_golden() {
+    check_against_golden(
+        &reduced_streaming(),
+        "tests/golden/scenario_streaming_reduced.csv",
+    );
+}
+
+/// The full-scale pin: the exact shipped scenario files, byte for byte.
+/// Minutes of debug-build simulation, so gated behind
+/// `SCRIP_GOLDEN_FULL=1` (CI covers the same bytes via the release
+/// binary on every push).
+#[test]
+fn full_scenario_files_match_goldens_when_enabled() {
+    if !std::env::var("SCRIP_GOLDEN_FULL").is_ok_and(|v| !v.is_empty() && v != "0") {
+        eprintln!("SCRIP_GOLDEN_FULL not set; skipping full-scale golden comparison");
+        return;
+    }
+    check_against_golden(
+        &load_scenario("fig07.scn"),
+        "tests/golden/scenario_fig07_full.csv",
+    );
+    check_against_golden(
+        &load_scenario("streaming.scn"),
+        "tests/golden/scenario_streaming_full.csv",
+    );
+}
