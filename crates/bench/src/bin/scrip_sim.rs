@@ -33,8 +33,8 @@ scrip-sim — scenario-driven experiment runner for the scrip reproduction
 USAGE:
     scrip-sim list
     scrip-sim metrics
-    scrip-sim all [--csv] [--threads N]
-    scrip-sim run <NAME|FILE.scn>... [--csv] [--threads N]
+    scrip-sim all [--csv] [--threads N] [--shards K]
+    scrip-sim run <NAME|FILE.scn>... [--csv] [--threads N] [--shards K]
     scrip-sim check <FILE.scn>...
     scrip-sim export <NAME>
     scrip-sim bench [--json] [--out FILE] [--against FILE]
@@ -44,6 +44,8 @@ scenario file (grammar: docs/SCENARIOS.md); `metrics` lists every
 registered metric probe selectable via `metrics = [...]` in [run].
 SCRIP_QUICK=1 shrinks the built-in experiments and the bench suite;
 SCRIP_THREADS or --threads caps worker threads (0 = one per core).
+--shards K partitions every queue-level run into K execution shards
+(deterministic sharded kernel; output is byte-identical for every K).
 `bench` measures market events/sec single-threaded, `--json` writes
 BENCH_market.json (or --out FILE), and `--against BASELINE.json` exits
 non-zero when any matching case regresses more than 30%.";
@@ -52,6 +54,7 @@ struct Options {
     csv: bool,
     json: bool,
     threads: usize,
+    shards: Option<usize>,
     out: Option<String>,
     against: Option<String>,
     targets: Vec<String>,
@@ -62,6 +65,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         csv: false,
         json: false,
         threads: RunnerOptions::from_env().threads,
+        shards: None,
         out: None,
         against: None,
         targets: Vec::new(),
@@ -77,6 +81,16 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .ok_or("--threads expects a number")?;
+            }
+            "--shards" => {
+                let shards: usize = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--shards expects a number")?;
+                if shards == 0 {
+                    return Err("--shards expects a number >= 1".into());
+                }
+                options.shards = Some(shards);
             }
             "--out" => {
                 options.out = Some(iter.next().ok_or("--out expects a path")?.clone());
@@ -139,19 +153,34 @@ fn run_file(path: &str, options: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs `body` with `--shards` applied to every queue-level market run,
+/// restoring the previous override afterwards. Output stays byte-identical
+/// for every shard count; only the execution strategy changes.
+fn with_shard_override(
+    shards: Option<usize>,
+    body: impl FnOnce() -> Result<(), String>,
+) -> Result<(), String> {
+    let previous = scrip_bench::scenario::set_shard_override(shards);
+    let outcome = body();
+    scrip_bench::scenario::set_shard_override(previous);
+    outcome
+}
+
 fn cmd_run(options: &Options) -> Result<(), String> {
     if options.targets.is_empty() {
         return Err("run: no experiment or scenario file given".into());
     }
-    let builtin: Vec<&str> = figures::experiments().iter().map(|&(n, _)| n).collect();
-    for target in &options.targets {
-        if builtin.contains(&target.as_str()) {
-            run_builtin(target, options)?;
-        } else {
-            run_file(target, options)?;
+    with_shard_override(options.shards, || {
+        let builtin: Vec<&str> = figures::experiments().iter().map(|&(n, _)| n).collect();
+        for target in &options.targets {
+            if builtin.contains(&target.as_str()) {
+                run_builtin(target, options)?;
+            } else {
+                run_file(target, options)?;
+            }
         }
-    }
-    Ok(())
+        Ok(())
+    })
 }
 
 fn cmd_all(options: &Options) -> Result<(), String> {
@@ -162,8 +191,10 @@ fn cmd_all(options: &Options) -> Result<(), String> {
     }
     let scale = RunScale::from_env();
     eprintln!("running all experiments at scale {scale:?}");
-    figures::run_all_experiments(scale, options.threads).print(options.csv);
-    Ok(())
+    with_shard_override(options.shards, || {
+        figures::run_all_experiments(scale, options.threads).print(options.csv);
+        Ok(())
+    })
 }
 
 fn cmd_list(options: &Options) -> Result<(), String> {

@@ -37,8 +37,8 @@ use scrip_core::CoreError;
 
 pub use parse::ParseError;
 pub use runner::{
-    parallel_map, run_scenario, set_thread_override, CaseResult, ReplicationRun, RunnerOptions,
-    ScenarioResult,
+    parallel_map, run_scenario, set_shard_override, set_thread_override, CaseResult,
+    ReplicationRun, RunnerOptions, ScenarioResult,
 };
 
 /// Default RNG seed of a scenario that does not specify one.
@@ -218,7 +218,7 @@ impl Metric {
     pub const LORENZ: Metric = Metric(&REGISTRY[7]);
 
     /// Every registered metric, in canonical output order. Derived
-    /// from the [`REGISTRY`] rows themselves, so appending a row is
+    /// from the private `REGISTRY` rows themselves, so appending a row is
     /// all it takes for a new metric to reach the parser, the
     /// unknown-metric error list, and `scrip-sim metrics`.
     pub fn registry() -> Vec<Metric> {

@@ -55,6 +55,25 @@ pub fn set_thread_override(threads: Option<usize>) -> Option<usize> {
     (previous != usize::MAX).then_some(previous)
 }
 
+/// Process-wide execution-shard override (sentinel `usize::MAX` =
+/// none): when set, every queue-level job runs its market partitioned
+/// into this many execution shards, regardless of the scenario's
+/// `shards` key. This is how a CLI's `--shards` reaches the scenario
+/// runs inside figure modules. Since the sharded kernel's output is
+/// byte-identical to serial execution for any shard count, the
+/// override is a pure execution-strategy knob: CSVs and summaries do
+/// not change. Streaming (chunk-level) jobs ignore it — they always
+/// run serially.
+static SHARD_OVERRIDE: AtomicUsize = AtomicUsize::new(usize::MAX);
+
+/// Sets (or with [`None`] clears) the process-wide execution-shard
+/// override and returns the previous value.
+pub fn set_shard_override(shards: Option<usize>) -> Option<usize> {
+    let raw = shards.unwrap_or(usize::MAX);
+    let previous = SHARD_OVERRIDE.swap(raw, Ordering::SeqCst);
+    (previous != usize::MAX).then_some(previous)
+}
+
 impl RunnerOptions {
     /// The ambient thread count: the process-wide override set via
     /// [`set_thread_override`] if any, else `SCRIP_THREADS` (unset,
@@ -527,6 +546,20 @@ fn run_one(
     seed: u64,
     run: &RunSpec,
 ) -> Result<ReplicationRun, ScenarioError> {
+    // Apply the process-wide shard override to queue-level jobs
+    // (byte-identical output; see `set_shard_override`).
+    let overridden;
+    let config = match SHARD_OVERRIDE.load(Ordering::SeqCst) {
+        usize::MAX => config,
+        shards if config.streaming.is_none() => {
+            overridden = MarketConfig {
+                shards: shards.max(1),
+                ..config.clone()
+            };
+            &overridden
+        }
+        _ => config,
+    };
     let mut session = Session::from_config(config, seed)
         .map_err(|e| ScenarioError::Run(format!("seed {seed}: {e}")))?;
     for metric in attached_metrics(&run.metrics) {

@@ -27,7 +27,8 @@
 //!    supported by both the simulators and the analytics. One
 //!    observation layer ([`obs`]) runs either simulator behind a
 //!    unified [`obs::Session`] and measures it through pluggable
-//!    [`obs::Probe`]s.
+//!    [`obs::Probe`]s. Queue-level runs can be partitioned over
+//!    execution shards ([`sharded`]) with byte-identical output.
 //!
 //! ## Quickstart
 //!
@@ -66,6 +67,7 @@ pub mod obs;
 pub mod policy;
 pub mod pricing;
 pub mod protocol;
+pub mod sharded;
 pub mod spec;
 
 pub use credits::Ledger;

@@ -137,6 +137,15 @@ pub struct MarketConfig {
     /// `availability_feedback` are queue-level concepts and are ignored
     /// (chunk availability plays their role for real).
     pub streaming: Option<scrip_streaming::StreamingConfig>,
+    /// Number of execution shards the run is partitioned into (≥ 1).
+    /// With `shards > 1` the run executes on the sharded kernel
+    /// ([`crate::sharded`]): the overlay is split into balanced regions,
+    /// per-shard event queues advance in lockstep tick windows, and
+    /// trades whose buyer and seller live on different shards are
+    /// settled through a cross-shard event log at window barriers.
+    /// Output is **byte-identical** to `shards = 1` for any value.
+    /// Queue-level markets only (rejected with streaming).
+    pub shards: usize,
 }
 
 impl MarketConfig {
@@ -157,6 +166,7 @@ impl MarketConfig {
             sample_interval: SimDuration::from_secs(100),
             availability_feedback: false,
             streaming: None,
+            shards: 1,
         }
     }
 
@@ -228,6 +238,13 @@ impl MarketConfig {
         self
     }
 
+    /// Partitions the run over `shards` execution shards (see
+    /// [`MarketConfig::shards`]); output is byte-identical to serial.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
     /// Realizes this market at chunk granularity: the given mesh-pull
     /// protocol runs on the overlay and chunk trades settle through the
     /// shared ledger (see [`MarketConfig::streaming`]).
@@ -257,6 +274,16 @@ impl MarketConfig {
         if self.sample_interval.is_zero() {
             return Err(CoreError::Config("sample interval must be positive".into()));
         }
+        if self.shards == 0 {
+            return Err(CoreError::Config("shards must be >= 1".into()));
+        }
+        if self.shards > 1 && self.streaming.is_some() {
+            return Err(CoreError::Config(
+                "sharded execution applies to queue-level markets only; \
+                 streaming markets run serially (shards = 1)"
+                    .into(),
+            ));
+        }
         self.pricing.validate()?;
         if let Some(streaming) = &self.streaming {
             streaming.validate().map_err(CoreError::Config)?;
@@ -274,6 +301,19 @@ impl MarketConfig {
             TopologyKind::Regular(d) => Ok(generators::random_regular(self.n, d, rng)?),
         }
     }
+}
+
+/// One settled purchase, as observed by the trade-capture hook (used by
+/// the sharded runner to classify trades as shard-local or
+/// cross-shard).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct TradeRecord {
+    /// The buying peer.
+    pub buyer: NodeId,
+    /// The selling peer (received the credits).
+    pub seller: NodeId,
+    /// Credits transferred.
+    pub price: u64,
 }
 
 /// Events of the market simulator.
@@ -334,6 +374,10 @@ pub struct CreditMarket {
     purchases: u64,
     gini_series: TimeSeries,
     bootstrapped: bool,
+    /// When present, every settled purchase is appended here (enabled
+    /// only by the sharded runner; `None` keeps the serial hot path
+    /// free of the recording branch's buffer traffic).
+    trade_capture: Option<Vec<TradeRecord>>,
 }
 
 impl CreditMarket {
@@ -383,6 +427,7 @@ impl CreditMarket {
             purchases: 0,
             gini_series: TimeSeries::new(),
             bootstrapped: false,
+            trade_capture: None,
         })
     }
 
@@ -499,6 +544,23 @@ impl CreditMarket {
     /// amount as a fallback for hand-built simulations.
     pub fn queue_capacity_hint(&self) -> usize {
         self.arena.len() * (1 + usize::from(self.config.churn.is_some())) + 2
+    }
+
+    /// Turns on trade capture: from now on every settled purchase is
+    /// recorded for [`CreditMarket::take_trades`] to drain.
+    pub(crate) fn enable_trade_capture(&mut self) {
+        if self.trade_capture.is_none() {
+            self.trade_capture = Some(Vec::new());
+        }
+    }
+
+    /// Moves the captured trades into `into` (cleared first), keeping
+    /// the capture buffer's capacity warm.
+    pub(crate) fn take_trades(&mut self, into: &mut Vec<TradeRecord>) {
+        into.clear();
+        if let Some(trades) = &mut self.trade_capture {
+            std::mem::swap(trades, into);
+        }
     }
 
     fn exp_delay(&mut self, rate: f64) -> SimDuration {
@@ -628,6 +690,13 @@ impl CreditMarket {
             self.spent[buyer_slot] += price;
             self.total_spent += price;
             self.purchases += 1;
+            if let Some(trades) = &mut self.trade_capture {
+                trades.push(TradeRecord {
+                    buyer: id,
+                    seller: j,
+                    price,
+                });
+            }
             if self.config.availability_feedback {
                 self.bump_activity(id, now);
             }

@@ -56,7 +56,7 @@
 //! ```
 
 use scrip_des::stats::TimeSeries;
-use scrip_des::{RunStats, SimDuration, SimTime, Simulation};
+use scrip_des::{RunStats, ShardedSimulation, SimDuration, SimTime, Simulation};
 use scrip_streaming::{StreamEvent, StreamingSystem};
 
 use crate::credits::Ledger;
@@ -64,6 +64,7 @@ use crate::error::CoreError;
 use crate::market::{CreditMarket, MarketConfig, MarketEvent};
 use crate::policy::Taxation;
 use crate::protocol::{build_streaming_market, CreditTradePolicy};
+use crate::sharded::ShardedMarket;
 
 pub mod probes;
 
@@ -392,6 +393,9 @@ pub trait Probe: Send {
 enum SessionSim {
     /// The queue-level spend-loop market.
     Queue(Simulation<CreditMarket>),
+    /// The queue-level market partitioned over execution shards
+    /// (`shards > 1`); output is byte-identical to [`SessionSim::Queue`].
+    Sharded(Box<ShardedSimulation<ShardedMarket>>),
     /// The chunk-level streaming market.
     Chunk(Simulation<StreamingSystem<CreditTradePolicy>>),
 }
@@ -447,7 +451,10 @@ pub struct Session {
 impl Session {
     /// Builds a session from any market configuration: a config whose
     /// [`MarketConfig::streaming`] is set runs at chunk granularity
-    /// through the protocol stack, everything else runs the queue-level
+    /// through the protocol stack, one with [`MarketConfig::shards`]
+    /// `> 1` runs the queue-level market on the sharded kernel
+    /// (byte-identical output, sampling boundaries double as window
+    /// barriers), everything else runs the queue-level
     /// spend loop. The simulation is pre-sized
     /// (`queue_capacity_hint`) and its bootstrap event scheduled; call
     /// [`Session::attach`] before [`Session::run_until`].
@@ -466,6 +473,20 @@ impl Session {
             let mut sim = Simulation::with_capacity(system, capacity);
             sim.schedule(SimTime::ZERO, StreamEvent::Bootstrap);
             (SessionSim::Chunk(sim), interval)
+        } else if config.shards > 1 {
+            // Sharded execution: the same market on the windowed
+            // kernel, with the sampling grid as the tick-window width
+            // so sampling boundaries are shard barriers.
+            let market = CreditMarket::build(config.clone(), seed)?;
+            let interval = config.sample_interval;
+            let capacity = market.queue_capacity_hint();
+            let mut sim = ShardedSimulation::with_capacity(
+                ShardedMarket::new(market, config.shards),
+                interval,
+                capacity,
+            );
+            sim.schedule(SimTime::ZERO, MarketEvent::Bootstrap);
+            (SessionSim::Sharded(Box::new(sim)), interval)
         } else {
             let market = CreditMarket::build(config.clone(), seed)?;
             let interval = config.sample_interval;
@@ -512,6 +533,7 @@ impl Session {
     pub fn now(&self) -> SimTime {
         match &self.sim {
             SessionSim::Queue(sim) => sim.now(),
+            SessionSim::Sharded(sim) => sim.now(),
             SessionSim::Chunk(sim) => sim.now(),
         }
     }
@@ -520,6 +542,7 @@ impl Session {
     pub fn stats(&self) -> RunStats {
         match &self.sim {
             SessionSim::Queue(sim) => sim.stats(),
+            SessionSim::Sharded(sim) => sim.stats(),
             SessionSim::Chunk(sim) => sim.stats(),
         }
     }
@@ -528,6 +551,7 @@ impl Session {
     pub fn view(&self) -> &dyn MarketView {
         match &self.sim {
             SessionSim::Queue(sim) => sim.model(),
+            SessionSim::Sharded(sim) => sim.model().market(),
             SessionSim::Chunk(sim) => sim.model(),
         }
     }
@@ -535,6 +559,9 @@ impl Session {
     fn sim_run_until(&mut self, t: SimTime) {
         match &mut self.sim {
             SessionSim::Queue(sim) => {
+                sim.run_until(t);
+            }
+            SessionSim::Sharded(sim) => {
                 sim.run_until(t);
             }
             SessionSim::Chunk(sim) => {
@@ -548,6 +575,7 @@ impl Session {
     fn dispatch_sample(&mut self, now: SimTime) {
         let view: &dyn MarketView = match &self.sim {
             SessionSim::Queue(sim) => sim.model(),
+            SessionSim::Sharded(sim) => sim.model().market(),
             SessionSim::Chunk(sim) => sim.model(),
         };
         let purchases = view.purchases();
@@ -572,6 +600,7 @@ impl Session {
         self.sim_run_until(SimTime::ZERO);
         let view: &dyn MarketView = match &self.sim {
             SessionSim::Queue(sim) => sim.model(),
+            SessionSim::Sharded(sim) => sim.model().market(),
             SessionSim::Chunk(sim) => sim.model(),
         };
         self.last_purchases = view.purchases();
@@ -636,6 +665,7 @@ impl Session {
         {
             let view: &dyn MarketView = match &self.sim {
                 SessionSim::Queue(sim) => sim.model(),
+                SessionSim::Sharded(sim) => sim.model().market(),
                 SessionSim::Chunk(sim) => sim.model(),
             };
             recorder.record(ids::PURCHASES, MetricValue::Counter(view.purchases()));
@@ -659,6 +689,7 @@ impl Session {
         }
         let model = match self.sim {
             SessionSim::Queue(sim) => SessionModel::Queue(sim.into_model()),
+            SessionSim::Sharded(sim) => SessionModel::Queue(sim.into_model().into_market()),
             SessionSim::Chunk(sim) => SessionModel::Chunk(sim.into_model()),
         };
         (recorder.finish(), model)
@@ -758,6 +789,33 @@ mod tests {
         assert_eq!(omarket.balances_sorted(), direct.balances_sorted());
         assert_eq!(omarket.gini_series(), direct.gini_series());
         assert_eq!(orec.counter(ids::PURCHASES), direct.purchases());
+    }
+
+    #[test]
+    fn sharded_sessions_reproduce_serial_sessions_exactly() {
+        let config = MarketConfig::new(40, 20);
+        let horizon = SimTime::from_secs(1_000);
+        let direct = run_market(config.clone(), 9, horizon).expect("runs");
+        for shards in [2, 4] {
+            let sharded_config = config.clone().shards(shards);
+            // Probe-less session.
+            let mut session = Session::from_config(&sharded_config, 9).expect("builds");
+            session.run_until(horizon);
+            let (record, model) = session.finish();
+            let market = model.queue().expect("sharded configs yield queue models");
+            assert_eq!(market.balances_sorted(), direct.balances_sorted());
+            assert_eq!(market.gini_series(), direct.gini_series());
+            assert_eq!(record.counter(ids::PURCHASES), direct.purchases());
+            // Probes attached: boundaries are window barriers; results
+            // stay bit-identical.
+            let mut observed = Session::from_config(&sharded_config, 9).expect("builds");
+            observed.attach(Box::new(CountingProbe::new()));
+            observed.run_until(horizon);
+            let (orec, omodel) = observed.finish();
+            let omarket = omodel.queue().expect("queue model");
+            assert_eq!(omarket.balances_sorted(), direct.balances_sorted());
+            assert_eq!(orec.counter("sample-count"), 11); // 10 ticks + stop at 42
+        }
     }
 
     #[test]

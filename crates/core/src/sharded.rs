@@ -1,0 +1,403 @@
+//! Sharded execution of the queue-level credit market.
+//!
+//! [`ShardedMarket`] wraps a [`CreditMarket`] in the
+//! [`scrip_des::ShardModel`] contract so one run can be partitioned
+//! over the [`scrip_des::ShardedSimulation`] kernel:
+//!
+//! * the overlay is split into balanced regions with
+//!   [`Partition::regions`]; each peer's events (its spend loop, its
+//!   leave timer) live on its home shard's queue;
+//! * peers that join under churn are assigned to the smallest region at
+//!   the instant their `Join` event applies — a deterministic rule, so
+//!   the shard map evolves identically on every run;
+//! * every settled purchase is classified shard-local or cross-shard.
+//!   Cross-shard trades — a buyer whose chosen seller lives on another
+//!   shard — are recorded in a tick-bucketed [`CrossShardLog`] keyed by
+//!   `(tick, source shard, seq)` and settled into per-shard accounting
+//!   ([`ShardStats`]) at each window barrier, where conservation is
+//!   re-checked.
+//!
+//! ## Value now, accounting at the barrier
+//!
+//! The market draws from **one** global RNG stream, so byte-identity
+//! with the serial goldens requires every ledger mutation to land in
+//! the serial order. The credit *transfer* of a cross-shard trade is
+//! therefore applied eagerly, inside the unchanged [`CreditMarket`]
+//! hot path, at the trade's merged position; what is deferred to the
+//! window barrier is the *inter-shard accounting* — the authoritative
+//! log of which credits crossed which boundary, settled in a fixed
+//! order and checked against the ledger. (A future per-shard-RNG mode
+//! could defer the value transfer itself; with a global RNG that would
+//! change the stream and break the goldens.) `docs/ARCHITECTURE.md`
+//! § "Sharded execution" spells out the full argument.
+
+use scrip_des::{CrossShardLog, Scheduler, ShardCtx, ShardModel, ShardedSimulation, SimTime};
+use scrip_topology::{NodeId, Partition};
+
+use scrip_des::Model;
+
+use crate::error::CoreError;
+use crate::market::{CreditMarket, MarketConfig, MarketEvent, TradeRecord};
+
+/// Runs a queue-level market to `horizon` through the sharded kernel at
+/// `config.shards` execution shards — the sharded counterpart of
+/// [`crate::market::run_market`], and byte-identical to it for every
+/// shard count. The tick window is the config's sample interval, so
+/// every sampling boundary is also a shard barrier.
+///
+/// # Errors
+/// Propagates [`CreditMarket::build`] failures (including the
+/// streaming/sharding conflict rejected by `MarketConfig::validate`).
+pub fn run_sharded_market(
+    config: MarketConfig,
+    seed: u64,
+    horizon: SimTime,
+) -> Result<CreditMarket, CoreError> {
+    let shards = config.shards;
+    let window = config.sample_interval;
+    let market = CreditMarket::build(config, seed)?;
+    let capacity = market.queue_capacity_hint();
+    let mut sim =
+        ShardedSimulation::with_capacity(ShardedMarket::new(market, shards), window, capacity);
+    sim.schedule(SimTime::ZERO, MarketEvent::Bootstrap);
+    sim.run_until(horizon);
+    Ok(sim.into_model().into_market())
+}
+
+/// Shard sentinel for peers not (yet) assigned to any region.
+const ABSENT: u32 = u32::MAX;
+
+/// Per-shard accounting, maintained by [`ShardedMarket`] and settled at
+/// window barriers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Purchases whose buyer and seller both live on this shard.
+    pub local_trades: u64,
+    /// Cross-shard purchases bought *from* this shard (buyer here).
+    pub outgoing_trades: u64,
+    /// Cross-shard purchases sold *by* this shard (seller here).
+    pub incoming_trades: u64,
+    /// Credits sent to other shards by this shard's buyers.
+    pub credits_out: u64,
+    /// Credits received from other shards by this shard's sellers.
+    pub credits_in: u64,
+}
+
+/// One cross-shard trade awaiting barrier settlement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct CrossShardTrade {
+    /// The buyer's shard (also the log entry's source shard).
+    from: u32,
+    /// The seller's shard.
+    to: u32,
+    /// Credits transferred.
+    price: u64,
+}
+
+/// A [`CreditMarket`] adapted to the sharded kernel; see the
+/// [module docs](self).
+#[derive(Clone, Debug)]
+pub struct ShardedMarket {
+    market: CreditMarket,
+    /// Raw node ID → shard ([`ABSENT`] for departed / never-seen IDs).
+    shard_of: Vec<u32>,
+    /// Live-member count per shard (drives joiner placement).
+    members: Vec<usize>,
+    /// Cross-shard trades awaiting barrier settlement.
+    log: CrossShardLog<CrossShardTrade>,
+    stats: Vec<ShardStats>,
+    /// Current tick-window index (advanced at each barrier).
+    tick: u64,
+    /// Edge cut of the initial partition (diagnostic).
+    initial_edge_cut: usize,
+    /// Reused buffer for draining the market's captured trades.
+    trades: Vec<TradeRecord>,
+    /// Purchases settled shard-locally (counted at apply time).
+    settled_local: u64,
+    /// Cross-shard purchases settled at barriers so far.
+    settled_cross: u64,
+}
+
+impl ShardedMarket {
+    /// Partitions `market`'s overlay into `shards` balanced regions and
+    /// wraps it for the sharded kernel. Enables the market's trade
+    /// capture so purchases can be classified at apply time.
+    pub fn new(mut market: CreditMarket, shards: usize) -> Self {
+        let partition = Partition::regions(market.graph(), shards.max(1));
+        let k = partition.shard_count();
+        let mut shard_of = vec![ABSENT; market.graph().next_raw_id() as usize];
+        let mut members = vec![0usize; k];
+        for (s, count) in members.iter_mut().enumerate() {
+            for &id in partition.region(s) {
+                shard_of[id.raw() as usize] = s as u32;
+            }
+            *count = partition.region(s).len();
+        }
+        market.enable_trade_capture();
+        ShardedMarket {
+            market,
+            shard_of,
+            members,
+            log: CrossShardLog::new(),
+            stats: vec![ShardStats::default(); k],
+            tick: 0,
+            initial_edge_cut: partition.edge_cut(),
+            trades: Vec::new(),
+            settled_local: 0,
+            settled_cross: 0,
+        }
+    }
+
+    /// The wrapped market.
+    pub fn market(&self) -> &CreditMarket {
+        &self.market
+    }
+
+    /// Consumes the wrapper, returning the market.
+    pub fn into_market(self) -> CreditMarket {
+        self.market
+    }
+
+    /// Per-shard accounting (settled through the last barrier).
+    pub fn shard_stats(&self) -> &[ShardStats] {
+        &self.stats
+    }
+
+    /// Edge cut of the initial partition (cross-shard overlay edges).
+    pub fn initial_edge_cut(&self) -> usize {
+        self.initial_edge_cut
+    }
+
+    /// Purchases settled shard-locally so far.
+    pub fn settled_local(&self) -> u64 {
+        self.settled_local
+    }
+
+    /// Cross-shard purchases settled at barriers so far.
+    pub fn settled_cross(&self) -> u64 {
+        self.settled_cross
+    }
+
+    /// Cross-shard trades recorded but not yet settled (non-zero only
+    /// between a trade's application and the next barrier).
+    pub fn unsettled(&self) -> usize {
+        self.log.len()
+    }
+
+    /// The home shard of `id` (peers are placed at build / join time).
+    fn shard_of(&self, id: NodeId) -> Option<usize> {
+        match self.shard_of.get(id.raw() as usize) {
+            Some(&s) if s != ABSENT => Some(s as usize),
+            _ => None,
+        }
+    }
+
+    /// Deterministic joiner placement: the smallest region, lowest
+    /// index winning ties.
+    fn smallest_shard(&self) -> usize {
+        let mut best = 0;
+        for (s, &count) in self.members.iter().enumerate() {
+            if count < self.members[best] {
+                best = s;
+            }
+        }
+        best
+    }
+
+    /// Registers every peer the graph allocated in `[before, after)`
+    /// (churn joiners) on the currently smallest shard.
+    fn place_new_peers(&mut self, before: u64, after: u64) {
+        for raw in before..after {
+            let s = self.smallest_shard();
+            if self.shard_of.len() <= raw as usize {
+                self.shard_of.resize(raw as usize + 1, ABSENT);
+            }
+            self.shard_of[raw as usize] = s as u32;
+            self.members[s] += 1;
+        }
+    }
+
+    /// Clears a departed peer's shard assignment (no-op if it was
+    /// already gone — `Leave` events for departed peers are ignored by
+    /// the market too).
+    fn forget_peer(&mut self, id: NodeId) {
+        if let Some(entry) = self.shard_of.get_mut(id.raw() as usize) {
+            if *entry != ABSENT {
+                self.members[*entry as usize] -= 1;
+                *entry = ABSENT;
+            }
+        }
+    }
+
+    /// Classifies the purchases captured while applying one event:
+    /// shard-local trades are counted immediately; cross-shard trades
+    /// go to the log for barrier settlement, keyed by the applying
+    /// event's global `seq` (at most one purchase settles per event, so
+    /// the `(tick, shard, seq)` key is unique).
+    fn classify_trades(&mut self, ctx: ShardCtx) {
+        let mut trades = std::mem::take(&mut self.trades);
+        self.market.take_trades(&mut trades);
+        for trade in &trades {
+            let from = self
+                .shard_of(trade.buyer)
+                .expect("buyer was live when the trade settled");
+            let to = self
+                .shard_of(trade.seller)
+                .expect("seller was live when the trade settled");
+            if from == to {
+                self.stats[from].local_trades += 1;
+                self.settled_local += 1;
+            } else {
+                self.log.push(
+                    self.tick,
+                    from as u32,
+                    ctx.seq,
+                    CrossShardTrade {
+                        from: from as u32,
+                        to: to as u32,
+                        price: trade.price,
+                    },
+                );
+            }
+        }
+        self.trades = trades;
+    }
+}
+
+impl ShardModel for ShardedMarket {
+    type Event = MarketEvent;
+
+    fn shard_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// A peer's events live on its home shard; global events
+    /// (bootstrap, sampling, churn arrivals) live on shard 0.
+    fn route(&self, event: &MarketEvent) -> usize {
+        match event {
+            MarketEvent::Spend(id) | MarketEvent::Leave(id) => self.shard_of(*id).unwrap_or(0),
+            MarketEvent::Bootstrap | MarketEvent::Sample | MarketEvent::Join => 0,
+        }
+    }
+
+    fn handle(
+        &mut self,
+        now: SimTime,
+        event: MarketEvent,
+        ctx: ShardCtx,
+        scheduler: &mut Scheduler<MarketEvent>,
+    ) {
+        let leaver = match &event {
+            MarketEvent::Leave(id) => Some(*id),
+            _ => None,
+        };
+        let watermark = self.market.graph().next_raw_id();
+        Model::handle(&mut self.market, now, event, scheduler);
+        let after = self.market.graph().next_raw_id();
+        if after > watermark {
+            self.place_new_peers(watermark, after);
+        }
+        if let Some(id) = leaver {
+            self.forget_peer(id);
+        }
+        self.classify_trades(ctx);
+    }
+
+    fn on_window_barrier(&mut self, _window_end: SimTime) {
+        let stats = &mut self.stats;
+        let mut settled = 0u64;
+        self.log.settle_through(self.tick, |effect| {
+            let trade = effect.payload;
+            stats[trade.from as usize].outgoing_trades += 1;
+            stats[trade.from as usize].credits_out += trade.price;
+            stats[trade.to as usize].incoming_trades += 1;
+            stats[trade.to as usize].credits_in += trade.price;
+            settled += 1;
+        });
+        self.settled_cross += settled;
+        self.tick += 1;
+        debug_assert!(self.log.is_empty(), "barrier left trades unsettled");
+        debug_assert_eq!(
+            self.settled_local + self.settled_cross,
+            self.market.purchases(),
+            "every purchase must settle exactly once"
+        );
+        debug_assert!(
+            self.market.ledger().conserved(),
+            "barrier found the ledger out of conservation"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::market::{ChurnConfig, MarketConfig, TopologyKind};
+    use scrip_des::{ShardedSimulation, SimDuration, SimTime};
+
+    fn run_sharded(config: MarketConfig, seed: u64, shards: usize, secs: u64) -> ShardedMarket {
+        let window = config.sample_interval;
+        let market = CreditMarket::build(config, seed).expect("builds");
+        let capacity = market.queue_capacity_hint();
+        let mut sim =
+            ShardedSimulation::with_capacity(ShardedMarket::new(market, shards), window, capacity);
+        sim.schedule(SimTime::ZERO, MarketEvent::Bootstrap);
+        sim.run_until(SimTime::from_secs(secs));
+        sim.into_model()
+    }
+
+    #[test]
+    fn sharded_run_matches_serial_exactly() {
+        let config = MarketConfig::new(50, 20)
+            .topology(TopologyKind::Ring)
+            .sample_interval(SimDuration::from_secs(100));
+        let serial =
+            crate::market::run_market(config.clone(), 5, SimTime::from_secs(800)).expect("runs");
+        for shards in [1, 2, 4] {
+            let sharded = run_sharded(config.clone(), 5, shards, 800);
+            let m = sharded.market();
+            assert_eq!(m.balances_sorted(), serial.balances_sorted());
+            assert_eq!(m.gini_series(), serial.gini_series());
+            assert_eq!(m.purchases(), serial.purchases());
+            assert_eq!(m.denied(), serial.denied());
+        }
+    }
+
+    #[test]
+    fn every_purchase_settles_exactly_once() {
+        let config = MarketConfig::new(40, 30)
+            .topology(TopologyKind::Ring)
+            .sample_interval(SimDuration::from_secs(50));
+        let sharded = run_sharded(config, 9, 4, 600);
+        let total: u64 = sharded
+            .shard_stats()
+            .iter()
+            .map(|s| s.local_trades + s.outgoing_trades)
+            .sum();
+        assert_eq!(total, sharded.market().purchases());
+        assert_eq!(sharded.unsettled(), 0, "horizon is a barrier");
+        // Cross-shard credit flow is symmetric in aggregate.
+        let credits_out: u64 = sharded.shard_stats().iter().map(|s| s.credits_out).sum();
+        let credits_in: u64 = sharded.shard_stats().iter().map(|s| s.credits_in).sum();
+        assert_eq!(credits_out, credits_in);
+        // A ring split 4 ways definitely trades across boundaries.
+        assert!(sharded.settled_cross() > 0);
+        assert!(sharded.initial_edge_cut() > 0);
+    }
+
+    #[test]
+    fn churn_joiners_get_deterministic_shards() {
+        let churn = ChurnConfig::new(0.5, 120.0, 4).expect("valid");
+        let config = MarketConfig::new(60, 10)
+            .churn(churn)
+            .topology(TopologyKind::Complete)
+            .sample_interval(SimDuration::from_secs(100));
+        let a = run_sharded(config.clone(), 11, 3, 1_000);
+        let b = run_sharded(config, 11, 3, 1_000);
+        assert_eq!(a.shard_of, b.shard_of);
+        assert_eq!(a.shard_stats(), b.shard_stats());
+        // Membership bookkeeping matches the live population.
+        let members: usize = a.members.iter().sum();
+        assert_eq!(members, a.market().peer_count());
+    }
+}

@@ -22,6 +22,7 @@
 //! | `topology`              | `scale-free` \| `complete` \| `ring` \| `regular:DEGREE` |
 //! | `sample`                | float > 0 (Gini sampling interval, seconds)    |
 //! | `availability-feedback` | `true` \| `false`                              |
+//! | `shards`                | integer ≥ 1 (execution shards; output identical) |
 //! | `streaming`             | `none` \| `paced:CHUNK_RATE` (chunk-level market) |
 //!
 //! Setting `streaming = paced:CHUNK_RATE` switches the realized market
@@ -80,7 +81,7 @@ use crate::pricing::PricingConfig;
 /// The spec keys, in canonical serialization order. The `streaming`
 /// toggle precedes its sub-keys so serialized specs always re-parse
 /// (sub-keys require streaming to be enabled).
-pub const MARKET_SPEC_KEYS: [&str; 23] = [
+pub const MARKET_SPEC_KEYS: [&str; 24] = [
     "peers",
     "credits",
     "base-rate",
@@ -92,6 +93,7 @@ pub const MARKET_SPEC_KEYS: [&str; 23] = [
     "topology",
     "sample",
     "availability-feedback",
+    "shards",
     "streaming",
     "streaming.window",
     "streaming.startup",
@@ -310,6 +312,13 @@ impl MarketSpec {
                     _ => return Err(bad(key, value, "true | false")),
                 };
             }
+            "shards" => {
+                let shards = parse_usize(key, value)?;
+                if shards == 0 {
+                    return Err(bad(key, value, "an integer >= 1"));
+                }
+                self.config.shards = shards;
+            }
             "streaming" => {
                 self.config.streaming = if value == "none" {
                     None
@@ -443,6 +452,7 @@ impl MarketSpec {
             },
             "sample" => c.sample_interval.as_secs_f64().to_string(),
             "availability-feedback" => c.availability_feedback.to_string(),
+            "shards" => c.shards.to_string(),
             "streaming" => match &c.streaming {
                 None => "none".into(),
                 Some(s) => format!("paced:{}", s.chunk_rate),
@@ -519,6 +529,7 @@ mod tests {
             ("sample", "50"),
             ("availability-feedback", "true"),
             ("streaming", "paced:2"),
+            ("shards", "4"),
             ("streaming.window", "96"),
             ("streaming.startup", "6"),
             ("streaming.max-pending", "8"),
@@ -627,6 +638,8 @@ mod tests {
             ("topology", "torus"),
             ("sample", "0"),
             ("availability-feedback", "yes"),
+            ("shards", "0"),
+            ("shards", "two"),
             ("streaming", "fast"),
             ("streaming", "paced:0"),
             ("streaming.window", "64"),

@@ -107,9 +107,33 @@ impl<E> EventQueue<E> {
         self.heap.push(Scheduled { time, seq, event });
     }
 
+    /// Re-enqueues an already-sequenced event, preserving its original
+    /// `(time, seq)` identity.
+    ///
+    /// This is the routing primitive for kernels that distribute one
+    /// logical event stream over several queues (e.g.
+    /// [`crate::shard::ShardedSimulation`]): because the sequence
+    /// number is kept, merging any set of queues by `(time, seq)`
+    /// reproduces the order a single queue would have popped. The
+    /// local counter is bumped past `scheduled.seq` so later
+    /// [`EventQueue::push`]es on this queue never collide with it.
+    pub fn push_scheduled(&mut self, scheduled: Scheduled<E>) {
+        self.next_seq = self.next_seq.max(scheduled.seq + 1);
+        self.heap.push(scheduled);
+    }
+
     /// Removes and returns the earliest pending event.
     pub fn pop(&mut self) -> Option<Scheduled<E>> {
         self.heap.pop()
+    }
+
+    /// Removes and returns the earliest pending event if it activates
+    /// at or before `limit`.
+    pub fn pop_due(&mut self, limit: SimTime) -> Option<Scheduled<E>> {
+        match self.heap.peek() {
+            Some(s) if s.time <= limit => self.heap.pop(),
+            _ => None,
+        }
     }
 
     /// The activation time of the earliest pending event, if any.
@@ -213,6 +237,23 @@ impl<E> Scheduler<E> {
     /// Activation time of the next event, if any.
     pub fn next_event_time(&self) -> Option<SimTime> {
         self.queue.peek_time()
+    }
+
+    /// Re-enqueues an already-sequenced event, preserving its
+    /// `(time, seq)` identity (see [`EventQueue::push_scheduled`]).
+    /// Unlike [`Scheduler::schedule_at`] the activation time is *not*
+    /// clamped to the clock — routed events carry times from the
+    /// sequencing scheduler, which never runs ahead of this one.
+    pub fn enqueue_scheduled(&mut self, scheduled: Scheduled<E>) {
+        self.queue.push_scheduled(scheduled);
+    }
+
+    /// Removes and returns the earliest pending event activating at or
+    /// before `limit`, **without** touching the clock. Sharded kernels
+    /// use this to drain a window's events into a staging buffer; the
+    /// clock is advanced separately at the window barrier.
+    pub fn pop_due(&mut self, limit: SimTime) -> Option<Scheduled<E>> {
+        self.queue.pop_due(limit)
     }
 
     /// Pops the next event and advances the clock to its activation time.

@@ -18,6 +18,9 @@
 //!   scratch on top of [`rand::Rng`].
 //! * [`stats`] — online statistics collectors (time series, time-weighted
 //!   means, histograms) used to record Gini-over-time and rate measurements.
+//! * [`shard`] — a sharded kernel ([`ShardedSimulation`]) that partitions
+//!   one run's event stream over per-shard queues advancing in lockstep
+//!   tick windows, byte-identical to the serial kernel for any shard count.
 //!
 //! ## Example
 //!
@@ -57,11 +60,13 @@
 pub mod dist;
 pub mod event;
 pub mod rng;
+pub mod shard;
 pub mod sim;
 pub mod stats;
 pub mod time;
 
 pub use event::{EventQueue, Scheduled, Scheduler};
 pub use rng::{SeedSequence, SimRng};
+pub use shard::{CrossShardLog, LoggedEffect, ShardCtx, ShardModel, ShardedSimulation};
 pub use sim::{Model, RunStats, Simulation};
 pub use time::{SimDuration, SimTime};

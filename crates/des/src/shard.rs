@@ -1,0 +1,579 @@
+//! Deterministic sharded execution: one simulation partitioned over
+//! per-shard event queues, bit-identical to the serial kernel.
+//!
+//! ## The determinism argument
+//!
+//! The serial kernel ([`crate::Simulation`]) applies events in strict
+//! `(time, seq)` order, where `seq` is the global scheduling counter.
+//! [`ShardedSimulation`] keeps **one** sequencing scheduler (so every
+//! event still receives its global `seq` at schedule time) but *stores*
+//! pending events in per-shard queues, routed by
+//! [`ShardModel::route`]. Because routing preserves each event's
+//! `(time, seq)` identity ([`crate::Scheduler::enqueue_scheduled`]),
+//! merging the shard queues back by `(time, seq)` reproduces exactly
+//! the order a single queue would have popped — for *any* shard count
+//! and any worker count. Every RNG draw and state mutation therefore
+//! lands in the serial order, and output is byte-identical to the
+//! serial run.
+//!
+//! ## The window loop
+//!
+//! Time advances in fixed tick windows. Per window `(prev, end]`:
+//!
+//! 1. **Stage** (parallel): each shard worker drains its own queue's
+//!    events due in the window into a sorted per-shard buffer. This is
+//!    the fan-out phase — heap pops are the per-event queue cost, and
+//!    each worker touches only its own queue.
+//! 2. **Apply** (sequenced): the staged streams plus a `live` heap of
+//!    intra-window follow-ups are k-way-merged by `(time, seq)`; each
+//!    event is handed to [`ShardModel::handle`] in that order.
+//!    Follow-ups scheduled inside the window go to the `live` heap,
+//!    later ones are routed to their shard queue.
+//! 3. **Barrier**: all shard clocks advance to the window end and
+//!    [`ShardModel::on_window_barrier`] runs — the hook where
+//!    cross-shard effects recorded in a [`CrossShardLog`] are settled
+//!    in `(tick, source shard, seq)` order.
+//!
+//! The horizon of every [`ShardedSimulation::run_until`] call is itself
+//! a barrier, so callers that pause at sampling boundaries always
+//! observe a consistent, fully-settled global state.
+
+use std::collections::BinaryHeap;
+
+use crate::event::{Scheduled, Scheduler};
+use crate::sim::RunStats;
+use crate::time::{SimDuration, SimTime};
+
+/// Per-event context handed to [`ShardModel::handle`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardCtx {
+    /// The shard the event was routed to (at apply time).
+    pub shard: usize,
+    /// The event's global sequence number — the deterministic identity
+    /// to record in a [`CrossShardLog`] for cross-shard effects.
+    pub seq: u64,
+}
+
+/// A discrete-event model that can run sharded.
+///
+/// The contract mirrors [`crate::Model`], with two additions: the model
+/// names a home shard for every pending event ([`ShardModel::route`])
+/// and gets a barrier hook at the end of each tick window
+/// ([`ShardModel::on_window_barrier`]) to settle cross-shard effects.
+pub trait ShardModel {
+    /// The event payload type dispatched to this model.
+    type Event;
+
+    /// Number of shards this model is partitioned into (≥ 1; queried
+    /// once at kernel construction).
+    fn shard_count(&self) -> usize;
+
+    /// The home shard of a pending event (`< shard_count()`; values out
+    /// of range are clamped). Routing only affects *which queue stores
+    /// the event* — never the apply order — so it may depend on mutable
+    /// model state (e.g. a churning peer→shard map).
+    fn route(&self, event: &Self::Event) -> usize;
+
+    /// Handles one event at instant `now`, exactly as
+    /// [`crate::Model::handle`]; `ctx` carries the event's shard and
+    /// global sequence number.
+    fn handle(
+        &mut self,
+        now: SimTime,
+        event: Self::Event,
+        ctx: ShardCtx,
+        scheduler: &mut Scheduler<Self::Event>,
+    );
+
+    /// Called once at the end of every tick window (including the
+    /// horizon of each `run_until`), after all the window's events have
+    /// been applied.
+    fn on_window_barrier(&mut self, window_end: SimTime) {
+        let _ = window_end;
+    }
+}
+
+/// One cross-shard effect recorded in a [`CrossShardLog`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LoggedEffect<T> {
+    /// The tick window (barrier index) the effect was emitted in.
+    pub tick: u64,
+    /// The shard that emitted the effect.
+    pub source_shard: u32,
+    /// The emitting event's global sequence number (from
+    /// [`ShardCtx::seq`]): the deterministic tie-breaker.
+    pub seq: u64,
+    /// The model-defined effect payload.
+    pub payload: T,
+}
+
+/// A tick-bucketed log of cross-shard effects, drained in a fixed
+/// `(tick, source shard, seq)` order.
+///
+/// Effects may be *pushed* in any order (workers complete in
+/// nondeterministic order); [`CrossShardLog::settle_through`] sorts by
+/// the deterministic key before applying, so the settle order is
+/// invariant under any permutation of the push order. The
+/// `(tick, source_shard, seq)` triple must be unique per entry.
+#[derive(Clone, Debug, Default)]
+pub struct CrossShardLog<T> {
+    entries: Vec<LoggedEffect<T>>,
+}
+
+impl<T> CrossShardLog<T> {
+    /// An empty log.
+    pub fn new() -> Self {
+        CrossShardLog {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Records one effect emitted by `source_shard` during window
+    /// `tick`, keyed by the emitting event's global `seq`.
+    pub fn push(&mut self, tick: u64, source_shard: u32, seq: u64, payload: T) {
+        self.entries.push(LoggedEffect {
+            tick,
+            source_shard,
+            seq,
+            payload,
+        });
+    }
+
+    /// Number of unsettled effects.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no effects are pending.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drains every effect with `tick <= through` and applies them in
+    /// ascending `(tick, source shard, seq)` order; later effects stay
+    /// queued for a future barrier.
+    pub fn settle_through(&mut self, through: u64, mut apply: impl FnMut(LoggedEffect<T>)) {
+        let mut due: Vec<LoggedEffect<T>> = Vec::new();
+        let mut i = 0;
+        while i < self.entries.len() {
+            if self.entries[i].tick <= through {
+                due.push(self.entries.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        due.sort_by_key(|e| (e.tick, e.source_shard, e.seq));
+        debug_assert!(
+            due.windows(2)
+                .all(|w| (w[0].tick, w[0].source_shard, w[0].seq)
+                    != (w[1].tick, w[1].source_shard, w[1].seq)),
+            "cross-shard log keys must be unique"
+        );
+        for effect in due {
+            apply(effect);
+        }
+    }
+}
+
+/// Minimum total pending events before the staging phase fans out to
+/// worker threads; below this, thread spawn costs dominate the drain.
+const PARALLEL_STAGE_THRESHOLD: usize = 4_096;
+
+/// A sharded simulation: a [`ShardModel`] plus per-shard [`Scheduler`]s
+/// advancing in lockstep over fixed tick windows. Output is
+/// byte-identical to [`crate::Simulation`] on the equivalent model —
+/// see the [module docs](self) for the argument.
+#[derive(Debug)]
+pub struct ShardedSimulation<M: ShardModel> {
+    model: M,
+    /// The sequencing scheduler: owns the global clock and the global
+    /// `seq` counter. All follow-ups pass through it before being
+    /// routed, so sequence numbers stay globally unique and ordered.
+    staging: Scheduler<M::Event>,
+    /// Per-shard pending-event queues (the "per-shard Schedulers");
+    /// clocks advance in lockstep at window barriers.
+    lanes: Vec<Scheduler<M::Event>>,
+    /// Intra-window follow-ups awaiting application in the current
+    /// window (merged against the staged streams by `(time, seq)`).
+    live: BinaryHeap<Scheduled<M::Event>>,
+    /// Tick-window width; [`SimDuration::ZERO`] means one window per
+    /// `run_until` call.
+    window: SimDuration,
+    workers: usize,
+    events_processed: u64,
+    windows_completed: u64,
+}
+
+impl<M: ShardModel> ShardedSimulation<M> {
+    /// Creates a sharded simulation at time zero with the given tick
+    /// window (`SimDuration::ZERO` ⇒ one window per `run_until` call).
+    pub fn new(model: M, window: SimDuration) -> Self {
+        Self::with_capacity(model, window, 0)
+    }
+
+    /// As [`ShardedSimulation::new`], with each shard queue pre-sized
+    /// for its share of `capacity` pending events.
+    pub fn with_capacity(model: M, window: SimDuration, capacity: usize) -> Self {
+        let shards = model.shard_count().max(1);
+        let per_lane = capacity / shards + 1;
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(shards);
+        ShardedSimulation {
+            model,
+            staging: Scheduler::new(),
+            lanes: (0..shards)
+                .map(|_| Scheduler::with_capacity(per_lane))
+                .collect(),
+            live: BinaryHeap::new(),
+            window,
+            workers,
+            events_processed: 0,
+            windows_completed: 0,
+        }
+    }
+
+    /// Overrides the staging worker count (default: available
+    /// parallelism, capped at the shard count). Has **no effect on
+    /// output** — only on how the staging drain is fanned out.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// The current simulation clock.
+    pub fn now(&self) -> SimTime {
+        self.staging.now()
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Number of completed tick windows (barriers crossed).
+    pub fn windows_completed(&self) -> u64 {
+        self.windows_completed
+    }
+
+    /// Immutable access to the model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Mutable access to the model.
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Consumes the simulation, returning the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Counters for the run so far (mirrors
+    /// [`crate::Simulation::stats`]).
+    pub fn stats(&self) -> RunStats {
+        RunStats {
+            events_processed: self.events_processed,
+            events_pending: self.lanes.iter().map(Scheduler::pending).sum::<usize>()
+                + self.live.len()
+                + self.staging.pending(),
+            end_time: self.staging.now(),
+        }
+    }
+
+    fn route_clamped(&self, event: &M::Event) -> usize {
+        self.model.route(event).min(self.lanes.len() - 1)
+    }
+
+    /// Schedules an initial event at absolute `time` (sequenced
+    /// globally, stored on its home shard).
+    pub fn schedule(&mut self, time: SimTime, event: M::Event) {
+        self.staging.schedule_at(time, event);
+        while let Some(ev) = self.staging.pop_due(SimTime::MAX) {
+            let lane = self.route_clamped(&ev.event);
+            self.lanes[lane].enqueue_scheduled(ev);
+        }
+    }
+}
+
+impl<M: ShardModel> ShardedSimulation<M>
+where
+    M::Event: Send,
+{
+    /// Runs until the clock would pass `horizon` (inclusive), window by
+    /// window; events scheduled exactly at `horizon` are dispatched and
+    /// the clock then rests at `horizon`. The horizon is always a
+    /// window barrier, so pausing callers observe settled state. May be
+    /// called repeatedly with increasing horizons.
+    pub fn run_until(&mut self, horizon: SimTime) -> RunStats {
+        while self.staging.now() < horizon {
+            let window_end = if self.window.is_zero() {
+                horizon
+            } else {
+                let w = self.window.as_micros();
+                let next = (self.staging.now().as_micros() / w + 1).saturating_mul(w);
+                SimTime::from_micros(next).min(horizon)
+            };
+            self.run_window(window_end);
+        }
+        self.stats()
+    }
+
+    /// One tick window: stage, merged apply, barrier.
+    fn run_window(&mut self, window_end: SimTime) {
+        let staged = self.stage(window_end);
+        let mut streams: Vec<_> = staged
+            .into_iter()
+            .map(|events| events.into_iter().peekable())
+            .collect();
+        loop {
+            // The earliest staged head across all shard streams…
+            let mut best_lane = usize::MAX;
+            let mut best_key: Option<(SimTime, u64)> = None;
+            for (lane, stream) in streams.iter_mut().enumerate() {
+                if let Some(head) = stream.peek() {
+                    let key = (head.time, head.seq);
+                    if best_key.map_or(true, |b| key < b) {
+                        best_key = Some(key);
+                        best_lane = lane;
+                    }
+                }
+            }
+            // …merged against intra-window follow-ups.
+            let from_live = match (self.live.peek(), best_key) {
+                (Some(live), Some(best)) => (live.time, live.seq) < best,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let next = if from_live {
+                self.live.pop().expect("peeked")
+            } else {
+                streams[best_lane].next().expect("peeked")
+            };
+            self.apply(next, window_end);
+        }
+        debug_assert!(self.live.is_empty(), "window left live events unapplied");
+        for lane in &mut self.lanes {
+            lane.advance_clock_to(window_end);
+        }
+        self.staging.advance_clock_to(window_end);
+        self.windows_completed += 1;
+        self.model.on_window_barrier(window_end);
+    }
+
+    /// Dispatches one event in merged order and routes its follow-ups.
+    fn apply(&mut self, scheduled: Scheduled<M::Event>, window_end: SimTime) {
+        self.staging.advance_clock_to(scheduled.time);
+        self.events_processed += 1;
+        let ctx = ShardCtx {
+            shard: self.route_clamped(&scheduled.event),
+            seq: scheduled.seq,
+        };
+        self.model
+            .handle(scheduled.time, scheduled.event, ctx, &mut self.staging);
+        while let Some(follow_up) = self.staging.pop_due(SimTime::MAX) {
+            if follow_up.time <= window_end {
+                self.live.push(follow_up);
+            } else {
+                let lane = self.route_clamped(&follow_up.event);
+                self.lanes[lane].enqueue_scheduled(follow_up);
+            }
+        }
+    }
+
+    /// Drains every shard queue's events due by `window_end` into
+    /// per-shard sorted buffers — in parallel when the pending
+    /// population justifies the thread fan-out.
+    fn stage(&mut self, window_end: SimTime) -> Vec<Vec<Scheduled<M::Event>>> {
+        let pending: usize = self.lanes.iter().map(Scheduler::pending).sum();
+        let mut staged: Vec<Vec<Scheduled<M::Event>>> = self
+            .lanes
+            .iter()
+            .map(|lane| Vec::with_capacity(lane.pending().min(64)))
+            .collect();
+        if self.workers > 1 && self.lanes.len() > 1 && pending >= PARALLEL_STAGE_THRESHOLD {
+            let group = self.lanes.len().div_ceil(self.workers);
+            std::thread::scope(|scope| {
+                for (lanes, buffers) in self.lanes.chunks_mut(group).zip(staged.chunks_mut(group)) {
+                    scope.spawn(move || {
+                        for (lane, buffer) in lanes.iter_mut().zip(buffers.iter_mut()) {
+                            while let Some(ev) = lane.pop_due(window_end) {
+                                buffer.push(ev);
+                            }
+                        }
+                    });
+                }
+            });
+        } else {
+            for (lane, buffer) in self.lanes.iter_mut().zip(staged.iter_mut()) {
+                while let Some(ev) = lane.pop_due(window_end) {
+                    buffer.push(ev);
+                }
+            }
+        }
+        staged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{Model, Simulation};
+
+    /// Records the exact dispatch order; spawns deterministic
+    /// follow-ups so intra-window scheduling is exercised.
+    #[derive(Clone)]
+    struct OrderRecorder {
+        shards: usize,
+        seen: Vec<(SimTime, u64)>,
+        follow_ups: u32,
+        barriers: Vec<SimTime>,
+    }
+
+    impl OrderRecorder {
+        fn new(shards: usize) -> Self {
+            OrderRecorder {
+                shards,
+                seen: Vec::new(),
+                follow_ups: 200,
+                barriers: Vec::new(),
+            }
+        }
+
+        fn step(&mut self, now: SimTime, key: u64, scheduler: &mut Scheduler<u64>) {
+            self.seen.push((now, key));
+            if self.follow_ups > 0 && key % 3 != 2 {
+                self.follow_ups -= 1;
+                // A short and a long follow-up: one usually lands in the
+                // current window, one beyond it.
+                scheduler.schedule_after(SimDuration::from_millis(key % 700 + 1), key * 7 + 1);
+                scheduler.schedule_after(SimDuration::from_secs(key % 5 + 1), key * 3 + 2);
+            }
+        }
+    }
+
+    impl Model for OrderRecorder {
+        type Event = u64;
+        fn handle(&mut self, now: SimTime, key: u64, scheduler: &mut Scheduler<u64>) {
+            self.step(now, key, scheduler);
+        }
+    }
+
+    impl ShardModel for OrderRecorder {
+        type Event = u64;
+        fn shard_count(&self) -> usize {
+            self.shards
+        }
+        fn route(&self, key: &u64) -> usize {
+            (*key as usize) % self.shards
+        }
+        fn handle(&mut self, now: SimTime, key: u64, _ctx: ShardCtx, s: &mut Scheduler<u64>) {
+            self.step(now, key, s);
+        }
+        fn on_window_barrier(&mut self, window_end: SimTime) {
+            self.barriers.push(window_end);
+        }
+    }
+
+    fn seed_events() -> Vec<(SimTime, u64)> {
+        (0..60u64)
+            .map(|k| (SimTime::from_micros(k * 311_000 % 4_000_000), k))
+            .collect()
+    }
+
+    #[test]
+    fn sharded_order_matches_serial_for_any_shard_and_worker_count() {
+        let mut serial = Simulation::new(OrderRecorder::new(1));
+        for &(t, k) in &seed_events() {
+            serial.schedule(t, k);
+        }
+        let serial_stats = serial.run_until(SimTime::from_secs(30));
+        let reference = serial.model().seen.clone();
+        assert!(reference.len() > 100, "follow-ups fired");
+
+        for shards in [1, 2, 3, 8] {
+            for workers in [1, 2] {
+                let mut sim =
+                    ShardedSimulation::new(OrderRecorder::new(shards), SimDuration::from_secs(1))
+                        .with_workers(workers);
+                for &(t, k) in &seed_events() {
+                    sim.schedule(t, k);
+                }
+                let stats = sim.run_until(SimTime::from_secs(30));
+                assert_eq!(
+                    sim.model().seen,
+                    reference,
+                    "order diverged at shards={shards} workers={workers}"
+                );
+                assert_eq!(stats.events_processed, serial_stats.events_processed);
+                assert_eq!(stats.end_time, serial_stats.end_time);
+            }
+        }
+    }
+
+    #[test]
+    fn horizon_is_always_a_barrier() {
+        let mut sim = ShardedSimulation::new(OrderRecorder::new(2), SimDuration::from_secs(10));
+        sim.schedule(SimTime::from_secs(3), 1);
+        sim.run_until(SimTime::from_secs(7));
+        assert_eq!(sim.model().barriers.last(), Some(&SimTime::from_secs(7)));
+        assert_eq!(sim.now(), SimTime::from_secs(7));
+        sim.run_until(SimTime::from_secs(25));
+        // Window grid barriers at 10 and 20, plus the horizon.
+        assert!(sim.model().barriers.contains(&SimTime::from_secs(10)));
+        assert!(sim.model().barriers.contains(&SimTime::from_secs(20)));
+        assert_eq!(sim.model().barriers.last(), Some(&SimTime::from_secs(25)));
+        assert_eq!(sim.windows_completed(), sim.model().barriers.len() as u64);
+    }
+
+    #[test]
+    fn cross_shard_log_settles_in_key_order_regardless_of_push_order() {
+        let mut forward = CrossShardLog::new();
+        let mut shuffled = CrossShardLog::new();
+        let entries = [
+            (0u64, 1u32, 5u64),
+            (0, 0, 9),
+            (1, 2, 3),
+            (0, 1, 2),
+            (1, 0, 4),
+        ];
+        for &(tick, shard, seq) in &entries {
+            forward.push(tick, shard, seq, seq);
+        }
+        for &(tick, shard, seq) in entries.iter().rev() {
+            shuffled.push(tick, shard, seq, seq);
+        }
+        let drain = |log: &mut CrossShardLog<u64>| {
+            let mut order = Vec::new();
+            log.settle_through(0, |e| order.push((e.tick, e.source_shard, e.seq)));
+            order
+        };
+        let a = drain(&mut forward);
+        assert_eq!(a, vec![(0, 0, 9), (0, 1, 2), (0, 1, 5)]);
+        assert_eq!(a, drain(&mut shuffled), "push order must not matter");
+        // Later ticks stayed queued.
+        assert_eq!(forward.len(), 2);
+        forward.settle_through(5, |e| assert_eq!(e.payload, e.seq));
+        assert!(forward.is_empty());
+    }
+
+    #[test]
+    fn stats_count_all_pending_locations() {
+        let mut sim = ShardedSimulation::new(OrderRecorder::new(3), SimDuration::from_secs(5));
+        for &(t, k) in &seed_events() {
+            sim.schedule(t, k);
+        }
+        let before = sim.stats();
+        assert_eq!(before.events_pending, 60);
+        assert_eq!(before.events_processed, 0);
+        sim.run_until(SimTime::from_secs(2));
+        let mid = sim.stats();
+        assert!(mid.events_processed > 0);
+        assert!(mid.events_pending > 0, "later events still queued");
+        assert_eq!(mid.end_time, SimTime::from_secs(2));
+    }
+}

@@ -323,6 +323,16 @@ impl Graph {
         components
     }
 
+    /// The raw value the next [`Graph::add_node`] call will allocate.
+    ///
+    /// Since IDs are handed out densely from zero and never reused,
+    /// every ID ever allocated is `< next_raw_id()` — the watermark
+    /// lets layered state (shard maps, wallet mirrors) detect freshly
+    /// added nodes by comparing watermarks around a mutation.
+    pub fn next_raw_id(&self) -> u64 {
+        self.next_id
+    }
+
     /// A dense index for the current node set: maps each live [`NodeId`] to
     /// `0..node_count()` in ascending ID order. Matrix-based analytics
     /// (transfer matrices, utilization vectors) use this to address rows.

@@ -1,0 +1,252 @@
+//! Balanced graph partitioning for sharded execution.
+//!
+//! [`Partition::regions`] splits a [`Graph`]'s node set into `k`
+//! regions of near-equal size (every region holds at most `⌈n/k⌉`
+//! nodes) while keeping the edge cut small, and records everything the
+//! sharded runner needs: the node→shard map, each region's member
+//! list, and each region's *frontier* — the members with at least one
+//! neighbor on another shard, i.e. exactly the peers whose trades can
+//! cross a shard boundary.
+//!
+//! The partitioner is greedy BFS growth: region `s` starts from the
+//! lowest-numbered unassigned node and absorbs unassigned neighbors in
+//! ascending-ID breadth-first order until it reaches its size target,
+//! re-seeding from the lowest unassigned node whenever its frontier
+//! runs dry (disconnected graphs partition fine). The procedure draws
+//! no randomness and iterates the graph only through its deterministic
+//! ascending-ID views, so the same graph always yields the same
+//! partition — a prerequisite for byte-reproducible sharded runs.
+
+use std::collections::VecDeque;
+
+use crate::graph::Graph;
+use crate::NodeId;
+
+/// Shard sentinel for IDs that are not in any region.
+const ABSENT: u32 = u32::MAX;
+
+/// A `k`-way partition of a graph's nodes; see the [module docs](self).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    /// Raw node ID → shard index ([`ABSENT`] for IDs not in the graph).
+    shard_of: Vec<u32>,
+    /// Per-shard member lists, each ascending.
+    regions: Vec<Vec<NodeId>>,
+    /// Per-shard frontier lists (members with ≥ 1 cross-shard
+    /// neighbor), each ascending.
+    frontiers: Vec<Vec<NodeId>>,
+    /// Number of edges whose endpoints lie in different regions.
+    edge_cut: usize,
+}
+
+impl Partition {
+    /// Partitions `graph` into `k` balanced regions.
+    ///
+    /// Every node lands in exactly one region and every region holds at
+    /// most `⌈n/k⌉` nodes (regions differ in size by at most one; when
+    /// `k > n` the surplus regions are empty). Deterministic: no RNG,
+    /// ascending-ID iteration only.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn regions(graph: &Graph, k: usize) -> Partition {
+        assert!(k > 0, "cannot partition into zero regions");
+        let n = graph.node_count();
+        let ids: Vec<NodeId> = graph.node_ids().collect();
+        let mut shard_of = vec![ABSENT; graph.next_raw_id() as usize];
+        let mut regions: Vec<Vec<NodeId>> = vec![Vec::new(); k];
+        // Exact balance: the first n % k regions take one extra node.
+        let targets: Vec<usize> = (0..k).map(|s| n / k + usize::from(s < n % k)).collect();
+        let mut seed_cursor = 0usize; // index into `ids` (ascending)
+        let mut queue: VecDeque<NodeId> = VecDeque::new();
+        for (s, &target) in targets.iter().enumerate() {
+            queue.clear();
+            while regions[s].len() < target {
+                let next = match queue.pop_front() {
+                    Some(id) if shard_of[id.raw() as usize] == ABSENT => id,
+                    Some(_) => continue, // claimed since it was enqueued
+                    None => {
+                        // Frontier dry: re-seed from the lowest
+                        // unassigned node.
+                        while seed_cursor < ids.len()
+                            && shard_of[ids[seed_cursor].raw() as usize] != ABSENT
+                        {
+                            seed_cursor += 1;
+                        }
+                        match ids.get(seed_cursor) {
+                            Some(&id) => id,
+                            None => break, // nothing left anywhere
+                        }
+                    }
+                };
+                shard_of[next.raw() as usize] = s as u32;
+                regions[s].push(next);
+                for &nb in graph.neighbor_slice(next).unwrap_or(&[]) {
+                    if shard_of[nb.raw() as usize] == ABSENT {
+                        queue.push_back(nb);
+                    }
+                }
+            }
+            regions[s].sort_unstable();
+        }
+        debug_assert_eq!(
+            regions.iter().map(Vec::len).sum::<usize>(),
+            n,
+            "partition must cover every node"
+        );
+        // Frontiers and edge cut, from the assignment.
+        let mut frontiers: Vec<Vec<NodeId>> = vec![Vec::new(); k];
+        let mut edge_cut = 0usize;
+        for &id in &ids {
+            let s = shard_of[id.raw() as usize];
+            let mut boundary = false;
+            for &nb in graph.neighbor_slice(id).unwrap_or(&[]) {
+                if shard_of[nb.raw() as usize] != s {
+                    boundary = true;
+                    if nb > id {
+                        edge_cut += 1;
+                    }
+                }
+            }
+            if boundary {
+                frontiers[s as usize].push(id);
+            }
+        }
+        Partition {
+            shard_of,
+            regions,
+            frontiers,
+            edge_cut,
+        }
+    }
+
+    /// Number of regions (`k`).
+    pub fn shard_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// The shard holding `id`, or [`None`] if `id` was not in the graph
+    /// when the partition was computed.
+    pub fn shard_of(&self, id: NodeId) -> Option<usize> {
+        match self.shard_of.get(id.raw() as usize) {
+            Some(&s) if s != ABSENT => Some(s as usize),
+            _ => None,
+        }
+    }
+
+    /// The members of region `s`, ascending.
+    pub fn region(&self, s: usize) -> &[NodeId] {
+        &self.regions[s]
+    }
+
+    /// The frontier of region `s`: members with at least one neighbor
+    /// in another region, ascending.
+    pub fn frontier(&self, s: usize) -> &[NodeId] {
+        &self.frontiers[s]
+    }
+
+    /// Number of edges crossing between regions.
+    pub fn edge_cut(&self) -> usize {
+        self.edge_cut
+    }
+
+    /// Total nodes covered (equals the partitioned graph's node count).
+    pub fn node_count(&self) -> usize {
+        self.regions.iter().map(Vec::len).sum()
+    }
+
+    /// The size of the largest region (≤ `⌈node_count / k⌉` by
+    /// construction).
+    pub fn max_region_size(&self) -> usize {
+        self.regions.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn ring_partition_is_contiguous_and_balanced() {
+        let g = generators::ring(12).expect("ring");
+        let p = Partition::regions(&g, 3);
+        assert_eq!(p.shard_count(), 3);
+        assert_eq!(p.node_count(), 12);
+        assert_eq!(p.max_region_size(), 4);
+        for s in 0..3 {
+            assert_eq!(p.region(s).len(), 4);
+        }
+        // BFS growth on a ring yields contiguous arcs: the cut is the
+        // minimum possible (one edge per boundary, 3 boundaries).
+        assert!(p.edge_cut() <= 4, "cut {}", p.edge_cut());
+        // Every member with a cross-shard neighbor is in the frontier.
+        for s in 0..3 {
+            for &id in p.frontier(s) {
+                assert_eq!(p.shard_of(id), Some(s));
+            }
+        }
+    }
+
+    #[test]
+    fn single_region_has_no_cut_or_frontier() {
+        let g = generators::complete(8);
+        let p = Partition::regions(&g, 1);
+        assert_eq!(p.edge_cut(), 0);
+        assert!(p.frontier(0).is_empty());
+        assert_eq!(p.region(0).len(), 8);
+    }
+
+    #[test]
+    fn more_regions_than_nodes_leaves_surplus_empty() {
+        let g = generators::complete(3);
+        let p = Partition::regions(&g, 5);
+        assert_eq!(p.node_count(), 3);
+        let sizes: Vec<usize> = (0..5).map(|s| p.region(s).len()).collect();
+        assert_eq!(sizes, vec![1, 1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn covers_disconnected_graphs() {
+        let mut g = Graph::with_nodes(6); // no edges: 6 singletons
+        let ids: Vec<NodeId> = g.node_ids().collect();
+        g.add_edge(ids[0], ids[5]).expect("ok");
+        let p = Partition::regions(&g, 2);
+        assert_eq!(p.node_count(), 6);
+        assert_eq!(p.max_region_size(), 3);
+        for &id in &ids {
+            assert!(p.shard_of(id).is_some());
+        }
+    }
+
+    #[test]
+    fn deterministic_for_the_same_graph() {
+        let mut rng = scrip_des::SimRng::seed_from_u64(7);
+        let g = generators::scale_free(
+            &generators::ScaleFreeConfig::new(80).expect("valid"),
+            &mut rng,
+        )
+        .expect("generates");
+        let a = Partition::regions(&g, 4);
+        let b = Partition::regions(&g, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn absent_ids_map_to_none() {
+        let mut g = Graph::with_nodes(4);
+        let ids: Vec<NodeId> = g.node_ids().collect();
+        g.remove_node(ids[1]).expect("live");
+        let p = Partition::regions(&g, 2);
+        assert_eq!(p.shard_of(ids[1]), None);
+        assert_eq!(p.shard_of(NodeId::from_raw(999)), None);
+        assert_eq!(p.node_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero regions")]
+    fn zero_regions_panics() {
+        let g = generators::complete(3);
+        let _ = Partition::regions(&g, 0);
+    }
+}

@@ -1,0 +1,172 @@
+//! End-to-end determinism pins for the sharded execution stack.
+//!
+//! The tentpole claim is that partitioning one market run over
+//! execution shards changes *nothing* about the output: the sharded
+//! kernel replays the serial event stream exactly, for every shard
+//! count. These tests pin that claim at every public layer —
+//! `run_sharded_market` vs `run_market`, an instrumented `Session`,
+//! and the scenario runner's aggregated CSV under the `--shards`
+//! override — plus the cross-shard accounting invariants that the
+//! barrier settlement must uphold.
+
+use std::path::{Path, PathBuf};
+
+use scrip_bench::scenario::{run_scenario, set_shard_override, RunnerOptions, Scenario};
+use scrip_core::market::{run_market, ChurnConfig, MarketConfig, TopologyKind};
+use scrip_core::obs::Session;
+use scrip_core::policy::TaxConfig;
+use scrip_core::sharded::run_sharded_market;
+use scrip_core::streaming::StreamingConfig;
+use scrip_des::{SimDuration, SimTime};
+
+/// A deliberately busy queue-level config: churn (joins/leaves re-shape
+/// the shard map), taxation (escrow sweeps), asymmetric routing.
+fn busy_config() -> MarketConfig {
+    MarketConfig::new(60, 40)
+        .asymmetric()
+        .tax(TaxConfig::new(0.2, 40).expect("valid tax"))
+        .churn(ChurnConfig::new(0.3, 150.0, 10).expect("valid churn"))
+        .sample_interval(SimDuration::from_secs(100))
+}
+
+#[test]
+fn sharded_market_is_byte_identical_for_every_shard_count() {
+    let horizon = SimTime::from_secs(1_200);
+    let serial = run_market(busy_config(), 77, horizon).expect("serial runs");
+    for shards in [1, 2, 8] {
+        let sharded =
+            run_sharded_market(busy_config().shards(shards), 77, horizon).expect("sharded runs");
+        assert_eq!(
+            serial.ledger().balances_vec(),
+            sharded.ledger().balances_vec(),
+            "balances diverged at shards={shards}"
+        );
+        assert_eq!(
+            serial.gini_series().samples(),
+            sharded.gini_series().samples(),
+            "gini series diverged at shards={shards}"
+        );
+        assert_eq!(serial.purchases(), sharded.purchases(), "shards={shards}");
+        assert_eq!(serial.denied(), sharded.denied(), "shards={shards}");
+        assert_eq!(
+            serial.ledger().minted(),
+            sharded.ledger().minted(),
+            "shards={shards}"
+        );
+        assert_eq!(
+            serial.ledger().burned(),
+            sharded.ledger().burned(),
+            "shards={shards}"
+        );
+        assert_eq!(serial.peer_count(), sharded.peer_count(), "shards={shards}");
+        assert!(sharded.ledger().conserved(), "shards={shards}");
+    }
+}
+
+#[test]
+fn sharded_sessions_observe_the_serial_run() {
+    let horizon = SimTime::from_secs(800);
+    let serial = {
+        let mut session = Session::from_config(&busy_config(), 13).expect("builds");
+        session.run_until(horizon);
+        session.finish().1.queue().expect("queue market")
+    };
+    for shards in [2, 8] {
+        let config = busy_config().shards(shards);
+        let mut session = Session::from_config(&config, 13).expect("builds");
+        session.run_until(horizon);
+        let market = session.finish().1.queue().expect("queue market");
+        assert_eq!(
+            serial.ledger().balances_vec(),
+            market.ledger().balances_vec(),
+            "session balances diverged at shards={shards}"
+        );
+        assert_eq!(
+            serial.gini_series().samples(),
+            market.gini_series().samples(),
+            "session gini series diverged at shards={shards}"
+        );
+    }
+}
+
+#[test]
+fn cross_shard_settlement_conserves_every_purchase() {
+    use scrip_core::market::{CreditMarket, MarketEvent};
+    use scrip_core::sharded::ShardedMarket;
+    use scrip_des::ShardedSimulation;
+
+    let config = busy_config();
+    let window = config.sample_interval;
+    let market = CreditMarket::build(config.shards(4), 21).expect("builds");
+    let mut sim = ShardedSimulation::new(ShardedMarket::new(market, 4), window);
+    sim.schedule(SimTime::ZERO, MarketEvent::Bootstrap);
+    sim.run_until(SimTime::from_secs(1_000));
+    let sharded = sim.model();
+
+    let stats = sharded.shard_stats();
+    let local: u64 = stats.iter().map(|s| s.local_trades).sum();
+    let outgoing: u64 = stats.iter().map(|s| s.outgoing_trades).sum();
+    let incoming: u64 = stats.iter().map(|s| s.incoming_trades).sum();
+    let credits_out: u64 = stats.iter().map(|s| s.credits_out).sum();
+    let credits_in: u64 = stats.iter().map(|s| s.credits_in).sum();
+    assert_eq!(
+        local + outgoing,
+        sharded.market().purchases(),
+        "every purchase is classified exactly once"
+    );
+    assert_eq!(outgoing, incoming, "cross-shard trades balance");
+    assert_eq!(credits_out, credits_in, "cross-shard credits balance");
+    assert_eq!(sharded.unsettled(), 0, "barriers leave no trade pending");
+    assert!(
+        outgoing > 0,
+        "a 4-shard partition of a connected overlay must trade across the cut"
+    );
+}
+
+#[test]
+fn sharding_rejects_streaming_and_zero_shards() {
+    let streaming = MarketConfig::new(40, 20)
+        .streaming_market(StreamingConfig::market_paced(1.0))
+        .shards(2);
+    assert!(streaming.validate().is_err(), "streaming + shards > 1");
+    let zero = MarketConfig::new(40, 20)
+        .topology(TopologyKind::Ring)
+        .shards(0);
+    assert!(zero.validate().is_err(), "shards == 0");
+}
+
+fn repo_path(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+/// `churn_throughput.scn` shrunk to test scale, mirroring the CI
+/// determinism job that byte-compares the full file's CSV at
+/// `--shards 1/2/8` through the release binary.
+fn reduced_churn_scenario() -> Scenario {
+    let path = repo_path("examples/scenarios/churn_throughput.scn");
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let mut sc = Scenario::parse_str(&text).expect("parses");
+    sc.base.set("peers", "60").expect("valid");
+    sc.run.horizon_secs = 1_500;
+    sc
+}
+
+#[test]
+fn shard_override_reproduces_scenario_csv_bytes() {
+    let scenario = reduced_churn_scenario();
+    let baseline = run_scenario(&scenario, &RunnerOptions::with_threads(1))
+        .expect("scenario runs")
+        .to_csv();
+    for shards in [1, 2, 8] {
+        let previous = set_shard_override(Some(shards));
+        let sharded = run_scenario(&scenario, &RunnerOptions::with_threads(1))
+            .expect("scenario runs")
+            .to_csv();
+        set_shard_override(previous);
+        assert_eq!(
+            baseline, sharded,
+            "scenario CSV diverged under --shards {shards}"
+        );
+    }
+}
