@@ -288,6 +288,18 @@ fn cmd_bench(options: &Options) -> Result<(), String> {
         }
         eprintln!("no case regressed more than 30% vs {baseline_path}");
     }
+    let budget = scrip_bench::perf::rss_budget_bytes(scale);
+    let rss_failures = scrip_bench::perf::check_rss_budget(&report, budget);
+    if !rss_failures.is_empty() {
+        return Err(format!(
+            "peak-RSS budget exceeded:\n  {}",
+            rss_failures.join("\n  ")
+        ));
+    }
+    eprintln!(
+        "peak RSS within the {} MiB budget for scale {scale:?}",
+        budget >> 20
+    );
     Ok(())
 }
 

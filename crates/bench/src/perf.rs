@@ -92,9 +92,12 @@ const REGIMES: [&str; 4] = ["asymmetric", "availability_feedback", "tax", "churn
 /// ~500k quick) — events/sec stays meaningful while wall-clock stays
 /// bounded.
 fn cases(scale: RunScale) -> Vec<(&'static str, usize, u64)> {
+    // Quick's n=10⁴ rows are the scaled-down counterparts of the full
+    // suite's n=10⁶ rows: same Fenwick-sampler + timing-wheel hot path,
+    // small enough for the CI regression gate.
     let sizes: &[usize] = match scale {
-        RunScale::Full => &[1_000, 10_000, 100_000],
-        RunScale::Quick => &[1_000],
+        RunScale::Full => &[1_000, 10_000, 100_000, 1_000_000],
+        RunScale::Quick => &[1_000, 10_000],
     };
     // Quick scale still dispatches ~500k events per case so each timed
     // window is hundreds of milliseconds — long enough that scheduler
@@ -117,8 +120,8 @@ fn cases(scale: RunScale) -> Vec<(&'static str, usize, u64)> {
 /// the horizon (timed).
 fn run_market_case(regime: &'static str, n: usize, horizon_secs: u64, scale: &str) -> BenchEntry {
     let market = CreditMarket::build(regime_config(regime, n), 42).expect("bench market builds");
-    let capacity = market.queue_capacity_hint();
-    let mut sim = Simulation::with_capacity(market, capacity);
+    let profile = market.queue_profile();
+    let mut sim = Simulation::with_profile(market, profile);
     sim.schedule(SimTime::ZERO, MarketEvent::Bootstrap);
     let start = Instant::now();
     let stats = sim.run_until(SimTime::from_secs(horizon_secs));
@@ -161,9 +164,9 @@ fn run_sharded_case(shards: usize, n: usize, horizon_secs: u64, scale: &str) -> 
     let config = regime_config("churn", n).shards(shards);
     let interval = config.sample_interval;
     let market = CreditMarket::build(config, 42).expect("bench market builds");
-    let capacity = market.queue_capacity_hint();
+    let profile = market.queue_profile();
     let mut sim =
-        ShardedSimulation::with_capacity(ShardedMarket::new(market, shards), interval, capacity);
+        ShardedSimulation::with_profile(ShardedMarket::new(market, shards), interval, profile);
     sim.schedule(SimTime::ZERO, MarketEvent::Bootstrap);
     let start = Instant::now();
     let stats = sim.run_until(SimTime::from_secs(horizon_secs));
@@ -200,8 +203,8 @@ fn run_streaming_case(n: usize, horizon_secs: u64, scale: &str) -> BenchEntry {
         .streaming_market(StreamingConfig::market_paced(1.0))
         .sample_interval(SimDuration::from_secs(50));
     let system = build_streaming_market(&config, 42).expect("bench swarm builds");
-    let capacity = system.queue_capacity_hint();
-    let mut sim = Simulation::with_capacity(system, capacity);
+    let profile = system.queue_profile();
+    let mut sim = Simulation::with_profile(system, profile);
     sim.schedule(SimTime::ZERO, StreamEvent::Bootstrap);
     let start = Instant::now();
     let stats = sim.run_until(SimTime::from_secs(horizon_secs));
@@ -522,6 +525,47 @@ pub fn compare_against(
     failures
 }
 
+/// The peak-RSS budget for a bench run at `scale`, in bytes.
+///
+/// `peak_rss_bytes` is the *process* high-water mark (`VmHWM`), so it
+/// is monotone across cases within one run — the budget bounds the
+/// whole suite, sized by its largest case. Full scale runs the four
+/// market regimes at n=10⁶ (arena state ≈ 100 B/peer + scale-free
+/// adjacency ≈ 8 B × ~20 neighbors + the timing wheel's pre-sized
+/// buckets), which lands well under 4 GiB; quick tops out at n=10⁴ and
+/// must stay under 1 GiB. Blowing a budget means a structure started
+/// scaling superlinearly — the audit in
+/// `scrip_core::market::CreditMarket::memory_audit` pinpoints which.
+pub fn rss_budget_bytes(scale: RunScale) -> u64 {
+    match scale {
+        RunScale::Full => 4 << 30,
+        RunScale::Quick => 1 << 30,
+    }
+}
+
+/// Checks every entry's recorded peak RSS against `budget_bytes`.
+/// Returns offending descriptions (empty when all entries fit or RSS
+/// was unavailable on the platform).
+pub fn check_rss_budget(report: &BenchReport, budget_bytes: u64) -> Vec<String> {
+    report
+        .entries
+        .iter()
+        .filter_map(|e| {
+            let rss = e.peak_rss_bytes?;
+            (rss > budget_bytes).then(|| {
+                format!(
+                    "{} n={} ({}): peak RSS {:.1} MiB exceeds the {:.0} MiB budget",
+                    e.regime,
+                    e.n,
+                    e.scale,
+                    rss as f64 / (1 << 20) as f64,
+                    budget_bytes as f64 / (1 << 20) as f64,
+                )
+            })
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -589,10 +633,30 @@ mod tests {
     #[test]
     fn quick_cases_are_small() {
         for (regime, n, horizon) in cases(RunScale::Quick) {
-            assert_eq!(n, 1_000, "{regime}");
+            assert!(n <= 10_000, "{regime}: n {n}");
             assert!(horizon <= 500, "{regime}: horizon {horizon}");
         }
-        assert_eq!(cases(RunScale::Full).len(), 12);
+        // 4 regimes × sizes [1k, 10k, 100k, 1M].
+        assert_eq!(cases(RunScale::Full).len(), 16);
+        assert!(
+            cases(RunScale::Full)
+                .iter()
+                .any(|&(_, n, _)| n == 1_000_000),
+            "full scale must include the million-peer rows"
+        );
+    }
+
+    #[test]
+    fn rss_budget_flags_only_over_budget_entries() {
+        let mut report = BenchReport {
+            entries: vec![entry("asymmetric", 1000.0), entry("churn", 1000.0)],
+        };
+        report.entries[0].peak_rss_bytes = Some(2 << 30);
+        report.entries[1].peak_rss_bytes = None; // platform without VmHWM
+        let failures = check_rss_budget(&report, rss_budget_bytes(RunScale::Quick));
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("asymmetric"), "{failures:?}");
+        assert!(check_rss_budget(&report, rss_budget_bytes(RunScale::Full)).is_empty());
     }
 
     #[test]

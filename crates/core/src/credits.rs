@@ -270,6 +270,21 @@ impl Ledger {
         self.minted
     }
 
+    /// Heap bytes reserved by per-wallet storage: the slot map plus the
+    /// balance vector (capacities, the allocator's view). The optional
+    /// wealth tracker is excluded — its Fenwick tree is sized by the
+    /// maximum wealth value, not the wallet count; see
+    /// [`Ledger::tracker_heap_bytes`].
+    pub fn heap_bytes(&self) -> usize {
+        self.arena.heap_bytes() + self.balances.capacity() * std::mem::size_of::<u64>()
+    }
+
+    /// Heap bytes reserved by the online Gini tracker's wealth
+    /// histogram (0 when tracking is disabled).
+    pub fn tracker_heap_bytes(&self) -> usize {
+        self.tracker.as_ref().map_or(0, |t| t.heap_bytes())
+    }
+
     /// Total credits burned by departures.
     pub fn burned(&self) -> u64 {
         self.burned

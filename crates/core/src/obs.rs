@@ -469,8 +469,8 @@ impl Session {
                 .config()
                 .sample_interval
                 .unwrap_or(config.sample_interval);
-            let capacity = system.queue_capacity_hint();
-            let mut sim = Simulation::with_capacity(system, capacity);
+            let profile = system.queue_profile();
+            let mut sim = Simulation::with_profile(system, profile);
             sim.schedule(SimTime::ZERO, StreamEvent::Bootstrap);
             (SessionSim::Chunk(sim), interval)
         } else if config.shards > 1 {
@@ -479,19 +479,19 @@ impl Session {
             // so sampling boundaries are shard barriers.
             let market = CreditMarket::build(config.clone(), seed)?;
             let interval = config.sample_interval;
-            let capacity = market.queue_capacity_hint();
-            let mut sim = ShardedSimulation::with_capacity(
+            let profile = market.queue_profile();
+            let mut sim = ShardedSimulation::with_profile(
                 ShardedMarket::new(market, config.shards),
                 interval,
-                capacity,
+                profile,
             );
             sim.schedule(SimTime::ZERO, MarketEvent::Bootstrap);
             (SessionSim::Sharded(Box::new(sim)), interval)
         } else {
             let market = CreditMarket::build(config.clone(), seed)?;
             let interval = config.sample_interval;
-            let capacity = market.queue_capacity_hint();
-            let mut sim = Simulation::with_capacity(market, capacity);
+            let profile = market.queue_profile();
+            let mut sim = Simulation::with_profile(market, profile);
             sim.schedule(SimTime::ZERO, MarketEvent::Bootstrap);
             (SessionSim::Queue(sim), interval)
         };

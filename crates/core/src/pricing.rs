@@ -189,6 +189,15 @@ impl PricingModel {
         }
     }
 
+    /// Heap bytes reserved by per-seller storage (posted-price slot map
+    /// and price vector; capacities) plus the fixed-size chunk CDF.
+    /// Uniform pricing holds no per-peer state, so this is 0 there.
+    pub fn heap_bytes(&self) -> usize {
+        self.sellers.heap_bytes()
+            + self.seller_prices.capacity() * std::mem::size_of::<u64>()
+            + self.chunk_cdf.capacity() * std::mem::size_of::<f64>()
+    }
+
     /// Registers a newly joined seller (samples its posted price when the
     /// scheme is per-seller).
     pub fn on_join(&mut self, peer: NodeId, rng: &mut SimRng) {

@@ -380,8 +380,8 @@ impl StreamingMarket {
         horizon: SimTime,
     ) -> Result<StreamingSystem<CreditTradePolicy>, CoreError> {
         let system = self.build(graph, seed)?;
-        let capacity = system.queue_capacity_hint();
-        let mut sim = Simulation::with_capacity(system, capacity);
+        let profile = system.queue_profile();
+        let mut sim = Simulation::with_profile(system, profile);
         sim.schedule(SimTime::ZERO, StreamEvent::Bootstrap);
         sim.run_until(horizon);
         Ok(sim.into_model())

@@ -56,9 +56,9 @@ pub fn run_sharded_market(
     let shards = config.shards;
     let window = config.sample_interval;
     let market = CreditMarket::build(config, seed)?;
-    let capacity = market.queue_capacity_hint();
+    let profile = market.queue_profile();
     let mut sim =
-        ShardedSimulation::with_capacity(ShardedMarket::new(market, shards), window, capacity);
+        ShardedSimulation::with_profile(ShardedMarket::new(market, shards), window, profile);
     sim.schedule(SimTime::ZERO, MarketEvent::Bootstrap);
     sim.run_until(horizon);
     Ok(sim.into_model().into_market())
@@ -338,9 +338,9 @@ mod tests {
     fn run_sharded(config: MarketConfig, seed: u64, shards: usize, secs: u64) -> ShardedMarket {
         let window = config.sample_interval;
         let market = CreditMarket::build(config, seed).expect("builds");
-        let capacity = market.queue_capacity_hint();
+        let profile = market.queue_profile();
         let mut sim =
-            ShardedSimulation::with_capacity(ShardedMarket::new(market, shards), window, capacity);
+            ShardedSimulation::with_profile(ShardedMarket::new(market, shards), window, profile);
         sim.schedule(SimTime::ZERO, MarketEvent::Bootstrap);
         sim.run_until(SimTime::from_secs(secs));
         sim.into_model()

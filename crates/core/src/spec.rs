@@ -50,7 +50,7 @@
 //! | `streaming.transfer-time`    | float > 0 (mean chunk transfer secs)     |
 //! | `streaming.schedule-interval`| float > 0 (pull-round period, secs)      |
 //! | `streaming.strategy`         | `rarest-first` \| `deadline-first`       |
-//! | `streaming.provider`         | `random` \| `least-uploads`              |
+//! | `streaming.provider`         | `random` \| `least-uploads` \| `availability-weighted` |
 //! | `streaming.serve-behind`     | integer (chunks kept behind playback)    |
 //!
 //! ```
@@ -383,7 +383,14 @@ impl MarketSpec {
                         streaming.provider_selection = match value {
                             "random" => ProviderSelection::Random,
                             "least-uploads" => ProviderSelection::LeastUploads,
-                            _ => return Err(bad(key, value, "random | least-uploads")),
+                            "availability-weighted" => ProviderSelection::AvailabilityWeighted,
+                            _ => {
+                                return Err(bad(
+                                    key,
+                                    value,
+                                    "random | least-uploads | availability-weighted",
+                                ))
+                            }
                         };
                     }
                     "streaming.serve-behind" => {
@@ -483,6 +490,7 @@ impl MarketSpec {
                     "streaming.provider" => match s.provider_selection {
                         ProviderSelection::Random => "random".into(),
                         ProviderSelection::LeastUploads => "least-uploads".into(),
+                        ProviderSelection::AvailabilityWeighted => "availability-weighted".into(),
                     },
                     "streaming.serve-behind" => s.serve_behind.to_string(),
                     _ => return None,
@@ -539,7 +547,7 @@ mod tests {
             ("streaming.transfer-time", "0.25"),
             ("streaming.schedule-interval", "0.4"),
             ("streaming.strategy", "deadline-first"),
-            ("streaming.provider", "least-uploads"),
+            ("streaming.provider", "availability-weighted"),
             ("streaming.serve-behind", "16"),
         ] {
             spec.set(key, value)

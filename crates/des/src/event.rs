@@ -4,6 +4,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::time::{SimDuration, SimTime};
+use crate::wheel::TimingWheel;
 
 /// An event together with its activation time and a tie-breaking sequence
 /// number.
@@ -44,11 +45,46 @@ impl<E> Ord for Scheduled<E> {
     }
 }
 
+/// Selects the pending-event store behind an [`EventQueue`].
+///
+/// The two backends pop the identical `(time, seq)` sequence (pinned by
+/// the equivalence proptests in `crates/des/tests/proptests.rs`); the
+/// profile only changes the constant factors. Callers that know their
+/// steady-state event population and typical scheduling lookahead pass
+/// `Wheel` and get O(1) amortized schedule/pop; everyone else keeps the
+/// binary heap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueueProfile {
+    /// A binary heap: O(log n) schedule/pop, no sizing hints required.
+    /// This is the default for [`EventQueue::new`].
+    Heap,
+    /// A calendar queue ([`TimingWheel`]): O(1) amortized schedule/pop
+    /// for workloads whose pending population and lookahead are roughly
+    /// known up front.
+    Wheel {
+        /// Expected steady-state number of concurrently pending events.
+        expected_events: usize,
+        /// Typical scheduling lookahead (how far ahead of `now` most
+        /// events are pushed). Events far past this take a slow-path
+        /// overflow heap, which is correct but O(log n).
+        typical_delay: SimDuration,
+    },
+}
+
+/// The pending-event store: a plain binary heap or a timing wheel.
+#[derive(Clone, Debug)]
+enum QueueBackend<E> {
+    Heap(BinaryHeap<Scheduled<E>>),
+    Wheel(TimingWheel<E>),
+}
+
 /// A priority queue of future events ordered by activation time.
 ///
-/// This is a thin wrapper over [`BinaryHeap`] that enforces the
-/// time-then-sequence ordering. Most users interact with it through
-/// [`Scheduler`]; it is public so custom kernels can reuse it.
+/// The default backend is a [`BinaryHeap`]; [`EventQueue::with_profile`]
+/// selects a [`TimingWheel`] (calendar queue) that pops the identical
+/// `(time, seq)` sequence with O(1) amortized schedule/pop. Most users
+/// interact with it through [`Scheduler`]; it is public so custom
+/// kernels can reuse it.
 ///
 /// ```
 /// use scrip_des::{EventQueue, SimTime};
@@ -59,7 +95,7 @@ impl<E> Ord for Scheduled<E> {
 /// ```
 #[derive(Clone, Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    backend: QueueBackend<E>,
     next_seq: u64,
 }
 
@@ -73,7 +109,7 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            backend: QueueBackend::Heap(BinaryHeap::new()),
             next_seq: 0,
         }
     }
@@ -84,27 +120,54 @@ impl<E> EventQueue<E> {
     /// keeps the hot push/pop cycle free of reallocation.
     pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::with_capacity(capacity),
+            backend: QueueBackend::Heap(BinaryHeap::with_capacity(capacity)),
             next_seq: 0,
         }
     }
 
-    /// Reserves heap capacity for at least `additional` further events.
-    pub fn reserve(&mut self, additional: usize) {
-        self.heap.reserve(additional);
+    /// Creates an empty queue with the backend `profile` selects.
+    pub fn with_profile(profile: QueueProfile) -> Self {
+        let backend = match profile {
+            QueueProfile::Heap => QueueBackend::Heap(BinaryHeap::new()),
+            QueueProfile::Wheel {
+                expected_events,
+                typical_delay,
+            } => QueueBackend::Wheel(TimingWheel::new(expected_events, typical_delay)),
+        };
+        EventQueue {
+            backend,
+            next_seq: 0,
+        }
     }
 
-    /// The number of pending events the heap can hold without
+    /// Reserves capacity for at least `additional` further events (heap
+    /// capacity for the heap backend; spread across the bucket ring
+    /// plus live-region headroom for the wheel).
+    pub fn reserve(&mut self, additional: usize) {
+        match &mut self.backend {
+            QueueBackend::Heap(h) => h.reserve(additional),
+            QueueBackend::Wheel(w) => w.reserve(additional),
+        }
+    }
+
+    /// The number of pending events the queue can hold without
     /// reallocating.
     pub fn capacity(&self) -> usize {
-        self.heap.capacity()
+        match &self.backend {
+            QueueBackend::Heap(h) => h.capacity(),
+            QueueBackend::Wheel(w) => w.capacity(),
+        }
     }
 
     /// Schedules `event` at absolute time `time`.
     pub fn push(&mut self, time: SimTime, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { time, seq, event });
+        let scheduled = Scheduled { time, seq, event };
+        match &mut self.backend {
+            QueueBackend::Heap(h) => h.push(scheduled),
+            QueueBackend::Wheel(w) => w.push(scheduled),
+        }
     }
 
     /// Re-enqueues an already-sequenced event, preserving its original
@@ -119,41 +182,59 @@ impl<E> EventQueue<E> {
     /// [`EventQueue::push`]es on this queue never collide with it.
     pub fn push_scheduled(&mut self, scheduled: Scheduled<E>) {
         self.next_seq = self.next_seq.max(scheduled.seq + 1);
-        self.heap.push(scheduled);
+        match &mut self.backend {
+            QueueBackend::Heap(h) => h.push(scheduled),
+            QueueBackend::Wheel(w) => w.push(scheduled),
+        }
     }
 
     /// Removes and returns the earliest pending event.
     pub fn pop(&mut self) -> Option<Scheduled<E>> {
-        self.heap.pop()
+        match &mut self.backend {
+            QueueBackend::Heap(h) => h.pop(),
+            QueueBackend::Wheel(w) => w.pop(),
+        }
     }
 
     /// Removes and returns the earliest pending event if it activates
     /// at or before `limit`.
     pub fn pop_due(&mut self, limit: SimTime) -> Option<Scheduled<E>> {
-        match self.heap.peek() {
-            Some(s) if s.time <= limit => self.heap.pop(),
-            _ => None,
+        match &mut self.backend {
+            QueueBackend::Heap(h) => match h.peek() {
+                Some(s) if s.time <= limit => h.pop(),
+                _ => None,
+            },
+            QueueBackend::Wheel(w) => w.pop_due(limit),
         }
     }
 
     /// The activation time of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.time)
+        match &self.backend {
+            QueueBackend::Heap(h) => h.peek().map(|s| s.time),
+            QueueBackend::Wheel(w) => w.peek_time(),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.backend {
+            QueueBackend::Heap(h) => h.len(),
+            QueueBackend::Wheel(w) => w.len(),
+        }
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Removes all pending events.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        match &mut self.backend {
+            QueueBackend::Heap(h) => h.clear(),
+            QueueBackend::Wheel(w) => w.clear(),
+        }
     }
 }
 
@@ -188,6 +269,15 @@ impl<E> Scheduler<E> {
     pub fn with_capacity(capacity: usize) -> Self {
         Scheduler {
             queue: EventQueue::with_capacity(capacity),
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Creates a scheduler whose queue uses the backend `profile`
+    /// selects (see [`EventQueue::with_profile`]).
+    pub fn with_profile(profile: QueueProfile) -> Self {
+        Scheduler {
+            queue: EventQueue::with_profile(profile),
             now: SimTime::ZERO,
         }
     }
@@ -362,6 +452,47 @@ mod tests {
             s.schedule_after(SimDuration::from_secs(1), ev.event);
         }
         assert_eq!(s.capacity(), cap, "steady-state cycling reallocated");
+    }
+
+    #[test]
+    fn wheel_profile_pops_like_heap() {
+        let profile = QueueProfile::Wheel {
+            expected_events: 128,
+            typical_delay: SimDuration::from_secs(2),
+        };
+        let mut heap: EventQueue<u32> = EventQueue::new();
+        let mut wheel: EventQueue<u32> = EventQueue::with_profile(profile);
+        for (secs, ev) in [(3, 0), (1, 1), (1, 2), (900, 3), (2, 4), (0, 5)] {
+            heap.push(SimTime::from_secs(secs), ev);
+            wheel.push(SimTime::from_secs(secs), ev);
+        }
+        loop {
+            let (a, b) = (heap.pop(), wheel.pop());
+            match (&a, &b) {
+                (Some(x), Some(y)) => assert_eq!((x.time, x.seq), (y.time, y.seq)),
+                (None, None) => break,
+                _ => panic!("backends disagree on queue length"),
+            }
+        }
+    }
+
+    #[test]
+    fn wheel_scheduler_preserves_routed_sequence_numbers() {
+        let profile = QueueProfile::Wheel {
+            expected_events: 64,
+            typical_delay: SimDuration::from_millis(10),
+        };
+        let mut s: Scheduler<u32> = Scheduler::with_profile(profile);
+        s.enqueue_scheduled(Scheduled {
+            time: SimTime::from_secs(1),
+            seq: 41,
+            event: 7,
+        });
+        s.schedule_at(SimTime::from_secs(1), 8); // must get seq 42
+        let first = s.advance().expect("event");
+        let second = s.advance().expect("event");
+        assert_eq!((first.seq, first.event), (41, 7));
+        assert_eq!((second.seq, second.event), (42, 8));
     }
 
     #[test]

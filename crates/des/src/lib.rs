@@ -21,6 +21,11 @@
 //! * [`shard`] — a sharded kernel ([`ShardedSimulation`]) that partitions
 //!   one run's event stream over per-shard queues advancing in lockstep
 //!   tick windows, byte-identical to the serial kernel for any shard count.
+//! * [`sampler`] / [`wheel`] — the O(1)-amortized hot-path primitives for
+//!   million-peer runs: a draw-compatible Fenwick weighted sampler
+//!   ([`FenwickSampler`]) and a calendar-queue event store
+//!   ([`TimingWheel`]) selectable per queue via [`QueueProfile`]. Both
+//!   reproduce their O(deg)/O(log n) predecessors' outputs exactly.
 //!
 //! ## Example
 //!
@@ -60,13 +65,17 @@
 pub mod dist;
 pub mod event;
 pub mod rng;
+pub mod sampler;
 pub mod shard;
 pub mod sim;
 pub mod stats;
 pub mod time;
+pub mod wheel;
 
-pub use event::{EventQueue, Scheduled, Scheduler};
+pub use event::{EventQueue, QueueProfile, Scheduled, Scheduler};
 pub use rng::{SeedSequence, SimRng};
+pub use sampler::FenwickSampler;
 pub use shard::{CrossShardLog, LoggedEffect, ShardCtx, ShardModel, ShardedSimulation};
 pub use sim::{Model, RunStats, Simulation};
 pub use time::{SimDuration, SimTime};
+pub use wheel::TimingWheel;

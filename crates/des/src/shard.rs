@@ -234,6 +234,41 @@ impl<M: ShardModel> ShardedSimulation<M> {
         }
     }
 
+    /// As [`ShardedSimulation::new`], with every staging lane backed by
+    /// the queue backend `profile` selects (see [`crate::QueueProfile`]).
+    /// A wheel profile is scaled down to each lane's share of the
+    /// expected event population; the sequencing scheduler keeps the
+    /// heap backend (it holds at most one window of follow-ups).
+    pub fn with_profile(model: M, window: SimDuration, profile: crate::QueueProfile) -> Self {
+        let shards = model.shard_count().max(1);
+        let lane_profile = match profile {
+            crate::QueueProfile::Heap => crate::QueueProfile::Heap,
+            crate::QueueProfile::Wheel {
+                expected_events,
+                typical_delay,
+            } => crate::QueueProfile::Wheel {
+                expected_events: expected_events / shards + 1,
+                typical_delay,
+            },
+        };
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(shards);
+        ShardedSimulation {
+            model,
+            staging: Scheduler::new(),
+            lanes: (0..shards)
+                .map(|_| Scheduler::with_profile(lane_profile))
+                .collect(),
+            live: BinaryHeap::new(),
+            window,
+            workers,
+            events_processed: 0,
+            windows_completed: 0,
+        }
+    }
+
     /// Overrides the staging worker count (default: available
     /// parallelism, capped at the shard count). Has **no effect on
     /// output** — only on how the staging drain is fanned out.

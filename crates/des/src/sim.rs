@@ -82,6 +82,18 @@ impl<M: Model> Simulation<M> {
         }
     }
 
+    /// As [`Simulation::new`], with the event-queue backend selected by
+    /// `profile` (see [`crate::QueueProfile`]): models that know their
+    /// steady-state event population and typical lookahead pick the
+    /// timing-wheel backend and get O(1) amortized schedule/pop.
+    pub fn with_profile(model: M, profile: crate::QueueProfile) -> Self {
+        Simulation {
+            model,
+            scheduler: Scheduler::with_profile(profile),
+            events_processed: 0,
+        }
+    }
+
     /// The current simulation clock.
     pub fn now(&self) -> SimTime {
         self.scheduler.now()

@@ -287,6 +287,14 @@ impl TimeSeries {
         self.samples.is_empty()
     }
 
+    /// Heap bytes reserved by the sample buffer (capacity, the
+    /// allocator's view). Grows with recorded samples — horizon /
+    /// sample-interval — not with the population, so memory audits
+    /// report it as a fixed cost.
+    pub fn heap_bytes(&self) -> usize {
+        self.samples.capacity() * std::mem::size_of::<(SimTime, f64)>()
+    }
+
     /// The most recent sample.
     pub fn last(&self) -> Option<(SimTime, f64)> {
         self.samples.last().copied()

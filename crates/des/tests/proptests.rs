@@ -3,9 +3,32 @@
 use proptest::prelude::*;
 use scrip_des::dist::{AliasTable, Exp, Geometric, Poisson};
 use scrip_des::{
-    CrossShardLog, Model, Scheduler, ShardCtx, ShardModel, ShardedSimulation, SimDuration, SimRng,
-    SimTime, Simulation,
+    CrossShardLog, EventQueue, FenwickSampler, Model, QueueProfile, Scheduler, ShardCtx,
+    ShardModel, ShardedSimulation, SimDuration, SimRng, SimTime, Simulation,
 };
+
+/// The O(deg) cumulative-weight walk `FenwickSampler::pick` replaces,
+/// verbatim from the pre-Fenwick `CreditMarket::handle_spend`.
+fn linear_walk(weights: &[f64], mut target: f64) -> usize {
+    let mut pick = weights.len() - 1;
+    for (k, &w) in weights.iter().enumerate() {
+        if target < w {
+            pick = k;
+            break;
+        }
+        target -= w;
+    }
+    pick
+}
+
+fn built_sampler(weights: &[f64]) -> FenwickSampler {
+    let mut s = FenwickSampler::with_capacity(weights.len());
+    for &w in weights {
+        s.push(w);
+    }
+    s.build();
+    s
+}
 
 struct Recorder {
     seen: Vec<SimTime>,
@@ -232,5 +255,121 @@ proptest! {
             log.len(),
             entries.iter().filter(|&&(tick, _, _)| tick > through).count()
         );
+    }
+
+    /// `FenwickSampler::pick` selects the same index as the naive linear
+    /// cumulative walk for arbitrary weight vectors (zero-weight entries
+    /// and single-element vectors included) across the whole target
+    /// range, including targets at and past the total.
+    #[test]
+    fn fenwick_pick_matches_linear_walk(
+        raw in prop::collection::vec((0u8..4, 0.001f64..10.0), 1..60),
+        frac in 0.0f64..1.3,
+    ) {
+        // Flag 0 plants an exact zero weight, which the walk skips and
+        // the sampler must too.
+        let weights: Vec<f64> = raw
+            .iter()
+            .map(|&(flag, w)| if flag == 0 { 0.0 } else { w })
+            .collect();
+        let s = built_sampler(&weights);
+        let mut sequential = 0.0f64;
+        for &w in &weights {
+            sequential += w;
+        }
+        prop_assert_eq!(s.total().to_bits(), sequential.to_bits());
+        let target = frac * s.total();
+        prop_assert_eq!(s.pick(target), linear_walk(&weights, target));
+    }
+
+    /// After a random sequence of incremental `update` calls the sampler
+    /// is indistinguishable from one rebuilt from scratch: same total,
+    /// same pick for every target. Integer-valued weights keep all
+    /// arithmetic exact, so this equality is bit-for-bit.
+    #[test]
+    fn fenwick_update_matches_rebuild(
+        initial in prop::collection::vec(0u32..1_000, 1..50),
+        updates in prop::collection::vec((0usize..64, 0u32..1_000), 0..40),
+        frac in 0.0f64..1.2,
+    ) {
+        let mut weights: Vec<f64> = initial.iter().map(|&w| w as f64).collect();
+        let mut s = built_sampler(&weights);
+        for &(i, w) in &updates {
+            let i = i % weights.len();
+            weights[i] = w as f64;
+            s.update(i, w as f64);
+        }
+        let fresh = built_sampler(&weights);
+        prop_assert_eq!(s.total().to_bits(), fresh.total().to_bits());
+        let target = frac * fresh.total();
+        prop_assert_eq!(s.pick(target), fresh.pick(target));
+        // Exact prefix boundaries are the adversarial targets: the walk
+        // moves past a boundary, and so must the updated tree.
+        let mut boundary = 0.0f64;
+        for &w in &weights {
+            boundary += w;
+            prop_assert_eq!(s.pick(boundary), linear_walk(&weights, boundary));
+            prop_assert_eq!(s.pick(boundary), fresh.pick(boundary));
+        }
+    }
+
+    /// A wheel-backed `EventQueue` pops the exact `(time, seq)` sequence
+    /// the binary-heap backend pops, under random interleavings of
+    /// schedule/pop/pop_due with same-time ties and far-future overflow
+    /// events, for arbitrary wheel sizing hints.
+    #[test]
+    fn wheel_pops_exact_heap_sequence(
+        ops in prop::collection::vec((0u8..5, 0u64..40, 0u64..1_000), 1..250),
+        expected_events in 1usize..600,
+        delay_micros in 1u64..5_000_000,
+    ) {
+        let profile = QueueProfile::Wheel {
+            expected_events,
+            typical_delay: SimDuration::from_micros(delay_micros),
+        };
+        let mut heap: EventQueue<u64> = EventQueue::new();
+        let mut wheel: EventQueue<u64> = EventQueue::with_profile(profile);
+        let mut ev = 0u64;
+        for &(op, coarse, fine) in &ops {
+            match op {
+                // Push within a narrow window: coarse in seconds forces
+                // bucket collisions, fine-only times force (time, seq)
+                // ties.
+                0 | 1 => {
+                    let t = SimTime::from_micros(coarse * 1_000_000 + (op as u64) * fine);
+                    heap.push(t, ev);
+                    wheel.push(t, ev);
+                    ev += 1;
+                }
+                // Far-future push: lands in the wheel's overflow heap.
+                2 => {
+                    let t = SimTime::from_secs(3_600 + coarse);
+                    heap.push(t, ev);
+                    wheel.push(t, ev);
+                    ev += 1;
+                }
+                3 => {
+                    let (a, b) = (heap.pop(), wheel.pop());
+                    prop_assert_eq!(a.as_ref().map(|s| (s.time, s.seq, s.event)),
+                                    b.as_ref().map(|s| (s.time, s.seq, s.event)));
+                }
+                _ => {
+                    let limit = SimTime::from_micros(coarse * 1_000_000 + fine);
+                    let (a, b) = (heap.pop_due(limit), wheel.pop_due(limit));
+                    prop_assert_eq!(a.as_ref().map(|s| (s.time, s.seq, s.event)),
+                                    b.as_ref().map(|s| (s.time, s.seq, s.event)));
+                }
+            }
+            prop_assert_eq!(heap.len(), wheel.len());
+            prop_assert_eq!(heap.peek_time(), wheel.peek_time());
+        }
+        loop {
+            let (a, b) = (heap.pop(), wheel.pop());
+            prop_assert_eq!(a.as_ref().map(|s| (s.time, s.seq, s.event)),
+                            b.as_ref().map(|s| (s.time, s.seq, s.event)));
+            if a.is_none() {
+                break;
+            }
+        }
     }
 }

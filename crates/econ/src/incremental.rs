@@ -139,6 +139,14 @@ impl IncrementalGini {
         self.total
     }
 
+    /// Heap bytes reserved by the wealth-histogram Fenwick tree. The
+    /// tree is sized by the *maximum wealth value ever seen*, not by
+    /// the number of wallets, so the arena layout audit reports it as a
+    /// fixed cost rather than a per-peer one.
+    pub fn heap_bytes(&self) -> usize {
+        self.hist.nodes.capacity() * std::mem::size_of::<(u64, u64)>()
+    }
+
     /// `Σ_x |v − x|` over the currently tracked multiset.
     fn abs_distance_sum(&self, v: u64) -> u128 {
         let (c_le, m_le) = self.hist.prefix(v);

@@ -25,6 +25,13 @@ pub enum ProviderSelection {
     /// upload income across the swarm, which is what keeps peripheral
     /// peers solvent.
     LeastUploads,
+    /// A weighted random pick: each capable provider is weighted by the
+    /// number of useful chunks it currently offers the requester, plus
+    /// one (so a provider with nothing new stays selectable as a
+    /// fallback). This is the paper's availability-feedback routing rule
+    /// applied in-protocol, inverted in O(log candidates) by a
+    /// [`scrip_des::FenwickSampler`] with exact integer weights.
+    AvailabilityWeighted,
 }
 
 /// Peer dynamics for a streaming swarm: Poisson arrivals, exponential

@@ -91,6 +91,15 @@ impl PeerArena {
         self.ids.len()
     }
 
+    /// Heap bytes reserved by the slot map: the dense slot → ID `Vec`
+    /// plus the raw-ID → slot reverse map (capacities, not lengths, so
+    /// the figure matches what the allocator is actually holding). Used
+    /// by the arena layout audit to account bytes per peer.
+    pub fn heap_bytes(&self) -> usize {
+        self.ids.capacity() * std::mem::size_of::<NodeId>()
+            + self.id_to_slot.capacity() * std::mem::size_of::<u32>()
+    }
+
     /// Whether the arena is empty.
     pub fn is_empty(&self) -> bool {
         self.ids.is_empty()

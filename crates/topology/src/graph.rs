@@ -272,6 +272,30 @@ impl Graph {
         self.edge_count
     }
 
+    /// Heap bytes reserved by the slot bookkeeping (slot ↔ ID maps and
+    /// the sorted live-ID list), excluding adjacency rows. Capacities,
+    /// not lengths — the allocator's view. See
+    /// [`Graph::adjacency_heap_bytes`] for the row storage.
+    pub fn slot_map_heap_bytes(&self) -> usize {
+        self.slot_ids.capacity() * std::mem::size_of::<NodeId>()
+            + self.id_to_slot.capacity() * std::mem::size_of::<u32>()
+            + self.sorted_ids.capacity() * std::mem::size_of::<NodeId>()
+    }
+
+    /// Heap bytes reserved by the CSR-style adjacency rows: each row's
+    /// capacity × ID width, plus the outer `Vec`'s row headers. This is
+    /// the degree-proportional part of the footprint (≈ `8 × degree`
+    /// per peer) that the per-peer *state* budget in the arena layout
+    /// audit accounts separately.
+    pub fn adjacency_heap_bytes(&self) -> usize {
+        let rows: usize = self
+            .adjacency
+            .iter()
+            .map(|row| row.capacity() * std::mem::size_of::<NodeId>())
+            .sum();
+        rows + self.adjacency.capacity() * std::mem::size_of::<Vec<NodeId>>()
+    }
+
     /// All node IDs in ascending order.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.sorted_ids.iter().copied()

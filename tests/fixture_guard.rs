@@ -1,0 +1,76 @@
+//! Pins the golden fixture files byte-for-byte.
+//!
+//! The point of this PR-level guard is subtle but central: the Fenwick
+//! seller sampler and the timing-wheel scheduler were introduced with
+//! the claim that they are *draw-compatible* with the linear walk and
+//! the binary heap — every golden trajectory must reproduce without a
+//! re-bless. `golden_trajectories.rs` and `scenario_golden.rs` verify
+//! that simulations still *match* the fixtures; this test verifies the
+//! fixtures themselves were not quietly regenerated (`SCRIP_BLESS=1`)
+//! to paper over a divergence. If an intentional behaviour change ever
+//! re-blesses a golden, this table must be updated in the same commit,
+//! making the re-bless loud in review.
+//!
+//! Hashes are FNV-1a over the raw bytes; sizes are checked first so a
+//! truncation shows up with a clearer message than a hash mismatch.
+
+use std::path::Path;
+
+/// (file name under `tests/golden/`, byte length, FNV-1a 64 of contents)
+const PINNED: &[(&str, u64, u64)] = &[
+    ("market_trajectories.txt", 2855, 0x34f594ec18d9bff5),
+    ("scenario_fig07_full.csv", 33837, 0xaf633be24a1a4efc),
+    ("scenario_fig07_reduced.csv", 3829, 0xc8e18e331392aca3),
+    ("scenario_streaming_full.csv", 13902, 0xb8dc17344c7c1375),
+    ("scenario_streaming_reduced.csv", 2848, 0xcc73759a16b5d917),
+];
+
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in data {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[test]
+fn golden_fixtures_are_byte_identical_to_pinned_hashes() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    for &(name, len, hash) in PINNED {
+        let bytes = std::fs::read(dir.join(name))
+            .unwrap_or_else(|e| panic!("golden fixture {name} unreadable: {e}"));
+        assert_eq!(
+            bytes.len() as u64,
+            len,
+            "golden fixture {name} changed size; if the re-bless was \
+             intentional, update the PINNED table in fixture_guard.rs"
+        );
+        assert_eq!(
+            fnv1a(&bytes),
+            hash,
+            "golden fixture {name} changed contents; if the re-bless was \
+             intentional, update the PINNED table in fixture_guard.rs"
+        );
+    }
+}
+
+#[test]
+fn no_unpinned_fixtures_appear() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let mut found: Vec<String> = std::fs::read_dir(&dir)
+        .expect("golden dir readable")
+        .map(|e| {
+            e.expect("dir entry")
+                .file_name()
+                .to_string_lossy()
+                .into_owned()
+        })
+        .collect();
+    found.sort();
+    let pinned: Vec<&str> = PINNED.iter().map(|&(n, _, _)| n).collect();
+    assert_eq!(
+        found, pinned,
+        "tests/golden/ contents drifted from the PINNED table"
+    );
+}
