@@ -9,16 +9,18 @@ fn bench_figures(c: &mut Criterion) {
     let mut group = c.benchmark_group("figures_quick_scale");
     group.sample_size(10);
     group.bench_function("fig01", |b| {
-        b.iter(|| black_box(figures::fig01_spending_rates(RunScale::Quick)))
+        b.iter(|| black_box(figures::fig01_spending_rates(RunScale::Quick).expect("runs")))
     });
     group.bench_function("fig02", |b| {
-        b.iter(|| black_box(figures::fig02_lorenz_pmf(RunScale::Quick)))
+        b.iter(|| black_box(figures::fig02_lorenz_pmf(RunScale::Quick).expect("runs")))
     });
     group.bench_function("fig04", |b| {
-        b.iter(|| black_box(figures::fig04_efficiency(RunScale::Quick)))
+        b.iter(|| black_box(figures::fig04_efficiency(RunScale::Quick).expect("runs")))
     });
     group.bench_function("fig07", |b| {
-        b.iter(|| black_box(figures::fig07_gini_evolution_symmetric(RunScale::Quick)))
+        b.iter(|| {
+            black_box(figures::fig07_gini_evolution_symmetric(RunScale::Quick).expect("runs"))
+        })
     });
     group.finish();
 }

@@ -3,6 +3,12 @@
 
 fn main() {
     let scale = scrip_bench::scale::RunScale::from_env();
-    let figure = scrip_bench::figures::ablation_queue_vs_protocol(scale);
+    let figure = match scrip_bench::figures::ablation_queue_vs_protocol(scale) {
+        Ok(figure) => figure,
+        Err(e) => {
+            eprintln!("ablation_queue_vs_protocol: {e}");
+            std::process::exit(1);
+        }
+    };
     print!("{}", figure.to_csv());
 }

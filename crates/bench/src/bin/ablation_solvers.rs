@@ -3,6 +3,12 @@
 
 fn main() {
     let scale = scrip_bench::scale::RunScale::from_env();
-    let figure = scrip_bench::figures::ablation_solvers(scale);
+    let figure = match scrip_bench::figures::ablation_solvers(scale) {
+        Ok(figure) => figure,
+        Err(e) => {
+            eprintln!("ablation_solvers: {e}");
+            std::process::exit(1);
+        }
+    };
     print!("{}", figure.to_csv());
 }

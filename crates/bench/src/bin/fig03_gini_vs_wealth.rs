@@ -3,6 +3,12 @@
 
 fn main() {
     let scale = scrip_bench::scale::RunScale::from_env();
-    let figure = scrip_bench::figures::fig03_gini_vs_wealth(scale);
+    let figure = match scrip_bench::figures::fig03_gini_vs_wealth(scale) {
+        Ok(figure) => figure,
+        Err(e) => {
+            eprintln!("fig03_gini_vs_wealth: {e}");
+            std::process::exit(1);
+        }
+    };
     print!("{}", figure.to_csv());
 }

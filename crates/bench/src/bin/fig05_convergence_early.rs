@@ -3,6 +3,12 @@
 
 fn main() {
     let scale = scrip_bench::scale::RunScale::from_env();
-    let figure = scrip_bench::figures::fig05_convergence_early(scale);
+    let figure = match scrip_bench::figures::fig05_convergence_early(scale) {
+        Ok(figure) => figure,
+        Err(e) => {
+            eprintln!("fig05_convergence_early: {e}");
+            std::process::exit(1);
+        }
+    };
     print!("{}", figure.to_csv());
 }

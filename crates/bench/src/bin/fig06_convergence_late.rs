@@ -3,6 +3,12 @@
 
 fn main() {
     let scale = scrip_bench::scale::RunScale::from_env();
-    let figure = scrip_bench::figures::fig06_convergence_late(scale);
+    let figure = match scrip_bench::figures::fig06_convergence_late(scale) {
+        Ok(figure) => figure,
+        Err(e) => {
+            eprintln!("fig06_convergence_late: {e}");
+            std::process::exit(1);
+        }
+    };
     print!("{}", figure.to_csv());
 }

@@ -3,6 +3,12 @@
 
 fn main() {
     let scale = scrip_bench::scale::RunScale::from_env();
-    let figure = scrip_bench::figures::fig07_gini_evolution_symmetric(scale);
+    let figure = match scrip_bench::figures::fig07_gini_evolution_symmetric(scale) {
+        Ok(figure) => figure,
+        Err(e) => {
+            eprintln!("fig07_gini_evolution_symmetric: {e}");
+            std::process::exit(1);
+        }
+    };
     print!("{}", figure.to_csv());
 }

@@ -3,6 +3,12 @@
 
 fn main() {
     let scale = scrip_bench::scale::RunScale::from_env();
-    let figure = scrip_bench::figures::fig08_gini_evolution_asymmetric(scale);
+    let figure = match scrip_bench::figures::fig08_gini_evolution_asymmetric(scale) {
+        Ok(figure) => figure,
+        Err(e) => {
+            eprintln!("fig08_gini_evolution_asymmetric: {e}");
+            std::process::exit(1);
+        }
+    };
     print!("{}", figure.to_csv());
 }

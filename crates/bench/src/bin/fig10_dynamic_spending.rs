@@ -3,6 +3,12 @@
 
 fn main() {
     let scale = scrip_bench::scale::RunScale::from_env();
-    let figure = scrip_bench::figures::fig10_dynamic_spending(scale);
+    let figure = match scrip_bench::figures::fig10_dynamic_spending(scale) {
+        Ok(figure) => figure,
+        Err(e) => {
+            eprintln!("fig10_dynamic_spending: {e}");
+            std::process::exit(1);
+        }
+    };
     print!("{}", figure.to_csv());
 }

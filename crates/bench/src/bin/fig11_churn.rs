@@ -3,6 +3,12 @@
 
 fn main() {
     let scale = scrip_bench::scale::RunScale::from_env();
-    let figure = scrip_bench::figures::fig11_churn(scale);
+    let figure = match scrip_bench::figures::fig11_churn(scale) {
+        Ok(figure) => figure,
+        Err(e) => {
+            eprintln!("fig11_churn: {e}");
+            std::process::exit(1);
+        }
+    };
     print!("{}", figure.to_csv());
 }

@@ -41,5 +41,11 @@ fn main() {
         "running at scale {scale:?} (set SCRIP_QUICK=1 for quick runs, SCRIP_THREADS/--threads \
          to cap workers)"
     );
-    figures::run_all_experiments(scale, threads).print(dump_csv);
+    match figures::run_all_experiments(scale, threads) {
+        Ok(report) => report.print(dump_csv),
+        Err(e) => {
+            eprintln!("fig_all: {e}");
+            std::process::exit(1);
+        }
+    }
 }

@@ -25,7 +25,12 @@ use std::process::ExitCode;
 
 use scrip_bench::figures;
 use scrip_bench::scale::RunScale;
-use scrip_bench::scenario::{run_scenario, Metric, RunnerOptions, Scenario};
+use scrip_bench::scenario::{
+    run_scenario, session_probes, CaseResult, Metric, ReplicationRun, RunnerOptions, Scenario,
+    ScenarioResult,
+};
+use scrip_core::des::SimTime;
+use scrip_core::obs::{ids, Session};
 
 const USAGE: &str = "\
 scrip-sim — scenario-driven experiment runner for the scrip reproduction
@@ -35,6 +40,7 @@ USAGE:
     scrip-sim metrics
     scrip-sim all [--csv] [--threads N] [--shards K]
     scrip-sim run <NAME|FILE.scn>... [--csv] [--threads N] [--shards K]
+    scrip-sim run <FILE.scn> [--checkpoint-every SECS] [--checkpoint-file PATH] [--resume PATH]
     scrip-sim check <FILE.scn>...
     scrip-sim export <NAME>
     scrip-sim bench [--json] [--out FILE] [--against FILE]
@@ -48,7 +54,12 @@ SCRIP_THREADS or --threads caps worker threads (0 = one per core).
 (deterministic sharded kernel; output is byte-identical for every K).
 `bench` measures market events/sec single-threaded, `--json` writes
 BENCH_market.json (or --out FILE), and `--against BASELINE.json` exits
-non-zero when any matching case regresses more than 30%.";
+non-zero when any matching case regresses more than 30%.
+--checkpoint-every SECS writes a crash-safe snapshot of a single-case,
+single-replication, queue-level scenario run every SECS simulated
+seconds (to FILE.scn.ckpt, or --checkpoint-file PATH); --resume PATH
+restarts such a run from a snapshot. A resumed run's output is
+byte-identical to the uninterrupted run, fault plans included.";
 
 struct Options {
     csv: bool,
@@ -57,6 +68,9 @@ struct Options {
     shards: Option<usize>,
     out: Option<String>,
     against: Option<String>,
+    checkpoint_every: Option<u64>,
+    checkpoint_file: Option<String>,
+    resume: Option<String>,
     targets: Vec<String>,
 }
 
@@ -68,6 +82,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         shards: None,
         out: None,
         against: None,
+        checkpoint_every: None,
+        checkpoint_file: None,
+        resume: None,
         targets: Vec::new(),
     };
     let mut iter = args.iter();
@@ -98,6 +115,26 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--against" => {
                 options.against = Some(iter.next().ok_or("--against expects a path")?.clone());
             }
+            "--checkpoint-every" => {
+                let secs: u64 = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--checkpoint-every expects a number of seconds")?;
+                if secs == 0 {
+                    return Err("--checkpoint-every expects a positive number of seconds".into());
+                }
+                options.checkpoint_every = Some(secs);
+            }
+            "--checkpoint-file" => {
+                options.checkpoint_file = Some(
+                    iter.next()
+                        .ok_or("--checkpoint-file expects a path")?
+                        .clone(),
+                );
+            }
+            "--resume" => {
+                options.resume = Some(iter.next().ok_or("--resume expects a path")?.clone());
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag {other:?}"));
             }
@@ -119,6 +156,7 @@ fn run_builtin(name: &str, options: &Options) -> Result<(), String> {
     let start = std::time::Instant::now();
     let fig = run(scale);
     scrip_bench::scenario::set_thread_override(previous);
+    let fig = fig.map_err(|e| format!("{name}: {e}"))?;
     eprintln!("{name}: {:.1?}", start.elapsed());
     figures::print_figure(&fig, options.csv);
     Ok(())
@@ -129,8 +167,15 @@ fn run_file(path: &str, options: &Options) -> Result<(), String> {
     let scenario = Scenario::parse_str(&text).map_err(|e| format!("{path}: {e}"))?;
     let result = run_scenario(&scenario, &RunnerOptions::with_threads(options.threads))
         .map_err(|e| format!("{path}: {e}"))?;
-    // Stdout is deterministic (byte-identical for any thread count);
-    // timing goes to stderr.
+    emit_result(&result, options);
+    Ok(())
+}
+
+/// Prints a finished scenario in the `run` output format. Stdout is
+/// deterministic (byte-identical for any thread count, and for
+/// checkpointed vs. straight-through execution); timing goes to stderr.
+fn emit_result(result: &ScenarioResult, options: &Options) {
+    let scenario = &result.scenario;
     eprintln!("{}: {:.1?}", scenario.name, result.wall);
     if scenario.title.is_empty() {
         println!("== {}", scenario.name);
@@ -150,6 +195,119 @@ fn run_file(path: &str, options: &Options) -> Result<(), String> {
     if options.csv {
         print!("{}", result.to_csv());
     }
+}
+
+/// Writes `bytes` to `path` via a temp file + rename, so an interrupted
+/// write can never leave a truncated checkpoint behind.
+fn write_atomic(path: &str, bytes: &[u8]) -> Result<(), String> {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, bytes).map_err(|e| format!("{tmp}: {e}"))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Runs one scenario file through a directly-driven [`Session`],
+/// writing periodic on-disk checkpoints and/or resuming from a prior
+/// snapshot. The probe set and output format match the batch runner
+/// exactly, and chunked `run_until` calls do not change probe dispatch,
+/// so summary and CSV output are byte-identical to a plain
+/// `scrip-sim run` of the same file — resumed or not.
+fn run_file_checkpointed(path: &str, options: &Options) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let scenario = Scenario::parse_str(&text).map_err(|e| format!("{path}: {e}"))?;
+    let cases = scenario.expand().map_err(|e| format!("{path}: {e}"))?;
+    let [case] = cases.as_slice() else {
+        return Err(format!(
+            "{path}: checkpointed runs support exactly one case (this scenario expands to {})",
+            cases.len()
+        ));
+    };
+    if scenario.run.replications != 1 {
+        return Err(format!(
+            "{path}: checkpointed runs support exactly one replication (got {})",
+            scenario.run.replications
+        ));
+    }
+    if matches!(options.shards, Some(shards) if shards != 1) {
+        return Err(
+            "checkpointed runs require --shards 1 (the sharded kernel cannot snapshot)".into(),
+        );
+    }
+    let config = case
+        .spec
+        .build()
+        .map_err(|e| format!("{path}: case {:?}: {e}", case.label))?;
+    if config.streaming.is_some() {
+        return Err(format!(
+            "{path}: streaming (chunk-level) scenarios cannot checkpoint"
+        ));
+    }
+    if config.shards != 1 {
+        return Err(format!(
+            "{path}: sharded scenarios (shards = {}) cannot checkpoint; set shards = 1",
+            config.shards
+        ));
+    }
+
+    let seed = scenario.run.seed;
+    let probes = session_probes(&scenario.run);
+    let start = std::time::Instant::now();
+    let mut session = match &options.resume {
+        Some(snapshot) => {
+            let bytes = std::fs::read(snapshot).map_err(|e| format!("{snapshot}: {e}"))?;
+            Session::resume(&config, probes, &bytes).map_err(|e| format!("{snapshot}: {e}"))?
+        }
+        None => {
+            let mut session =
+                Session::from_config(&config, seed).map_err(|e| format!("{path}: {e}"))?;
+            for probe in probes {
+                session.attach(probe);
+            }
+            session
+        }
+    };
+
+    // Checkpoints land at interior multiples of the interval; the final
+    // state needs no snapshot because its output is already emitted.
+    if let Some(step) = options.checkpoint_every {
+        let checkpoint_path = options
+            .checkpoint_file
+            .clone()
+            .or_else(|| options.resume.clone())
+            .unwrap_or_else(|| format!("{path}.ckpt"));
+        let mut t = step;
+        while t < scenario.run.horizon_secs {
+            let boundary = SimTime::from_secs(t);
+            if boundary > session.now() {
+                session.run_until(boundary);
+                let bytes = session.checkpoint().map_err(|e| format!("{path}: {e}"))?;
+                write_atomic(&checkpoint_path, &bytes)?;
+            }
+            t = match t.checked_add(step) {
+                Some(next) => next,
+                None => break,
+            };
+        }
+    }
+    session.run_until(SimTime::from_secs(scenario.run.horizon_secs));
+    let wall = start.elapsed();
+
+    let (record, _model) = session.finish();
+    if record.get(ids::WEALTH_GINI).is_none() {
+        return Err(format!(
+            "{path}: seed {seed}: market has no peers at the horizon"
+        ));
+    }
+    let result = ScenarioResult {
+        scenario: scenario.clone(),
+        cases: vec![CaseResult {
+            label: case.label.clone(),
+            spec: case.spec.clone(),
+            reps: vec![ReplicationRun { seed, record }],
+            wall,
+        }],
+        wall,
+    };
+    emit_result(&result, options);
     Ok(())
 }
 
@@ -169,6 +327,21 @@ fn with_shard_override(
 fn cmd_run(options: &Options) -> Result<(), String> {
     if options.targets.is_empty() {
         return Err("run: no experiment or scenario file given".into());
+    }
+    if options.checkpoint_every.is_some()
+        || options.checkpoint_file.is_some()
+        || options.resume.is_some()
+    {
+        let [target] = options.targets.as_slice() else {
+            return Err("run: checkpoint/resume flags apply to exactly one scenario file".into());
+        };
+        if figures::experiments().iter().any(|&(n, _)| n == target) {
+            return Err(format!(
+                "run: built-in experiment {target:?} cannot checkpoint; \
+                 export it first (`scrip-sim export {target}`)"
+            ));
+        }
+        return run_file_checkpointed(target, options);
     }
     with_shard_override(options.shards, || {
         let builtin: Vec<&str> = figures::experiments().iter().map(|&(n, _)| n).collect();
@@ -192,7 +365,9 @@ fn cmd_all(options: &Options) -> Result<(), String> {
     let scale = RunScale::from_env();
     eprintln!("running all experiments at scale {scale:?}");
     with_shard_override(options.shards, || {
-        figures::run_all_experiments(scale, options.threads).print(options.csv);
+        figures::run_all_experiments(scale, options.threads)
+            .map_err(|e| e.to_string())?
+            .print(options.csv);
         Ok(())
     })
 }

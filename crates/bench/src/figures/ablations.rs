@@ -17,12 +17,16 @@ use scrip_core::topology::NodeId;
 
 use crate::figures::{FigureResult, Series};
 use crate::scale::RunScale;
-use crate::scenario::{run_scenario, Metric, RunnerOptions, Scenario};
+use crate::scenario::{run_scenario, Metric, RunnerOptions, Scenario, ScenarioError};
 
 /// Ablation: the paper's Eq. (6)/(8) binomial approximation vs the
 /// exact product-form marginal. Reports total-variation distance and
 /// the Gini of each, over a grid of average wealths.
-pub fn ablation_approx_vs_exact(scale: RunScale) -> FigureResult {
+///
+/// # Errors
+/// Infallible today (purely analytic); the `Result` keeps every
+/// registered experiment uniformly fallible.
+pub fn ablation_approx_vs_exact(scale: RunScale) -> Result<FigureResult, ScenarioError> {
     let n = 50;
     let grid: Vec<usize> = scale.pick(vec![1, 5, 20, 100, 500], vec![5, 100]);
     let mut tv_points = Vec::new();
@@ -48,7 +52,7 @@ pub fn ablation_approx_vs_exact(scale: RunScale) -> FigureResult {
             "c={c}: TV distance = {tv:.3}, exact Gini = {ge:.3}, binomial Gini = {ga:.3}"
         ));
     }
-    FigureResult {
+    Ok(FigureResult {
         id: "ablation_approx_vs_exact".into(),
         title: "Paper's multinomial (binomial) approximation vs exact product form".into(),
         paper_expectation:
@@ -63,12 +67,16 @@ pub fn ablation_approx_vs_exact(scale: RunScale) -> FigureResult {
             Series::new("gini_binomial", gini_approx),
         ],
         notes,
-    }
+    })
 }
 
 /// Ablation: stationary-flow solvers (direct elimination vs lazy power
 /// iteration) and mean-wealth computation (Buzen convolution vs MVA).
-pub fn ablation_solvers(scale: RunScale) -> FigureResult {
+///
+/// # Errors
+/// Infallible today (purely analytic); the `Result` keeps every
+/// registered experiment uniformly fallible.
+pub fn ablation_solvers(scale: RunScale) -> Result<FigureResult, ScenarioError> {
     let sizes: Vec<usize> = scale.pick(vec![50, 100, 200, 400], vec![40, 80]);
     let mut max_flow_diff = Vec::new();
     let mut max_wealth_diff = Vec::new();
@@ -103,7 +111,7 @@ pub fn ablation_solvers(scale: RunScale) -> FigureResult {
             "N={n}: max |direct − power| = {flow_diff:.2e}, max |Buzen − MVA| = {wealth_diff:.2e}"
         ));
     }
-    FigureResult {
+    Ok(FigureResult {
         id: "ablation_solvers".into(),
         title: "Solver cross-checks: direct vs power iteration; Buzen vs MVA".into(),
         paper_expectation:
@@ -117,7 +125,7 @@ pub fn ablation_solvers(scale: RunScale) -> FigureResult {
             Series::new("mean_wealth_diff", max_wealth_diff),
         ],
         notes,
-    }
+    })
 }
 
 /// The declarative scenario behind the queue-level half of
@@ -138,15 +146,17 @@ pub fn ablation3_queue_scenario(scale: RunScale) -> Scenario {
 /// the same overlay — how much of the paper's story survives when the
 /// market emerges from real chunk transfers instead of configured
 /// rates.
-pub fn ablation_queue_vs_protocol(scale: RunScale) -> FigureResult {
+///
+/// # Errors
+/// Returns [`ScenarioError`] when either half fails to run.
+pub fn ablation_queue_vs_protocol(scale: RunScale) -> Result<FigureResult, ScenarioError> {
     let scenario = ablation3_queue_scenario(scale);
     let n = scenario.base.config().n;
     let horizon_secs = scenario.run.horizon_secs;
     let horizon = SimTime::from_secs(horizon_secs);
     let c = 100u64;
 
-    let queue_result =
-        run_scenario(&scenario, &RunnerOptions::from_env()).expect("queue market runs");
+    let queue_result = run_scenario(&scenario, &RunnerOptions::from_env())?;
     let queue_market = queue_result.cases[0].single();
     let queue_rates = &queue_market.spending_rates();
     let queue_gini = gini(queue_rates).expect("non-empty");
@@ -159,7 +169,7 @@ pub fn ablation_queue_vs_protocol(scale: RunScale) -> FigureResult {
     let system = StreamingMarket::new(c)
         .streaming(StreamingConfig::market_paced(1.0))
         .run(g, 31, horizon)
-        .expect("protocol market runs");
+        .map_err(|e| ScenarioError::Run(format!("protocol market: {e}")))?;
     let protocol_rates = system.policy().spending_rates_sorted(horizon);
     let protocol_gini = gini(&protocol_rates).expect("non-empty");
     let balances: BTreeMap<NodeId, u64> = system.policy().ledger().iter().collect();
@@ -173,7 +183,7 @@ pub fn ablation_queue_vs_protocol(scale: RunScale) -> FigureResult {
             .map(|(i, &r)| (i as f64 / rates.len() as f64, r))
             .collect()
     };
-    FigureResult {
+    Ok(FigureResult {
         id: "ablation_queue_vs_protocol".into(),
         title: scenario.title,
         paper_expectation:
@@ -201,5 +211,5 @@ pub fn ablation_queue_vs_protocol(scale: RunScale) -> FigureResult {
                 system.policy().settlements
             ),
         ],
-    }
+    })
 }

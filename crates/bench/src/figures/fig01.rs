@@ -15,7 +15,7 @@ use scrip_core::spec::MarketSpec;
 
 use crate::figures::{FigureResult, Series};
 use crate::scale::RunScale;
-use crate::scenario::{run_scenario, CaseSpec, Metric, RunnerOptions, Scenario};
+use crate::scenario::{run_scenario, CaseSpec, Metric, RunnerOptions, Scenario, ScenarioError};
 
 /// The declarative scenario behind Fig. 1.
 pub fn fig01_scenario(scale: RunScale) -> Scenario {
@@ -46,9 +46,12 @@ pub fn fig01_scenario(scale: RunScale) -> Scenario {
 }
 
 /// Regenerates Fig. 1.
-pub fn fig01_spending_rates(scale: RunScale) -> FigureResult {
+///
+/// # Errors
+/// Returns [`ScenarioError`] when the underlying scenario fails to run.
+pub fn fig01_spending_rates(scale: RunScale) -> Result<FigureResult, ScenarioError> {
     let scenario = fig01_scenario(scale);
-    let result = run_scenario(&scenario, &RunnerOptions::from_env()).expect("scenario runs");
+    let result = run_scenario(&scenario, &RunnerOptions::from_env())?;
     let balanced = result.cases[0].single();
     let condensed = result.cases[1].single();
 
@@ -64,7 +67,7 @@ pub fn fig01_spending_rates(scale: RunScale) -> FigureResult {
             .collect()
     };
 
-    FigureResult {
+    Ok(FigureResult {
         id: "fig01".into(),
         title: scenario.title,
         paper_expectation:
@@ -91,5 +94,5 @@ pub fn fig01_spending_rates(scale: RunScale) -> FigureResult {
                 balanced.peer_count(),
             ),
         ],
-    }
+    })
 }

@@ -13,11 +13,16 @@ use scrip_core::queueing::approx::{eq8_symmetric_marginal, exact_symmetric_margi
 
 use crate::figures::{FigureResult, Series};
 use crate::scale::RunScale;
+use crate::scenario::ScenarioError;
 
 const CASES: [(usize, usize); 3] = [(2_000, 100), (25_000, 50), (50_000, 50)];
 
 /// Regenerates Fig. 2 (plus the exact-marginal comparison).
-pub fn fig02_lorenz_pmf(scale: RunScale) -> FigureResult {
+///
+/// # Errors
+/// Infallible today (purely analytic); the `Result` keeps every
+/// registered experiment uniformly fallible.
+pub fn fig02_lorenz_pmf(scale: RunScale) -> Result<FigureResult, ScenarioError> {
     let grid = scale.pick(100, 25);
     let mut series = Vec::new();
     let mut notes = Vec::new();
@@ -42,7 +47,7 @@ pub fn fig02_lorenz_pmf(scale: RunScale) -> FigureResult {
             exact_curve.sample(grid),
         ));
     }
-    FigureResult {
+    Ok(FigureResult {
         id: "fig02".into(),
         title: "Lorenz curves of the marginal wealth PMF (Eq. 8) and of the exact product form"
             .into(),
@@ -55,5 +60,5 @@ pub fn fig02_lorenz_pmf(scale: RunScale) -> FigureResult {
         y_label: "cumulative fraction of credits".into(),
         series,
         notes,
-    }
+    })
 }

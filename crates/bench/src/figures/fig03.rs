@@ -17,6 +17,7 @@ use scrip_core::queueing::closed::ClosedJackson;
 
 use crate::figures::{FigureResult, Series};
 use crate::scale::RunScale;
+use crate::scenario::ScenarioError;
 
 /// Jitter half-width of the near-symmetric utilization vector (matches
 /// the market simulator's quasi-symmetric regime).
@@ -48,7 +49,11 @@ fn population_gini(u: &[f64], m: usize) -> f64 {
 }
 
 /// Regenerates Fig. 3.
-pub fn fig03_gini_vs_wealth(scale: RunScale) -> FigureResult {
+///
+/// # Errors
+/// Infallible today (purely analytic); the `Result` keeps every
+/// registered experiment uniformly fallible.
+pub fn fig03_gini_vs_wealth(scale: RunScale) -> Result<FigureResult, ScenarioError> {
     let sizes: Vec<usize> = scale.pick(vec![50, 100, 200, 400], vec![50, 100]);
     let wealth_grid: Vec<u64> = scale.pick(
         vec![1, 2, 5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100],
@@ -95,7 +100,7 @@ pub fn fig03_gini_vs_wealth(scale: RunScale) -> FigureResult {
     ));
     series.push(Series::new(format!("eq8_binomial_N{n_ref}"), eq8_points));
 
-    FigureResult {
+    Ok(FigureResult {
         id: "fig03".into(),
         title: "Gini index vs average wealth c".into(),
         paper_expectation:
@@ -106,5 +111,5 @@ pub fn fig03_gini_vs_wealth(scale: RunScale) -> FigureResult {
         y_label: "Gini index".into(),
         series,
         notes,
-    }
+    })
 }

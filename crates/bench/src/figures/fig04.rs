@@ -13,7 +13,7 @@ use scrip_core::spec::MarketSpec;
 
 use crate::figures::{FigureResult, Series};
 use crate::scale::RunScale;
-use crate::scenario::{run_scenario, Metric, RunnerOptions, Scenario, SweepAxis};
+use crate::scenario::{run_scenario, Metric, RunnerOptions, Scenario, ScenarioError, SweepAxis};
 
 fn sim_grid(scale: RunScale) -> Vec<u64> {
     scale.pick(vec![1, 2, 3, 5, 8], vec![1, 5])
@@ -34,7 +34,10 @@ pub fn fig04_scenario(scale: RunScale) -> Scenario {
 }
 
 /// Regenerates Fig. 4.
-pub fn fig04_efficiency(scale: RunScale) -> FigureResult {
+///
+/// # Errors
+/// Returns [`ScenarioError`] when the underlying scenario fails to run.
+pub fn fig04_efficiency(scale: RunScale) -> Result<FigureResult, ScenarioError> {
     let n_analytic = 1_000;
     let grid: Vec<f64> = (0..=40).map(|k| k as f64 * 0.25).collect();
 
@@ -57,7 +60,7 @@ pub fn fig04_efficiency(scale: RunScale) -> FigureResult {
     let scenario = fig04_scenario(scale);
     let n_sim = scenario.base.config().n;
     let horizon_secs = scenario.run.horizon_secs;
-    let result = run_scenario(&scenario, &RunnerOptions::from_env()).expect("scenario runs");
+    let result = run_scenario(&scenario, &RunnerOptions::from_env())?;
     let mut simulated = Vec::new();
     let mut notes = Vec::new();
     for (case, c) in result.cases.iter().zip(sim_grid(scale)) {
@@ -71,7 +74,7 @@ pub fn fig04_efficiency(scale: RunScale) -> FigureResult {
         ));
     }
 
-    FigureResult {
+    Ok(FigureResult {
         id: "fig04".into(),
         title: scenario.title,
         paper_expectation:
@@ -87,5 +90,5 @@ pub fn fig04_efficiency(scale: RunScale) -> FigureResult {
             Series::new("simulated_symmetric_market", simulated),
         ],
         notes,
-    }
+    })
 }

@@ -13,7 +13,7 @@ use scrip_core::spec::MarketSpec;
 
 use crate::figures::{FigureResult, Series};
 use crate::scale::RunScale;
-use crate::scenario::{run_scenario, Metric, RunnerOptions, Scenario};
+use crate::scenario::{run_scenario, Metric, RunnerOptions, Scenario, ScenarioError};
 
 fn snapshot_scenario(scale: RunScale, name: &str, title: &str, times: Vec<u64>) -> Scenario {
     let n = scale.pick(1_000, 80);
@@ -54,8 +54,12 @@ pub fn fig06_scenario(scale: RunScale) -> Scenario {
     )
 }
 
-fn to_figure(id: &str, expectation: &str, scenario: Scenario) -> FigureResult {
-    let result = run_scenario(&scenario, &RunnerOptions::from_env()).expect("scenario runs");
+fn to_figure(
+    id: &str,
+    expectation: &str,
+    scenario: Scenario,
+) -> Result<FigureResult, ScenarioError> {
+    let result = run_scenario(&scenario, &RunnerOptions::from_env())?;
     let snaps = &result.cases[0].single().snapshots();
     let mut notes = Vec::new();
     // Quantify overlap between successive curves: mean |Δ| between
@@ -89,7 +93,7 @@ fn to_figure(id: &str, expectation: &str, scenario: Scenario) -> FigureResult {
             )
         })
         .collect();
-    FigureResult {
+    Ok(FigureResult {
         id: id.into(),
         title: scenario.title,
         paper_expectation: expectation.into(),
@@ -97,11 +101,14 @@ fn to_figure(id: &str, expectation: &str, scenario: Scenario) -> FigureResult {
         y_label: "credits held".into(),
         series,
         notes,
-    }
+    })
 }
 
 /// Regenerates Fig. 5 (early stage).
-pub fn fig05_convergence_early(scale: RunScale) -> FigureResult {
+///
+/// # Errors
+/// Returns [`ScenarioError`] when the underlying scenario fails to run.
+pub fn fig05_convergence_early(scale: RunScale) -> Result<FigureResult, ScenarioError> {
     to_figure(
         "fig05",
         "sorted-wealth curves steepen over time: flatter curves at earlier times, steeper later \
@@ -111,7 +118,10 @@ pub fn fig05_convergence_early(scale: RunScale) -> FigureResult {
 }
 
 /// Regenerates Fig. 6 (late stage).
-pub fn fig06_convergence_late(scale: RunScale) -> FigureResult {
+///
+/// # Errors
+/// Returns [`ScenarioError`] when the underlying scenario fails to run.
+pub fn fig06_convergence_late(scale: RunScale) -> Result<FigureResult, ScenarioError> {
     to_figure(
         "fig06",
         "late-stage sorted-wealth curves largely overlap: the credit distribution has converged \

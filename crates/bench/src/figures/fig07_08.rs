@@ -13,7 +13,7 @@ use scrip_core::spec::MarketSpec;
 
 use crate::figures::{FigureResult, Series};
 use crate::scale::RunScale;
-use crate::scenario::{run_scenario, Metric, RunnerOptions, Scenario, SweepAxis};
+use crate::scenario::{run_scenario, Metric, RunnerOptions, Scenario, ScenarioError, SweepAxis};
 
 const WEALTH_LEVELS: [u64; 3] = [50, 100, 200];
 
@@ -57,8 +57,8 @@ pub fn fig08_scenario(scale: RunScale) -> Scenario {
     )
 }
 
-fn gini_evolution(scenario: &Scenario) -> (Vec<Series>, Vec<String>) {
-    let result = run_scenario(scenario, &RunnerOptions::from_env()).expect("scenario runs");
+fn gini_evolution(scenario: &Scenario) -> Result<(Vec<Series>, Vec<String>), ScenarioError> {
+    let result = run_scenario(scenario, &RunnerOptions::from_env())?;
     let mut series = Vec::new();
     let mut notes = Vec::new();
     for (case, &c) in result.cases.iter().zip(&WEALTH_LEVELS) {
@@ -71,14 +71,17 @@ fn gini_evolution(scenario: &Scenario) -> (Vec<Series>, Vec<String>) {
         ));
         series.push(s);
     }
-    (series, notes)
+    Ok((series, notes))
 }
 
 /// Regenerates Fig. 7 (near-symmetric utilization).
-pub fn fig07_gini_evolution_symmetric(scale: RunScale) -> FigureResult {
+///
+/// # Errors
+/// Returns [`ScenarioError`] when the underlying scenario fails to run.
+pub fn fig07_gini_evolution_symmetric(scale: RunScale) -> Result<FigureResult, ScenarioError> {
     let scenario = fig07_scenario(scale);
-    let (series, notes) = gini_evolution(&scenario);
-    FigureResult {
+    let (series, notes) = gini_evolution(&scenario)?;
+    Ok(FigureResult {
         id: "fig07".into(),
         title: scenario.title,
         paper_expectation:
@@ -89,14 +92,17 @@ pub fn fig07_gini_evolution_symmetric(scale: RunScale) -> FigureResult {
         y_label: "Gini index".into(),
         series,
         notes,
-    }
+    })
 }
 
 /// Regenerates Fig. 8 (asymmetric utilization).
-pub fn fig08_gini_evolution_asymmetric(scale: RunScale) -> FigureResult {
+///
+/// # Errors
+/// Returns [`ScenarioError`] when the underlying scenario fails to run.
+pub fn fig08_gini_evolution_asymmetric(scale: RunScale) -> Result<FigureResult, ScenarioError> {
     let scenario = fig08_scenario(scale);
-    let (series, notes) = gini_evolution(&scenario);
-    FigureResult {
+    let (series, notes) = gini_evolution(&scenario)?;
+    Ok(FigureResult {
         id: "fig08".into(),
         title: scenario.title,
         paper_expectation:
@@ -107,5 +113,5 @@ pub fn fig08_gini_evolution_asymmetric(scale: RunScale) -> FigureResult {
         y_label: "Gini index".into(),
         series,
         notes,
-    }
+    })
 }

@@ -14,7 +14,7 @@ use scrip_core::spec::MarketSpec;
 
 use crate::figures::{FigureResult, Series};
 use crate::scale::RunScale;
-use crate::scenario::{run_scenario, CaseSpec, Metric, RunnerOptions, Scenario};
+use crate::scenario::{run_scenario, CaseSpec, Metric, RunnerOptions, Scenario, ScenarioError};
 
 /// Utilization jitter of the quasi-symmetric market used here. The
 /// paper's Fig. 9 uses its "asymmetric utilization" configured-rates
@@ -48,9 +48,12 @@ pub fn fig09_scenario(scale: RunScale) -> Scenario {
 }
 
 /// Regenerates Fig. 9.
-pub fn fig09_taxation(scale: RunScale) -> FigureResult {
+///
+/// # Errors
+/// Returns [`ScenarioError`] when the underlying scenario fails to run.
+pub fn fig09_taxation(scale: RunScale) -> Result<FigureResult, ScenarioError> {
     let scenario = fig09_scenario(scale);
-    let result = run_scenario(&scenario, &RunnerOptions::from_env()).expect("scenario runs");
+    let result = run_scenario(&scenario, &RunnerOptions::from_env())?;
     let mut series = Vec::new();
     let mut notes = Vec::new();
     for case in &result.cases {
@@ -64,7 +67,7 @@ pub fn fig09_taxation(scale: RunScale) -> FigureResult {
         ));
         series.push(s);
     }
-    FigureResult {
+    Ok(FigureResult {
         id: "fig09".into(),
         title: scenario.title,
         paper_expectation:
@@ -75,5 +78,5 @@ pub fn fig09_taxation(scale: RunScale) -> FigureResult {
         y_label: "Gini index".into(),
         series,
         notes,
-    }
+    })
 }

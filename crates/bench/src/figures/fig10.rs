@@ -11,7 +11,7 @@ use scrip_core::spec::MarketSpec;
 
 use crate::figures::{FigureResult, Series};
 use crate::scale::RunScale;
-use crate::scenario::{run_scenario, CaseSpec, Metric, RunnerOptions, Scenario};
+use crate::scenario::{run_scenario, CaseSpec, Metric, RunnerOptions, Scenario, ScenarioError};
 
 /// The declarative scenario behind Fig. 10.
 pub fn fig10_scenario(scale: RunScale) -> Scenario {
@@ -32,9 +32,12 @@ pub fn fig10_scenario(scale: RunScale) -> Scenario {
 }
 
 /// Regenerates Fig. 10.
-pub fn fig10_dynamic_spending(scale: RunScale) -> FigureResult {
+///
+/// # Errors
+/// Returns [`ScenarioError`] when the underlying scenario fails to run.
+pub fn fig10_dynamic_spending(scale: RunScale) -> Result<FigureResult, ScenarioError> {
     let scenario = fig10_scenario(scale);
-    let result = run_scenario(&scenario, &RunnerOptions::from_env()).expect("scenario runs");
+    let result = run_scenario(&scenario, &RunnerOptions::from_env())?;
     let mut series = Vec::new();
     let mut notes = Vec::new();
     let mut plateaus = Vec::new();
@@ -51,7 +54,7 @@ pub fn fig10_dynamic_spending(scale: RunScale) -> FigureResult {
             plateaus[0] - plateaus[1]
         ));
     }
-    FigureResult {
+    Ok(FigureResult {
         id: "fig10".into(),
         title: scenario.title,
         paper_expectation:
@@ -62,5 +65,5 @@ pub fn fig10_dynamic_spending(scale: RunScale) -> FigureResult {
         y_label: "Gini index".into(),
         series,
         notes,
-    }
+    })
 }

@@ -18,7 +18,7 @@ use scrip_core::spec::MarketSpec;
 
 use crate::figures::{FigureResult, Series};
 use crate::scale::RunScale;
-use crate::scenario::{run_scenario, CaseSpec, Metric, RunnerOptions, Scenario};
+use crate::scenario::{run_scenario, CaseSpec, Metric, RunnerOptions, Scenario, ScenarioError};
 
 /// The declarative scenario behind Fig. 11.
 pub fn fig11_scenario(scale: RunScale) -> Scenario {
@@ -49,9 +49,12 @@ pub fn fig11_scenario(scale: RunScale) -> Scenario {
 }
 
 /// Regenerates Fig. 11 (all three panels as one series set).
-pub fn fig11_churn(scale: RunScale) -> FigureResult {
+///
+/// # Errors
+/// Returns [`ScenarioError`] when the underlying scenario fails to run.
+pub fn fig11_churn(scale: RunScale) -> Result<FigureResult, ScenarioError> {
     let scenario = fig11_scenario(scale);
-    let result = run_scenario(&scenario, &RunnerOptions::from_env()).expect("scenario runs");
+    let result = run_scenario(&scenario, &RunnerOptions::from_env())?;
     let mut series = Vec::new();
     let mut notes = Vec::new();
     let mut plateaus: Vec<(String, f64)> = Vec::new();
@@ -87,7 +90,7 @@ pub fn fig11_churn(scale: RunScale) -> FigureResult {
         get("p1_lifespan1000_arr1"),
         get("p3_lifespan2000_arr1")
     ));
-    FigureResult {
+    Ok(FigureResult {
         id: "fig11".into(),
         title: scenario.title,
         paper_expectation:
@@ -98,5 +101,5 @@ pub fn fig11_churn(scale: RunScale) -> FigureResult {
         y_label: "Gini index".into(),
         series,
         notes,
-    }
+    })
 }

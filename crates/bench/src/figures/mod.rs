@@ -41,10 +41,10 @@ pub use fig11::{fig11_churn, fig11_scenario};
 pub use streaming::{streaming_scenario, streaming_stall_vs_wealth};
 
 use crate::scale::RunScale;
-use crate::scenario::Scenario;
+use crate::scenario::{Scenario, ScenarioError};
 
 /// A figure/ablation regenerator.
-pub type ExperimentFn = fn(RunScale) -> FigureResult;
+pub type ExperimentFn = fn(RunScale) -> Result<FigureResult, ScenarioError>;
 
 /// A scenario emitter: the declarative description behind a
 /// market-driven experiment.
@@ -128,7 +128,14 @@ pub fn print_figure(fig: &FigureResult, dump_csv: bool) {
 /// forced serial for the duration (via
 /// [`crate::scenario::set_thread_override`] — process-global, so don't
 /// call this concurrently with other scenario runs).
-pub fn run_all_experiments(scale: RunScale, threads: usize) -> EvaluationReport {
+///
+/// # Errors
+/// Returns the first failing experiment's [`ScenarioError`], prefixed
+/// with its name (in canonical order — every experiment still runs).
+pub fn run_all_experiments(
+    scale: RunScale,
+    threads: usize,
+) -> Result<EvaluationReport, ScenarioError> {
     let experiments = experiments();
     let workers =
         crate::scenario::RunnerOptions::with_threads(threads).effective_threads(experiments.len());
@@ -141,15 +148,16 @@ pub fn run_all_experiments(scale: RunScale, threads: usize) -> EvaluationReport 
     });
     let total = start.elapsed();
     crate::scenario::set_thread_override(previous);
-    EvaluationReport {
-        results: experiments
-            .into_iter()
-            .zip(results)
-            .map(|((name, _), (fig, wall))| (name, fig, wall))
-            .collect(),
+    let mut collected = Vec::with_capacity(results.len());
+    for ((name, _), (fig, wall)) in experiments.into_iter().zip(results) {
+        let fig = fig.map_err(|e| ScenarioError::Run(format!("{name}: {e}")))?;
+        collected.push((name, fig, wall));
+    }
+    Ok(EvaluationReport {
+        results: collected,
         total,
         workers,
-    }
+    })
 }
 
 /// The declarative scenarios behind the market-driven experiments

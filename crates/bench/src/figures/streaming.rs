@@ -13,7 +13,7 @@ use scrip_core::spec::MarketSpec;
 
 use crate::figures::{FigureResult, Series};
 use crate::scale::RunScale;
-use crate::scenario::{run_scenario, Metric, RunnerOptions, Scenario, SweepAxis};
+use crate::scenario::{run_scenario, Metric, RunnerOptions, Scenario, ScenarioError, SweepAxis};
 
 /// Average wealth levels swept: starved, adequate, rich.
 const WEALTH_LEVELS: [u64; 3] = [2, 20, 100];
@@ -37,9 +37,12 @@ pub fn streaming_scenario(scale: RunScale) -> Scenario {
 
 /// Regenerates the streaming experiment: stall-rate and Gini evolution
 /// at chunk granularity for three wealth levels.
-pub fn streaming_stall_vs_wealth(scale: RunScale) -> FigureResult {
+///
+/// # Errors
+/// Returns [`ScenarioError`] when the underlying scenario fails to run.
+pub fn streaming_stall_vs_wealth(scale: RunScale) -> Result<FigureResult, ScenarioError> {
     let scenario = streaming_scenario(scale);
-    let result = run_scenario(&scenario, &RunnerOptions::from_env()).expect("scenario runs");
+    let result = run_scenario(&scenario, &RunnerOptions::from_env())?;
     let mut series = Vec::new();
     let mut notes = Vec::new();
     for (case, &c) in result.cases.iter().zip(&WEALTH_LEVELS) {
@@ -57,7 +60,7 @@ pub fn streaming_stall_vs_wealth(scale: RunScale) -> FigureResult {
         series.push(stall);
         series.push(gini);
     }
-    FigureResult {
+    Ok(FigureResult {
         id: "streaming".into(),
         title: scenario.title,
         paper_expectation:
@@ -69,5 +72,5 @@ pub fn streaming_stall_vs_wealth(scale: RunScale) -> FigureResult {
         y_label: "stall rate / Gini".into(),
         series,
         notes,
-    }
+    })
 }

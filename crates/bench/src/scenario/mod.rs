@@ -37,8 +37,8 @@ use scrip_core::CoreError;
 
 pub use parse::ParseError;
 pub use runner::{
-    parallel_map, run_scenario, set_shard_override, set_thread_override, CaseResult,
-    ReplicationRun, RunnerOptions, ScenarioResult,
+    parallel_map, run_scenario, session_probes, set_shard_override, set_thread_override,
+    CaseResult, ReplicationRun, RunnerOptions, ScenarioResult,
 };
 
 /// Default RNG seed of a scenario that does not specify one.
@@ -127,12 +127,15 @@ fn population_probe(_run: &RunSpec) -> Box<dyn Probe> {
 fn lorenz_probe(_run: &RunSpec) -> Box<dyn Probe> {
     Box::new(obs_probes::LorenzProbe::default())
 }
+fn fault_probe(_run: &RunSpec) -> Box<dyn Probe> {
+    Box::new(obs_probes::FaultSeriesProbe::new())
+}
 
 /// The probe registry, in canonical output order. The first five rows
 /// are the original `Metric` enum re-registered (names and CSV output
 /// byte-identical — pinned by `tests/scenario_golden.rs`); the rest are
 /// registry-only additions.
-static REGISTRY: [MetricDef; 8] = [
+static REGISTRY: [MetricDef; 9] = [
     MetricDef {
         name: "gini-series",
         doc: "Gini-over-time trajectory (the paper's Figs. 7-11)",
@@ -189,6 +192,13 @@ static REGISTRY: [MetricDef; 8] = [
         make_probe: lorenz_probe,
         emit: runner::emit_lorenz,
     },
+    MetricDef {
+        name: "fault-series",
+        doc: "fault-injection recovery: failed trades, escrow over time, retry depths",
+        always_on: false,
+        make_probe: fault_probe,
+        emit: runner::emit_faults,
+    },
 ];
 
 /// A metric recorded into the aggregated scenario output: a copyable
@@ -216,6 +226,10 @@ impl Metric {
     pub const POPULATION_SERIES: Metric = Metric(&REGISTRY[6]);
     /// The final wealth Lorenz curve.
     pub const LORENZ: Metric = Metric(&REGISTRY[7]);
+    /// Fault-injection recovery series: cumulative failed trade
+    /// attempts and in-flight escrow over time plus the retry-depth
+    /// histogram. Empty when the market has no fault plan.
+    pub const FAULT_SERIES: Metric = Metric(&REGISTRY[8]);
 
     /// Every registered metric, in canonical output order. Derived
     /// from the private `REGISTRY` rows themselves, so appending a row is
@@ -683,6 +697,14 @@ mod tests {
             .filter(|m| !m.always_on())
             .map(|m| m.name())
             .collect();
-        assert_eq!(extras, ["throughput-series", "population-series", "lorenz"]);
+        assert_eq!(
+            extras,
+            [
+                "throughput-series",
+                "population-series",
+                "lorenz",
+                "fault-series"
+            ]
+        );
     }
 }

@@ -437,6 +437,27 @@ pub(super) fn emit_lorenz(_sc: &Scenario, case: &CaseResult, out: &mut String) {
     );
 }
 
+pub(super) fn emit_faults(_sc: &Scenario, case: &CaseResult, out: &mut String) {
+    push_series(
+        out,
+        "fault",
+        &case.label,
+        &case.series_aggregate(ids::FAULT_SERIES),
+    );
+    push_series(
+        out,
+        "escrow",
+        &case.label,
+        &case.series_aggregate(ids::ESCROW_SERIES),
+    );
+    push_series(
+        out,
+        "retry-depth",
+        &case.label,
+        &case.series_aggregate(ids::RETRY_DEPTH),
+    );
+}
+
 /// A finished scenario: per-case results plus timing.
 #[derive(Clone, Debug)]
 pub struct ScenarioResult {
@@ -535,6 +556,17 @@ fn attached_metrics(requested: &[Metric]) -> Vec<Metric> {
         }
     }
     out
+}
+
+/// The probe set one scenario job attaches, in attach order: always-on
+/// registry metrics plus `run.metrics` extras. Exposed so a CLI driving
+/// a [`Session`] directly (e.g. the checkpointed `scrip-sim run` path)
+/// builds byte-identically the same probes as [`run_scenario`].
+pub fn session_probes(run: &RunSpec) -> Vec<Box<dyn scrip_core::obs::Probe>> {
+    attached_metrics(&run.metrics)
+        .iter()
+        .map(|m| m.make_probe(run))
+        .collect()
 }
 
 /// Simulates one market to the horizon through a unified

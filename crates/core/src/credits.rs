@@ -313,6 +313,44 @@ impl Ledger {
         self.iter().map(|(_, b)| b).collect()
     }
 
+    /// `(peer, balance)` pairs in *slot* order — the dense internal
+    /// layout, not ascending-ID order. Checkpoints capture this order so
+    /// a restored ledger reproduces slot-sensitive trajectories (escrow
+    /// sweeps, seller sampling) bit for bit.
+    pub fn slot_entries(&self) -> impl Iterator<Item = (NodeId, u64)> + '_ {
+        self.arena
+            .ids()
+            .iter()
+            .zip(&self.balances)
+            .map(|(&id, &b)| (id, b))
+    }
+
+    /// Rebuilds a ledger from checkpointed parts: `entries` must be in
+    /// slot order (as produced by [`Ledger::slot_entries`]) so the dense
+    /// layout — and everything whose iteration order depends on it —
+    /// comes back identical. Wealth tracking starts disabled; call
+    /// [`Ledger::enable_wealth_tracking`] afterwards if the original had
+    /// it (the accumulator is a pure function of the balance multiset).
+    pub fn restore(entries: &[(NodeId, u64)], escrow: u64, minted: u64, burned: u64) -> Self {
+        let mut arena = PeerArena::new();
+        let mut balances = Vec::with_capacity(entries.len());
+        let mut total = 0u64;
+        for &(id, b) in entries {
+            arena.insert(id);
+            balances.push(b);
+            total += b;
+        }
+        Ledger {
+            arena,
+            balances,
+            total,
+            minted,
+            burned,
+            escrow,
+            tracker: None,
+        }
+    }
+
     /// Checks the conservation invariant
     /// `Σ balances + escrow == minted − burned`. O(1).
     pub fn conserved(&self) -> bool {
@@ -432,6 +470,23 @@ mod tests {
         assert_eq!(l.pay_each_from_escrow(1), 0);
         assert!(l.conserved());
         assert_eq!(l.total(), 40);
+    }
+
+    #[test]
+    fn restore_round_trips_slot_layout() {
+        let mut l = Ledger::new();
+        for i in 0..5 {
+            l.mint(id(i), 10 * (i + 1));
+        }
+        l.burn_account(id(1)); // perturb slot order via swap-remove
+        l.withhold_to_escrow(id(0), 3);
+        let entries: Vec<(NodeId, u64)> = l.slot_entries().collect();
+        let r = Ledger::restore(&entries, l.escrow(), l.minted(), l.burned());
+        assert_eq!(r, l);
+        assert!(r.conserved());
+        // Slot layout (not just semantic content) must round-trip.
+        let again: Vec<(NodeId, u64)> = r.slot_entries().collect();
+        assert_eq!(again, entries);
     }
 
     #[test]

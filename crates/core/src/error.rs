@@ -20,6 +20,10 @@ pub enum CoreError {
     Econ(EconError),
     /// A ledger operation failed (e.g. overdraft).
     Ledger(String),
+    /// A checkpoint snapshot could not be taken or restored
+    /// (truncated/corrupt bytes, version or configuration mismatch,
+    /// unsupported session shape).
+    Checkpoint(String),
 }
 
 impl fmt::Display for CoreError {
@@ -30,6 +34,7 @@ impl fmt::Display for CoreError {
             CoreError::Queueing(e) => write!(f, "queueing analysis: {e}"),
             CoreError::Econ(e) => write!(f, "inequality metric: {e}"),
             CoreError::Ledger(msg) => write!(f, "ledger: {msg}"),
+            CoreError::Checkpoint(msg) => write!(f, "checkpoint: {msg}"),
         }
     }
 }

@@ -68,6 +68,7 @@ pub mod policy;
 pub mod pricing;
 pub mod protocol;
 pub mod sharded;
+pub(crate) mod snapshot;
 pub mod spec;
 
 pub use credits::Ledger;

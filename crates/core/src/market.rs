@@ -15,7 +15,11 @@
 use std::collections::BTreeMap;
 
 use scrip_des::stats::TimeSeries;
-use scrip_des::{FenwickSampler, Model, QueueProfile, Scheduler, SimDuration, SimRng, SimTime};
+pub use scrip_des::FaultStats;
+use scrip_des::{
+    DeliveryOutcome, FaultPlan, FaultSpec, FenwickSampler, Model, QueueProfile, Scheduler,
+    SimDuration, SimRng, SimTime,
+};
 use scrip_econ::gini_u64;
 use scrip_topology::churn::ChurnTopology;
 use scrip_topology::generators::{self, ScaleFreeConfig};
@@ -146,6 +150,18 @@ pub struct MarketConfig {
     /// Output is **byte-identical** to `shards = 1` for any value.
     /// Queue-level markets only (rejected with streaming).
     pub shards: usize,
+    /// Optional deterministic fault injection with trade recovery
+    /// (paper Sec. III-A's unreliable-peer regime, realized as typed
+    /// faults: dropped/delayed deliveries, seller defections, peer
+    /// crashes). When set — and at least one rate is positive — every
+    /// purchase moves its credits into per-trade escrow and settles
+    /// only when the delivery completes; failed deliveries retry with
+    /// capped exponential backoff against another seller and refund
+    /// after [`FaultSpec::max_retries`]. `None` (or an all-zero spec)
+    /// leaves the machinery unbuilt: the hot path takes a single extra
+    /// branch and every trajectory is byte-identical to a build
+    /// without this field.
+    pub faults: Option<FaultSpec>,
 }
 
 impl MarketConfig {
@@ -167,6 +183,7 @@ impl MarketConfig {
             availability_feedback: false,
             streaming: None,
             shards: 1,
+            faults: None,
         }
     }
 
@@ -245,6 +262,13 @@ impl MarketConfig {
         self
     }
 
+    /// Enables deterministic fault injection with escrow-backed trade
+    /// recovery (see [`MarketConfig::faults`]).
+    pub fn faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
     /// Realizes this market at chunk granularity: the given mesh-pull
     /// protocol runs on the overlay and chunk trades settle through the
     /// shared ledger (see [`MarketConfig::streaming`]).
@@ -285,6 +309,9 @@ impl MarketConfig {
             ));
         }
         self.pricing.validate()?;
+        if let Some(faults) = &self.faults {
+            faults.validate().map_err(CoreError::Config)?;
+        }
         if let Some(streaming) = &self.streaming {
             streaming.validate().map_err(CoreError::Config)?;
         }
@@ -330,6 +357,81 @@ pub enum MarketEvent {
     Join,
     /// A peer departs with its credits (churn).
     Leave(NodeId),
+    /// An in-flight delivery completes (fault injection only): the
+    /// trade escrowed at [`MarketEvent::Spend`] time resolves now —
+    /// settle, drop, defect, or delay, per the fault plan.
+    Deliver {
+        /// The buying peer whose escrow backs the trade.
+        buyer: NodeId,
+        /// The selling peer expected to deliver.
+        seller: NodeId,
+        /// Credits escrowed for the trade.
+        price: u64,
+        /// 1-based delivery attempt number (grows on retries).
+        attempt: u32,
+    },
+    /// A peer crashes abruptly (fault injection only) — an unplanned
+    /// departure that exercises the same escrow-refund recovery as a
+    /// graceful leave.
+    Crash(NodeId),
+}
+
+impl MarketEvent {
+    /// Serializes the event for a checkpoint's queue section.
+    pub(crate) fn encode(&self, w: &mut crate::snapshot::Writer) {
+        match self {
+            MarketEvent::Bootstrap => w.put_u8(0),
+            MarketEvent::Spend(id) => {
+                w.put_u8(1);
+                w.put_u64(id.raw());
+            }
+            MarketEvent::Sample => w.put_u8(2),
+            MarketEvent::Join => w.put_u8(3),
+            MarketEvent::Leave(id) => {
+                w.put_u8(4);
+                w.put_u64(id.raw());
+            }
+            MarketEvent::Deliver {
+                buyer,
+                seller,
+                price,
+                attempt,
+            } => {
+                w.put_u8(5);
+                w.put_u64(buyer.raw());
+                w.put_u64(seller.raw());
+                w.put_u64(*price);
+                w.put_u32(*attempt);
+            }
+            MarketEvent::Crash(id) => {
+                w.put_u8(6);
+                w.put_u64(id.raw());
+            }
+        }
+    }
+
+    /// Decodes an event written by [`MarketEvent::encode`].
+    pub(crate) fn decode(r: &mut crate::snapshot::Reader<'_>) -> Result<Self, CoreError> {
+        Ok(match r.take_u8()? {
+            0 => MarketEvent::Bootstrap,
+            1 => MarketEvent::Spend(NodeId::from_raw(r.take_u64()?)),
+            2 => MarketEvent::Sample,
+            3 => MarketEvent::Join,
+            4 => MarketEvent::Leave(NodeId::from_raw(r.take_u64()?)),
+            5 => MarketEvent::Deliver {
+                buyer: NodeId::from_raw(r.take_u64()?),
+                seller: NodeId::from_raw(r.take_u64()?),
+                price: r.take_u64()?,
+                attempt: r.take_u32()?,
+            },
+            6 => MarketEvent::Crash(NodeId::from_raw(r.take_u64()?)),
+            tag => {
+                return Err(CoreError::Checkpoint(format!(
+                    "unknown market event tag {tag}"
+                )))
+            }
+        })
+    }
 }
 
 /// Component-by-component heap accounting for one [`CreditMarket`]
@@ -429,6 +531,18 @@ pub struct CreditMarket {
     purchases: u64,
     gini_series: TimeSeries,
     bootstrapped: bool,
+    /// The deterministic fault oracle; present only when
+    /// [`MarketConfig::faults`] has at least one positive rate, so the
+    /// fault-free hot path pays a single `is_some` branch.
+    fault_plan: Option<FaultPlan>,
+    /// Credits escrowed for in-flight trades, per live buyer (parallel
+    /// to the arena; all zero when faults are off).
+    in_flight: Vec<u64>,
+    /// Σ `in_flight`, maintained incrementally so the escrow-in-transit
+    /// probe read is O(1).
+    in_flight_total: u64,
+    /// Fault/recovery counters.
+    fault_stats: FaultStats,
     /// When present, every settled purchase is appended here (enabled
     /// only by the sharded runner; `None` keeps the serial hot path
     /// free of the recording branch's buffer traffic).
@@ -464,6 +578,14 @@ impl CreditMarket {
         let mu = peer_ids.iter().map(|id| mu_map[id]).collect();
         let n = peer_ids.len();
         let attach = config.churn.map(|c| c.attach_degree).unwrap_or(20);
+        // An all-zero spec builds no plan at all: the fault stream is
+        // never derived and the run is byte-identical to `faults: None`.
+        let fault_plan = match &config.faults {
+            Some(spec) if spec.any_faults() => {
+                Some(FaultPlan::new(*spec, seed).map_err(CoreError::Config)?)
+            }
+            _ => None,
+        };
         Ok(CreditMarket {
             config,
             graph,
@@ -482,6 +604,10 @@ impl CreditMarket {
             purchases: 0,
             gini_series: TimeSeries::new(),
             bootstrapped: false,
+            fault_plan,
+            in_flight: vec![0; n],
+            in_flight_total: 0,
+            fault_stats: FaultStats::default(),
             trade_capture: None,
         })
     }
@@ -575,6 +701,21 @@ impl CreditMarket {
         rates
     }
 
+    /// Fault/recovery counters (all zero when faults are disabled).
+    pub fn fault_stats(&self) -> &FaultStats {
+        &self.fault_stats
+    }
+
+    /// Credits currently escrowed for in-flight deliveries. O(1).
+    pub fn in_flight_escrow(&self) -> u64 {
+        self.in_flight_total
+    }
+
+    /// Whether a fault plan is active on this market.
+    pub fn faults_enabled(&self) -> bool {
+        self.fault_plan.is_some()
+    }
+
     /// Total purchase attempts refused for lack of credits.
     pub fn denied(&self) -> u64 {
         self.denied
@@ -598,7 +739,10 @@ impl CreditMarket {
     /// reallocation-free; [`MarketEvent::Bootstrap`] reserves the same
     /// amount as a fallback for hand-built simulations.
     pub fn queue_capacity_hint(&self) -> usize {
-        self.arena.len() * (1 + usize::from(self.config.churn.is_some())) + 2
+        // Under faults, each peer may add a crash timer plus in-flight
+        // delivery completions (short-lived, at most a few per peer).
+        let faulted = usize::from(self.fault_plan.is_some());
+        self.arena.len() * (1 + usize::from(self.config.churn.is_some()) + 2 * faulted) + 2
     }
 
     /// The event-queue backend this market wants: a timing wheel sized
@@ -656,6 +800,251 @@ impl CreditMarket {
         if let Some(trades) = &mut self.trade_capture {
             std::mem::swap(trades, into);
         }
+    }
+
+    /// Serializes every mutable market field into `w` — the model half
+    /// of a [`crate::obs::Session`] checkpoint. Immutable inputs
+    /// (config, churn topology, fault spec) are rebuilt from
+    /// configuration on restore; everything else round-trips exactly,
+    /// including slot layouts, so the continuation is byte-identical.
+    pub(crate) fn write_state(&self, w: &mut crate::snapshot::Writer) {
+        for word in self.rng.state() {
+            w.put_u64(word);
+        }
+        w.put_bool(self.fault_plan.is_some());
+        if let Some(plan) = &self.fault_plan {
+            for word in plan.rng_state() {
+                w.put_u64(word);
+            }
+            w.put_u64(plan.outcomes_drawn());
+        }
+        // Overlay: id watermark, live ids (ascending), edges.
+        w.put_u64(self.graph.next_raw_id());
+        let live: Vec<NodeId> = self.graph.node_ids().collect();
+        w.put_u64(live.len() as u64);
+        for id in &live {
+            w.put_u64(id.raw());
+        }
+        let edges: Vec<(NodeId, NodeId)> = self.graph.edges().collect();
+        w.put_u64(edges.len() as u64);
+        for (a, b) in &edges {
+            w.put_u64(a.raw());
+            w.put_u64(b.raw());
+        }
+        // Arena slot order plus every slot-parallel vector. The order
+        // matters: swap-removes made it churn-history-dependent, and
+        // escrow sweeps iterate it.
+        w.put_u64(self.arena.len() as u64);
+        for (i, &id) in self.arena.ids().iter().enumerate() {
+            w.put_u64(id.raw());
+            w.put_f64(self.mu[i]);
+            w.put_u64(self.spent[i]);
+            w.put_f64(self.activity[i].0);
+            w.put_u64(self.activity[i].1.as_micros());
+            w.put_u64(self.in_flight[i]);
+        }
+        // Ledger: slot entries in its own slot order, plus pools.
+        let entries: Vec<(NodeId, u64)> = self.ledger.slot_entries().collect();
+        w.put_u64(entries.len() as u64);
+        for (id, balance) in &entries {
+            w.put_u64(id.raw());
+            w.put_u64(*balance);
+        }
+        w.put_u64(self.ledger.escrow());
+        w.put_u64(self.ledger.minted());
+        w.put_u64(self.ledger.burned());
+        // Scalar counters.
+        w.put_u64(self.total_spent);
+        w.put_u64(self.denied);
+        w.put_u64(self.purchases);
+        w.put_u64(self.in_flight_total);
+        // Fault stats.
+        w.put_u64(self.fault_stats.delivered);
+        w.put_u64(self.fault_stats.dropped);
+        w.put_u64(self.fault_stats.defected);
+        w.put_u64(self.fault_stats.delayed);
+        w.put_u64(self.fault_stats.retries);
+        w.put_u64(self.fault_stats.refunded);
+        w.put_u64(self.fault_stats.crashes);
+        w.put_u64(self.fault_stats.retry_depth.len() as u64);
+        for &d in &self.fault_stats.retry_depth {
+            w.put_u64(d);
+        }
+        // Taxation accumulators.
+        w.put_bool(self.taxation.is_some());
+        if let Some(tax) = &self.taxation {
+            w.put_u64(tax.collected);
+            w.put_u64(tax.redistributed);
+        }
+        // Pricing: slot-ordered posted prices and the chunk-hash seed.
+        let (sellers, price_seed) = self.pricing.snapshot_state();
+        w.put_u64(sellers.len() as u64);
+        for (id, price) in &sellers {
+            w.put_u64(id.raw());
+            w.put_u64(*price);
+        }
+        w.put_u64(price_seed);
+        // Gini trajectory.
+        w.put_u64(self.gini_series.len() as u64);
+        for &(t, g) in self.gini_series.samples() {
+            w.put_u64(t.as_micros());
+            w.put_f64(g);
+        }
+        w.put_bool(self.bootstrapped);
+    }
+
+    /// Restores the state captured by [`CreditMarket::write_state`]
+    /// into a market freshly built from the same configuration and
+    /// seed.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::Checkpoint`] for truncated or inconsistent
+    /// snapshots.
+    pub(crate) fn read_state(
+        &mut self,
+        r: &mut crate::snapshot::Reader<'_>,
+    ) -> Result<(), CoreError> {
+        let mut rng_state = [0u64; 4];
+        for word in &mut rng_state {
+            *word = r.take_u64()?;
+        }
+        self.rng = SimRng::from_state(rng_state);
+        let has_plan = r.take_bool()?;
+        match (&mut self.fault_plan, has_plan) {
+            (Some(plan), true) => {
+                let mut state = [0u64; 4];
+                for word in &mut state {
+                    *word = r.take_u64()?;
+                }
+                let drawn = r.take_u64()?;
+                plan.restore(state, drawn);
+            }
+            (None, false) => {}
+            (plan, _) => {
+                return Err(CoreError::Checkpoint(format!(
+                    "fault plan mismatch: snapshot has_plan={has_plan}, \
+                     configuration builds {}",
+                    if plan.is_some() { "one" } else { "none" }
+                )));
+            }
+        }
+        // Overlay rebuild through the public graph API: allocate the
+        // full id watermark, drop the dead ids, relink the edges. All
+        // market-visible graph reads (sorted ids, sorted neighbor
+        // slices) are layout-independent, so this reproduces them
+        // exactly.
+        let watermark = r.take_u64()?;
+        let live_count = r.take_u64()?;
+        let mut live = Vec::with_capacity(live_count as usize);
+        for _ in 0..live_count {
+            live.push(NodeId::from_raw(r.take_u64()?));
+        }
+        let edge_count = r.take_u64()?;
+        let mut edges = Vec::with_capacity(edge_count as usize);
+        for _ in 0..edge_count {
+            let a = NodeId::from_raw(r.take_u64()?);
+            let b = NodeId::from_raw(r.take_u64()?);
+            edges.push((a, b));
+        }
+        let mut graph = Graph::with_nodes(watermark as usize);
+        for raw in 0..watermark {
+            let id = NodeId::from_raw(raw);
+            if live.binary_search(&id).is_err() {
+                graph
+                    .remove_node(id)
+                    .map_err(|e| CoreError::Checkpoint(format!("graph rebuild: {e}")))?;
+            }
+        }
+        for (a, b) in edges {
+            graph
+                .add_edge(a, b)
+                .map_err(|e| CoreError::Checkpoint(format!("graph rebuild: {e}")))?;
+        }
+        self.graph = graph;
+        // Arena and slot-parallel vectors, in the captured slot order.
+        let n = r.take_u64()? as usize;
+        let mut ids = Vec::with_capacity(n);
+        self.mu.clear();
+        self.spent.clear();
+        self.activity.clear();
+        self.in_flight.clear();
+        for _ in 0..n {
+            ids.push(NodeId::from_raw(r.take_u64()?));
+            self.mu.push(r.take_f64()?);
+            self.spent.push(r.take_u64()?);
+            let value = r.take_f64()?;
+            let last = SimTime::from_micros(r.take_u64()?);
+            self.activity.push((value, last));
+            self.in_flight.push(r.take_u64()?);
+        }
+        self.arena = PeerArena::from_ids(&ids);
+        let entry_count = r.take_u64()? as usize;
+        let mut entries = Vec::with_capacity(entry_count);
+        for _ in 0..entry_count {
+            let id = NodeId::from_raw(r.take_u64()?);
+            let balance = r.take_u64()?;
+            entries.push((id, balance));
+        }
+        let escrow = r.take_u64()?;
+        let minted = r.take_u64()?;
+        let burned = r.take_u64()?;
+        self.ledger = Ledger::restore(&entries, escrow, minted, burned);
+        self.ledger.enable_wealth_tracking();
+        self.total_spent = r.take_u64()?;
+        self.denied = r.take_u64()?;
+        self.purchases = r.take_u64()?;
+        self.in_flight_total = r.take_u64()?;
+        self.fault_stats.delivered = r.take_u64()?;
+        self.fault_stats.dropped = r.take_u64()?;
+        self.fault_stats.defected = r.take_u64()?;
+        self.fault_stats.delayed = r.take_u64()?;
+        self.fault_stats.retries = r.take_u64()?;
+        self.fault_stats.refunded = r.take_u64()?;
+        self.fault_stats.crashes = r.take_u64()?;
+        let depth = r.take_u64()? as usize;
+        self.fault_stats.retry_depth.clear();
+        for _ in 0..depth {
+            self.fault_stats.retry_depth.push(r.take_u64()?);
+        }
+        let has_tax = r.take_bool()?;
+        match (&mut self.taxation, has_tax) {
+            (Some(tax), true) => {
+                tax.collected = r.take_u64()?;
+                tax.redistributed = r.take_u64()?;
+            }
+            (None, false) => {}
+            (tax, _) => {
+                return Err(CoreError::Checkpoint(format!(
+                    "taxation mismatch: snapshot has_tax={has_tax}, \
+                     configuration builds {}",
+                    if tax.is_some() { "one" } else { "none" }
+                )));
+            }
+        }
+        let seller_count = r.take_u64()? as usize;
+        let mut sellers = Vec::with_capacity(seller_count);
+        for _ in 0..seller_count {
+            let id = NodeId::from_raw(r.take_u64()?);
+            let price = r.take_u64()?;
+            sellers.push((id, price));
+        }
+        let price_seed = r.take_u64()?;
+        self.pricing = PricingModel::restore_state(self.config.pricing, &sellers, price_seed)?;
+        let sample_count = r.take_u64()? as usize;
+        let mut series = TimeSeries::new();
+        for _ in 0..sample_count {
+            let t = SimTime::from_micros(r.take_u64()?);
+            let g = r.take_f64()?;
+            series.record(t, g);
+        }
+        self.gini_series = series;
+        self.bootstrapped = r.take_bool()?;
+        if !self.ledger.conserved() {
+            return Err(CoreError::Checkpoint(
+                "restored ledger violates conservation".into(),
+            ));
+        }
+        Ok(())
     }
 
     fn exp_delay(&mut self, rate: f64) -> SimDuration {
@@ -774,47 +1163,342 @@ impl CreditMarket {
         let price = self.pricing.price(j, chunk);
         let wealth = self.ledger.balance(id);
         if wealth >= price {
-            self.ledger
-                .transfer(id, j, price)
-                .expect("balance checked above");
-            let buyer_slot = self.arena.slot(id).expect("buyer is live");
-            self.spent[buyer_slot] += price;
-            self.total_spent += price;
-            self.purchases += 1;
-            if let Some(trades) = &mut self.trade_capture {
-                trades.push(TradeRecord {
-                    buyer: id,
-                    seller: j,
-                    price,
-                });
-            }
-            if self.config.availability_feedback {
-                self.bump_activity(id, now);
-            }
-            // Income tax on the seller, if enabled and the seller is
-            // wealthy enough.
-            if let Some(tax) = &mut self.taxation {
-                let seller_wealth = self.ledger.balance(j);
-                let due = tax.assess(price, seller_wealth, &mut self.rng);
-                if due > 0 {
-                    let withheld = self.ledger.withhold_to_escrow(j, due);
-                    tax.record_collection(withheld);
+            if self.fault_plan.is_some() {
+                // Recovery contract: the payment moves to per-trade
+                // escrow now and settles only when the delivery
+                // completes ([`MarketEvent::Deliver`]).
+                let delay = self
+                    .fault_plan
+                    .as_mut()
+                    .expect("checked above")
+                    .delivery_latency();
+                self.begin_trade(id, j, price, 1, delay, scheduler);
+            } else {
+                self.ledger
+                    .transfer(id, j, price)
+                    .expect("balance checked above");
+                let buyer_slot = self.arena.slot(id).expect("buyer is live");
+                self.spent[buyer_slot] += price;
+                self.total_spent += price;
+                self.purchases += 1;
+                if let Some(trades) = &mut self.trade_capture {
+                    trades.push(TradeRecord {
+                        buyer: id,
+                        seller: j,
+                        price,
+                    });
                 }
-                // Redistribute one credit to every peer whenever the
-                // escrow can cover the whole population.
-                let live = self.ledger.accounts() as u64;
-                while live > 0 && self.ledger.escrow() >= live {
-                    let paid = self.ledger.pay_each_from_escrow(1);
-                    tax.record_redistribution(paid);
-                    if paid == 0 {
-                        break;
-                    }
+                if self.config.availability_feedback {
+                    self.bump_activity(id, now);
                 }
+                self.settle_tax(j, price);
             }
         } else {
             self.denied += 1;
         }
         self.schedule_spend(id, scheduler);
+    }
+
+    /// Income tax on the seller, if enabled and the seller is wealthy
+    /// enough — shared by the direct settle in
+    /// [`CreditMarket::handle_spend`] and the escrow settle in
+    /// [`CreditMarket::settle_delivery`].
+    fn settle_tax(&mut self, seller: NodeId, price: u64) {
+        if let Some(tax) = &mut self.taxation {
+            let seller_wealth = self.ledger.balance(seller);
+            let due = tax.assess(price, seller_wealth, &mut self.rng);
+            if due > 0 {
+                let withheld = self.ledger.withhold_to_escrow(seller, due);
+                tax.record_collection(withheld);
+            }
+            // Redistribute one credit to every peer whenever the
+            // escrow can cover the whole population. The ledger's
+            // escrow pool also backs in-flight trades under fault
+            // injection; only the tax share (everything beyond
+            // `in_flight_total`) may be redistributed, or the payout
+            // would raid credits committed to open trades.
+            let live = self.ledger.accounts() as u64;
+            while live > 0 && self.ledger.escrow() - self.in_flight_total >= live {
+                let paid = self.ledger.pay_each_from_escrow(1);
+                tax.record_redistribution(paid);
+                if paid == 0 {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Opens one escrow-backed trade: withholds `price` from the buyer
+    /// and schedules the delivery completion after `delay`. `attempt`
+    /// is 1 for fresh trades and grows across retries.
+    fn begin_trade(
+        &mut self,
+        buyer: NodeId,
+        seller: NodeId,
+        price: u64,
+        attempt: u32,
+        delay: SimDuration,
+        scheduler: &mut Scheduler<MarketEvent>,
+    ) {
+        let withheld = self.ledger.withhold_to_escrow(buyer, price);
+        debug_assert_eq!(withheld, price, "caller checked the balance");
+        let slot = self.arena.slot(buyer).expect("buyer is live");
+        self.in_flight[slot] += price;
+        self.in_flight_total += price;
+        scheduler.schedule_after(
+            delay,
+            MarketEvent::Deliver {
+                buyer,
+                seller,
+                price,
+                attempt,
+            },
+        );
+        assert!(
+            self.ledger.conserved(),
+            "escrow withholding broke conservation (buyer {buyer}, price {price})"
+        );
+    }
+
+    /// Resolves one in-flight delivery — the fault-path counterpart of
+    /// the direct settle in [`CreditMarket::handle_spend`].
+    fn handle_deliver(
+        &mut self,
+        buyer: NodeId,
+        seller: NodeId,
+        price: u64,
+        attempt: u32,
+        now: SimTime,
+        scheduler: &mut Scheduler<MarketEvent>,
+    ) {
+        if !self.ledger.has_account(buyer) {
+            // The buyer departed (or crashed) while the delivery was
+            // in transit; its escrow was already refunded at departure
+            // and the trade no longer exists. No outcome draw.
+            return;
+        }
+        let outcome = self
+            .fault_plan
+            .as_mut()
+            .expect("Deliver events only exist under a fault plan")
+            .delivery_outcome(now);
+        let seller_live = self.ledger.has_account(seller);
+        match outcome {
+            DeliveryOutcome::Delayed => {
+                self.fault_stats.delayed += 1;
+                let penalty = self
+                    .fault_plan
+                    .as_mut()
+                    .expect("plan present")
+                    .delay_penalty();
+                // The escrow stays put; the same attempt completes
+                // later.
+                scheduler.schedule_after(
+                    penalty,
+                    MarketEvent::Deliver {
+                        buyer,
+                        seller,
+                        price,
+                        attempt,
+                    },
+                );
+            }
+            DeliveryOutcome::Delivered if seller_live => {
+                self.settle_delivery(buyer, seller, price, attempt, now);
+            }
+            DeliveryOutcome::Defected if seller_live => {
+                self.settle_defect(buyer, seller, price, attempt, scheduler);
+            }
+            _ => {
+                // Dropped — or delivered/defected against a seller
+                // that departed mid-flight, which the buyer observes
+                // as a drop.
+                self.fault_stats.dropped += 1;
+                self.retry_or_refund(buyer, seller, price, attempt, scheduler);
+            }
+        }
+        assert!(
+            self.ledger.conserved(),
+            "delivery resolution broke conservation (buyer {buyer}, attempt {attempt})"
+        );
+    }
+
+    /// Settles a completed escrow trade: pays the seller from escrow
+    /// and applies the same side effects as a fault-free purchase.
+    fn settle_delivery(
+        &mut self,
+        buyer: NodeId,
+        seller: NodeId,
+        price: u64,
+        attempt: u32,
+        now: SimTime,
+    ) {
+        let slot = self.arena.slot(buyer).expect("buyer is live");
+        self.in_flight[slot] -= price;
+        self.in_flight_total -= price;
+        let paid = self.ledger.pay_from_escrow(seller, price);
+        debug_assert_eq!(paid, price, "trade escrow fully funds the settle");
+        self.spent[slot] += price;
+        self.total_spent += price;
+        self.purchases += 1;
+        self.fault_stats.delivered += 1;
+        self.fault_stats.note_conclusion(attempt);
+        if let Some(trades) = &mut self.trade_capture {
+            trades.push(TradeRecord {
+                buyer,
+                seller,
+                price,
+            });
+        }
+        if self.config.availability_feedback {
+            self.bump_activity(buyer, now);
+        }
+        self.settle_tax(seller, price);
+    }
+
+    /// The seller takes the escrowed credits and never delivers. The
+    /// lost credits count as spent (they left the buyer's wallet for
+    /// good) but not as a purchase, and the trade is not captured for
+    /// shard accounting — the buyer got nothing. Within the retry
+    /// budget, an affordable buyer immediately buys again from another
+    /// seller with fresh credits.
+    fn settle_defect(
+        &mut self,
+        buyer: NodeId,
+        seller: NodeId,
+        price: u64,
+        attempt: u32,
+        scheduler: &mut Scheduler<MarketEvent>,
+    ) {
+        let slot = self.arena.slot(buyer).expect("buyer is live");
+        self.in_flight[slot] -= price;
+        self.in_flight_total -= price;
+        let paid = self.ledger.pay_from_escrow(seller, price);
+        debug_assert_eq!(paid, price, "trade escrow fully funds the defection");
+        self.spent[slot] += price;
+        self.total_spent += price;
+        self.fault_stats.defected += 1;
+        let max_retries = self
+            .fault_plan
+            .as_ref()
+            .expect("plan present")
+            .spec()
+            .max_retries;
+        if attempt > max_retries {
+            // Retry budget exhausted: the buyer gives up on the chunk.
+            self.fault_stats.note_conclusion(attempt);
+        } else if self.ledger.balance(buyer) >= price {
+            self.fault_stats.retries += 1;
+            let jitter = self.rng.uniform_f64();
+            let next_seller = self.pick_retry_seller(buyer, seller);
+            let plan = self.fault_plan.as_mut().expect("plan present");
+            let delay = plan.backoff(attempt, jitter) + plan.delivery_latency();
+            self.begin_trade(buyer, next_seller, price, attempt + 1, delay, scheduler);
+        } else {
+            // The defection bankrupted the trade: no credits left to
+            // re-buy with.
+            self.denied += 1;
+            self.fault_stats.note_conclusion(attempt);
+        }
+    }
+
+    /// After a dropped attempt: schedule a retry against another
+    /// seller, or refund the buyer's escrow once the retry budget is
+    /// exhausted. The escrow stays withheld across retries — the
+    /// credits are committed to the trade until it settles or refunds.
+    fn retry_or_refund(
+        &mut self,
+        buyer: NodeId,
+        failed_seller: NodeId,
+        price: u64,
+        attempt: u32,
+        scheduler: &mut Scheduler<MarketEvent>,
+    ) {
+        let max_retries = self
+            .fault_plan
+            .as_ref()
+            .expect("plan present")
+            .spec()
+            .max_retries;
+        if attempt > max_retries {
+            let slot = self.arena.slot(buyer).expect("buyer is live");
+            self.in_flight[slot] -= price;
+            self.in_flight_total -= price;
+            let refunded = self.ledger.pay_from_escrow(buyer, price);
+            debug_assert_eq!(refunded, price, "trade escrow funds the refund");
+            self.fault_stats.refunded += 1;
+            self.fault_stats.note_conclusion(attempt);
+        } else {
+            self.fault_stats.retries += 1;
+            let jitter = self.rng.uniform_f64();
+            let next_seller = self.pick_retry_seller(buyer, failed_seller);
+            let plan = self.fault_plan.as_mut().expect("plan present");
+            let delay = plan.backoff(attempt, jitter) + plan.delivery_latency();
+            scheduler.schedule_after(
+                delay,
+                MarketEvent::Deliver {
+                    buyer,
+                    seller: next_seller,
+                    price,
+                    attempt: attempt + 1,
+                },
+            );
+        }
+    }
+
+    /// Picks the next-best seller for a retry: the same routing as the
+    /// original pick (complete mixing or neighbor-uniform), best-effort
+    /// excluding the seller that just failed. Draws come from the
+    /// global stream, in event-apply order, like every other model
+    /// draw.
+    fn pick_retry_seller(&mut self, buyer: NodeId, failed: NodeId) -> NodeId {
+        if self.config.profile.complete_mixing() {
+            let peers = self.arena.ids();
+            // Bounded resampling: fall back to the failed seller when
+            // the population offers no alternative (the retry then
+            // fails again and eventually refunds).
+            let mut pick = failed;
+            for _ in 0..8 {
+                let candidate = peers[self.rng.index(peers.len())];
+                if candidate == buyer {
+                    continue;
+                }
+                pick = candidate;
+                if candidate != failed {
+                    break;
+                }
+            }
+            pick
+        } else {
+            let neighbors = match self.graph.neighbor_slice(buyer) {
+                Some(n) if !n.is_empty() => n,
+                _ => return failed,
+            };
+            let i = self.rng.index(neighbors.len());
+            let pick = neighbors[i];
+            if pick == failed && neighbors.len() > 1 {
+                // Deterministic skip to the next neighbor.
+                neighbors[(i + 1) % neighbors.len()]
+            } else {
+                pick
+            }
+        }
+    }
+
+    /// An injected crash: an unplanned departure. The crashed peer's
+    /// in-flight escrow refunds into its wallet and the departure burn
+    /// then takes the whole wallet out of circulation — identical
+    /// accounting to a graceful leave, so conservation holds.
+    fn handle_crash(&mut self, id: NodeId) {
+        if !self.graph.has_node(id) {
+            return; // already departed on its own
+        }
+        self.fault_stats.crashes += 1;
+        self.handle_leave(id);
+        assert!(
+            self.ledger.conserved(),
+            "crash recovery broke conservation (peer {id})"
+        );
     }
 
     fn handle_join(&mut self, scheduler: &mut Scheduler<MarketEvent>) {
@@ -829,16 +1513,42 @@ impl CreditMarket {
         self.mu.push(rate);
         self.spent.push(0);
         self.activity.push((1.0, scheduler.now()));
+        self.in_flight.push(0);
         self.schedule_spend(new, scheduler);
         let lifespan_delay = self.exp_delay(1.0 / churn.mean_lifespan);
         scheduler.schedule_after(lifespan_delay, MarketEvent::Leave(new));
         let arrival_delay = self.exp_delay(churn.arrival_rate);
         scheduler.schedule_after(arrival_delay, MarketEvent::Join);
+        // Under a fault plan, every joiner rolls its crash die once, in
+        // join order (event-apply order — deterministic at any shard
+        // count).
+        if let Some(plan) = self.fault_plan.as_mut() {
+            if let Some(d) = plan.crash_delay(scheduler.now()) {
+                scheduler.schedule_after(d, MarketEvent::Crash(new));
+            }
+        }
     }
 
     fn handle_leave(&mut self, id: NodeId) {
         if !self.graph.has_node(id) {
             return;
+        }
+        // Refund the departing peer's in-flight escrow into its wallet
+        // first, so the departure burn below takes those credits out
+        // of circulation instead of leaking them in escrow forever.
+        // (Always zero when faults are off.)
+        if let Some(slot) = self.arena.slot(id) {
+            let holding = self.in_flight[slot];
+            if holding > 0 {
+                let refunded = self.ledger.pay_from_escrow(id, holding);
+                debug_assert_eq!(refunded, holding, "escrow under-funded for {id}");
+                self.in_flight[slot] = 0;
+                self.in_flight_total -= holding;
+                assert!(
+                    self.ledger.conserved(),
+                    "departure escrow refund broke conservation (peer {id})"
+                );
+            }
         }
         // The graph unlinks the departing peer from its neighbors
         // incrementally; no neighbor cache to rebuild.
@@ -852,6 +1562,7 @@ impl CreditMarket {
         self.total_spent -= self.spent[removal.slot];
         self.spent.swap_remove(removal.slot);
         self.activity.swap_remove(removal.slot);
+        self.in_flight.swap_remove(removal.slot);
     }
 
     fn handle_sample(&mut self, now: SimTime, scheduler: &mut Scheduler<MarketEvent>) {
@@ -897,18 +1608,35 @@ impl Model for CreditMarket {
                 }
                 scheduler.schedule_after(self.config.sample_interval, MarketEvent::Sample);
                 if let Some(churn) = self.config.churn {
-                    for id in ids {
+                    for &id in &ids {
                         let d = self.exp_delay(1.0 / churn.mean_lifespan);
                         scheduler.schedule_after(d, MarketEvent::Leave(id));
                     }
                     let d = self.exp_delay(churn.arrival_rate);
                     scheduler.schedule_after(d, MarketEvent::Join);
                 }
+                // Each initial peer rolls its crash die once, in
+                // ascending-id order (the plan's documented bootstrap
+                // order).
+                if let Some(plan) = self.fault_plan.as_mut() {
+                    for &id in &ids {
+                        if let Some(d) = plan.crash_delay(now) {
+                            scheduler.schedule_after(d, MarketEvent::Crash(id));
+                        }
+                    }
+                }
             }
             MarketEvent::Spend(id) => self.handle_spend(id, now, scheduler),
             MarketEvent::Sample => self.handle_sample(now, scheduler),
             MarketEvent::Join => self.handle_join(scheduler),
             MarketEvent::Leave(id) => self.handle_leave(id),
+            MarketEvent::Deliver {
+                buyer,
+                seller,
+                price,
+                attempt,
+            } => self.handle_deliver(buyer, seller, price, attempt, now, scheduler),
+            MarketEvent::Crash(id) => self.handle_crash(id),
         }
     }
 }
@@ -1222,6 +1950,97 @@ mod tests {
         assert_eq!(a.ledger().balances_vec(), b.ledger().balances_vec());
         assert_eq!(a.gini_series(), b.gini_series());
         let c = run(MarketConfig::new(40, 20), 11, 1_000);
+        assert_ne!(a.ledger().balances_vec(), c.ledger().balances_vec());
+    }
+
+    #[test]
+    fn zero_rate_fault_spec_is_byte_identical_to_none() {
+        // An all-zero spec must not even build the plan: trajectories
+        // match a fault-free run bit for bit.
+        let base = MarketConfig::new(40, 20);
+        let zeroed = base.clone().faults(FaultSpec::default());
+        let a = run(base, 10, 1_000);
+        let b = run(zeroed, 10, 1_000);
+        assert!(!b.faults_enabled());
+        assert_eq!(a.ledger().balances_vec(), b.ledger().balances_vec());
+        assert_eq!(a.gini_series(), b.gini_series());
+        assert_eq!(a.purchases(), b.purchases());
+        assert_eq!(b.fault_stats(), &FaultStats::default());
+    }
+
+    #[test]
+    fn faulty_market_recovers_and_conserves() {
+        let spec = FaultSpec {
+            drop_rate: 0.10,
+            defect_rate: 0.05,
+            delay_rate: 0.05,
+            crash_fraction: 0.10,
+            onset: SimTime::from_secs(50),
+            ..FaultSpec::default()
+        };
+        let config = MarketConfig::new(50, 30)
+            .topology(TopologyKind::Complete)
+            .faults(spec);
+        let market = run(config, 14, 2_000);
+        assert!(market.faults_enabled());
+        let stats = market.fault_stats();
+        assert!(stats.delivered > 100, "delivered {}", stats.delivered);
+        assert!(stats.dropped > 0, "no drops injected");
+        assert!(stats.defected > 0, "no defections injected");
+        assert!(stats.delayed > 0, "no delays injected");
+        assert!(stats.retries > 0, "failures never retried");
+        assert!(stats.crashes > 0, "no crashes fired");
+        assert!(market.ledger().conserved());
+        // Per-trade escrow is a sub-pool of the ledger's total escrow
+        // (which also holds unredistributed tax).
+        assert!(market.in_flight_escrow() <= market.ledger().escrow());
+        assert!(
+            !stats.retry_depth.is_empty()
+                && stats.retry_depth.iter().sum::<u64>() >= stats.delivered,
+            "conclusion histogram inconsistent: {:?}",
+            stats.retry_depth
+        );
+        assert_eq!(market.purchases(), stats.delivered);
+    }
+
+    #[test]
+    fn faults_compose_with_churn_and_tax() {
+        let spec = FaultSpec {
+            drop_rate: 0.15,
+            defect_rate: 0.05,
+            crash_fraction: 0.2,
+            ..FaultSpec::default()
+        };
+        let churn = ChurnConfig::new(0.5, 200.0, 8).expect("valid");
+        let config = MarketConfig::new(100, 30)
+            .churn(churn)
+            .tax(TaxConfig::new(0.2, 25).expect("valid"))
+            .topology(TopologyKind::Complete)
+            .faults(spec);
+        let market = run(config, 15, 2_000);
+        let stats = market.fault_stats();
+        assert!(stats.delivered > 0);
+        assert!(stats.crashes > 0, "crash fraction 0.2 never fired");
+        assert!(market.ledger().conserved());
+        assert!(market.ledger().burned() > 0, "departures burn credits");
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic_given_seed() {
+        let spec = FaultSpec {
+            drop_rate: 0.2,
+            defect_rate: 0.1,
+            delay_rate: 0.1,
+            crash_fraction: 0.1,
+            ..FaultSpec::default()
+        };
+        let config = MarketConfig::new(40, 20).faults(spec);
+        let a = run(config.clone(), 16, 1_000);
+        let b = run(config.clone(), 16, 1_000);
+        assert_eq!(a.ledger().balances_vec(), b.ledger().balances_vec());
+        assert_eq!(a.fault_stats(), b.fault_stats());
+        assert_eq!(a.gini_series(), b.gini_series());
+        let c = run(config, 17, 1_000);
         assert_ne!(a.ledger().balances_vec(), c.ledger().balances_vec());
     }
 

@@ -56,15 +56,18 @@
 //! ```
 
 use scrip_des::stats::TimeSeries;
-use scrip_des::{RunStats, ShardedSimulation, SimDuration, SimTime, Simulation};
+use scrip_des::{
+    RunStats, Scheduled, Scheduler, ShardedSimulation, SimDuration, SimTime, Simulation,
+};
 use scrip_streaming::{StreamEvent, StreamingSystem};
 
 use crate::credits::Ledger;
 use crate::error::CoreError;
-use crate::market::{CreditMarket, MarketConfig, MarketEvent};
+use crate::market::{CreditMarket, FaultStats, MarketConfig, MarketEvent};
 use crate::policy::Taxation;
 use crate::protocol::{build_streaming_market, CreditTradePolicy};
 use crate::sharded::ShardedMarket;
+use crate::snapshot;
 
 pub mod probes;
 
@@ -115,6 +118,29 @@ pub mod ids {
     pub const TAX_COLLECTED: &str = "tax-collected";
     /// Credits redistributed by taxation (0 without tax).
     pub const TAX_REDISTRIBUTED: &str = "tax-redistributed";
+    /// `(t, cumulative failed delivery attempts)` trajectory
+    /// ([`super::probes::FaultSeriesProbe`]); empty with faults off.
+    pub const FAULT_SERIES: &str = "fault-series";
+    /// `(t, credits withheld in trade escrow)` trajectory
+    /// ([`super::probes::FaultSeriesProbe`]); empty with faults off.
+    pub const ESCROW_SERIES: &str = "escrow-series";
+    /// Trades concluded successfully despite faults.
+    pub const FAULT_DELIVERED: &str = "fault-delivered";
+    /// Delivery attempts lost in flight.
+    pub const FAULT_DROPPED: &str = "fault-dropped";
+    /// Delivery attempts where the seller took payment and defected.
+    pub const FAULT_DEFECTED: &str = "fault-defected";
+    /// Delivery attempts that arrived late (after a delay penalty).
+    pub const FAULT_DELAYED: &str = "fault-delayed";
+    /// Retries issued after drops/defects.
+    pub const FAULT_RETRIES: &str = "fault-retries";
+    /// Trades abandoned with the escrow refunded to the buyer.
+    pub const FAULT_REFUNDED: &str = "fault-refunded";
+    /// Peers removed by injected crashes.
+    pub const FAULT_CRASHES: &str = "fault-crashes";
+    /// `(attempt, trades concluded at that attempt)` histogram
+    /// ([`super::probes::FaultSeriesProbe`]).
+    pub const RETRY_DEPTH: &str = "retry-depth";
 }
 
 /// One recorded value: every shape the evaluation pipeline aggregates.
@@ -273,6 +299,16 @@ pub trait MarketView {
     /// The `(t, stall rate)` trajectory — [`None`] for queue-level
     /// markets, which have no playback to stall.
     fn stall_series(&self) -> Option<&TimeSeries>;
+    /// Fault-injection counters — [`None`] when the market runs without
+    /// a fault plan (the default).
+    fn fault_stats(&self) -> Option<&FaultStats> {
+        None
+    }
+    /// Credits currently withheld in trade escrow for in-flight
+    /// deliveries (0 without faults).
+    fn in_flight_escrow(&self) -> u64 {
+        0
+    }
 }
 
 impl MarketView for CreditMarket {
@@ -308,6 +344,13 @@ impl MarketView for CreditMarket {
     }
     fn stall_series(&self) -> Option<&TimeSeries> {
         None
+    }
+    fn fault_stats(&self) -> Option<&FaultStats> {
+        self.faults_enabled()
+            .then(|| CreditMarket::fault_stats(self))
+    }
+    fn in_flight_escrow(&self) -> u64 {
+        CreditMarket::in_flight_escrow(self)
     }
 }
 
@@ -345,6 +388,12 @@ impl MarketView for StreamingSystem<CreditTradePolicy> {
     fn stall_series(&self) -> Option<&TimeSeries> {
         Some(StreamingSystem::stall_series(self))
     }
+    fn fault_stats(&self) -> Option<&FaultStats> {
+        self.faults_enabled()
+            .then(|| StreamingSystem::fault_stats(self))
+    }
+    // `in_flight_escrow` stays 0: the streaming layer settles on
+    // delivery, so no credits sit in trade escrow.
 }
 
 /// A pluggable observer over one market run.
@@ -387,6 +436,33 @@ pub trait Probe: Send {
     /// Called once when the session finishes: deposit measurements into
     /// the recorder.
     fn at_horizon(&mut self, now: SimTime, view: &dyn MarketView, rec: &mut Recorder);
+
+    /// Serializes the probe's accumulated state for a
+    /// [`Session::checkpoint`]. Stateless probes (the default) return an
+    /// empty block; stateful probes must override this *and*
+    /// [`Probe::restore_state`] so a resumed run reproduces the
+    /// uninterrupted one byte for byte.
+    fn snapshot_state(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restores state captured by [`Probe::snapshot_state`] during
+    /// [`Session::resume`]. The default accepts only the empty block a
+    /// stateless probe writes — resuming a stateful snapshot into a
+    /// probe that cannot read it fails loudly.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::Checkpoint`] when the block cannot be
+    /// decoded by this probe.
+    fn restore_state(&mut self, state: &[u8]) -> Result<(), CoreError> {
+        if state.is_empty() {
+            Ok(())
+        } else {
+            Err(CoreError::Checkpoint(
+                "probe has checkpoint state but no restore_state implementation".into(),
+            ))
+        }
+    }
 }
 
 /// The simulator behind a session: one of the two market granularities.
@@ -434,6 +510,10 @@ impl SessionModel {
 pub struct Session {
     sim: SessionSim,
     probes: Vec<Box<dyn Probe>>,
+    /// The root seed the market was built from — stored so a
+    /// [`Session::checkpoint`] can rebuild the same derived RNG streams
+    /// on [`Session::resume`].
+    seed: u64,
     /// The sampling-grid spacing (the market's effective
     /// `sample_interval`).
     interval: SimDuration,
@@ -498,6 +578,7 @@ impl Session {
         Ok(Session {
             sim,
             probes: Vec::new(),
+            seed,
             interval,
             next_tick: SimTime::ZERO + interval,
             stops: Vec::new(),
@@ -651,6 +732,148 @@ impl Session {
                 self.dispatch_sample(stop);
             }
         }
+    }
+
+    /// Serializes the complete session state — RNG streams, market
+    /// (graph, arena, ledger, escrow, pricing, fault plan), every
+    /// pending event with its `(time, seq)` identity, the sampling
+    /// schedule, and each probe's accumulated state — into one binary
+    /// snapshot. Resuming it with [`Session::resume`] and running to the
+    /// horizon produces output byte-identical to never having stopped.
+    ///
+    /// Checkpoint at a quiescent instant: after a [`Session::run_until`]
+    /// call, so no event at or before the clock is still pending.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::Checkpoint`] for sharded (`shards > 1`) and
+    /// chunk-level (streaming) sessions, which do not support
+    /// checkpointing yet.
+    pub fn checkpoint(&self) -> Result<Vec<u8>, CoreError> {
+        let sim = match &self.sim {
+            SessionSim::Queue(sim) => sim,
+            SessionSim::Sharded(_) => {
+                return Err(CoreError::Checkpoint(
+                    "sharded sessions (shards > 1) cannot checkpoint; run with shards = 1".into(),
+                ));
+            }
+            SessionSim::Chunk(_) => {
+                return Err(CoreError::Checkpoint(
+                    "chunk-level (streaming) sessions cannot checkpoint".into(),
+                ));
+            }
+        };
+        let market = sim.model();
+        let mut w = snapshot::Writer::with_header();
+        let config_repr = format!("{:?}", market.config());
+        w.put_u64(snapshot::fingerprint(config_repr.as_bytes()));
+        w.put_u64(self.seed);
+        w.put_u64(sim.now().as_micros());
+        w.put_u64(sim.stats().events_processed);
+        let pending = sim.scheduler().snapshot_events();
+        w.put_u64(pending.len() as u64);
+        for scheduled in &pending {
+            w.put_u64(scheduled.time.as_micros());
+            w.put_u64(scheduled.seq);
+            scheduled.event.encode(&mut w);
+        }
+        market.write_state(&mut w);
+        w.put_u64(self.interval.as_micros());
+        w.put_u64(self.next_tick.as_micros());
+        w.put_u64(self.stops.len() as u64);
+        for stop in &self.stops {
+            w.put_u64(stop.as_micros());
+        }
+        w.put_u64(self.last_purchases);
+        w.put_u64(self.last_denied);
+        w.put_bool(self.started);
+        w.put_u64(self.probes.len() as u64);
+        for probe in &self.probes {
+            w.put_bytes(&probe.snapshot_state());
+        }
+        Ok(w.into_bytes())
+    }
+
+    /// Rebuilds a session from a [`Session::checkpoint`] snapshot.
+    ///
+    /// `config` must be the configuration the checkpointed session was
+    /// built from (checked against a fingerprint in the snapshot), and
+    /// `probes` must be the same probes in the same order — their
+    /// accumulated state is restored from the snapshot, so pass freshly
+    /// constructed instances. Running the resumed session to the horizon
+    /// and finishing it reproduces the uninterrupted run byte for byte.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::Checkpoint`] for corrupt or truncated
+    /// snapshots, a configuration or probe-count mismatch, or a snapshot
+    /// written by an incompatible format version.
+    pub fn resume(
+        config: &MarketConfig,
+        mut probes: Vec<Box<dyn Probe>>,
+        bytes: &[u8],
+    ) -> Result<Session, CoreError> {
+        let mut r = snapshot::Reader::with_header(bytes)?;
+        let stored_fingerprint = r.take_u64()?;
+        let config_repr = format!("{config:?}");
+        if stored_fingerprint != snapshot::fingerprint(config_repr.as_bytes()) {
+            return Err(CoreError::Checkpoint(
+                "configuration mismatch: snapshot was taken under a different scenario".into(),
+            ));
+        }
+        let seed = r.take_u64()?;
+        let clock = SimTime::from_micros(r.take_u64()?);
+        let events_processed = r.take_u64()?;
+        let pending_len = r.take_u64()?;
+        let mut pending = Vec::with_capacity(pending_len as usize);
+        for _ in 0..pending_len {
+            let time = SimTime::from_micros(r.take_u64()?);
+            let seq = r.take_u64()?;
+            let event = MarketEvent::decode(&mut r)?;
+            pending.push(Scheduled { time, seq, event });
+        }
+        let mut market = CreditMarket::build(config.clone(), seed)?;
+        market.read_state(&mut r)?;
+        let interval = SimDuration::from_micros(r.take_u64()?);
+        let next_tick = SimTime::from_micros(r.take_u64()?);
+        let stops_len = r.take_u64()?;
+        let mut stops = Vec::with_capacity(stops_len as usize);
+        for _ in 0..stops_len {
+            stops.push(SimTime::from_micros(r.take_u64()?));
+        }
+        let last_purchases = r.take_u64()?;
+        let last_denied = r.take_u64()?;
+        let started = r.take_bool()?;
+        let probe_count = r.take_u64()?;
+        if probe_count != probes.len() as u64 {
+            return Err(CoreError::Checkpoint(format!(
+                "snapshot has {probe_count} probes, resume was given {}",
+                probes.len()
+            )));
+        }
+        for probe in &mut probes {
+            let state = r.take_bytes()?;
+            probe.restore_state(state)?;
+        }
+        r.finish()?;
+        // A plain heap backend: restored runs pop the identical
+        // `(time, seq)` sequence on either backend (a pinned invariant),
+        // and the heap needs no cursor advance from time zero.
+        let mut scheduler = Scheduler::with_capacity(pending.len() + market.queue_capacity_hint());
+        scheduler.restore_clock(clock);
+        for scheduled in pending {
+            scheduler.enqueue_scheduled(scheduled);
+        }
+        let sim = Simulation::from_parts(market, scheduler, events_processed);
+        Ok(Session {
+            sim: SessionSim::Queue(sim),
+            probes,
+            seed,
+            interval,
+            next_tick,
+            stops,
+            last_purchases,
+            last_denied,
+            started,
+        })
     }
 
     /// Finishes the run: every probe's [`Probe::at_horizon`] deposits
@@ -885,5 +1108,141 @@ mod tests {
         let mut session = Session::from_config(&config, 1).expect("builds");
         session.run_until(SimTime::from_secs(10));
         session.attach(Box::new(CountingProbe::new()));
+    }
+
+    /// The standard probe set for checkpoint tests — every stateful
+    /// built-in probe, so resume must reproduce all their state.
+    fn checkpoint_probes() -> Vec<Box<dyn Probe>> {
+        vec![
+            Box::new(probes::GiniSeriesProbe),
+            Box::new(probes::SnapshotsProbe::new(vec![150, 700])),
+            Box::new(probes::ThroughputSeriesProbe::new()),
+            Box::new(probes::PopulationSeriesProbe::new()),
+            Box::new(probes::FaultSeriesProbe::new()),
+        ]
+    }
+
+    fn straight_run(config: &MarketConfig, seed: u64, horizon: SimTime) -> (RunRecord, Vec<u64>) {
+        let mut session = Session::from_config(config, seed).expect("builds");
+        for probe in checkpoint_probes() {
+            session.attach(probe);
+        }
+        session.run_until(horizon);
+        let (record, model) = session.finish();
+        let market = model.queue().expect("queue config");
+        (record, market.balances_sorted())
+    }
+
+    fn resumed_run(
+        config: &MarketConfig,
+        seed: u64,
+        stop: SimTime,
+        horizon: SimTime,
+    ) -> (RunRecord, Vec<u64>) {
+        let mut session = Session::from_config(config, seed).expect("builds");
+        for probe in checkpoint_probes() {
+            session.attach(probe);
+        }
+        session.run_until(stop);
+        let bytes = session.checkpoint().expect("checkpoints");
+        drop(session);
+        let mut resumed = Session::resume(config, checkpoint_probes(), &bytes).expect("resumes");
+        // A checkpoint of the freshly resumed session reproduces the
+        // original snapshot bit for bit.
+        assert_eq!(resumed.checkpoint().expect("re-checkpoints"), bytes);
+        resumed.run_until(horizon);
+        let (record, model) = resumed.finish();
+        let market = model.queue().expect("queue config");
+        (record, market.balances_sorted())
+    }
+
+    #[test]
+    fn resume_is_byte_identical_to_uninterrupted_run() {
+        let config = MarketConfig::new(40, 20)
+            .churn(crate::market::ChurnConfig::new(0.4, 300.0, 10).expect("valid"))
+            .sample_interval(SimDuration::from_secs(100));
+        let horizon = SimTime::from_secs(1_000);
+        let (direct, balances) = straight_run(&config, 23, horizon);
+        for stop_secs in [100, 450, 1_000] {
+            let (resumed, rbalances) =
+                resumed_run(&config, 23, SimTime::from_secs(stop_secs), horizon);
+            assert_eq!(resumed, direct, "diverged after resume at {stop_secs}s");
+            assert_eq!(rbalances, balances);
+        }
+    }
+
+    #[test]
+    fn resume_is_byte_identical_under_an_active_fault_plan() {
+        let spec = scrip_des::FaultSpec {
+            drop_rate: 0.10,
+            defect_rate: 0.05,
+            delay_rate: 0.05,
+            crash_fraction: 0.10,
+            onset: SimTime::from_secs(50),
+            ..scrip_des::FaultSpec::default()
+        };
+        let config = MarketConfig::new(50, 30)
+            .topology(crate::market::TopologyKind::Complete)
+            .faults(spec)
+            .sample_interval(SimDuration::from_secs(100));
+        let horizon = SimTime::from_secs(1_000);
+        let (direct, balances) = straight_run(&config, 77, horizon);
+        assert!(
+            direct.counter(ids::FAULT_DROPPED) > 0,
+            "fault plan was active"
+        );
+        for stop_secs in [60, 500] {
+            let (resumed, rbalances) =
+                resumed_run(&config, 77, SimTime::from_secs(stop_secs), horizon);
+            assert_eq!(resumed, direct, "diverged after resume at {stop_secs}s");
+            assert_eq!(rbalances, balances);
+        }
+    }
+
+    #[test]
+    fn checkpoint_rejects_unsupported_sessions_and_bad_snapshots() {
+        // Sharded sessions cannot checkpoint.
+        let sharded = MarketConfig::new(20, 10).shards(2);
+        let session = Session::from_config(&sharded, 3).expect("builds");
+        assert!(matches!(
+            session.checkpoint(),
+            Err(CoreError::Checkpoint(_))
+        ));
+        // Streaming sessions cannot checkpoint.
+        let streaming = MarketConfig::new(20, 40)
+            .streaming_market(scrip_streaming::StreamingConfig::market_paced(1.0));
+        let session = Session::from_config(&streaming, 3).expect("builds");
+        assert!(matches!(
+            session.checkpoint(),
+            Err(CoreError::Checkpoint(_))
+        ));
+
+        // A valid snapshot fails against a different configuration...
+        let config = MarketConfig::new(20, 10);
+        let mut session = Session::from_config(&config, 3).expect("builds");
+        session.run_until(SimTime::from_secs(100));
+        let bytes = session.checkpoint().expect("checkpoints");
+        let other = MarketConfig::new(21, 10);
+        assert!(matches!(
+            Session::resume(&other, Vec::new(), &bytes),
+            Err(CoreError::Checkpoint(_))
+        ));
+        // ...a probe-count mismatch...
+        assert!(matches!(
+            Session::resume(
+                &config,
+                vec![Box::new(probes::GiniSeriesProbe) as _],
+                &bytes
+            ),
+            Err(CoreError::Checkpoint(_))
+        ));
+        // ...and corrupt bytes fail closed.
+        assert!(Session::resume(&config, Vec::new(), &bytes[..bytes.len() - 3]).is_err());
+        let mut garbled = bytes.clone();
+        garbled[0] ^= 0xFF;
+        assert!(Session::resume(&config, Vec::new(), &garbled).is_err());
+        // The pristine snapshot still resumes.
+        let resumed = Session::resume(&config, Vec::new(), &bytes).expect("resumes");
+        assert_eq!(resumed.now(), SimTime::from_secs(100));
     }
 }

@@ -11,6 +11,8 @@ use scrip_des::SimTime;
 use scrip_econ::LorenzCurve;
 
 use super::{ids, MarketView, MetricValue, Probe, Recorder};
+use crate::error::CoreError;
+use crate::snapshot::{Reader, Writer};
 
 /// Converts an internal [`TimeSeries`] to `(secs, value)` points.
 fn to_points(series: &TimeSeries) -> Vec<(f64, f64)> {
@@ -19,6 +21,27 @@ fn to_points(series: &TimeSeries) -> Vec<(f64, f64)> {
         .iter()
         .map(|&(t, v)| (t.as_secs_f64(), v))
         .collect()
+}
+
+/// Encodes accumulated `(x, y)` points as a probe-state block.
+fn encode_points(w: &mut Writer, points: &[(f64, f64)]) {
+    w.put_u64(points.len() as u64);
+    for &(x, y) in points {
+        w.put_f64(x);
+        w.put_f64(y);
+    }
+}
+
+/// Decodes a block written by [`encode_points`].
+fn decode_points(r: &mut Reader<'_>) -> Result<Vec<(f64, f64)>, CoreError> {
+    let len = r.take_u64()?;
+    let mut points = Vec::with_capacity(len as usize);
+    for _ in 0..len {
+        let x = r.take_f64()?;
+        let y = r.take_f64()?;
+        points.push((x, y));
+    }
+    Ok(points)
 }
 
 /// Records the `(t, Gini)` trajectory under [`ids::GINI_SERIES`] — the
@@ -103,6 +126,37 @@ impl Probe for SnapshotsProbe {
             MetricValue::Snapshots(std::mem::take(&mut self.taken)),
         );
     }
+
+    fn snapshot_state(&self) -> Vec<u8> {
+        let mut w = Writer::default();
+        w.put_u64(self.taken.len() as u64);
+        for (t, balances) in &self.taken {
+            w.put_u64(*t);
+            w.put_u64(balances.len() as u64);
+            for &b in balances {
+                w.put_u64(b);
+            }
+        }
+        w.into_bytes()
+    }
+
+    fn restore_state(&mut self, state: &[u8]) -> Result<(), CoreError> {
+        let mut r = Reader::new(state);
+        let len = r.take_u64()?;
+        let mut taken = Vec::with_capacity(len as usize);
+        for _ in 0..len {
+            let t = r.take_u64()?;
+            let n = r.take_u64()?;
+            let mut balances = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                balances.push(r.take_u64()?);
+            }
+            taken.push((t, balances));
+        }
+        r.finish()?;
+        self.taken = taken;
+        Ok(())
+    }
 }
 
 /// Records the `(t, stall rate)` trajectory under [`ids::STALL_SERIES`]
@@ -150,6 +204,20 @@ impl Probe for ThroughputSeriesProbe {
             MetricValue::Series(std::mem::take(&mut self.points)),
         );
     }
+
+    fn snapshot_state(&self) -> Vec<u8> {
+        let mut w = Writer::default();
+        encode_points(&mut w, &self.points);
+        w.put_f64(self.last_t);
+        w.into_bytes()
+    }
+
+    fn restore_state(&mut self, state: &[u8]) -> Result<(), CoreError> {
+        let mut r = Reader::new(state);
+        self.points = decode_points(&mut r)?;
+        self.last_t = r.take_f64()?;
+        r.finish()
+    }
 }
 
 /// Records the live-peer population over time — `(t, peers)` — under
@@ -189,6 +257,18 @@ impl Probe for PopulationSeriesProbe {
             MetricValue::Series(std::mem::take(&mut self.points)),
         );
     }
+
+    fn snapshot_state(&self) -> Vec<u8> {
+        let mut w = Writer::default();
+        encode_points(&mut w, &self.points);
+        w.into_bytes()
+    }
+
+    fn restore_state(&mut self, state: &[u8]) -> Result<(), CoreError> {
+        let mut r = Reader::new(state);
+        self.points = decode_points(&mut r)?;
+        r.finish()
+    }
 }
 
 /// Records the final wealth Lorenz curve under [`ids::LORENZ`], sampled
@@ -226,6 +306,80 @@ impl Probe for LorenzProbe {
             Err(_) => Vec::new(), // no peers at the horizon
         };
         rec.record(ids::LORENZ, MetricValue::Series(points));
+    }
+}
+
+/// Observes the fault-injection machinery: the `(t, cumulative failed
+/// delivery attempts)` trajectory under [`ids::FAULT_SERIES`], the
+/// `(t, credits in trade escrow)` trajectory under
+/// [`ids::ESCROW_SERIES`], the seven fault counters
+/// ([`ids::FAULT_DELIVERED`] … [`ids::FAULT_CRASHES`]), and the
+/// retry-depth histogram under [`ids::RETRY_DEPTH`] at the horizon.
+///
+/// On a market without a fault plan both series stay empty and every
+/// counter records zero, so the probe is safe to attach unconditionally.
+#[derive(Clone, Debug, Default)]
+pub struct FaultSeriesProbe {
+    failures: Vec<(f64, f64)>,
+    escrow: Vec<(f64, f64)>,
+}
+
+impl FaultSeriesProbe {
+    /// A fresh fault probe.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Probe for FaultSeriesProbe {
+    fn on_sample(&mut self, now: SimTime, view: &dyn MarketView) {
+        let Some(stats) = view.fault_stats() else {
+            return;
+        };
+        let t = now.as_secs_f64();
+        self.failures.push((t, stats.failed_attempts() as f64));
+        self.escrow.push((t, view.in_flight_escrow() as f64));
+    }
+
+    fn at_horizon(&mut self, _now: SimTime, view: &dyn MarketView, rec: &mut Recorder) {
+        rec.record(
+            ids::FAULT_SERIES,
+            MetricValue::Series(std::mem::take(&mut self.failures)),
+        );
+        rec.record(
+            ids::ESCROW_SERIES,
+            MetricValue::Series(std::mem::take(&mut self.escrow)),
+        );
+        let default = Default::default();
+        let stats = view.fault_stats().unwrap_or(&default);
+        rec.record(ids::FAULT_DELIVERED, MetricValue::Counter(stats.delivered));
+        rec.record(ids::FAULT_DROPPED, MetricValue::Counter(stats.dropped));
+        rec.record(ids::FAULT_DEFECTED, MetricValue::Counter(stats.defected));
+        rec.record(ids::FAULT_DELAYED, MetricValue::Counter(stats.delayed));
+        rec.record(ids::FAULT_RETRIES, MetricValue::Counter(stats.retries));
+        rec.record(ids::FAULT_REFUNDED, MetricValue::Counter(stats.refunded));
+        rec.record(ids::FAULT_CRASHES, MetricValue::Counter(stats.crashes));
+        let depth = stats
+            .retry_depth
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| ((i + 1) as f64, n as f64))
+            .collect();
+        rec.record(ids::RETRY_DEPTH, MetricValue::Series(depth));
+    }
+
+    fn snapshot_state(&self) -> Vec<u8> {
+        let mut w = Writer::default();
+        encode_points(&mut w, &self.failures);
+        encode_points(&mut w, &self.escrow);
+        w.into_bytes()
+    }
+
+    fn restore_state(&mut self, state: &[u8]) -> Result<(), CoreError> {
+        let mut r = Reader::new(state);
+        self.failures = decode_points(&mut r)?;
+        self.escrow = decode_points(&mut r)?;
+        r.finish()
     }
 }
 

@@ -219,6 +219,54 @@ impl PricingModel {
     pub fn seller_price(&self, peer: NodeId) -> Option<u64> {
         self.sellers.slot(peer).map(|s| self.seller_prices[s])
     }
+
+    /// Checkpoint view of the realized state: the seller → price
+    /// entries **in slot order** (so a restore reproduces the exact
+    /// arena layout, which quote lookups depend on after churn) plus
+    /// the chunk-hash seed. The CDF is recomputed from configuration.
+    pub(crate) fn snapshot_state(&self) -> (Vec<(NodeId, u64)>, u64) {
+        let entries = self
+            .sellers
+            .ids()
+            .iter()
+            .zip(&self.seller_prices)
+            .map(|(&id, &p)| (id, p))
+            .collect();
+        (entries, self.seed)
+    }
+
+    /// Rebuilds a realized model from a checkpoint taken with
+    /// [`PricingModel::snapshot_state`]: `sellers` must be the
+    /// slot-ordered entries and `seed` the chunk-hash seed. No RNG is
+    /// consumed — the realized draws are already in the entries.
+    pub(crate) fn restore_state(
+        config: PricingConfig,
+        sellers: &[(NodeId, u64)],
+        seed: u64,
+    ) -> Result<Self, CoreError> {
+        config.validate()?;
+        let mut model = PricingModel {
+            config,
+            sellers: PeerArena::new(),
+            seller_prices: Vec::with_capacity(sellers.len()),
+            seed: 0,
+            chunk_cdf: Vec::new(),
+        };
+        match config {
+            PricingConfig::Uniform { .. } => {}
+            PricingConfig::SellerPoisson { .. } => {
+                for &(id, price) in sellers {
+                    model.sellers.insert(id);
+                    model.seller_prices.push(price);
+                }
+            }
+            PricingConfig::ChunkPoisson { mean } => {
+                model.seed = seed;
+                model.chunk_cdf = clamped_poisson_cdf(mean);
+            }
+        }
+        Ok(model)
+    }
 }
 
 /// CDF of `max(1, Poisson(mean))` over values `1, 2, 3, …` (truncated
@@ -364,6 +412,31 @@ mod tests {
         assert_eq!(m.seller_price(newcomer), None);
         // Unknown sellers quote the floor price of 1 rather than panicking.
         assert_eq!(m.price(newcomer, 0), 1);
+    }
+
+    #[test]
+    fn snapshot_round_trips_all_schemes() {
+        let mut rng = SimRng::seed_from_u64(6);
+        for config in [
+            PricingConfig::Uniform { price: 2 },
+            PricingConfig::SellerPoisson { mean: 2.0 },
+            PricingConfig::ChunkPoisson { mean: 1.0 },
+        ] {
+            let mut m = PricingModel::realize(config, &ids(30), &mut rng).expect("valid");
+            // Perturb the slot layout the way churn does.
+            m.on_leave(NodeId::from_raw(3));
+            m.on_join(NodeId::from_raw(77), &mut rng);
+            let (entries, seed) = m.snapshot_state();
+            let restored = PricingModel::restore_state(config, &entries, seed).expect("valid");
+            assert_eq!(restored, m, "{config:?}");
+            // Layout-exact, not just semantically equal: quotes agree
+            // for every seller and chunk probed.
+            for s in ids(30).into_iter().chain([NodeId::from_raw(77)]) {
+                for c in [0u64, 5, 99] {
+                    assert_eq!(restored.price(s, c), m.price(s, c));
+                }
+            }
+        }
     }
 
     #[test]

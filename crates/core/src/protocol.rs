@@ -23,7 +23,7 @@
 use std::collections::BTreeMap;
 
 use scrip_des::stats::TimeSeries;
-use scrip_des::{SimRng, SimTime, Simulation};
+use scrip_des::{FaultSpec, SimRng, SimTime, Simulation};
 use scrip_streaming::{StreamEvent, StreamingChurn, StreamingConfig, StreamingSystem, TradePolicy};
 use scrip_topology::{Graph, NodeId, PeerArena};
 
@@ -319,6 +319,10 @@ pub struct StreamingMarket {
     pub tax: Option<TaxConfig>,
     /// Streaming protocol parameters.
     pub streaming: StreamingConfig,
+    /// Optional deterministic fault injection (dropped/defected/delayed
+    /// chunk deliveries, peer crashes) — see
+    /// [`StreamingSystem::with_faults`] for the chunk-level semantics.
+    pub faults: Option<FaultSpec>,
 }
 
 impl StreamingMarket {
@@ -330,6 +334,7 @@ impl StreamingMarket {
             pricing: PricingConfig::default(),
             tax: None,
             streaming: StreamingConfig::default(),
+            faults: None,
         }
     }
 
@@ -351,6 +356,13 @@ impl StreamingMarket {
         self
     }
 
+    /// Enables deterministic fault injection on the chunk-transfer
+    /// layer (see [`StreamingSystem::with_faults`]).
+    pub fn faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
     /// Builds the combined system over `graph`.
     ///
     /// # Errors
@@ -365,7 +377,12 @@ impl StreamingMarket {
         let policy =
             CreditTradePolicy::new(&peers, self.initial_credits, self.pricing, self.tax, seed)?;
         let rng = SimRng::seed_from_u64(seed.wrapping_add(0x5EED));
-        StreamingSystem::new(graph, self.streaming, policy, rng).map_err(CoreError::Config)
+        let system =
+            StreamingSystem::new(graph, self.streaming, policy, rng).map_err(CoreError::Config)?;
+        match self.faults {
+            Some(spec) => system.with_faults(spec, seed).map_err(CoreError::Config),
+            None => Ok(system),
+        }
     }
 
     /// Builds and runs the combined system until `horizon`, returning
@@ -391,8 +408,10 @@ impl StreamingMarket {
 /// Realizes a [`MarketConfig`] whose [`MarketConfig::streaming`] is set
 /// as a full protocol-level market: the market's topology, credits,
 /// pricing and taxation wire the [`CreditTradePolicy`]; the market's
-/// `sample_interval` drives the Gini/stall sampling chain; and the
-/// market's churn (if any) becomes chunk-level peer dynamics.
+/// `sample_interval` drives the Gini/stall sampling chain; the market's
+/// churn (if any) becomes chunk-level peer dynamics; and the market's
+/// fault spec (if any) injects chunk-transfer faults
+/// ([`StreamingSystem::with_faults`]).
 ///
 /// Precedence: `sample_interval`/`churn` set directly on the
 /// [`StreamingConfig`] win; the market-level values only fill in when
@@ -438,7 +457,11 @@ pub fn build_streaming_market(
         config.tax,
         seed,
     )?;
-    StreamingSystem::new(graph, streaming, policy, rng).map_err(CoreError::Config)
+    let system = StreamingSystem::new(graph, streaming, policy, rng).map_err(CoreError::Config)?;
+    match config.faults {
+        Some(spec) => system.with_faults(spec, seed).map_err(CoreError::Config),
+        None => Ok(system),
+    }
 }
 
 /// Convenience runner: builds the streaming market, simulates until
@@ -703,6 +726,69 @@ mod tests {
             system.config().sample_interval,
             Some(config.sample_interval)
         );
+    }
+
+    #[test]
+    fn faulted_streaming_market_conserves_credits() {
+        let spec = FaultSpec {
+            drop_rate: 0.1,
+            defect_rate: 0.05,
+            delay_rate: 0.05,
+            crash_fraction: 0.15,
+            onset: scrip_des::SimTime::from_secs(10),
+            crash_spread: scrip_des::SimDuration::from_secs(40),
+            ..FaultSpec::default()
+        };
+        let g = graph(50, 14);
+        let system = StreamingMarket::new(50)
+            .faults(spec)
+            .run(g, 15, SimTime::from_secs(180))
+            .expect("runs");
+        let stats = system.fault_stats();
+        assert!(stats.failed_attempts() > 0, "{stats:?}");
+        assert!(stats.crashes > 0, "{stats:?}");
+        let policy = system.policy();
+        // Conservation through every fault path: drops move nothing,
+        // defections settle normally (seller keeps the payment), crashes
+        // burn the departing wallet.
+        assert!(policy.ledger().conserved());
+        assert!(policy.ledger().burned() > 0, "crashed wallets burn");
+        // Defections settled credits without delivering goods, so
+        // settlements exceed the chunks peers actually received.
+        let received: u64 = system
+            .peers()
+            .map(|(_, s)| s.stats.received_from_peers)
+            .sum();
+        assert!(
+            policy.settlements > received,
+            "settlements {} should exceed received {received} under defection",
+            policy.settlements
+        );
+    }
+
+    #[test]
+    fn declarative_faulted_streaming_market_runs() {
+        let spec = FaultSpec {
+            drop_rate: 0.1,
+            defect_rate: 0.05,
+            delay_rate: 0.0,
+            crash_fraction: 0.0,
+            onset: scrip_des::SimTime::from_secs(10),
+            ..FaultSpec::default()
+        };
+        let config = MarketConfig::new(40, 30)
+            .streaming_market(StreamingConfig::market_paced(1.0))
+            .faults(spec)
+            .sample_interval(scrip_des::SimDuration::from_secs(20));
+        let system = run_streaming_market(&config, 16, SimTime::from_secs(200)).expect("runs");
+        assert!(system.faults_enabled());
+        assert!(system.fault_stats().failed_attempts() > 0);
+        assert!(system.policy().ledger().conserved());
+        // With the fault key absent the same config installs no plan.
+        let mut clean = config.clone();
+        clean.faults = None;
+        let clean = run_streaming_market(&clean, 16, SimTime::from_secs(200)).expect("runs");
+        assert!(!clean.faults_enabled());
     }
 
     #[test]

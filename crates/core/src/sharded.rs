@@ -273,9 +273,15 @@ impl ShardModel for ShardedMarket {
 
     /// A peer's events live on its home shard; global events
     /// (bootstrap, sampling, churn arrivals) live on shard 0.
+    /// Fault events follow the peer whose state they mutate: a
+    /// delivery completes on the buyer's shard (the escrow and spend
+    /// counters it touches live there), a crash on the victim's.
     fn route(&self, event: &MarketEvent) -> usize {
         match event {
-            MarketEvent::Spend(id) | MarketEvent::Leave(id) => self.shard_of(*id).unwrap_or(0),
+            MarketEvent::Spend(id) | MarketEvent::Leave(id) | MarketEvent::Crash(id) => {
+                self.shard_of(*id).unwrap_or(0)
+            }
+            MarketEvent::Deliver { buyer, .. } => self.shard_of(*buyer).unwrap_or(0),
             MarketEvent::Bootstrap | MarketEvent::Sample | MarketEvent::Join => 0,
         }
     }
@@ -288,7 +294,7 @@ impl ShardModel for ShardedMarket {
         scheduler: &mut Scheduler<MarketEvent>,
     ) {
         let leaver = match &event {
-            MarketEvent::Leave(id) => Some(*id),
+            MarketEvent::Leave(id) | MarketEvent::Crash(id) => Some(*id),
             _ => None,
         };
         let watermark = self.market.graph().next_raw_id();
@@ -316,15 +322,35 @@ impl ShardModel for ShardedMarket {
         });
         self.settled_cross += settled;
         self.tick += 1;
-        debug_assert!(self.log.is_empty(), "barrier left trades unsettled");
-        debug_assert_eq!(
+        // Always-on barrier invariants (promoted from debug asserts):
+        // cross-shard accounting errors and conservation breaks must
+        // fail loudly in release runs too, with enough payload to
+        // localize the offending window.
+        assert!(
+            self.log.is_empty(),
+            "barrier left trades unsettled (shards {}, tick {}, {} pending)",
+            self.members.len(),
+            self.tick,
+            self.log.len()
+        );
+        assert_eq!(
             self.settled_local + self.settled_cross,
             self.market.purchases(),
-            "every purchase must settle exactly once"
+            "every purchase must settle exactly once (shards {}, tick {}, delta {})",
+            self.members.len(),
+            self.tick,
+            self.market.purchases() as i128 - (self.settled_local + self.settled_cross) as i128
         );
-        debug_assert!(
+        assert!(
             self.market.ledger().conserved(),
-            "barrier found the ledger out of conservation"
+            "barrier found the ledger out of conservation (shards {}, tick {}, \
+             total {} + escrow {} != minted {} - burned {})",
+            self.members.len(),
+            self.tick,
+            self.market.ledger().total(),
+            self.market.ledger().escrow(),
+            self.market.ledger().minted(),
+            self.market.ledger().burned()
         );
     }
 }
@@ -360,6 +386,36 @@ mod tests {
             assert_eq!(m.gini_series(), serial.gini_series());
             assert_eq!(m.purchases(), serial.purchases());
             assert_eq!(m.denied(), serial.denied());
+        }
+    }
+
+    #[test]
+    fn sharded_faulty_run_matches_serial_exactly() {
+        // The fault plan draws in event-apply order, which the sharded
+        // kernel replays exactly — so injected faults, retries, and
+        // crash schedules are byte-identical at every shard count.
+        let spec = scrip_des::FaultSpec {
+            drop_rate: 0.15,
+            defect_rate: 0.05,
+            delay_rate: 0.05,
+            crash_fraction: 0.10,
+            onset: SimTime::from_secs(50),
+            ..scrip_des::FaultSpec::default()
+        };
+        let config = MarketConfig::new(50, 20)
+            .topology(TopologyKind::Ring)
+            .sample_interval(SimDuration::from_secs(100))
+            .faults(spec);
+        let serial =
+            crate::market::run_market(config.clone(), 5, SimTime::from_secs(800)).expect("runs");
+        for shards in [1, 2, 4] {
+            let sharded = run_sharded(config.clone(), 5, shards, 800);
+            let m = sharded.market();
+            assert_eq!(m.balances_sorted(), serial.balances_sorted());
+            assert_eq!(m.gini_series(), serial.gini_series());
+            assert_eq!(m.purchases(), serial.purchases());
+            assert_eq!(m.fault_stats(), serial.fault_stats());
+            assert_eq!(m.in_flight_escrow(), serial.in_flight_escrow());
         }
     }
 

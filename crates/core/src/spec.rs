@@ -53,6 +53,25 @@
 //! | `streaming.provider`         | `random` \| `least-uploads` \| `availability-weighted` |
 //! | `streaming.serve-behind`     | integer (chunks kept behind playback)    |
 //!
+//! The `faults` toggle enables deterministic fault injection
+//! ([`scrip_des::FaultSpec`]): delivery drops, seller defections,
+//! delivery delays, and peer crashes, with escrow-backed retry and
+//! refund recovery. Like `streaming`, the toggle is a **preset**: every
+//! (re-)set of `faults` to a rate tuple reinitializes the timing
+//! sub-keys to the [`scrip_des::FaultSpec::default`] constants, so
+//! customize with the sub-keys *after* it. Sub-keys are refused (and
+//! not serialized) while `faults` is `none`:
+//!
+//! | key                   | value syntax                                     |
+//! |-----------------------|--------------------------------------------------|
+//! | `faults`              | `none` \| `DROP:DEFECT:DELAY:CRASH` (probabilities in [0, 1]) |
+//! | `faults.onset`        | float ≥ 0 (no fault fires before this, seconds)  |
+//! | `faults.retries`      | integer (max retry attempts before refund)       |
+//! | `faults.delivery-time`| float > 0 (mean delivery latency, seconds)       |
+//! | `faults.delay-time`   | float > 0 (mean delay-fault penalty, seconds)    |
+//! | `faults.backoff`      | `BASE:CAP` (retry backoff, seconds)              |
+//! | `faults.crash-spread` | float > 0 (mean onset→crash delay, seconds)      |
+//!
 //! ```
 //! use scrip_core::spec::MarketSpec;
 //!
@@ -69,7 +88,7 @@
 //! # }
 //! ```
 
-use scrip_des::SimDuration;
+use scrip_des::{FaultSpec, SimDuration, SimTime};
 use scrip_streaming::{ChunkStrategy, ProviderSelection, StreamingConfig};
 
 use crate::error::CoreError;
@@ -81,7 +100,7 @@ use crate::pricing::PricingConfig;
 /// The spec keys, in canonical serialization order. The `streaming`
 /// toggle precedes its sub-keys so serialized specs always re-parse
 /// (sub-keys require streaming to be enabled).
-pub const MARKET_SPEC_KEYS: [&str; 24] = [
+pub const MARKET_SPEC_KEYS: [&str; 31] = [
     "peers",
     "credits",
     "base-rate",
@@ -94,6 +113,13 @@ pub const MARKET_SPEC_KEYS: [&str; 24] = [
     "sample",
     "availability-feedback",
     "shards",
+    "faults",
+    "faults.onset",
+    "faults.retries",
+    "faults.delivery-time",
+    "faults.delay-time",
+    "faults.backoff",
+    "faults.crash-spread",
     "streaming",
     "streaming.window",
     "streaming.startup",
@@ -319,6 +345,77 @@ impl MarketSpec {
                 }
                 self.config.shards = shards;
             }
+            "faults" => {
+                self.config.faults = if value == "none" {
+                    None
+                } else {
+                    let parts: Vec<&str> = value.split(':').collect();
+                    let [drop, defect, delay, crash] = parts[..] else {
+                        return Err(bad(key, value, "none | DROP:DEFECT:DELAY:CRASH"));
+                    };
+                    let spec = FaultSpec {
+                        drop_rate: parse_f64(key, drop)?,
+                        defect_rate: parse_f64(key, defect)?,
+                        delay_rate: parse_f64(key, delay)?,
+                        crash_fraction: parse_f64(key, crash)?,
+                        ..FaultSpec::default()
+                    };
+                    spec.validate().map_err(CoreError::Config)?;
+                    Some(spec)
+                };
+            }
+            sub if sub.starts_with("faults.") => {
+                let Some(current) = self.config.faults.as_ref() else {
+                    return Err(CoreError::Config(format!(
+                        "key {key:?} requires fault injection: set `faults` to \
+                         `DROP:DEFECT:DELAY:CRASH` first (in scenario files, \
+                         `faults` must precede its sub-keys)"
+                    )));
+                };
+                // Mutate a copy and validate before committing, so a
+                // failed set leaves the spec untouched and valid.
+                let mut faults = *current;
+                match sub {
+                    "faults.onset" => {
+                        let secs = parse_f64(key, value)?;
+                        if secs < 0.0 {
+                            return Err(bad(key, value, "a non-negative number of seconds"));
+                        }
+                        faults.onset = SimTime::from_secs_f64(secs);
+                    }
+                    "faults.retries" => {
+                        faults.max_retries = value
+                            .parse::<u32>()
+                            .map_err(|_| bad(key, value, "a non-negative integer"))?;
+                    }
+                    "faults.delivery-time" => {
+                        faults.delivery_mean = SimDuration::from_secs_f64(parse_f64(key, value)?);
+                    }
+                    "faults.delay-time" => {
+                        faults.delay_mean = SimDuration::from_secs_f64(parse_f64(key, value)?);
+                    }
+                    "faults.backoff" => {
+                        let (base, cap) = value
+                            .split_once(':')
+                            .ok_or_else(|| bad(key, value, "BASE:CAP seconds"))?;
+                        faults.backoff_base = SimDuration::from_secs_f64(parse_f64(key, base)?);
+                        faults.backoff_cap = SimDuration::from_secs_f64(parse_f64(key, cap)?);
+                    }
+                    "faults.crash-spread" => {
+                        faults.crash_spread = SimDuration::from_secs_f64(parse_f64(key, value)?);
+                    }
+                    _ => {
+                        return Err(CoreError::Config(format!(
+                            "unknown market key {key:?} (known keys: {})",
+                            MARKET_SPEC_KEYS.join(", ")
+                        )))
+                    }
+                }
+                faults
+                    .validate()
+                    .map_err(|e| CoreError::Config(format!("{key}: {e}")))?;
+                self.config.faults = Some(faults);
+            }
             "streaming" => {
                 self.config.streaming = if value == "none" {
                     None
@@ -460,6 +557,31 @@ impl MarketSpec {
             "sample" => c.sample_interval.as_secs_f64().to_string(),
             "availability-feedback" => c.availability_feedback.to_string(),
             "shards" => c.shards.to_string(),
+            "faults" => match &c.faults {
+                None => "none".into(),
+                Some(f) => format!(
+                    "{}:{}:{}:{}",
+                    f.drop_rate, f.defect_rate, f.delay_rate, f.crash_fraction
+                ),
+            },
+            sub if sub.starts_with("faults.") => {
+                // Sub-keys are only addressable (and only serialized)
+                // while fault injection is enabled.
+                let f = c.faults.as_ref()?;
+                match sub {
+                    "faults.onset" => f.onset.as_secs_f64().to_string(),
+                    "faults.retries" => f.max_retries.to_string(),
+                    "faults.delivery-time" => f.delivery_mean.as_secs_f64().to_string(),
+                    "faults.delay-time" => f.delay_mean.as_secs_f64().to_string(),
+                    "faults.backoff" => format!(
+                        "{}:{}",
+                        f.backoff_base.as_secs_f64(),
+                        f.backoff_cap.as_secs_f64()
+                    ),
+                    "faults.crash-spread" => f.crash_spread.as_secs_f64().to_string(),
+                    _ => return None,
+                }
+            }
             "streaming" => match &c.streaming {
                 None => "none".into(),
                 Some(s) => format!("paced:{}", s.chunk_rate),
@@ -538,6 +660,13 @@ mod tests {
             ("availability-feedback", "true"),
             ("streaming", "paced:2"),
             ("shards", "4"),
+            ("faults", "0.1:0.05:0.02:0.2"),
+            ("faults.onset", "50"),
+            ("faults.retries", "5"),
+            ("faults.delivery-time", "0.5"),
+            ("faults.delay-time", "4"),
+            ("faults.backoff", "0.25:20"),
+            ("faults.crash-spread", "300"),
             ("streaming.window", "96"),
             ("streaming.startup", "6"),
             ("streaming.max-pending", "8"),
@@ -568,6 +697,43 @@ mod tests {
             copy.get("streaming.strategy").expect("known"),
             "deadline-first"
         );
+        assert_eq!(copy.get("faults").expect("known"), "0.1:0.05:0.02:0.2");
+        assert_eq!(copy.get("faults.backoff").expect("known"), "0.25:20");
+        assert_eq!(copy.get("faults.retries").expect("known"), "5");
+    }
+
+    #[test]
+    fn fault_keys_gate_on_the_toggle() {
+        let mut spec = MarketSpec::new(40, 20);
+        // Sub-keys are refused while faults are disabled…
+        let err = spec.set("faults.onset", "50").expect_err("gated");
+        assert!(err.to_string().contains("faults"), "{err}");
+        assert_eq!(spec.get("faults").expect("known"), "none");
+        assert_eq!(spec.get("faults.onset"), None, "hidden while disabled");
+        // …and they don't serialize either.
+        assert!(spec
+            .entries()
+            .iter()
+            .all(|(k, _)| !k.starts_with("faults.")));
+
+        spec.set("faults", "0.1:0:0:0").expect("enables");
+        let f = spec.config().faults.expect("set");
+        assert_eq!(f.drop_rate, 0.1);
+        assert_eq!(f.max_retries, 3, "sub-keys start at defaults");
+        spec.set("faults.onset", "100").expect("sub-key works now");
+        spec.build().expect("valid faulty market");
+
+        // Re-setting the toggle resets the sub-keys (preset semantics).
+        spec.set("faults", "0.2:0:0:0").expect("re-set");
+        assert_eq!(spec.get("faults.onset").expect("known"), "0");
+
+        // A failed sub-key set leaves the spec untouched and valid.
+        assert!(spec.set("faults.delivery-time", "0").is_err());
+        spec.build().expect("still valid");
+
+        // Disabling faults drops the sub-keys again.
+        spec.set("faults", "none").expect("disables");
+        assert!(spec.build().expect("valid").faults.is_none());
     }
 
     #[test]
@@ -592,7 +758,8 @@ mod tests {
             .expect("round trips");
         spec.set("streaming.window", "48")
             .expect("sub-key works now");
-        assert_eq!(spec.entries().len(), MARKET_SPEC_KEYS.len());
+        // All keys but the six faults sub-keys (faults stay disabled).
+        assert_eq!(spec.entries().len(), MARKET_SPEC_KEYS.len() - 6);
         spec.build().expect("valid streaming market");
 
         // A failed sub-key set leaves the spec untouched and valid.
@@ -652,6 +819,10 @@ mod tests {
             ("streaming", "paced:0"),
             ("streaming.window", "64"),
             ("streaming.bogus", "1"),
+            ("faults", "0.1"),
+            ("faults", "1.5:0:0:0"),
+            ("faults", "0.1:0.95:0:0"),
+            ("faults.onset", "50"),
             ("color", "red"),
         ] {
             assert!(spec.set(key, value).is_err(), "{key}={value} should fail");

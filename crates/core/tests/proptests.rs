@@ -1,12 +1,47 @@
 //! Property-based tests for the credit market: conservation and policy
-//! invariants under arbitrary configurations.
+//! invariants under arbitrary configurations, fault schedules, shard
+//! counts, and checkpoint/resume points.
 
 use proptest::prelude::*;
-use scrip_core::des::{SimRng, SimTime};
+use scrip_core::des::{FaultSpec, SimDuration, SimRng, SimTime};
 use scrip_core::market::{run_market, ChurnConfig, MarketConfig, TopologyKind};
+use scrip_core::obs::{probes, Probe, RunRecord, Session};
 use scrip_core::policy::{SpendingPolicy, TaxConfig, Taxation};
 use scrip_core::pricing::{PricingConfig, PricingModel};
 use scrip_core::topology::NodeId;
+
+/// Every stateful built-in probe, so resume must reproduce the full
+/// probe state and sharded runs must reproduce the full sample stream.
+fn full_probe_set() -> Vec<Box<dyn Probe>> {
+    vec![
+        Box::new(probes::GiniSeriesProbe),
+        Box::new(probes::SnapshotsProbe::new(vec![150, 350])),
+        Box::new(probes::ThroughputSeriesProbe::new()),
+        Box::new(probes::PopulationSeriesProbe::new()),
+        Box::new(probes::FaultSeriesProbe::new()),
+    ]
+}
+
+/// Runs `config` under a [`Session`] with the full probe set and
+/// returns the record plus the finished market's sorted balances.
+fn observed_run(config: &MarketConfig, seed: u64, horizon: SimTime) -> (RunRecord, Vec<u64>) {
+    let mut session = Session::from_config(config, seed).expect("builds");
+    for probe in full_probe_set() {
+        session.attach(probe);
+    }
+    session.run_until(horizon);
+    let (record, model) = session.finish();
+    let market = model.queue().expect("queue config");
+    assert!(market.ledger().conserved(), "books must balance");
+    assert!(
+        market.in_flight_escrow() <= market.ledger().escrow(),
+        "per-trade escrow is a sub-pool of total escrow"
+    );
+    if !market.faults_enabled() {
+        assert_eq!(market.in_flight_escrow(), 0);
+    }
+    (record, market.balances_sorted())
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -111,5 +146,94 @@ proptest! {
             prop_assert!(p1 >= 1);
             prop_assert_eq!(p1, p2);
         }
+    }
+}
+
+proptest! {
+    // Heavier properties: each case runs several full markets, so fewer
+    // cases keep the suite fast while still sweeping the fault space.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Credit conservation and escrow accounting hold for arbitrary
+    /// fault schedules composed with churn, and the run is
+    /// byte-identical across shard counts 1, 2, and 8 — records,
+    /// probe series, and final balances alike.
+    #[test]
+    fn faulted_market_is_conserved_and_shard_invariant(
+        drop_rate in 0.0f64..0.15,
+        defect_rate in 0.0f64..0.10,
+        delay_rate in 0.0f64..0.10,
+        crash_fraction in 0.0f64..0.20,
+        churn_on in proptest::bool::ANY,
+        seed in 0u64..50,
+    ) {
+        let spec = FaultSpec {
+            drop_rate,
+            defect_rate,
+            delay_rate,
+            crash_fraction,
+            onset: SimTime::from_secs(30),
+            ..FaultSpec::default()
+        };
+        let mut config = MarketConfig::new(30, 20)
+            .topology(TopologyKind::Complete)
+            .faults(spec)
+            .sample_interval(SimDuration::from_secs(100));
+        if churn_on {
+            config = config.churn(ChurnConfig::new(0.3, 200.0, 8).expect("valid"));
+        }
+        let horizon = SimTime::from_secs(400);
+        let (serial, balances) = observed_run(&config, seed, horizon);
+        for shards in [2usize, 8] {
+            let sharded = config.clone().shards(shards);
+            let (record, sharded_balances) = observed_run(&sharded, seed, horizon);
+            prop_assert_eq!(&record, &serial, "diverged at {} shards", shards);
+            prop_assert_eq!(&sharded_balances, &balances);
+        }
+    }
+
+    /// Checkpointing at an arbitrary point mid-run and resuming is
+    /// byte-identical to the uninterrupted run — under an active fault
+    /// plan and churn, including every probe's series.
+    #[test]
+    fn resume_at_random_checkpoint_matches_straight_run(
+        stop_secs in 1u64..800,
+        drop_rate in 0.0f64..0.15,
+        crash_fraction in 0.0f64..0.15,
+        seed in 0u64..50,
+    ) {
+        let spec = FaultSpec {
+            drop_rate,
+            defect_rate: 0.05,
+            delay_rate: 0.05,
+            crash_fraction,
+            onset: SimTime::from_secs(50),
+            ..FaultSpec::default()
+        };
+        let config = MarketConfig::new(30, 20)
+            .topology(TopologyKind::Complete)
+            .faults(spec)
+            .churn(ChurnConfig::new(0.3, 250.0, 8).expect("valid"))
+            .sample_interval(SimDuration::from_secs(100));
+        let horizon = SimTime::from_secs(800);
+        let (direct, balances) = observed_run(&config, seed, horizon);
+
+        let mut session = Session::from_config(&config, seed).expect("builds");
+        for probe in full_probe_set() {
+            session.attach(probe);
+        }
+        session.run_until(SimTime::from_secs(stop_secs));
+        let bytes = session.checkpoint().expect("checkpoints");
+        drop(session);
+        let mut resumed = Session::resume(&config, full_probe_set(), &bytes).expect("resumes");
+        // Re-checkpointing the freshly resumed session reproduces the
+        // snapshot bit for bit.
+        prop_assert_eq!(resumed.checkpoint().expect("re-checkpoints"), bytes);
+        resumed.run_until(horizon);
+        let (record, model) = resumed.finish();
+        let market = model.queue().expect("queue config");
+        prop_assert!(market.ledger().conserved());
+        prop_assert_eq!(record, direct, "diverged after resume at {}s", stop_secs);
+        prop_assert_eq!(market.balances_sorted(), balances);
     }
 }

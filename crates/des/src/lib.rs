@@ -18,6 +18,10 @@
 //!   scratch on top of [`rand::Rng`].
 //! * [`stats`] — online statistics collectors (time series, time-weighted
 //!   means, histograms) used to record Gini-over-time and rate measurements.
+//! * [`fault`] — deterministic fault-injection plans ([`FaultPlan`]):
+//!   seed-derived schedules of peer crashes, delivery drops/delays, and
+//!   defections, drawn from a dedicated RNG stream so fault-free runs
+//!   are byte-identical with the plan absent.
 //! * [`shard`] — a sharded kernel ([`ShardedSimulation`]) that partitions
 //!   one run's event stream over per-shard queues advancing in lockstep
 //!   tick windows, byte-identical to the serial kernel for any shard count.
@@ -64,6 +68,7 @@
 
 pub mod dist;
 pub mod event;
+pub mod fault;
 pub mod rng;
 pub mod sampler;
 pub mod shard;
@@ -73,6 +78,7 @@ pub mod time;
 pub mod wheel;
 
 pub use event::{EventQueue, QueueProfile, Scheduled, Scheduler};
+pub use fault::{DeliveryOutcome, FaultKind, FaultPlan, FaultSpec, FaultStats};
 pub use rng::{SeedSequence, SimRng};
 pub use sampler::FenwickSampler;
 pub use shard::{CrossShardLog, LoggedEffect, ShardCtx, ShardModel, ShardedSimulation};

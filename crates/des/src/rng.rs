@@ -43,6 +43,21 @@ impl SimRng {
         SimRng::seed_from_u64(self.inner.gen::<u64>())
     }
 
+    /// The full 256-bit generator state, for checkpointing. Restoring
+    /// it with [`SimRng::from_state`] reproduces the exact output
+    /// stream from this point on — the primitive behind
+    /// `Session::checkpoint`.
+    pub fn state(&self) -> [u64; 4] {
+        self.inner.state()
+    }
+
+    /// Rebuilds a generator from a state captured by [`SimRng::state`].
+    pub fn from_state(state: [u64; 4]) -> Self {
+        SimRng {
+            inner: SmallRng::from_state(state),
+        }
+    }
+
     /// A uniform variate in `[0, 1)`.
     pub fn uniform_f64(&mut self) -> f64 {
         self.inner.gen::<f64>()
@@ -232,6 +247,18 @@ mod tests {
         assert_eq!(c1.next_u64(), c2.next_u64());
         // Parent stream continues deterministically after forking.
         assert_eq!(parent1.next_u64(), parent2.next_u64());
+    }
+
+    #[test]
+    fn state_round_trips_mid_stream() {
+        let mut rng = SimRng::seed_from_u64(31);
+        for _ in 0..23 {
+            rng.uniform_f64();
+        }
+        let mut resumed = SimRng::from_state(rng.state());
+        for _ in 0..200 {
+            assert_eq!(rng.next_u64(), resumed.next_u64());
+        }
     }
 
     #[test]

@@ -17,7 +17,10 @@ use std::collections::BTreeMap;
 
 use scrip_des::dist::Exp;
 use scrip_des::stats::TimeSeries;
-use scrip_des::{FenwickSampler, Model, QueueProfile, Scheduler, SimDuration, SimRng, SimTime};
+use scrip_des::{
+    DeliveryOutcome, FaultPlan, FaultSpec, FaultStats, FenwickSampler, Model, QueueProfile,
+    Scheduler, SimDuration, SimRng, SimTime,
+};
 use scrip_topology::{Graph, NodeId, PeerArena};
 
 use crate::config::{ChunkStrategy, ProviderSelection, StreamingConfig};
@@ -62,6 +65,10 @@ pub enum StreamEvent {
     },
     /// A peer departs, dropping its edges and in-flight state.
     Leave(NodeId),
+    /// A peer crashes abruptly (fault injection only): an unplanned
+    /// departure scheduled by the [`FaultPlan`], counted apart from
+    /// ordinary churn.
+    Crash(NodeId),
     /// Periodic metrics tick: records the swarm stall rate and calls
     /// [`TradePolicy::sample`]. Scheduled by [`StreamEvent::Bootstrap`]
     /// when [`StreamingConfig::sample_interval`] is set.
@@ -90,6 +97,18 @@ pub struct StreamingSystem<T: TradePolicy> {
     rng: SimRng,
     transfer_time: Exp,
     bootstrapped: bool,
+    /// The deterministic fault oracle; present only when a spec with at
+    /// least one positive rate was installed
+    /// ([`StreamingSystem::with_faults`]), so the fault-free delivery
+    /// path pays a single `is_some` branch. The plan draws from its own
+    /// seed-derived stream, never from `rng`, so installing it does not
+    /// perturb the protocol's randomness.
+    fault_plan: Option<FaultPlan>,
+    /// Injected-fault counters (all zero when faults are off). The
+    /// streaming layer settles on delivery, so `retries`/`refunded`/
+    /// `retry_depth` stay empty here: a failed chunk simply becomes
+    /// wanted again and the pull loop re-requests it organically.
+    fault_stats: FaultStats,
     /// `(t, stall rate)` samples (see [`StreamingSystem::stall_series`]
     /// for the exact definition).
     stall_series: TimeSeries,
@@ -146,12 +165,46 @@ impl<T: TradePolicy> StreamingSystem<T> {
             rng,
             transfer_time,
             bootstrapped: false,
+            fault_plan: None,
+            fault_stats: FaultStats::default(),
             stall_series: TimeSeries::new(),
             scratch_wanted: Vec::new(),
             scratch_keyed: Vec::new(),
             scratch_providers: Vec::new(),
             scratch_sampler: FenwickSampler::new(),
         })
+    }
+
+    /// Installs deterministic fault injection: dropped, defected, and
+    /// delayed peer deliveries plus abrupt peer crashes, scheduled by a
+    /// [`FaultPlan`] derived from `root_seed` (an all-zero spec installs
+    /// nothing, keeping the run byte-identical to a fault-free one).
+    ///
+    /// Unlike the queue-level market, the streaming layer settles on
+    /// delivery, so there is no escrow window: a drop moves no credits,
+    /// a defection settles without goods, and recovery is organic — the
+    /// failed chunk becomes wanted again and the pull scheduler
+    /// re-requests it on its next round. Source deliveries are never
+    /// faulted (faults model peer misbehavior, not the operator).
+    ///
+    /// # Errors
+    /// Returns the message from [`FaultSpec::validate`].
+    pub fn with_faults(mut self, spec: FaultSpec, root_seed: u64) -> Result<Self, String> {
+        spec.validate()?;
+        if spec.any_faults() {
+            self.fault_plan = Some(FaultPlan::new(spec, root_seed)?);
+        }
+        Ok(self)
+    }
+
+    /// Whether a fault plan is active on this system.
+    pub fn faults_enabled(&self) -> bool {
+        self.fault_plan.is_some()
+    }
+
+    /// Injected-fault counters (all zero when faults are off).
+    pub fn fault_stats(&self) -> &FaultStats {
+        &self.fault_stats
     }
 
     /// The protocol configuration.
@@ -549,6 +602,11 @@ impl<T: TradePolicy> StreamingSystem<T> {
         self.peers.push(PeerState::new(self.config.window));
         self.source_fed.push(false);
         self.policy.on_join(new, now);
+        if let Some(plan) = &mut self.fault_plan {
+            if let Some(d) = plan.crash_delay(now) {
+                scheduler.schedule_after(d, StreamEvent::Crash(new));
+            }
+        }
         scheduler.schedule_after(self.config.schedule_interval, StreamEvent::Schedule(new));
         if let Some(churn) = self.config.churn {
             let lifespan = self.exp_delay(1.0 / churn.mean_lifespan);
@@ -630,8 +688,17 @@ impl<T: TradePolicy> Model for StreamingSystem<T> {
                 if self.config.sample_interval.is_some() {
                     scheduler.schedule_after(SimDuration::ZERO, StreamEvent::Sample);
                 }
+                if let Some(plan) = &mut self.fault_plan {
+                    // Crash draws in slot order (== construction order at
+                    // bootstrap), one per peer, per the plan's contract.
+                    for &id in &ids {
+                        if let Some(d) = plan.crash_delay(now) {
+                            scheduler.schedule_after(d, StreamEvent::Crash(id));
+                        }
+                    }
+                }
                 if let Some(churn) = self.config.churn {
-                    for id in ids {
+                    for &id in &ids {
                         let d = self.exp_delay(1.0 / churn.mean_lifespan);
                         scheduler.schedule_after(d, StreamEvent::Leave(id));
                     }
@@ -651,18 +718,59 @@ impl<T: TradePolicy> Model for StreamingSystem<T> {
             StreamEvent::Schedule(id) => self.handle_schedule(id, now, scheduler),
             StreamEvent::Playback(id) => self.handle_playback(id, scheduler),
             StreamEvent::PeerDelivery { to, from, chunk } => {
+                let outcome = match &mut self.fault_plan {
+                    Some(plan) => plan.delivery_outcome(now),
+                    None => DeliveryOutcome::Delivered,
+                };
+                if outcome == DeliveryOutcome::Delayed {
+                    // The transfer stays in flight — provider slot busy,
+                    // chunk pending — and the completion re-fires after
+                    // the penalty (re-drawn then, so longer delay chains
+                    // stay possible but geometrically rare).
+                    self.fault_stats.delayed += 1;
+                    let penalty = self
+                        .fault_plan
+                        .as_mut()
+                        .expect("delayed outcome implies a plan")
+                        .delay_penalty();
+                    scheduler
+                        .schedule_after(penalty, StreamEvent::PeerDelivery { to, from, chunk });
+                    return;
+                }
                 if let Some(provider_slot) = self.arena.slot(from) {
                     let provider = &mut self.peers[provider_slot];
                     provider.active_uploads = provider.active_uploads.saturating_sub(1);
-                    provider.stats.uploaded += 1;
+                    if outcome == DeliveryOutcome::Delivered {
+                        provider.stats.uploaded += 1;
+                    }
                 }
                 if let Some(slot) = self.arena.slot(to) {
                     let state = &mut self.peers[slot];
                     state.pending.remove(chunk);
-                    state.buffer.insert(chunk);
-                    state.stats.received_from_peers += 1;
-                    self.policy.settle(to, from, chunk, now);
-                    self.maybe_start_playback(slot, scheduler);
+                    match outcome {
+                        DeliveryOutcome::Delivered => {
+                            state.buffer.insert(chunk);
+                            state.stats.received_from_peers += 1;
+                            self.policy.settle(to, from, chunk, now);
+                            if self.fault_plan.is_some() {
+                                self.fault_stats.delivered += 1;
+                            }
+                            self.maybe_start_playback(slot, scheduler);
+                        }
+                        DeliveryOutcome::Dropped => {
+                            // Lost in transit: settlement is on delivery,
+                            // so no credits move; the chunk becomes
+                            // wanted again on the next pull round.
+                            self.fault_stats.dropped += 1;
+                        }
+                        DeliveryOutcome::Defected => {
+                            // The seller takes payment and never uploads:
+                            // settle without inserting the chunk.
+                            self.fault_stats.defected += 1;
+                            self.policy.settle(to, from, chunk, now);
+                        }
+                        DeliveryOutcome::Delayed => unreachable!("rescheduled above"),
+                    }
                 }
             }
             StreamEvent::SourceDelivery { to, chunk } => {
@@ -678,6 +786,12 @@ impl<T: TradePolicy> Model for StreamingSystem<T> {
             }
             StreamEvent::Join { attach_degree } => self.handle_join(attach_degree, now, scheduler),
             StreamEvent::Leave(id) => self.handle_leave(id, now),
+            StreamEvent::Crash(id) => {
+                if self.arena.slot(id).is_some() {
+                    self.fault_stats.crashes += 1;
+                    self.handle_leave(id, now);
+                }
+            }
             StreamEvent::Sample => self.handle_sample(now, scheduler),
         }
     }
@@ -915,6 +1029,85 @@ mod tests {
             "event heap grew during steady-state streaming"
         );
         assert!(warm.0 > 0 && warm.2 > 0, "scratch buffers were exercised");
+    }
+
+    fn faulty_spec() -> FaultSpec {
+        FaultSpec {
+            drop_rate: 0.15,
+            defect_rate: 0.05,
+            delay_rate: 0.05,
+            crash_fraction: 0.2,
+            onset: SimTime::from_secs(20),
+            crash_spread: SimDuration::from_secs(50),
+            ..FaultSpec::default()
+        }
+    }
+
+    #[test]
+    fn fault_injection_drops_defects_delays_and_crashes() {
+        let build = |spec: Option<FaultSpec>| {
+            let mut rng = SimRng::seed_from_u64(33);
+            let graph = generators::scale_free(&ScaleFreeConfig::new(40).expect("cfg"), &mut rng)
+                .expect("graph");
+            let system = StreamingSystem::new(graph, StreamingConfig::default(), FreeTrade, rng)
+                .expect("system");
+            match spec {
+                Some(s) => system.with_faults(s, 33).expect("valid"),
+                None => system,
+            }
+        };
+        let faulted = run(build(Some(faulty_spec())), 240);
+        let stats = faulted.model().fault_stats().clone();
+        assert!(stats.dropped > 0, "{stats:?}");
+        assert!(stats.defected > 0, "{stats:?}");
+        assert!(stats.delayed > 0, "{stats:?}");
+        assert!(stats.delivered > 0, "{stats:?}");
+        assert!(stats.crashes > 0, "{stats:?}");
+        assert_eq!(
+            faulted.model().peer_count(),
+            40 - stats.crashes as usize,
+            "crashes are abrupt departures"
+        );
+        // Same seed, same fault schedule, same run.
+        let again = run(build(Some(faulty_spec())), 240);
+        assert_eq!(again.model().fault_stats(), &stats);
+        assert_eq!(
+            again.model().report(again.now()),
+            faulted.model().report(faulted.now())
+        );
+        // The swarm recovers: failed chunks are re-requested by the pull
+        // loop, so peers keep receiving despite the fault load.
+        let received: u64 = faulted
+            .model()
+            .peers()
+            .map(|(_, s)| s.stats.received())
+            .sum();
+        assert!(received > 100, "swarm collapsed: {received} chunks");
+    }
+
+    #[test]
+    fn zero_fault_spec_is_byte_identical_to_no_faults() {
+        let build = |install_zero_spec: bool| {
+            let mut rng = SimRng::seed_from_u64(34);
+            let graph = generators::scale_free(&ScaleFreeConfig::new(30).expect("cfg"), &mut rng)
+                .expect("graph");
+            let system = StreamingSystem::new(graph, StreamingConfig::default(), FreeTrade, rng)
+                .expect("system");
+            if install_zero_spec {
+                system.with_faults(FaultSpec::default(), 34).expect("valid")
+            } else {
+                system
+            }
+        };
+        let zeroed = build(true);
+        assert!(!zeroed.faults_enabled(), "all-zero spec installs no plan");
+        let clean = run(build(false), 120);
+        let zeroed = run(zeroed, 120);
+        assert_eq!(
+            clean.model().report(clean.now()),
+            zeroed.model().report(zeroed.now())
+        );
+        assert_eq!(zeroed.model().fault_stats(), &FaultStats::default());
     }
 
     /// The opt-in availability-weighted provider pick: deterministic
