@@ -21,16 +21,18 @@
 //! `--threads N`) caps the batch runner's workers; results are
 //! byte-identical for every thread count.
 
+use std::path::Path;
 use std::process::ExitCode;
 
 use scrip_bench::figures;
 use scrip_bench::scale::RunScale;
 use scrip_bench::scenario::{
-    run_scenario, session_probes, CaseResult, Metric, ReplicationRun, RunnerOptions, Scenario,
-    ScenarioResult,
+    run_scenario, session_probes, CaseResult, Metric, ReplicationRun, ResolvedCase, RunnerOptions,
+    Scenario, ScenarioResult,
 };
-use scrip_core::des::SimTime;
-use scrip_core::obs::{ids, Session};
+use scrip_core::des::{SimTime, TraceFrame, TraceReader};
+use scrip_core::market::MarketEvent;
+use scrip_core::obs::{ids, RunRecord, Session};
 
 const USAGE: &str = "\
 scrip-sim — scenario-driven experiment runner for the scrip reproduction
@@ -44,6 +46,10 @@ USAGE:
     scrip-sim check <FILE.scn>...
     scrip-sim export <NAME>
     scrip-sim bench [--json] [--out FILE] [--against FILE]
+    scrip-sim record <FILE.scn> [--trace OUT.trc] [--shards K]
+    scrip-sim replay <FILE.scn> [--trace IN.trc] [--shards K]
+    scrip-sim trace-diff <A.trc> <B.trc>
+    scrip-sim bisect <FILE.scn> --trace IN.trc
 
 NAME is a built-in experiment (see `scrip-sim list`); FILE.scn is a
 scenario file (grammar: docs/SCENARIOS.md); `metrics` lists every
@@ -59,7 +65,18 @@ non-zero when any matching case regresses more than 30%.
 single-replication, queue-level scenario run every SECS simulated
 seconds (to FILE.scn.ckpt, or --checkpoint-file PATH); --resume PATH
 restarts such a run from a snapshot. A resumed run's output is
-byte-identical to the uninterrupted run, fault plans included.";
+byte-identical to the uninterrupted run, fault plans included.
+`record` runs a single-case, single-replication scenario and logs every
+applied event plus per-boundary state digests to a SCRIPTRC trace
+(default FILE.scn.trc); the trace is byte-identical for every --shards
+K. `replay` re-executes the scenario against a trace, fail-closed: it
+exits non-zero naming the first divergent (time, seq) on any mismatch,
+and emits the normal run output when the replay verifies. `trace-diff`
+compares two traces frame by frame and reports the first divergence
+with decoded payloads (exit 1) or counts matching frames (exit 0).
+`bisect` binary-searches a trace's digest frames with checkpoint hops
+(requires shards = 1) and pins where a live re-execution departs from
+the recording, down to the exact (time, seq).";
 
 struct Options {
     csv: bool,
@@ -71,6 +88,7 @@ struct Options {
     checkpoint_every: Option<u64>,
     checkpoint_file: Option<String>,
     resume: Option<String>,
+    trace: Option<String>,
     targets: Vec<String>,
 }
 
@@ -85,6 +103,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         checkpoint_every: None,
         checkpoint_file: None,
         resume: None,
+        trace: None,
         targets: Vec::new(),
     };
     let mut iter = args.iter();
@@ -134,6 +153,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--resume" => {
                 options.resume = Some(iter.next().ok_or("--resume expects a path")?.clone());
+            }
+            "--trace" => {
+                options.trace = Some(iter.next().ok_or("--trace expects a path")?.clone());
             }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag {other:?}"));
@@ -311,6 +333,255 @@ fn run_file_checkpointed(path: &str, options: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Loads a scenario file and requires it to expand to exactly one case
+/// with one replication — the shape `record`/`replay`/`bisect` drive
+/// through a directly-owned [`Session`].
+fn load_single_case(path: &str, verb: &str) -> Result<(Scenario, ResolvedCase), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let scenario = Scenario::parse_str(&text).map_err(|e| format!("{path}: {e}"))?;
+    let cases = scenario.expand().map_err(|e| format!("{path}: {e}"))?;
+    if cases.len() != 1 {
+        return Err(format!(
+            "{path}: {verb} supports exactly one case (this scenario expands to {})",
+            cases.len()
+        ));
+    }
+    if scenario.run.replications != 1 {
+        return Err(format!(
+            "{path}: {verb} supports exactly one replication (got {})",
+            scenario.run.replications
+        ));
+    }
+    let case = cases.into_iter().next().expect("length checked");
+    Ok((scenario, case))
+}
+
+/// Formats a finished single-case session in the standard `run` output
+/// shape (so record/replay output is comparable byte-for-byte with a
+/// plain run and with each other).
+fn emit_single_case(
+    path: &str,
+    scenario: &Scenario,
+    case: &ResolvedCase,
+    record: RunRecord,
+    wall: std::time::Duration,
+    options: &Options,
+) -> Result<(), String> {
+    let seed = scenario.run.seed;
+    if record.get(ids::WEALTH_GINI).is_none() {
+        return Err(format!(
+            "{path}: seed {seed}: market has no peers at the horizon"
+        ));
+    }
+    let result = ScenarioResult {
+        scenario: scenario.clone(),
+        cases: vec![CaseResult {
+            label: case.label.clone(),
+            spec: case.spec.clone(),
+            reps: vec![ReplicationRun { seed, record }],
+            wall,
+        }],
+        wall,
+    };
+    emit_result(&result, options);
+    Ok(())
+}
+
+/// The trace path for a scenario file: `--trace PATH` or `FILE.scn.trc`.
+fn trace_path_for(path: &str, options: &Options) -> String {
+    options
+        .trace
+        .clone()
+        .unwrap_or_else(|| format!("{path}.trc"))
+}
+
+/// `scrip-sim record FILE.scn [--trace OUT.trc] [--shards K]`: run the
+/// scenario once, logging every applied event and per-boundary state
+/// digest to a SCRIPTRC trace. The trace bytes are identical for every
+/// `--shards K`.
+fn cmd_record(options: &Options) -> Result<(), String> {
+    let [target] = options.targets.as_slice() else {
+        return Err("record: expected exactly one scenario file".into());
+    };
+    let (scenario, case) = load_single_case(target, "record")?;
+    let mut config = case
+        .spec
+        .build()
+        .map_err(|e| format!("{target}: case {:?}: {e}", case.label))?;
+    if let Some(shards) = options.shards {
+        config.shards = shards;
+    }
+    let trace_path = trace_path_for(target, options);
+    let start = std::time::Instant::now();
+    let mut session =
+        Session::from_config(&config, scenario.run.seed).map_err(|e| format!("{target}: {e}"))?;
+    session
+        .record_to(Path::new(&trace_path))
+        .map_err(|e| format!("{trace_path}: {e}"))?;
+    for probe in session_probes(&scenario.run) {
+        session.attach(probe);
+    }
+    session.run_until(SimTime::from_secs(scenario.run.horizon_secs));
+    session
+        .finish_trace()
+        .map_err(|e| format!("{trace_path}: {e}"))?;
+    let wall = start.elapsed();
+    eprintln!("recorded {trace_path}");
+    emit_single_case(target, &scenario, &case, session.finish().0, wall, options)
+}
+
+/// `scrip-sim replay FILE.scn [--trace IN.trc] [--shards K]`:
+/// re-execute the scenario against a recorded trace, fail-closed. On
+/// success the normal run output is emitted (byte-identical to the
+/// recording run's); on the first mismatching event or digest the run
+/// freezes and the divergent `(time, seq)` is reported with exit 1.
+fn cmd_replay(options: &Options) -> Result<(), String> {
+    let [target] = options.targets.as_slice() else {
+        return Err("replay: expected exactly one scenario file".into());
+    };
+    let (scenario, case) = load_single_case(target, "replay")?;
+    let mut config = case
+        .spec
+        .build()
+        .map_err(|e| format!("{target}: case {:?}: {e}", case.label))?;
+    if let Some(shards) = options.shards {
+        config.shards = shards;
+    }
+    let trace_path = trace_path_for(target, options);
+    let start = std::time::Instant::now();
+    let mut session =
+        Session::from_config(&config, scenario.run.seed).map_err(|e| format!("{target}: {e}"))?;
+    session
+        .replay_from(Path::new(&trace_path))
+        .map_err(|e| format!("{trace_path}: {e}"))?;
+    for probe in session_probes(&scenario.run) {
+        session.attach(probe);
+    }
+    session.run_until(SimTime::from_secs(scenario.run.horizon_secs));
+    session
+        .finish_trace()
+        .map_err(|e| format!("{trace_path}: {e}"))?;
+    let wall = start.elapsed();
+    eprintln!("replay verified against {trace_path}");
+    emit_single_case(target, &scenario, &case, session.finish().0, wall, options)
+}
+
+/// Renders one decoded frame for `trace-diff` output.
+fn describe_frame(frame: &Option<TraceFrame>) -> String {
+    match frame {
+        None => "end of trace".into(),
+        Some(TraceFrame::Event { time, seq, payload }) => {
+            let decoded = match MarketEvent::from_trace_payload(payload) {
+                Ok(event) => format!("{event:?}"),
+                Err(_) => format!("<{} undecodable payload bytes>", payload.len()),
+            };
+            format!("event {decoded} at (t={}µs, seq={seq})", time.as_micros())
+        }
+        Some(TraceFrame::Digest {
+            time,
+            events_processed,
+            digest,
+        }) => format!(
+            "digest {digest:#018x} after {events_processed} events at t={}µs",
+            time.as_micros()
+        ),
+    }
+}
+
+/// `scrip-sim trace-diff A.trc B.trc`: lockstep frame comparison. Exit
+/// 0 when the traces are identical, 1 with the first divergent frame
+/// pair (decoded) otherwise.
+fn cmd_trace_diff(options: &Options) -> Result<(), String> {
+    let [path_a, path_b] = options.targets.as_slice() else {
+        return Err("trace-diff: expected exactly two trace files".into());
+    };
+    let mut a = TraceReader::from_path(Path::new(path_a)).map_err(|e| format!("{path_a}: {e}"))?;
+    let mut b = TraceReader::from_path(Path::new(path_b)).map_err(|e| format!("{path_b}: {e}"))?;
+    if a.header() != b.header() {
+        let (ha, hb) = (*a.header(), *b.header());
+        println!(
+            "headers differ: fingerprint {:#018x} seed {} vs fingerprint {:#018x} seed {}",
+            ha.fingerprint, ha.seed, hb.fingerprint, hb.seed
+        );
+        return Err("traces diverge (headers)".into());
+    }
+    let ca = a.register_consumer();
+    let cb = b.register_consumer();
+    let (mut events, mut digests) = (0u64, 0u64);
+    loop {
+        let fa = a.next_frame(ca).map_err(|e| format!("{path_a}: {e}"))?;
+        let fb = b.next_frame(cb).map_err(|e| format!("{path_b}: {e}"))?;
+        if fa != fb {
+            let at = match (&fa, &fb) {
+                (Some(TraceFrame::Event { time, seq, .. }), _)
+                | (_, Some(TraceFrame::Event { time, seq, .. })) => {
+                    format!("(t={}µs, seq={seq})", time.as_micros())
+                }
+                (Some(frame), _) | (_, Some(frame)) => {
+                    format!("t={}µs", frame.time().as_micros())
+                }
+                (None, None) => unreachable!("equal frames compared unequal"),
+            };
+            println!("first divergence at {at}:");
+            println!("  {path_a}: {}", describe_frame(&fa));
+            println!("  {path_b}: {}", describe_frame(&fb));
+            return Err("traces diverge".into());
+        }
+        match fa {
+            None => break,
+            Some(TraceFrame::Event { .. }) => events += 1,
+            Some(TraceFrame::Digest { .. }) => digests += 1,
+        }
+    }
+    println!("traces identical: {events} event frame(s), {digests} digest frame(s)");
+    Ok(())
+}
+
+/// `scrip-sim bisect FILE.scn --trace IN.trc`: binary-search the
+/// trace's digest frames against a live re-execution (checkpoint hops,
+/// shards = 1 only), then replay the bracketed window event-by-event to
+/// pin the exact divergent `(time, seq)`.
+fn cmd_bisect(options: &Options) -> Result<(), String> {
+    let [target] = options.targets.as_slice() else {
+        return Err("bisect: expected exactly one scenario file".into());
+    };
+    if matches!(options.shards, Some(shards) if shards != 1) {
+        return Err("bisect requires --shards 1 (the search hops via checkpoints)".into());
+    }
+    let Some(trace_path) = options.trace.clone() else {
+        return Err("bisect: --trace IN.trc is required".into());
+    };
+    let (scenario, case) = load_single_case(target, "bisect")?;
+    let config = case
+        .spec
+        .build()
+        .map_err(|e| format!("{target}: case {:?}: {e}", case.label))?;
+    let report = scrip_bench::bisect::bisect_trace(
+        &config,
+        scenario.run.seed,
+        SimTime::from_secs(scenario.run.horizon_secs),
+        Path::new(&trace_path),
+    )
+    .map_err(|e| format!("{target}: {e}"))?;
+    let (lo, hi) = report.window;
+    eprintln!(
+        "bisect: {} digest probe(s), window ({}µs, {}µs]",
+        report.probes,
+        lo.as_micros(),
+        hi.as_micros()
+    );
+    match report.divergence {
+        Some(divergence) => {
+            println!("{divergence}");
+            Ok(())
+        }
+        None => {
+            println!("no divergence: live run matches the recorded trace");
+            Ok(())
+        }
+    }
+}
+
 /// Runs `body` with `--shards` applied to every queue-level market run,
 /// restoring the previous override afterwards. Output stays byte-identical
 /// for every shard count; only the execution strategy changes.
@@ -463,6 +734,14 @@ fn cmd_bench(options: &Options) -> Result<(), String> {
         }
         eprintln!("no case regressed more than 30% vs {baseline_path}");
     }
+    let record_failures = scrip_bench::perf::record_overhead_failures(&report);
+    if !record_failures.is_empty() {
+        return Err(format!(
+            "trace-recording overhead gate failed:\n  {}",
+            record_failures.join("\n  ")
+        ));
+    }
+    eprintln!("trace recording stayed within its churn-throughput overhead floor");
     let budget = scrip_bench::perf::rss_budget_bytes(scale);
     let rss_failures = scrip_bench::perf::check_rss_budget(&report, budget);
     if !rss_failures.is_empty() {
@@ -514,6 +793,10 @@ fn main() -> ExitCode {
         "check" => cmd_check(&options),
         "export" => cmd_export(&options),
         "bench" => cmd_bench(&options),
+        "record" => cmd_record(&options),
+        "replay" => cmd_replay(&options),
+        "trace-diff" => cmd_trace_diff(&options),
+        "bisect" => cmd_bisect(&options),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

@@ -36,7 +36,9 @@ use crate::scenario::{Metric, RunSpec};
 #[derive(Clone, Debug, PartialEq)]
 pub struct BenchEntry {
     /// Which hot path this case exercises (`asymmetric`,
-    /// `availability_feedback`, `tax`, `churn`, or `gini_sample`).
+    /// `availability_feedback`, `tax`, `churn`, the paired
+    /// `churn_session`/`churn_recorded` overhead rows, or
+    /// `gini_sample`).
     pub regime: String,
     /// Number of peers.
     pub n: usize,
@@ -189,6 +191,86 @@ fn run_faulted_case(n: usize, horizon_secs: u64, scale: &str) -> BenchEntry {
         events_per_sec: stats.events_processed as f64 / wall,
         peak_rss_bytes: peak_rss_bytes(),
     }
+}
+
+/// Trace-recording cases at a scale: `(n, horizon_secs)` — the churn
+/// regime driven through a [`Session`] that records every applied
+/// event to a `SCRIPTRC` trace. The gap between the paired
+/// `churn_session`/`churn_recorded` rows is the all-in cost of the
+/// hot-path [`scrip_des::TraceWriter`] (buffered frame encode +
+/// boundary digests + flushes), gated at <5% full scale / <10% quick
+/// by [`record_overhead_failures`]. Both scales run n=10⁵ — the size
+/// the headline claim is made at: the per-frame encode cost is fixed
+/// (~0.1 µs), so at n=10⁴ (where quick's other rows live) it would be
+/// ~11% of the cheaper per-event dispatch and the proxy would gate a
+/// different ratio than the claim. Quick just shortens the horizon.
+fn recorded_cases(scale: RunScale) -> Vec<(usize, u64)> {
+    match scale {
+        RunScale::Full => vec![(100_000, 20)],
+        RunScale::Quick => vec![(100_000, 5)],
+    }
+}
+
+/// Measures the trace-recording overhead as a *paired* experiment:
+/// interleaved trials of the same churn-market [`Session`] run with
+/// and without `record_to`, keeping each side's best throughput.
+/// Returns `(churn_session, churn_recorded)` — the unrecorded anchor
+/// and the recorded row. Pairing makes the comparison like-for-like
+/// (both sides pay the identical `Session` dispatch path), and
+/// best-of-N interleaving cancels the wall-clock noise a shared VM
+/// injects into sub-second windows: noise only ever slows a trial
+/// down, so the per-side maximum is the closest observation of the
+/// true cost on both sides of the ratio.
+///
+/// The recorded side sinks to `/dev/null`: the row gates the
+/// *hot-path* cost — per-event frame encode + checksum + staging —
+/// which is what the trace layer controls. Physical write-out cost is
+/// an environment property (on a multi-core host page-cache writeback
+/// overlaps the run; on a single-core container it steals the only
+/// CPU), and letting it into the row would gate the runner's disk,
+/// not the code. Builds and trace attachment are untimed; event
+/// dispatch to the horizon plus the final flush are timed.
+fn run_recorded_case(n: usize, horizon_secs: u64, scale: &str) -> (BenchEntry, BenchEntry) {
+    let config = regime_config("churn", n);
+    let horizon = SimTime::from_secs(horizon_secs);
+    let trace_path = std::path::PathBuf::from("/dev/null");
+    // Three interleaved trials per side: noise on a shared runner only
+    // ever slows a window down, so each side's best-of-3 is the
+    // closest observation of its true cost, and interleaving keeps a
+    // sustained slow patch from landing entirely on one side.
+    let trials = 3;
+    let mut best: [Option<(u64, f64)>; 2] = [None, None];
+    for _ in 0..trials {
+        for (side, record) in [(0usize, false), (1usize, true)] {
+            let mut session = Session::from_config(&config, 42).expect("bench session builds");
+            if record {
+                session.record_to(&trace_path).expect("recording starts");
+            }
+            let start = Instant::now();
+            session.run_until(horizon);
+            if record {
+                session.finish_trace().expect("trace completes");
+            }
+            let wall = start.elapsed().as_secs_f64().max(1e-9);
+            let events = session.stats().events_processed;
+            if best[side].map_or(true, |(_, w)| wall < w) {
+                best[side] = Some((events, wall));
+            }
+        }
+    }
+    let entry = |regime: &str, (events, wall): (u64, f64)| BenchEntry {
+        regime: regime.into(),
+        n,
+        scale: scale.into(),
+        events,
+        wall_secs: wall,
+        events_per_sec: events as f64 / wall,
+        peak_rss_bytes: peak_rss_bytes(),
+    };
+    (
+        entry("churn_session", best[0].expect("at least one trial")),
+        entry("churn_recorded", best[1].expect("at least one trial")),
+    )
 }
 
 /// Sharded-execution cases at a scale: `(shards, n, horizon_secs)` —
@@ -375,6 +457,16 @@ pub fn run_bench(scale: RunScale) -> BenchReport {
             entry.regime, entry.events_per_sec, entry.events, entry.wall_secs
         );
         report.entries.push(entry);
+    }
+    for (n, horizon) in recorded_cases(scale) {
+        let (anchor, recorded) = run_recorded_case(n, horizon, scale_name);
+        for entry in [anchor, recorded] {
+            eprintln!(
+                "bench {:<22} n={n:<7} {:>12.0} events/s ({} events in {:.2}s)",
+                entry.regime, entry.events_per_sec, entry.events, entry.wall_secs
+            );
+            report.entries.push(entry);
+        }
     }
     for (shards, n, horizon) in sharded_cases(scale) {
         let entry = run_sharded_case(shards, n, horizon, scale_name);
@@ -587,6 +679,48 @@ pub fn compare_against(
     failures
 }
 
+/// The trace-recording overhead gate: every `churn_recorded` entry
+/// must keep a floor fraction of its paired `churn_session` anchor's
+/// throughput at the same `(n, scale)` (both sides of the pair are
+/// best-of-N interleaved measurements of the identical `Session`
+/// dispatch path — see `run_recorded_case`). At full scale the floor
+/// is 95% — the headline "hot-path recording costs under 5%" claim.
+/// The quick row runs the same n=10⁵ regime over a 4×-shorter
+/// horizon, so its windows are noisier on a shared CI runner — its
+/// floor is 90%, still tight enough to catch a real regression (an
+/// accidental flush-per-frame costs far more). Returns the offending
+/// descriptions.
+pub fn record_overhead_failures(report: &BenchReport) -> Vec<String> {
+    report
+        .entries
+        .iter()
+        .filter(|e| e.regime == "churn_recorded")
+        .filter_map(|e| {
+            let anchor = report
+                .entries
+                .iter()
+                .find(|a| a.regime == "churn_session" && a.n == e.n && a.scale == e.scale)?;
+            if anchor.events_per_sec <= 0.0 {
+                return None;
+            }
+            let floor = if e.scale == "quick" { 0.90 } else { 0.95 };
+            let ratio = e.events_per_sec / anchor.events_per_sec;
+            (ratio < floor).then(|| {
+                format!(
+                    "churn_recorded n={} ({}): {:.0} events/s is {:.1}% below its paired \
+                     churn_session anchor's {:.0} (recording must cost <{:.0}% at this scale)",
+                    e.n,
+                    e.scale,
+                    e.events_per_sec,
+                    (1.0 - ratio) * 100.0,
+                    anchor.events_per_sec,
+                    (1.0 - floor) * 100.0
+                )
+            })
+        })
+        .collect()
+}
+
 /// The peak-RSS budget for a bench run at `scale`, in bytes.
 ///
 /// `peak_rss_bytes` is the *process* high-water mark (`VmHWM`), so it
@@ -594,8 +728,9 @@ pub fn compare_against(
 /// whole suite, sized by its largest case. Full scale runs the four
 /// market regimes at n=10⁶ (arena state ≈ 100 B/peer + scale-free
 /// adjacency ≈ 8 B × ~20 neighbors + the timing wheel's pre-sized
-/// buckets), which lands well under 4 GiB; quick tops out at n=10⁴ and
-/// must stay under 1 GiB. Blowing a budget means a structure started
+/// buckets), which lands well under 4 GiB; quick tops out at the
+/// n=10⁵ recording pair and must stay under 1 GiB. Blowing a budget
+/// means a structure started
 /// scaling superlinearly — the audit in
 /// `scrip_core::market::CreditMarket::memory_audit` pinpoints which.
 pub fn rss_budget_bytes(scale: RunScale) -> u64 {
@@ -784,6 +919,65 @@ mod tests {
             "sharding must not change the event stream"
         );
         assert!(sharded.events_per_sec > 0.0);
+    }
+
+    #[test]
+    fn recorded_case_replays_the_plain_churn_event_stream() {
+        // Miniature size; the real rows run under `scrip-sim bench`.
+        let plain = run_market_case("churn", 100, 20, "test");
+        let (anchor, recorded) = run_recorded_case(100, 20, "test");
+        assert_eq!(
+            plain.events, recorded.events,
+            "recording must not change the event stream"
+        );
+        assert_eq!(
+            anchor.events, recorded.events,
+            "both sides of the pair dispatch the identical run"
+        );
+        assert_eq!(anchor.regime, "churn_session");
+        assert_eq!(recorded.regime, "churn_recorded");
+        assert!(recorded.events_per_sec > 0.0);
+    }
+
+    #[test]
+    fn record_overhead_gate_triggers_below_the_scale_floor() {
+        let full = |regime: &str, eps: f64| {
+            let mut e = entry(regime, eps);
+            e.scale = "full".into();
+            e
+        };
+        // Full scale: 95% floor — 96% passes, 94% fails.
+        let report = BenchReport {
+            entries: vec![full("churn_session", 1000.0), full("churn_recorded", 960.0)],
+        };
+        assert!(record_overhead_failures(&report).is_empty());
+        let report = BenchReport {
+            entries: vec![full("churn_session", 1000.0), full("churn_recorded", 940.0)],
+        };
+        let failures = record_overhead_failures(&report);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("churn_recorded"), "{failures:?}");
+        // Quick scale: the cheaper-per-event CI proxy gets a 90% floor
+        // — 94% passes there, 89% fails.
+        let report = BenchReport {
+            entries: vec![
+                entry("churn_session", 1000.0),
+                entry("churn_recorded", 940.0),
+            ],
+        };
+        assert!(record_overhead_failures(&report).is_empty());
+        let report = BenchReport {
+            entries: vec![
+                entry("churn_session", 1000.0),
+                entry("churn_recorded", 890.0),
+            ],
+        };
+        assert_eq!(record_overhead_failures(&report).len(), 1);
+        // No anchor row → informational only, never a failure.
+        let orphan = BenchReport {
+            entries: vec![entry("churn_recorded", 1.0)],
+        };
+        assert!(record_overhead_failures(&orphan).is_empty());
     }
 
     #[test]

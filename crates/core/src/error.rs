@@ -24,6 +24,10 @@ pub enum CoreError {
     /// (truncated/corrupt bytes, version or configuration mismatch,
     /// unsupported session shape).
     Checkpoint(String),
+    /// An event trace could not be recorded, read, or verified
+    /// (I/O failure, truncated/corrupt frames, header mismatch, or a
+    /// replay that diverged from the recorded run).
+    Trace(String),
 }
 
 impl fmt::Display for CoreError {
@@ -35,6 +39,7 @@ impl fmt::Display for CoreError {
             CoreError::Econ(e) => write!(f, "inequality metric: {e}"),
             CoreError::Ledger(msg) => write!(f, "ledger: {msg}"),
             CoreError::Checkpoint(msg) => write!(f, "checkpoint: {msg}"),
+            CoreError::Trace(msg) => write!(f, "trace: {msg}"),
         }
     }
 }

@@ -432,6 +432,21 @@ impl MarketEvent {
             }
         })
     }
+
+    /// Decodes one trace event payload (the bytes a recording
+    /// [`crate::obs::Session`] stores per applied event) back into the
+    /// event it encodes — the rendering hook for `trace-diff` and
+    /// divergence reports.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::Checkpoint`] for truncated payloads, unknown
+    /// tags, or trailing bytes.
+    pub fn from_trace_payload(bytes: &[u8]) -> Result<Self, CoreError> {
+        let mut r = crate::snapshot::Reader::new(bytes);
+        let event = MarketEvent::decode(&mut r)?;
+        r.finish()?;
+        Ok(event)
+    }
 }
 
 /// Component-by-component heap accounting for one [`CreditMarket`]
@@ -891,6 +906,19 @@ impl CreditMarket {
             w.put_f64(g);
         }
         w.put_bool(self.bootstrapped);
+    }
+
+    /// FNV-1a digest of the complete mutable market state — a fold over
+    /// the exact bytes `CreditMarket::write_state` would checkpoint
+    /// (RNG streams, fault plan, graph, arena, ledger, escrow, pricing,
+    /// Gini trajectory). Two markets with equal digests at a quiescent
+    /// boundary are byte-identical for resume purposes; trace digest
+    /// frames pin this value at every sampling boundary, and
+    /// `tests/fixture_guard.rs` pins it for the golden configurations.
+    pub fn state_digest(&self) -> u64 {
+        let mut w = crate::snapshot::Writer::default();
+        self.write_state(&mut w);
+        crate::snapshot::fingerprint(w.as_slice())
     }
 
     /// Restores the state captured by [`CreditMarket::write_state`]

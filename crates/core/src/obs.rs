@@ -55,9 +55,13 @@
 //! # }
 //! ```
 
+use std::io::BufWriter;
+use std::path::Path;
+
 use scrip_des::stats::TimeSeries;
 use scrip_des::{
     RunStats, Scheduled, Scheduler, ShardedSimulation, SimDuration, SimTime, Simulation,
+    TraceError, TraceFrame, TraceHeader, TraceReader, TraceWriter,
 };
 use scrip_streaming::{StreamEvent, StreamingSystem};
 
@@ -309,6 +313,30 @@ pub trait MarketView {
     fn in_flight_escrow(&self) -> u64 {
         0
     }
+    /// FNV-1a digest of the market's deterministic state, taken at
+    /// sampling boundaries for trace digest frames and golden pins.
+    /// The queue-level market overrides this with a fold over the exact
+    /// checkpoint byte encoding of its state (RNG streams, graph,
+    /// arena, ledger, escrow, pricing, fault plan); the default folds
+    /// the observable economy — population, counters, escrow pools, and
+    /// the full sorted wealth distribution — for views without a
+    /// checkpoint codec.
+    fn state_digest(&self) -> u64 {
+        let mut w = snapshot::Writer::default();
+        w.put_u64(self.peer_count() as u64);
+        w.put_u64(self.purchases());
+        w.put_u64(self.denied());
+        w.put_u64(self.total_spent());
+        w.put_u64(self.in_flight_escrow());
+        let ledger = self.ledger();
+        w.put_u64(ledger.escrow());
+        w.put_u64(ledger.minted());
+        w.put_u64(ledger.burned());
+        for balance in self.balances_sorted() {
+            w.put_u64(balance);
+        }
+        snapshot::fingerprint(w.as_slice())
+    }
 }
 
 impl MarketView for CreditMarket {
@@ -351,6 +379,9 @@ impl MarketView for CreditMarket {
     }
     fn in_flight_escrow(&self) -> u64 {
         CreditMarket::in_flight_escrow(self)
+    }
+    fn state_digest(&self) -> u64 {
+        CreditMarket::state_digest(self)
     }
 }
 
@@ -504,6 +535,245 @@ impl SessionModel {
     }
 }
 
+/// The first point where a replayed run departed from its recorded
+/// trace — what `scrip-sim replay`/`bisect` report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceDivergence {
+    /// Instant of the divergence.
+    pub time: SimTime,
+    /// Global sequence number of the divergent event ([`None`] when a
+    /// digest frame at a sampling boundary caught the divergence).
+    pub seq: Option<u64>,
+    /// What the recorded trace expected (decoded, human-readable).
+    pub expected: String,
+    /// What the live re-execution produced.
+    pub actual: String,
+}
+
+impl std::fmt::Display for TraceDivergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "replay diverged at t={}µs", self.time.as_micros())?;
+        if let Some(seq) = self.seq {
+            write!(f, " seq={seq}")?;
+        }
+        write!(
+            f,
+            ": trace recorded {}, live run produced {}",
+            self.expected, self.actual
+        )
+    }
+}
+
+fn trace_err(e: TraceError) -> CoreError {
+    CoreError::Trace(e.to_string())
+}
+
+/// Renders a trace event payload for divergence reports.
+fn describe_payload(payload: &[u8]) -> String {
+    match MarketEvent::from_trace_payload(payload) {
+        Ok(event) => format!("{event:?}"),
+        Err(_) => format!("<{} undecodable payload bytes>", payload.len()),
+    }
+}
+
+/// Trace state attached to a session: either recording the event
+/// stream or verifying a live re-execution against a recorded one.
+enum Tracer {
+    /// Recording: every applied event becomes a frame, every sampling
+    /// boundary a digest frame followed by a flush.
+    Record {
+        writer: TraceWriter<BufWriter<std::fs::File>>,
+        /// Reused per-event encode buffer (no per-event allocation).
+        scratch: snapshot::Writer,
+        error: Option<TraceError>,
+    },
+    /// Verifying: each applied event must match the next recorded
+    /// event frame, each shared boundary the recorded digest.
+    Verify {
+        reader: TraceReader,
+        consumer: usize,
+        scratch: snapshot::Writer,
+        divergence: Option<TraceDivergence>,
+        error: Option<TraceError>,
+    },
+}
+
+impl Tracer {
+    /// Whether tracing hit a terminal condition (I/O error or replay
+    /// divergence) — the session stops running when this turns true.
+    fn halted(&self) -> bool {
+        match self {
+            Tracer::Record { error, .. } => error.is_some(),
+            Tracer::Verify {
+                divergence, error, ..
+            } => divergence.is_some() || error.is_some(),
+        }
+    }
+
+    /// The per-event kernel tap: returning `false` vetoes the dispatch
+    /// and freezes the simulation at the pre-event state.
+    fn on_event(&mut self, time: SimTime, seq: u64, event: &MarketEvent) -> bool {
+        match self {
+            Tracer::Record {
+                writer,
+                scratch,
+                error,
+            } => {
+                scratch.clear();
+                event.encode(scratch);
+                if let Err(e) = writer.event(time, seq, scratch.as_slice()) {
+                    *error = Some(e);
+                    return false;
+                }
+                true
+            }
+            Tracer::Verify {
+                reader,
+                consumer,
+                scratch,
+                divergence,
+                error,
+            } => {
+                // Digest frames belong to boundaries; any still sitting
+                // before the next event frame were taken at stops this
+                // session does not share (e.g. probe extra stops during
+                // a mid-run bisection) — skip them. Shared boundaries
+                // consume their digest strictly in `on_boundary` before
+                // the next event is tapped.
+                loop {
+                    match reader.peek_frame(*consumer) {
+                        Ok(Some(TraceFrame::Digest { .. })) => {
+                            let _ = reader.next_frame(*consumer);
+                        }
+                        Ok(_) => break,
+                        Err(e) => {
+                            *error = Some(e);
+                            return false;
+                        }
+                    }
+                }
+                let frame = match reader.next_frame(*consumer) {
+                    Ok(frame) => frame,
+                    Err(e) => {
+                        *error = Some(e);
+                        return false;
+                    }
+                };
+                scratch.clear();
+                event.encode(scratch);
+                let actual = format!("{event:?}");
+                match frame {
+                    Some(TraceFrame::Event {
+                        time: rt,
+                        seq: rs,
+                        payload,
+                    }) => {
+                        if rt == time && rs == seq && payload.as_slice() == scratch.as_slice() {
+                            return true;
+                        }
+                        *divergence = Some(TraceDivergence {
+                            time,
+                            seq: Some(seq),
+                            expected: format!(
+                                "{} at (t={}µs, seq={rs})",
+                                describe_payload(&payload),
+                                rt.as_micros()
+                            ),
+                            actual,
+                        });
+                        false
+                    }
+                    Some(TraceFrame::Digest { .. }) => unreachable!("digest frames skipped above"),
+                    None => {
+                        *divergence = Some(TraceDivergence {
+                            time,
+                            seq: Some(seq),
+                            expected: "end of trace (recorded run produced no further events)"
+                                .into(),
+                            actual,
+                        });
+                        false
+                    }
+                }
+            }
+        }
+    }
+
+    /// The sampling-boundary hook: record a digest frame and flush, or
+    /// strictly verify the recorded digest for this boundary.
+    fn on_boundary(&mut self, now: SimTime, events_processed: u64, digest: u64) {
+        match self {
+            Tracer::Record { writer, error, .. } => {
+                if error.is_some() {
+                    return;
+                }
+                let outcome = writer
+                    .digest(now, events_processed, digest)
+                    .and_then(|()| writer.flush());
+                if let Err(e) = outcome {
+                    *error = Some(e);
+                }
+            }
+            Tracer::Verify {
+                reader,
+                consumer,
+                divergence,
+                error,
+                ..
+            } => {
+                if divergence.is_some() || error.is_some() {
+                    return;
+                }
+                match reader.peek_frame(*consumer) {
+                    Err(e) => *error = Some(e),
+                    Ok(Some(TraceFrame::Digest {
+                        time: rt,
+                        events_processed: re,
+                        digest: rd,
+                    })) if rt == now => {
+                        let _ = reader.next_frame(*consumer);
+                        if re != events_processed || rd != digest {
+                            *divergence = Some(TraceDivergence {
+                                time: now,
+                                seq: None,
+                                expected: format!("digest {rd:#018x} after {re} events"),
+                                actual: format!(
+                                    "digest {digest:#018x} after {events_processed} events"
+                                ),
+                            });
+                        }
+                    }
+                    Ok(Some(TraceFrame::Event {
+                        time: rt,
+                        seq: rs,
+                        payload,
+                    })) if rt <= now => {
+                        // The recorded run applied more events by this
+                        // boundary than the live run produced.
+                        *divergence = Some(TraceDivergence {
+                            time: rt,
+                            seq: Some(rs),
+                            expected: format!(
+                                "{} at (t={}µs, seq={rs})",
+                                describe_payload(&payload),
+                                rt.as_micros()
+                            ),
+                            actual: format!(
+                                "no further events by the boundary at t={}µs",
+                                now.as_micros()
+                            ),
+                        });
+                    }
+                    // A boundary the recorded run did not stop at (or
+                    // the trace ended at an earlier horizon): nothing
+                    // recorded to check against.
+                    Ok(_) => {}
+                }
+            }
+        }
+    }
+}
+
 /// One market run under observation: the unified entry point for both
 /// granularities. See the [module docs](self) for the full picture and
 /// an example.
@@ -526,6 +796,9 @@ pub struct Session {
     last_purchases: u64,
     last_denied: u64,
     started: bool,
+    /// Attached trace recorder/verifier, if any. Boxed: sessions
+    /// without one pay a single pointer of overhead.
+    tracer: Option<Box<Tracer>>,
 }
 
 impl Session {
@@ -585,6 +858,7 @@ impl Session {
             last_purchases: 0,
             last_denied: 0,
             started: false,
+            tracer: None,
         })
     }
 
@@ -638,16 +912,49 @@ impl Session {
     }
 
     fn sim_run_until(&mut self, t: SimTime) {
+        let tracer = self.tracer.as_deref_mut();
         match &mut self.sim {
             SessionSim::Queue(sim) => {
-                sim.run_until(t);
+                if let Some(tracer) = tracer {
+                    sim.run_until_traced(t, &mut |time, seq, event| {
+                        tracer.on_event(time, seq, event)
+                    });
+                } else {
+                    sim.run_until(t);
+                }
             }
             SessionSim::Sharded(sim) => {
-                sim.run_until(t);
+                if let Some(tracer) = tracer {
+                    sim.run_until_traced(t, &mut |time, seq, event| {
+                        tracer.on_event(time, seq, event)
+                    });
+                } else {
+                    sim.run_until(t);
+                }
             }
             SessionSim::Chunk(sim) => {
                 sim.run_until(t);
             }
+        }
+    }
+
+    /// Whether tracing hit a terminal condition (I/O error or replay
+    /// divergence); the session freezes at the pre-event state until
+    /// [`Session::finish_trace`] reports the cause.
+    fn trace_halted(&self) -> bool {
+        self.tracer.as_deref().is_some_and(Tracer::halted)
+    }
+
+    /// Emits (or verifies) the state-digest frame for boundary `now`.
+    /// No-op without a tracer.
+    fn trace_boundary(&mut self, now: SimTime) {
+        if self.tracer.is_none() {
+            return;
+        }
+        let digest = self.view().state_digest();
+        let events_processed = self.stats().events_processed;
+        if let Some(tracer) = self.tracer.as_deref_mut() {
+            tracer.on_boundary(now, events_processed, digest);
         }
     }
 
@@ -678,7 +985,15 @@ impl Session {
             return;
         }
         self.started = true;
+        // No digest frame at time zero: the serial kernel applies the
+        // bootstrap event inside this call while the sharded kernel
+        // defers it to the first window, so a t = 0 digest would sit at
+        // different stream positions per kernel and break cross-shard
+        // trace identity. Bisection anchors on a fresh session instead.
         self.sim_run_until(SimTime::ZERO);
+        if self.trace_halted() {
+            return;
+        }
         let view: &dyn MarketView = match &self.sim {
             SessionSim::Queue(sim) => sim.model(),
             SessionSim::Sharded(sim) => sim.model().market(),
@@ -703,13 +1018,13 @@ impl Session {
     /// zero overhead over driving the simulator directly. May be called
     /// repeatedly with increasing horizons.
     pub fn run_until(&mut self, horizon: SimTime) {
-        if self.probes.is_empty() {
+        if self.probes.is_empty() && self.tracer.is_none() {
             self.started = true;
             self.sim_run_until(horizon);
             return;
         }
         self.ensure_started();
-        while self.now() < horizon {
+        while self.now() < horizon && !self.trace_halted() {
             let mut stop = horizon;
             if self.next_tick <= stop {
                 stop = self.next_tick;
@@ -720,6 +1035,15 @@ impl Session {
                 }
             }
             self.sim_run_until(stop);
+            if self.trace_halted() {
+                return;
+            }
+            // Every stop — tick, extra, or horizon — is a sampling
+            // boundary, so record/verify its state digest.
+            self.trace_boundary(stop);
+            if self.trace_halted() {
+                return;
+            }
             let is_tick = stop == self.next_tick;
             let is_extra = self.stops.first() == Some(&stop);
             if is_tick || is_extra {
@@ -730,6 +1054,218 @@ impl Session {
                     self.stops.remove(0);
                 }
                 self.dispatch_sample(stop);
+            }
+        }
+    }
+
+    /// The configuration fingerprint stored in trace headers. Unlike
+    /// the checkpoint fingerprint this normalizes `shards` away: the
+    /// event stream is execution-strategy independent (a pinned
+    /// invariant), so a trace recorded at any shard count replays at
+    /// any other.
+    fn trace_config_fingerprint(&self) -> Result<u64, CoreError> {
+        let config = match &self.sim {
+            SessionSim::Queue(sim) => sim.model().config(),
+            SessionSim::Sharded(sim) => sim.model().market().config(),
+            SessionSim::Chunk(_) => {
+                return Err(CoreError::Trace(
+                    "chunk-level (streaming) sessions cannot record or replay event traces".into(),
+                ));
+            }
+        };
+        let mut canonical = config.clone();
+        canonical.shards = 1;
+        Ok(snapshot::fingerprint(format!("{canonical:?}").as_bytes()))
+    }
+
+    /// Starts recording this session's event stream to `path` in the
+    /// `SCRIPTRC` format ([`scrip_des::trace`]): one frame per applied
+    /// event, keyed by its `(time, seq)` identity, plus a state-digest
+    /// frame at every sampling boundary. Frames are buffered and
+    /// flushed at boundaries; [`Session::finish_trace`] completes the
+    /// file. Traces are execution-strategy independent — recording the
+    /// same scenario serially or sharded produces byte-identical files.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::Trace`] if the session already started, is
+    /// chunk-level (streaming), already has a tracer attached, or the
+    /// file cannot be created.
+    pub fn record_to(&mut self, path: &Path) -> Result<(), CoreError> {
+        if self.started {
+            return Err(CoreError::Trace(
+                "start recording before the first run_until call".into(),
+            ));
+        }
+        if self.tracer.is_some() {
+            return Err(CoreError::Trace(
+                "session already has a tracer attached".into(),
+            ));
+        }
+        let fingerprint = self.trace_config_fingerprint()?;
+        let file = std::fs::File::create(path)
+            .map_err(|e| CoreError::Trace(format!("create {}: {e}", path.display())))?;
+        let writer = TraceWriter::new(
+            BufWriter::new(file),
+            TraceHeader {
+                fingerprint,
+                seed: self.seed,
+            },
+        );
+        self.tracer = Some(Box::new(Tracer::Record {
+            writer,
+            scratch: snapshot::Writer::default(),
+            error: None,
+        }));
+        Ok(())
+    }
+
+    /// Re-executes this session against the trace at `path`,
+    /// fail-closed: every applied event must match the recorded frame
+    /// byte for byte and every shared sampling boundary the recorded
+    /// state digest. On the first mismatch the run freezes at the
+    /// pre-event state ([`Session::trace_divergence`] has the details;
+    /// [`Session::finish_trace`] returns them as an error).
+    ///
+    /// # Errors
+    /// Returns [`CoreError::Trace`] for unreadable/corrupt trace files,
+    /// a header (configuration or seed) mismatch, or a session that
+    /// already started.
+    pub fn replay_from(&mut self, path: &Path) -> Result<(), CoreError> {
+        if self.started {
+            return Err(CoreError::Trace(
+                "attach a replay before the first run_until call".into(),
+            ));
+        }
+        let reader = TraceReader::from_path(path).map_err(trace_err)?;
+        self.replay_resume(reader)
+    }
+
+    /// Attaches replay verification to a session positioned mid-run —
+    /// a [`Session::resume`]d checkpoint during divergence bisection.
+    /// Event frames already covered by the session's processed-event
+    /// count are skipped, along with digest frames at or before its
+    /// clock; every further event is then verified as in
+    /// [`Session::replay_from`].
+    ///
+    /// # Errors
+    /// Returns [`CoreError::Trace`] on a header mismatch, an already
+    /// attached tracer, or a trace shorter than the session's position.
+    pub fn replay_resume(&mut self, mut reader: TraceReader) -> Result<(), CoreError> {
+        if self.tracer.is_some() {
+            return Err(CoreError::Trace(
+                "session already has a tracer attached".into(),
+            ));
+        }
+        let fingerprint = self.trace_config_fingerprint()?;
+        let header = *reader.header();
+        if header.fingerprint != fingerprint {
+            return Err(CoreError::Trace(
+                "configuration mismatch: trace was recorded under a different scenario".into(),
+            ));
+        }
+        if header.seed != self.seed {
+            return Err(CoreError::Trace(format!(
+                "seed mismatch: trace was recorded with seed {}, session runs seed {}",
+                header.seed, self.seed
+            )));
+        }
+        let consumer = reader.register_consumer();
+        let target = self.stats().events_processed;
+        let now = self.now();
+        let mut skipped = 0u64;
+        loop {
+            match reader.peek_frame(consumer).map_err(trace_err)? {
+                Some(TraceFrame::Event { .. }) if skipped < target => {
+                    skipped += 1;
+                    reader.next_frame(consumer).map_err(trace_err)?;
+                }
+                Some(TraceFrame::Digest { time, .. }) if time <= now && skipped < target => {
+                    reader.next_frame(consumer).map_err(trace_err)?;
+                }
+                _ => break,
+            }
+        }
+        if skipped != target {
+            return Err(CoreError::Trace(format!(
+                "trace too short to verify from here: it holds {skipped} events up to the \
+                 session clock, the session has already applied {target}"
+            )));
+        }
+        // Digest frames for boundaries at or before the clock (e.g. the
+        // boundary this session checkpointed at) are already covered.
+        while let Some(TraceFrame::Digest { time, .. }) =
+            reader.peek_frame(consumer).map_err(trace_err)?
+        {
+            if time > now {
+                break;
+            }
+            reader.next_frame(consumer).map_err(trace_err)?;
+        }
+        self.tracer = Some(Box::new(Tracer::Verify {
+            reader,
+            consumer,
+            scratch: snapshot::Writer::default(),
+            divergence: None,
+            error: None,
+        }));
+        Ok(())
+    }
+
+    /// The first divergence a replaying session found, if any. The
+    /// simulation is frozen at the pre-event state of the divergent
+    /// `(time, seq)`.
+    pub fn trace_divergence(&self) -> Option<&TraceDivergence> {
+        match self.tracer.as_deref() {
+            Some(Tracer::Verify { divergence, .. }) => divergence.as_ref(),
+            _ => None,
+        }
+    }
+
+    /// Completes and detaches the session's trace. A recording is
+    /// flushed and closed; a verification must have consumed the whole
+    /// recorded event stream without divergence. A session with no
+    /// tracer attached returns `Ok(())`.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::Trace`] on recording I/O failure, on the
+    /// divergence a replay halted at, or when the recorded run
+    /// continued past this one's horizon.
+    pub fn finish_trace(&mut self) -> Result<(), CoreError> {
+        match self.tracer.take().map(|boxed| *boxed) {
+            None => Ok(()),
+            Some(Tracer::Record { writer, error, .. }) => {
+                if let Some(e) = error {
+                    return Err(trace_err(e));
+                }
+                writer.finish().map(|_| ()).map_err(trace_err)
+            }
+            Some(Tracer::Verify {
+                mut reader,
+                consumer,
+                divergence,
+                error,
+                ..
+            }) => {
+                if let Some(e) = error {
+                    return Err(trace_err(e));
+                }
+                if let Some(d) = divergence {
+                    return Err(CoreError::Trace(d.to_string()));
+                }
+                // Anything left must be boundary digests from stops
+                // this session did not share; leftover event frames
+                // mean the recorded run kept going past this one.
+                while let Some(frame) = reader.next_frame(consumer).map_err(trace_err)? {
+                    if let TraceFrame::Event { time, seq, payload } = frame {
+                        return Err(CoreError::Trace(format!(
+                            "recorded run continued past this one: next recorded event {} at \
+                             (t={}µs, seq={seq})",
+                            describe_payload(&payload),
+                            time.as_micros()
+                        )));
+                    }
+                }
+                Ok(())
             }
         }
     }
@@ -873,6 +1409,7 @@ impl Session {
             last_purchases,
             last_denied,
             started,
+            tracer: None,
         })
     }
 
@@ -1244,5 +1781,159 @@ mod tests {
         // The pristine snapshot still resumes.
         let resumed = Session::resume(&config, Vec::new(), &bytes).expect("resumes");
         assert_eq!(resumed.now(), SimTime::from_secs(100));
+    }
+
+    /// A unique temp path for trace tests; removed by `TracePath::drop`.
+    struct TracePath(std::path::PathBuf);
+
+    impl TracePath {
+        fn new(name: &str) -> Self {
+            TracePath(
+                std::env::temp_dir().join(format!("scrip_obs_{}_{name}.trc", std::process::id())),
+            )
+        }
+    }
+
+    impl Drop for TracePath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    fn record_run(config: &MarketConfig, seed: u64, horizon: SimTime, path: &Path) -> RunRecord {
+        let mut session = Session::from_config(config, seed).expect("builds");
+        session.record_to(path).expect("starts recording");
+        session.run_until(horizon);
+        session.finish_trace().expect("recording completes");
+        session.finish().0
+    }
+
+    #[test]
+    fn record_replay_round_trip_is_shard_independent() {
+        let config = MarketConfig::new(40, 20)
+            .churn(crate::market::ChurnConfig::new(0.4, 300.0, 10).expect("valid"))
+            .sample_interval(SimDuration::from_secs(100));
+        let horizon = SimTime::from_secs(600);
+        let serial = TracePath::new("serial");
+        let direct = record_run(&config, 23, horizon, &serial.0);
+
+        // The same scenario recorded sharded produces the identical
+        // trace file, byte for byte.
+        let sharded_path = TracePath::new("sharded");
+        let sharded_record = record_run(&config.clone().shards(2), 23, horizon, &sharded_path.0);
+        assert_eq!(sharded_record, direct);
+        assert_eq!(
+            std::fs::read(&serial.0).expect("serial trace"),
+            std::fs::read(&sharded_path.0).expect("sharded trace"),
+            "trace bytes differ between serial and sharded recording"
+        );
+
+        // The serial trace replays cleanly on both kernels.
+        for shards in [1usize, 2, 8] {
+            let replay_config = config.clone().shards(shards);
+            let mut session = Session::from_config(&replay_config, 23).expect("builds");
+            session.replay_from(&serial.0).expect("attaches replay");
+            session.run_until(horizon);
+            assert!(session.trace_divergence().is_none());
+            session.finish_trace().expect("verifies");
+            assert_eq!(session.finish().0, direct, "replay at shards={shards}");
+        }
+    }
+
+    #[test]
+    fn replay_pinpoints_a_seeded_divergence() {
+        let config = MarketConfig::new(30, 20).sample_interval(SimDuration::from_secs(100));
+        let horizon = SimTime::from_secs(400);
+        let path = TracePath::new("divergent");
+        record_run(&config, 9, horizon, &path.0);
+
+        // Rewrite the recorded seed (header bytes 20..28) so a session
+        // seeded differently accepts the trace, then diverges.
+        let mut bytes = std::fs::read(&path.0).expect("trace bytes");
+        bytes[20..28].copy_from_slice(&11u64.to_le_bytes());
+        std::fs::write(&path.0, &bytes).expect("rewrite");
+
+        let mut session = Session::from_config(&config, 11).expect("builds");
+        session.replay_from(&path.0).expect("attaches replay");
+        session.run_until(horizon);
+        let divergence = session
+            .trace_divergence()
+            .expect("differing seeds must diverge")
+            .clone();
+        // The run froze at the divergent instant, not the horizon.
+        assert!(session.now() <= divergence.time);
+        assert!(divergence.time <= horizon);
+        let err = session.finish_trace().expect_err("reports divergence");
+        assert!(err.to_string().contains("diverged"), "{err}");
+    }
+
+    #[test]
+    fn replay_resume_verifies_the_tail_of_a_checkpointed_run() {
+        let config = MarketConfig::new(40, 20)
+            .churn(crate::market::ChurnConfig::new(0.3, 250.0, 8).expect("valid"))
+            .sample_interval(SimDuration::from_secs(100));
+        let horizon = SimTime::from_secs(800);
+        let stop = SimTime::from_secs(300);
+        let path = TracePath::new("resume");
+
+        let mut session = Session::from_config(&config, 41).expect("builds");
+        session.record_to(&path.0).expect("starts recording");
+        session.run_until(stop);
+        let checkpoint = session.checkpoint().expect("checkpoints");
+        session.run_until(horizon);
+        session.finish_trace().expect("recording completes");
+        let direct = session.finish().0;
+
+        let mut resumed = Session::resume(&config, Vec::new(), &checkpoint).expect("resumes");
+        let reader = TraceReader::from_path(&path.0).expect("opens trace");
+        resumed.replay_resume(reader).expect("attaches mid-stream");
+        resumed.run_until(horizon);
+        assert!(resumed.trace_divergence().is_none());
+        resumed.finish_trace().expect("tail verifies");
+        assert_eq!(resumed.finish().0, direct);
+    }
+
+    #[test]
+    fn trace_attachment_is_fail_closed() {
+        // Streaming sessions cannot trace.
+        let streaming = MarketConfig::new(20, 40)
+            .streaming_market(scrip_streaming::StreamingConfig::market_paced(1.0));
+        let mut session = Session::from_config(&streaming, 3).expect("builds");
+        let path = TracePath::new("reject");
+        assert!(matches!(
+            session.record_to(&path.0),
+            Err(CoreError::Trace(_))
+        ));
+
+        // Recording must start before the run does.
+        let config = MarketConfig::new(20, 10);
+        let mut session = Session::from_config(&config, 3).expect("builds");
+        session.run_until(SimTime::from_secs(100));
+        assert!(matches!(
+            session.record_to(&path.0),
+            Err(CoreError::Trace(_))
+        ));
+
+        // A recorded trace refuses to verify a different scenario or
+        // seed (fail-closed header checks).
+        record_run(&config, 3, SimTime::from_secs(200), &path.0);
+        let other = MarketConfig::new(21, 10);
+        let mut session = Session::from_config(&other, 3).expect("builds");
+        assert!(matches!(
+            session.replay_from(&path.0),
+            Err(CoreError::Trace(_))
+        ));
+        let mut session = Session::from_config(&config, 4).expect("builds");
+        assert!(matches!(
+            session.replay_from(&path.0),
+            Err(CoreError::Trace(_))
+        ));
+        // A second tracer cannot stack on the first.
+        let mut session = Session::from_config(&config, 3).expect("builds");
+        session.replay_from(&path.0).expect("attaches");
+        assert!(matches!(
+            session.replay_from(&path.0),
+            Err(CoreError::Trace(_))
+        ));
     }
 }

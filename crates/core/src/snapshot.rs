@@ -58,6 +58,18 @@ impl Writer {
     pub(crate) fn into_bytes(self) -> Vec<u8> {
         self.buf
     }
+
+    /// The bytes encoded so far (trace payloads hash and copy these
+    /// without consuming the writer).
+    pub(crate) fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Empties the buffer so a long-lived writer can re-encode without
+    /// reallocating (the per-event trace hot path).
+    pub(crate) fn clear(&mut self) {
+        self.buf.clear();
+    }
 }
 
 /// A fail-closed snapshot decoder over a byte slice.

@@ -30,6 +30,9 @@
 //!   ([`FenwickSampler`]) and a calendar-queue event store
 //!   ([`TimingWheel`]) selectable per queue via [`QueueProfile`]. Both
 //!   reproduce their O(deg)/O(log n) predecessors' outputs exactly.
+//! * [`trace`] — versioned append-only event traces ([`TraceWriter`] /
+//!   [`TraceReader`]): every applied event plus periodic state digests,
+//!   the substrate for record, replay, diff, and divergence bisection.
 //!
 //! ## Example
 //!
@@ -75,6 +78,7 @@ pub mod shard;
 pub mod sim;
 pub mod stats;
 pub mod time;
+pub mod trace;
 pub mod wheel;
 
 pub use event::{EventQueue, QueueProfile, Scheduled, Scheduler};
@@ -84,4 +88,5 @@ pub use sampler::FenwickSampler;
 pub use shard::{CrossShardLog, LoggedEffect, ShardCtx, ShardModel, ShardedSimulation};
 pub use sim::{Model, RunStats, Simulation};
 pub use time::{SimDuration, SimTime};
+pub use trace::{TraceError, TraceFrame, TraceHeader, TraceReader, TraceWriter};
 pub use wheel::TimingWheel;

@@ -44,6 +44,10 @@ use crate::event::{Scheduled, Scheduler};
 use crate::sim::RunStats;
 use crate::time::{SimDuration, SimTime};
 
+/// Per-event trace tap: `(time, seq, &event) -> keep`; `false` vetoes
+/// the dispatch (see [`ShardedSimulation::run_until_traced`]).
+type EventTap<'a, E> = &'a mut dyn FnMut(SimTime, u64, &E) -> bool;
+
 /// Per-event context handed to [`ShardModel::handle`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ShardCtx {
@@ -352,13 +356,42 @@ where
                 let next = (self.staging.now().as_micros() / w + 1).saturating_mul(w);
                 SimTime::from_micros(next).min(horizon)
             };
-            self.run_window(window_end);
+            self.run_window(window_end, None);
         }
         self.stats()
     }
 
-    /// One tick window: stage, merged apply, barrier.
-    fn run_window(&mut self, window_end: SimTime) {
+    /// As [`ShardedSimulation::run_until`], offering every event to
+    /// `tap` at the serial apply point *before* it is dispatched —
+    /// identical semantics to [`crate::Simulation::run_until_traced`],
+    /// so traces recorded serially verify sharded and vice versa. A
+    /// veto re-parks every undispatched event on its shard queue and
+    /// halts without crossing the window barrier; the second return
+    /// value reports whether a veto halted the run.
+    pub fn run_until_traced(
+        &mut self,
+        horizon: SimTime,
+        tap: &mut dyn FnMut(SimTime, u64, &M::Event) -> bool,
+    ) -> (RunStats, bool) {
+        while self.staging.now() < horizon {
+            let window_end = if self.window.is_zero() {
+                horizon
+            } else {
+                let w = self.window.as_micros();
+                let next = (self.staging.now().as_micros() / w + 1).saturating_mul(w);
+                SimTime::from_micros(next).min(horizon)
+            };
+            if self.run_window(window_end, Some(tap)) {
+                return (self.stats(), true);
+            }
+        }
+        (self.stats(), false)
+    }
+
+    /// One tick window: stage, merged apply, barrier. With a tap, each
+    /// event is offered before apply; a veto re-parks everything still
+    /// pending and returns `true` without running the barrier.
+    fn run_window(&mut self, window_end: SimTime, mut tap: Option<EventTap<'_, M::Event>>) -> bool {
         let staged = self.stage(window_end);
         let mut streams: Vec<_> = staged
             .into_iter()
@@ -389,6 +422,27 @@ where
             } else {
                 streams[best_lane].next().expect("peeked")
             };
+            if let Some(tap) = tap.as_mut() {
+                if !tap(next.time, next.seq, &next.event) {
+                    // Re-park the vetoed event and everything not yet
+                    // dispatched; storage location never affects the
+                    // merged apply order, so a later resume (or a
+                    // post-mortem) sees the exact pre-event state.
+                    let lane = self.route_clamped(&next.event);
+                    self.lanes[lane].enqueue_scheduled(next);
+                    for stream in &mut streams {
+                        for ev in stream {
+                            let lane = self.route_clamped(&ev.event);
+                            self.lanes[lane].enqueue_scheduled(ev);
+                        }
+                    }
+                    while let Some(ev) = self.live.pop() {
+                        let lane = self.route_clamped(&ev.event);
+                        self.lanes[lane].enqueue_scheduled(ev);
+                    }
+                    return true;
+                }
+            }
             self.apply(next, window_end);
         }
         debug_assert!(self.live.is_empty(), "window left live events unapplied");
@@ -398,6 +452,7 @@ where
         self.staging.advance_clock_to(window_end);
         self.windows_completed += 1;
         self.model.on_window_barrier(window_end);
+        false
     }
 
     /// Dispatches one event in merged order and routes its follow-ups.
@@ -594,6 +649,64 @@ mod tests {
         assert_eq!(forward.len(), 2);
         forward.settle_through(5, |e| assert_eq!(e.payload, e.seq));
         assert!(forward.is_empty());
+    }
+
+    #[test]
+    fn traced_sharded_taps_match_serial_and_veto_halts_identically() {
+        // Serial reference tap stream.
+        let mut serial = Simulation::new(OrderRecorder::new(1));
+        for &(t, k) in &seed_events() {
+            serial.schedule(t, k);
+        }
+        let mut serial_taps: Vec<(SimTime, u64, u64)> = Vec::new();
+        let (serial_stats, halted) =
+            serial.run_until_traced(SimTime::from_secs(30), &mut |t, seq, &k| {
+                serial_taps.push((t, seq, k));
+                true
+            });
+        assert!(!halted);
+
+        for shards in [2, 8] {
+            let mut sim =
+                ShardedSimulation::new(OrderRecorder::new(shards), SimDuration::from_secs(1));
+            for &(t, k) in &seed_events() {
+                sim.schedule(t, k);
+            }
+            let mut taps = Vec::new();
+            let (stats, halted) =
+                sim.run_until_traced(SimTime::from_secs(30), &mut |t, seq, &k| {
+                    taps.push((t, seq, k));
+                    true
+                });
+            assert!(!halted);
+            assert_eq!(taps, serial_taps, "tap order diverged at shards={shards}");
+            assert_eq!(stats.events_processed, serial_stats.events_processed);
+
+            // A veto mid-stream halts at the same pre-event point, and
+            // resuming without it completes identically.
+            let mut sim =
+                ShardedSimulation::new(OrderRecorder::new(shards), SimDuration::from_secs(1));
+            for &(t, k) in &seed_events() {
+                sim.schedule(t, k);
+            }
+            let stop = (serial_taps[25].0, serial_taps[25].1);
+            let (stats, halted) =
+                sim.run_until_traced(SimTime::from_secs(30), &mut |t, seq, _| (t, seq) != stop);
+            assert!(halted);
+            assert_eq!(stats.events_processed, 25);
+            assert_eq!(
+                sim.model().seen.len(),
+                25,
+                "vetoed event must not be applied"
+            );
+            let resumed = sim.run_until(SimTime::from_secs(30));
+            assert_eq!(resumed.events_processed, serial_stats.events_processed);
+            assert_eq!(
+                sim.model().seen,
+                serial.model().seen,
+                "post-veto resume diverged at shards={shards}"
+            );
+        }
     }
 
     #[test]

@@ -176,6 +176,40 @@ impl<M: Model> Simulation<M> {
         self.stats()
     }
 
+    /// As [`Simulation::run_until`], offering every event to `tap`
+    /// *before* it is applied — the record/replay hook. `tap` sees the
+    /// event's `(time, seq)` identity and payload; returning `false`
+    /// vetoes the dispatch: the event is pushed back unapplied (same
+    /// identity) and the run halts at the pre-event state. The second
+    /// return value reports whether the run was halted by a veto.
+    ///
+    /// Recording taps always return `true`; replay-verification taps
+    /// return `false` on the first divergent event, which freezes the
+    /// simulation exactly at the divergence for inspection.
+    pub fn run_until_traced(
+        &mut self,
+        horizon: SimTime,
+        tap: &mut dyn FnMut(SimTime, u64, &M::Event) -> bool,
+    ) -> (RunStats, bool) {
+        loop {
+            match self.scheduler.next_event_time() {
+                Some(t) if t <= horizon => {
+                    let scheduled = self.scheduler.advance().expect("peeked event");
+                    if !tap(scheduled.time, scheduled.seq, &scheduled.event) {
+                        self.scheduler.enqueue_scheduled(scheduled);
+                        return (self.stats(), true);
+                    }
+                    self.events_processed += 1;
+                    self.model
+                        .handle(scheduled.time, scheduled.event, &mut self.scheduler);
+                }
+                _ => break,
+            }
+        }
+        self.scheduler.advance_clock_to(horizon);
+        (self.stats(), false)
+    }
+
     /// Dispatches at most `max_events` events (a safety valve for possibly
     /// non-terminating models).
     pub fn run_for_events(&mut self, max_events: u64) -> RunStats {
@@ -334,6 +368,49 @@ mod tests {
 
         assert_eq!(resumed.stats(), straight.stats());
         assert_eq!(resumed.model().fired, straight.model().fired);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_veto_freezes_pre_event() {
+        let make = || {
+            let mut sim = Simulation::new(SelfScheduler {
+                fired: Vec::new(),
+                chain_remaining: 50,
+            });
+            sim.schedule(SimTime::ZERO, Ev::Chain);
+            sim
+        };
+        let mut plain = make();
+        plain.run_until(SimTime::from_secs(20));
+
+        // A pass-through tap leaves the run byte-identical.
+        let mut traced = make();
+        let mut taps: Vec<(SimTime, u64)> = Vec::new();
+        let (stats, halted) = traced.run_until_traced(SimTime::from_secs(20), &mut |t, seq, _| {
+            taps.push((t, seq));
+            true
+        });
+        assert!(!halted);
+        assert_eq!(stats, plain.stats());
+        assert_eq!(traced.model().fired, plain.model().fired);
+        assert_eq!(taps.len() as u64, stats.events_processed);
+        assert!(
+            taps.windows(2).all(|w| w[0] < w[1]),
+            "taps in (time, seq) order"
+        );
+
+        // A veto halts *before* the event applies and pushes it back.
+        let mut vetoed = make();
+        let stop_at = taps[10];
+        let (stats, halted) =
+            vetoed.run_until_traced(SimTime::from_secs(20), &mut |t, seq, _| (t, seq) != stop_at);
+        assert!(halted);
+        assert_eq!(stats.events_processed, 10);
+        // Resuming without the veto completes identically.
+        let (stats, halted) = vetoed.run_until_traced(SimTime::from_secs(20), &mut |_, _, _| true);
+        assert!(!halted);
+        assert_eq!(stats, plain.stats());
+        assert_eq!(vetoed.model().fired, plain.model().fired);
     }
 
     #[test]

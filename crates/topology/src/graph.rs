@@ -90,9 +90,16 @@ pub struct Graph {
     id_to_slot: Vec<u32>,
     /// Slot → sorted neighbor IDs (the CSR-style row).
     adjacency: Vec<Vec<NodeId>>,
-    /// Live IDs in ascending order (kept sorted incrementally so
-    /// [`Graph::node_ids`] stays cheap and deterministic).
+    /// Ascending ID list backing [`Graph::node_ids`]. May contain
+    /// tombstones — IDs whose `id_to_slot` entry is [`ABSENT`] — left
+    /// behind by [`Graph::remove_node`], which marks instead of
+    /// memmoving the tail (a removal near the front of a million-node
+    /// list would otherwise shift the whole suffix). Compacted once
+    /// tombstones outnumber live entries, so removal is O(log n)
+    /// amortized and iteration stays within 2× the live count.
     sorted_ids: Vec<NodeId>,
+    /// Number of tombstones currently in `sorted_ids`.
+    dead_sorted: usize,
     next_id: u64,
     edge_count: usize,
 }
@@ -108,11 +115,10 @@ impl PartialEq for Graph {
     fn eq(&self, other: &Self) -> bool {
         self.next_id == other.next_id
             && self.edge_count == other.edge_count
-            && self.sorted_ids == other.sorted_ids
+            && self.node_ids().eq(other.node_ids())
             && self
-                .sorted_ids
-                .iter()
-                .all(|&id| self.neighbor_slice(id) == other.neighbor_slice(id))
+                .node_ids()
+                .all(|id| self.neighbor_slice(id) == other.neighbor_slice(id))
     }
 }
 
@@ -131,6 +137,7 @@ impl Graph {
             id_to_slot: Vec::with_capacity(n),
             adjacency: Vec::with_capacity(n),
             sorted_ids: Vec::with_capacity(n),
+            dead_sorted: 0,
             next_id: 0,
             edge_count: 0,
         };
@@ -184,8 +191,14 @@ impl Graph {
             self.id_to_slot[moved.0 as usize] = slot as u32;
         }
         self.id_to_slot[id.0 as usize] = ABSENT;
-        if let Ok(pos) = self.sorted_ids.binary_search(&id) {
-            self.sorted_ids.remove(pos);
+        // Tombstone the sorted-ID entry instead of memmoving the tail;
+        // compact once the dead outnumber the living.
+        self.dead_sorted += 1;
+        if self.dead_sorted * 2 > self.sorted_ids.len() {
+            let id_to_slot = &self.id_to_slot;
+            self.sorted_ids
+                .retain(|nid| id_to_slot[nid.0 as usize] != ABSENT);
+            self.dead_sorted = 0;
         }
         Ok(neighbors)
     }
@@ -298,11 +311,16 @@ impl Graph {
 
     /// All node IDs in ascending order.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.sorted_ids.iter().copied()
+        self.sorted_ids
+            .iter()
+            .copied()
+            .filter(|&id| self.slot(id).is_some())
     }
 
     /// All edges as `(low, high)` pairs in deterministic order.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        // Tombstoned IDs have no neighbor slice, so they contribute
+        // nothing without an explicit liveness filter.
         self.sorted_ids.iter().flat_map(move |&a| {
             self.neighbor_slice(a)
                 .unwrap_or(&[])
@@ -575,6 +593,73 @@ mod tests {
         assert_eq!(a, b);
         b.remove_edge(ids[0], ids[2]).expect("ok");
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn removal_tombstones_instead_of_memmoving() {
+        // Pin of the churn-leave cost model: `remove_node` must not
+        // shift the sorted-ID suffix on every call (O(n) per leave).
+        // Structurally that means the backing list keeps its length —
+        // tombstones in place — until the amortized compaction point,
+        // where it snaps back to exactly the live count.
+        let n = 1_000;
+        let mut g = Graph::with_nodes(n);
+        let ids: Vec<NodeId> = g.node_ids().collect();
+        // Remove nodes from the *front* — the worst case for a
+        // memmove-based list — while staying under the compaction
+        // threshold (dead ≤ half).
+        for &id in ids.iter().take(n / 2) {
+            g.remove_node(id).expect("live");
+            assert_eq!(
+                g.sorted_ids.len(),
+                n,
+                "a removal memmoved the sorted-ID list"
+            );
+        }
+        assert_eq!(g.dead_sorted, n / 2);
+        assert_eq!(g.node_count(), n - n / 2);
+        // One more removal tips the balance and compacts to live-only.
+        g.remove_node(ids[n / 2]).expect("live");
+        assert_eq!(g.sorted_ids.len(), g.node_count());
+        assert_eq!(g.dead_sorted, 0);
+        // Iteration and lookups see only the living, in order.
+        let live: Vec<NodeId> = g.node_ids().collect();
+        assert_eq!(live, ids[n / 2 + 1..].to_vec());
+        assert!(!g.has_node(ids[0]));
+        assert!(g.has_node(ids[n - 1]));
+    }
+
+    #[test]
+    fn tombstoned_graph_behaves_like_a_compact_one() {
+        // Interleave removals (leaving tombstones) with edge mutations
+        // and equality checks against a graph built compactly.
+        let mut churned = Graph::with_nodes(8);
+        let ids: Vec<NodeId> = churned.node_ids().collect();
+        for w in ids.windows(2) {
+            churned.add_edge(w[0], w[1]).expect("ok");
+        }
+        churned.remove_node(ids[2]).expect("live");
+        churned.remove_node(ids[5]).expect("live");
+        assert!(churned.dead_sorted > 0, "tombstones present");
+
+        let mut compact = Graph::with_nodes(8);
+        for w in ids.windows(2) {
+            compact.add_edge(w[0], w[1]).expect("ok");
+        }
+        compact.remove_node(ids[5]).expect("live");
+        compact.remove_node(ids[2]).expect("live");
+        // Force the compact twin through its compaction point too.
+        while compact.dead_sorted > 0 {
+            let victim = compact.node_ids().next().expect("live");
+            compact.remove_node(victim).expect("live");
+            churned.remove_node(victim).expect("live");
+        }
+        assert_eq!(churned, compact);
+        assert_eq!(
+            churned.edges().collect::<Vec<_>>(),
+            compact.edges().collect::<Vec<_>>()
+        );
+        assert_eq!(churned.dense_index(), compact.dense_index());
     }
 
     #[test]

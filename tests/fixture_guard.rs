@@ -16,6 +16,12 @@
 
 use std::path::Path;
 
+use scrip_core::market::{ChurnConfig, MarketConfig, TopologyKind};
+use scrip_core::obs::Session;
+use scrip_core::policy::{SpendingPolicy, TaxConfig};
+use scrip_core::pricing::PricingConfig;
+use scrip_des::{SimDuration, SimTime};
+
 /// (file name under `tests/golden/`, byte length, FNV-1a 64 of contents)
 const PINNED: &[(&str, u64, u64)] = &[
     ("market_trajectories.txt", 2855, 0x34f594ec18d9bff5),
@@ -51,6 +57,63 @@ fn golden_fixtures_are_byte_identical_to_pinned_hashes() {
             hash,
             "golden fixture {name} changed contents; if the re-bless was \
              intentional, update the PINNED table in fixture_guard.rs"
+        );
+    }
+}
+
+/// `MarketView::state_digest()` pins for the golden queue-level
+/// configurations (the same configs `golden_trajectories.rs` renders).
+/// The digest is the fold the trace stack's boundary frames and the
+/// bisector compare against, so these constants pin the *semantics* of
+/// every recorded `SCRIPTRC` digest frame: if the digest algorithm or
+/// the serialized state layout changes, every existing trace's digest
+/// frames silently stop matching — this table makes that change loud.
+/// Update it only together with a trace-format version bump or an
+/// intentional behaviour change.
+const DIGEST_PINS: &[(&str, u64)] = &[
+    ("availability-feedback", 0xfe16_a9d2_1e66_310c),
+    ("tax-churn-dynamic", 0xe74a_01e9_b280_6e2e),
+];
+
+/// Golden config A of `golden_trajectories.rs`.
+fn digest_config_a() -> (MarketConfig, u64, u64) {
+    let config = MarketConfig::new(60, 50)
+        .asymmetric()
+        .with_availability_feedback()
+        .pricing(PricingConfig::SellerPoisson { mean: 2.0 })
+        .sample_interval(SimDuration::from_secs(100));
+    (config, 11, 2_000)
+}
+
+/// Golden config B of `golden_trajectories.rs`.
+fn digest_config_b() -> (MarketConfig, u64, u64) {
+    let config = MarketConfig::new(50, 40)
+        .near_symmetric(0.2)
+        .spending(SpendingPolicy::Dynamic { threshold: 60 })
+        .tax(TaxConfig::new(0.2, 40).expect("valid tax"))
+        .churn(ChurnConfig::new(0.25, 200.0, 8).expect("valid churn"))
+        .topology(TopologyKind::Complete)
+        .pricing(PricingConfig::ChunkPoisson { mean: 1.0 })
+        .sample_interval(SimDuration::from_secs(100));
+    (config, 23, 2_000)
+}
+
+#[test]
+fn state_digests_match_pinned_values_for_golden_configs() {
+    for (label, pinned) in DIGEST_PINS {
+        let (config, seed, horizon_secs) = match *label {
+            "availability-feedback" => digest_config_a(),
+            "tax-churn-dynamic" => digest_config_b(),
+            other => panic!("unknown digest pin label {other:?}"),
+        };
+        let mut session = Session::from_config(&config, seed).expect("builds");
+        session.run_until(SimTime::from_secs(horizon_secs));
+        let digest = session.view().state_digest();
+        assert_eq!(
+            digest, *pinned,
+            "state digest for golden config {label:?} drifted from {pinned:#018x} to \
+             {digest:#018x}; if the digest algorithm or state layout changed \
+             intentionally, bump the trace format version and update DIGEST_PINS"
         );
     }
 }
