@@ -30,7 +30,8 @@ use scrip_bench::scenario::{
     run_scenario, session_probes, CaseResult, Metric, ReplicationRun, ResolvedCase, RunnerOptions,
     Scenario, ScenarioResult,
 };
-use scrip_core::des::{SimTime, TraceFrame, TraceReader};
+use scrip_bench::serve::{Client, ServeOptions, Server};
+use scrip_core::des::{SimTime, TraceFrame, TraceReader, TraceTailer};
 use scrip_core::market::MarketEvent;
 use scrip_core::obs::{ids, RunRecord, Session};
 
@@ -50,6 +51,16 @@ USAGE:
     scrip-sim replay <FILE.scn> [--trace IN.trc] [--shards K]
     scrip-sim trace-diff <A.trc> <B.trc>
     scrip-sim bisect <FILE.scn> --trace IN.trc
+    scrip-sim tail <FILE.trc> [--follow]
+    scrip-sim serve [--addr HOST:PORT] [--state-dir DIR] [--workers N]
+    scrip-sim submit <FILE.scn> [--addr A] [--name TOKEN] [--timeout-secs N]
+                     [--checkpoint-every SECS] [--wait]
+    scrip-sim status <JOB> [--addr A]
+    scrip-sim result <JOB> [--addr A]
+    scrip-sim cancel <JOB> [--addr A]
+    scrip-sim watch <JOB> [--addr A]
+    scrip-sim stats [--addr A]
+    scrip-sim drain [--addr A]
 
 NAME is a built-in experiment (see `scrip-sim list`); FILE.scn is a
 scenario file (grammar: docs/SCENARIOS.md); `metrics` lists every
@@ -76,7 +87,21 @@ compares two traces frame by frame and reports the first divergence
 with decoded payloads (exit 1) or counts matching frames (exit 0).
 `bisect` binary-searches a trace's digest frames with checkpoint hops
 (requires shards = 1) and pins where a live re-execution departs from
-the recording, down to the exact (time, seq).";
+the recording, down to the exact (time, seq).
+`tail` prints a SCRIPTRC file's frames as they land; --follow keeps
+polling until the writer closes the file with its end frame.
+`serve` starts the crash-safe job daemon (protocol and lifecycle:
+docs/ARCHITECTURE.md §Job service): jobs and their transitions persist
+in --state-dir, workers checkpoint qualifying runs periodically, and a
+restarted daemon resumes unfinished jobs from their latest snapshot —
+the served CSV is byte-identical to `scrip-sim run`, even across a
+kill. --addr with port 0 picks an ephemeral port (read back from
+DIR/addr). The client verbs talk to a running daemon at --addr
+(default 127.0.0.1:7177): `submit` sends a scenario file (--wait blocks
+until the job finishes and fails on a failed job), `status`/`result`/
+`cancel` manage one job, `watch` streams its live per-boundary samples
+to stdout, `stats` prints daemon counters, `drain` finishes the queue
+and shuts the daemon down.";
 
 struct Options {
     csv: bool,
@@ -89,6 +114,13 @@ struct Options {
     checkpoint_file: Option<String>,
     resume: Option<String>,
     trace: Option<String>,
+    addr: String,
+    state_dir: String,
+    workers: usize,
+    name: Option<String>,
+    timeout_secs: Option<u64>,
+    wait: bool,
+    follow: bool,
     targets: Vec<String>,
 }
 
@@ -104,6 +136,13 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         checkpoint_file: None,
         resume: None,
         trace: None,
+        addr: "127.0.0.1:7177".to_string(),
+        state_dir: "scrip-serve-state".to_string(),
+        workers: 2,
+        name: None,
+        timeout_secs: None,
+        wait: false,
+        follow: false,
         targets: Vec::new(),
     };
     let mut iter = args.iter();
@@ -157,6 +196,34 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--trace" => {
                 options.trace = Some(iter.next().ok_or("--trace expects a path")?.clone());
             }
+            "--addr" => {
+                options.addr = iter.next().ok_or("--addr expects host:port")?.clone();
+            }
+            "--state-dir" => {
+                options.state_dir = iter.next().ok_or("--state-dir expects a path")?.clone();
+            }
+            "--workers" => {
+                let workers: usize = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--workers expects a number")?;
+                if workers == 0 {
+                    return Err("--workers expects a number >= 1".into());
+                }
+                options.workers = workers;
+            }
+            "--name" => {
+                options.name = Some(iter.next().ok_or("--name expects a token")?.clone());
+            }
+            "--timeout-secs" => {
+                options.timeout_secs = Some(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--timeout-secs expects a number of seconds")?,
+                );
+            }
+            "--wait" => options.wait = true,
+            "--follow" => options.follow = true,
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag {other:?}"));
             }
@@ -485,6 +552,13 @@ fn describe_frame(frame: &Option<TraceFrame>) -> String {
             "digest {digest:#018x} after {events_processed} events at t={}µs",
             time.as_micros()
         ),
+        Some(TraceFrame::End {
+            time,
+            events_processed,
+        }) => format!(
+            "end after {events_processed} events at t={}µs",
+            time.as_micros()
+        ),
     }
 }
 
@@ -531,6 +605,7 @@ fn cmd_trace_diff(options: &Options) -> Result<(), String> {
             None => break,
             Some(TraceFrame::Event { .. }) => events += 1,
             Some(TraceFrame::Digest { .. }) => digests += 1,
+            Some(TraceFrame::End { .. }) => {}
         }
     }
     println!("traces identical: {events} event frame(s), {digests} digest frame(s)");
@@ -772,6 +847,180 @@ fn cmd_export(options: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Renders one frame for `tail` output: market-event payloads decode to
+/// their debug form, text payloads (e.g. daemon sample logs) print
+/// verbatim, anything else by size.
+fn describe_tail_frame(frame: &TraceFrame) -> String {
+    match frame {
+        TraceFrame::Event { time, seq, payload } => {
+            let body = match MarketEvent::from_trace_payload(payload) {
+                Ok(event) => format!("{event:?}"),
+                Err(_) => match std::str::from_utf8(payload) {
+                    Ok(text) => text.to_string(),
+                    Err(_) => format!("<{} payload bytes>", payload.len()),
+                },
+            };
+            format!("event t={}µs seq={seq} {body}", time.as_micros())
+        }
+        TraceFrame::Digest {
+            time,
+            events_processed,
+            digest,
+        } => format!(
+            "digest t={}µs events={events_processed} {digest:#018x}",
+            time.as_micros()
+        ),
+        TraceFrame::End {
+            time,
+            events_processed,
+        } => format!("end t={}µs events={events_processed}", time.as_micros()),
+    }
+}
+
+/// `scrip-sim tail FILE.trc [--follow]`: print a SCRIPTRC file's frames
+/// as they land. Without --follow, prints what is currently decodable
+/// and exits; with it, keeps polling (surviving a torn frame at the
+/// tail) until the writer closes the file with its end frame.
+fn cmd_tail(options: &Options) -> Result<(), String> {
+    let [path] = options.targets.as_slice() else {
+        return Err("tail: expected exactly one trace file".into());
+    };
+    let mut tailer = TraceTailer::new(Path::new(path));
+    let mut announced = false;
+    loop {
+        let frames = tailer.poll().map_err(|e| format!("{path}: {e}"))?;
+        if !announced {
+            if let Some(header) = tailer.header() {
+                eprintln!(
+                    "{path}: fingerprint {:#018x}, seed {}",
+                    header.fingerprint, header.seed
+                );
+                announced = true;
+            }
+        }
+        let idle = frames.is_empty();
+        for frame in &frames {
+            println!("{}", describe_tail_frame(frame));
+        }
+        if tailer.finished() {
+            return Ok(());
+        }
+        if options.follow {
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        } else if idle {
+            return Ok(());
+        }
+    }
+}
+
+/// `scrip-sim serve`: run the job daemon until a client drains it.
+fn cmd_serve(options: &Options) -> Result<(), String> {
+    if let [stray, ..] = options.targets.as_slice() {
+        return Err(format!(
+            "serve takes no positional arguments (got {stray:?})"
+        ));
+    }
+    let mut serve_options = ServeOptions::new(options.addr.clone(), &options.state_dir);
+    serve_options.workers = options.workers;
+    let server = Server::start(&serve_options)?;
+    server.join();
+    eprintln!("serve: drained, exiting");
+    Ok(())
+}
+
+/// `scrip-sim submit FILE.scn`: send a scenario to the daemon; prints
+/// the job id. With --wait, blocks until the job is terminal and exits
+/// non-zero unless it completed.
+fn cmd_submit(options: &Options) -> Result<(), String> {
+    let [path] = options.targets.as_slice() else {
+        return Err("submit: expected exactly one scenario file".into());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut client = Client::connect(&options.addr)?;
+    let job = client.submit(
+        &text,
+        options.name.as_deref(),
+        options.timeout_secs,
+        options.checkpoint_every,
+    )?;
+    println!("{job}");
+    if options.wait {
+        let state = client.wait_terminal(&job, 86_400)?;
+        let detail = client.status(&job)?;
+        eprintln!("{job}: {detail}");
+        if state != "completed" {
+            return Err(format!("job {job} {state}"));
+        }
+    }
+    Ok(())
+}
+
+/// `scrip-sim status JOB`: print the job's state word (plus detail).
+fn cmd_status(options: &Options) -> Result<(), String> {
+    let [job] = options.targets.as_slice() else {
+        return Err("status: expected exactly one job id".into());
+    };
+    println!("{}", Client::connect(&options.addr)?.status(job)?);
+    Ok(())
+}
+
+/// `scrip-sim result JOB`: print a completed job's CSV to stdout.
+fn cmd_result(options: &Options) -> Result<(), String> {
+    let [job] = options.targets.as_slice() else {
+        return Err("result: expected exactly one job id".into());
+    };
+    print!("{}", Client::connect(&options.addr)?.result_csv(job)?);
+    Ok(())
+}
+
+/// `scrip-sim cancel JOB`: request cancellation.
+fn cmd_cancel(options: &Options) -> Result<(), String> {
+    let [job] = options.targets.as_slice() else {
+        return Err("cancel: expected exactly one job id".into());
+    };
+    println!("{}", Client::connect(&options.addr)?.cancel(job)?);
+    Ok(())
+}
+
+/// `scrip-sim watch JOB`: stream the job's live samples to stdout (one
+/// `sample …` line per boundary) until the job ends; exits non-zero
+/// when the job failed.
+fn cmd_watch(options: &Options) -> Result<(), String> {
+    let [job] = options.targets.as_slice() else {
+        return Err("watch: expected exactly one job id".into());
+    };
+    let client = Client::connect(&options.addr)?;
+    let state = client.subscribe(job, |payload| println!("sample {payload}"))?;
+    eprintln!("{job}: {state}");
+    if state == "failed" {
+        return Err(format!("job {job} failed"));
+    }
+    Ok(())
+}
+
+/// `scrip-sim stats`: print the daemon's counters.
+fn cmd_stats(options: &Options) -> Result<(), String> {
+    if let [stray, ..] = options.targets.as_slice() {
+        return Err(format!(
+            "stats takes no positional arguments (got {stray:?})"
+        ));
+    }
+    println!("{}", Client::connect(&options.addr)?.stats()?);
+    Ok(())
+}
+
+/// `scrip-sim drain`: finish the queue and shut the daemon down.
+fn cmd_drain(options: &Options) -> Result<(), String> {
+    if let [stray, ..] = options.targets.as_slice() {
+        return Err(format!(
+            "drain takes no positional arguments (got {stray:?})"
+        ));
+    }
+    Client::connect(&options.addr)?.drain()?;
+    eprintln!("drained {}", options.addr);
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else {
@@ -797,6 +1046,15 @@ fn main() -> ExitCode {
         "replay" => cmd_replay(&options),
         "trace-diff" => cmd_trace_diff(&options),
         "bisect" => cmd_bisect(&options),
+        "tail" => cmd_tail(&options),
+        "serve" => cmd_serve(&options),
+        "submit" => cmd_submit(&options),
+        "status" => cmd_status(&options),
+        "result" => cmd_result(&options),
+        "cancel" => cmd_cancel(&options),
+        "watch" => cmd_watch(&options),
+        "stats" => cmd_stats(&options),
+        "drain" => cmd_drain(&options),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

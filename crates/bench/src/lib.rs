@@ -33,3 +33,4 @@ pub mod figures;
 pub mod perf;
 pub mod scale;
 pub mod scenario;
+pub mod serve;

@@ -408,6 +408,87 @@ fn probe_cases(scale: RunScale) -> Vec<(bool, usize, u64)> {
     vec![(false, 10_000, horizon), (true, 10_000, horizon)]
 }
 
+/// Serve-streaming cases at a scale: `(n, horizon_secs)` — the churn
+/// regime submitted to an in-process job daemon. Sizes mirror the
+/// queue-level `churn` rows so the daemon's all-in overhead (wire
+/// submission, journaled lifecycle, periodic checkpoints, per-boundary
+/// sample streaming) reads directly against the same workload run
+/// inline.
+fn serve_cases(scale: RunScale) -> Vec<(usize, u64)> {
+    match scale {
+        RunScale::Full => vec![(100_000, 20)],
+        RunScale::Quick => vec![(10_000, 50)],
+    }
+}
+
+/// The `serve_stream` scenario at size `n`: the `churn` regime
+/// expressed as a scenario file (the daemon takes scenarios, not raw
+/// configs), with a 10s sampling grid so the stream carries a handful
+/// of boundary samples.
+fn serve_scenario(n: usize, horizon_secs: u64) -> crate::scenario::Scenario {
+    let mut spec = scrip_core::spec::MarketSpec::new(n, 50);
+    let lifespan = 500.0;
+    spec.set("profile", "asymmetric").expect("valid profile");
+    spec.set("churn", &format!("{}:{lifespan}:20", n as f64 / lifespan))
+        .expect("valid churn");
+    spec.set("sample", "10").expect("valid sample");
+    let mut scenario = crate::scenario::Scenario::new("serve-stream", spec);
+    scenario.run.horizon_secs = horizon_secs;
+    scenario.run.seed = 42;
+    scenario
+}
+
+/// Measures the job daemon end to end: start an in-process server on an
+/// ephemeral port with a throwaway state dir, submit the churn-regime
+/// scenario over the wire, subscribe, and time submit → final streamed
+/// sample. The entry's `events` is the simulator events the job
+/// processed (from its last sample), so events/sec reads against the
+/// inline `churn` rows; the gap is the daemon's all-in overhead.
+fn run_serve_case(n: usize, horizon_secs: u64, scale: &str) -> BenchEntry {
+    use crate::serve::{Client, ServeOptions, Server};
+    let state_dir = std::env::temp_dir().join(format!("scrip-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state_dir);
+    let server =
+        Server::start(&ServeOptions::new("127.0.0.1:0", &state_dir)).expect("bench daemon starts");
+    let addr = server.local_addr().to_string();
+    let text = serve_scenario(n, horizon_secs).to_file_string();
+
+    let mut client = Client::connect(&addr).expect("bench client connects");
+    let start = Instant::now();
+    let job = client
+        .submit(&text, Some("serve-bench"), None, None)
+        .expect("bench submit");
+    let mut samples = 0u64;
+    let mut events = 0u64;
+    let watcher = Client::connect(&addr).expect("bench watcher connects");
+    let state = watcher
+        .subscribe(&job, |payload| {
+            samples += 1;
+            if let Some(v) = payload
+                .split_whitespace()
+                .find_map(|kv| kv.strip_prefix("events="))
+            {
+                events = v.parse().unwrap_or(events);
+            }
+        })
+        .expect("bench stream");
+    let wall = start.elapsed().as_secs_f64().max(1e-9);
+    assert_eq!(state, "completed", "bench job must complete");
+    assert!(samples > 0, "stream must carry boundary samples");
+    client.drain().expect("bench drain");
+    server.join();
+    let _ = std::fs::remove_dir_all(&state_dir);
+    BenchEntry {
+        regime: "serve_stream".into(),
+        n,
+        scale: scale.into(),
+        events,
+        wall_secs: wall,
+        events_per_sec: events as f64 / wall,
+        peak_rss_bytes: peak_rss_bytes(),
+    }
+}
+
 /// Measures the cost of a wealth-Gini sample at size `n`: run the
 /// asymmetric market briefly to de-equalize wealth, then time repeated
 /// [`CreditMarket::wealth_gini`] calls.
@@ -485,6 +566,27 @@ pub fn run_bench(scale: RunScale) -> BenchReport {
             "bench {:<22} n={n:<7} {:>12.0} events/s ({} events in {:.2}s)",
             entry.regime, entry.events_per_sec, entry.events, entry.wall_secs
         );
+        report.entries.push(entry);
+    }
+    for (n, horizon) in serve_cases(scale) {
+        let entry = run_serve_case(n, horizon, scale_name);
+        eprintln!(
+            "bench {:<22} n={n:<7} {:>12.0} events/s ({} events in {:.2}s)",
+            entry.regime, entry.events_per_sec, entry.events, entry.wall_secs
+        );
+        // The inline churn row at the same (n, scale) is the anchor:
+        // the ratio is the daemon's all-in submit-to-last-sample cost.
+        if let Some(anchor) = report
+            .entries
+            .iter()
+            .find(|a| a.regime == "churn" && a.n == n && a.events_per_sec > 0.0)
+        {
+            eprintln!(
+                "bench {:<22} served/batch throughput: {:.3}x",
+                "serve_stream",
+                entry.events_per_sec / anchor.events_per_sec
+            );
+        }
         report.entries.push(entry);
     }
     for (attached, n, horizon) in probe_cases(scale) {
@@ -978,6 +1080,17 @@ mod tests {
             entries: vec![entry("churn_recorded", 1.0)],
         };
         assert!(record_overhead_failures(&orphan).is_empty());
+    }
+
+    #[test]
+    fn serve_case_measures_a_completed_streamed_job() {
+        // Miniature size; the real rows run under `scrip-sim bench`.
+        // The runner itself asserts completion and a non-empty stream.
+        let entry = run_serve_case(100, 50, "test");
+        assert_eq!(entry.regime, "serve_stream");
+        assert!(entry.events > 0 && entry.events_per_sec > 0.0);
+        let scenario = serve_scenario(100, 50);
+        scenario.validate().expect("serve scenario is valid");
     }
 
     #[test]

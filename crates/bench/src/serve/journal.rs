@@ -1,0 +1,294 @@
+//! The daemon's persistent queue: an append-only, line-oriented job
+//! journal.
+//!
+//! Every job transition is one appended line in `journal.log`:
+//!
+//! ```text
+//! accepted j1 <name> timeout=<secs> ckpt=<simsecs>
+//! running j1
+//! completed j1
+//! failed j1 <message…>
+//! cancel-requested j1
+//! cancelled j1
+//! ```
+//!
+//! Lines are written with a plain `write(2)` per transition (no
+//! userspace buffering), so a `kill -9` of the daemon loses at most the
+//! transition being written — and an interrupted final line is simply
+//! ignored on replay. Replay folds the log into per-job records: jobs
+//! whose last state is not terminal go back on the queue (a `running`
+//! job restarts, resuming from its checkpoint when one exists), and a
+//! non-terminal job with a pending cancel request is finalized as
+//! cancelled.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::Path;
+
+/// File name of the journal inside the state directory.
+pub const JOURNAL_FILE: &str = "journal.log";
+
+/// A job's lifecycle state, as recorded in the journal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished; its CSV is on disk.
+    Completed,
+    /// Errored or timed out, with the reason.
+    Failed(String),
+    /// Stopped by a cancel request (not a failure).
+    Cancelled,
+}
+
+impl JobState {
+    /// Whether the state is terminal (no worker will touch the job
+    /// again).
+    pub fn terminal(&self) -> bool {
+        matches!(
+            self,
+            JobState::Completed | JobState::Failed(_) | JobState::Cancelled
+        )
+    }
+
+    /// The state's wire word (the failure detail travels separately).
+    pub fn word(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Completed => "completed",
+            JobState::Failed(_) => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// One job as reconstructed from (and maintained alongside) the
+/// journal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobRecord {
+    /// The job id (`j1`, `j2`, … in acceptance order).
+    pub id: String,
+    /// The job's display name.
+    pub name: String,
+    /// Wall-clock budget in seconds (`0` = none).
+    pub timeout_secs: u64,
+    /// Checkpoint interval in simulated seconds (`0` = never).
+    pub checkpoint_every: u64,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Whether a cancel has been requested but not yet honored.
+    pub cancel_requested: bool,
+}
+
+/// The append side of the journal plus the replayed state.
+#[derive(Debug)]
+pub struct Journal {
+    file: std::fs::File,
+}
+
+impl Journal {
+    /// Opens (creating if absent) the journal in `state_dir` and replays
+    /// it. Returns the journal handle, every job keyed by id, and the
+    /// next unused numeric job id.
+    ///
+    /// # Errors
+    /// Returns a message when the state directory or journal cannot be
+    /// opened. Malformed lines (at most one, from an interrupted final
+    /// write) are skipped, not fatal.
+    pub fn open(state_dir: &Path) -> Result<(Journal, BTreeMap<String, JobRecord>, u64), String> {
+        let path = state_dir.join(JOURNAL_FILE);
+        let mut jobs: BTreeMap<String, JobRecord> = BTreeMap::new();
+        let mut next_id = 1u64;
+        let text = std::fs::read_to_string(&path).unwrap_or_default();
+        {
+            for line in text.lines() {
+                let mut words = line.splitn(3, ' ');
+                let (Some(verb), Some(id)) = (words.next(), words.next()) else {
+                    continue;
+                };
+                let rest = words.next().unwrap_or("");
+                match verb {
+                    "accepted" => {
+                        let mut fields = rest.split(' ');
+                        let name = fields.next().unwrap_or("job").to_string();
+                        let mut timeout_secs = 0;
+                        let mut checkpoint_every = 0;
+                        for field in fields {
+                            if let Some(v) = field.strip_prefix("timeout=") {
+                                timeout_secs = v.parse().unwrap_or(0);
+                            } else if let Some(v) = field.strip_prefix("ckpt=") {
+                                checkpoint_every = v.parse().unwrap_or(0);
+                            }
+                        }
+                        if let Some(n) = id.strip_prefix('j').and_then(|n| n.parse::<u64>().ok()) {
+                            next_id = next_id.max(n + 1);
+                        }
+                        jobs.insert(
+                            id.to_string(),
+                            JobRecord {
+                                id: id.to_string(),
+                                name,
+                                timeout_secs,
+                                checkpoint_every,
+                                state: JobState::Queued,
+                                cancel_requested: false,
+                            },
+                        );
+                    }
+                    "running" | "completed" | "failed" | "cancelled" | "cancel-requested" => {
+                        let Some(job) = jobs.get_mut(id) else {
+                            continue;
+                        };
+                        match verb {
+                            "running" => job.state = JobState::Running,
+                            "completed" => job.state = JobState::Completed,
+                            "failed" => job.state = JobState::Failed(rest.to_string()),
+                            "cancelled" => {
+                                job.state = JobState::Cancelled;
+                                job.cancel_requested = false;
+                            }
+                            _ => job.cancel_requested = true,
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        let mut journal = Journal { file };
+        // A torn, newline-less fragment from a crash mid-append must
+        // not splice into the next line: terminate it now.
+        if !text.is_empty() && !text.ends_with('\n') {
+            journal.append("")?;
+        }
+        // Finalize cancels interrupted by a crash: the request is
+        // durable, the worker that would honor it is gone.
+        for job in jobs.values_mut() {
+            if job.cancel_requested && !job.state.terminal() {
+                job.state = JobState::Cancelled;
+                job.cancel_requested = false;
+                journal.append(&format!("cancelled {}", job.id))?;
+            }
+        }
+        Ok((journal, jobs, next_id))
+    }
+
+    /// Appends one journal line, issuing the write immediately.
+    ///
+    /// # Errors
+    /// Returns a message on I/O failure.
+    pub fn append(&mut self, line: &str) -> Result<(), String> {
+        self.file
+            .write_all(format!("{line}\n").as_bytes())
+            .map_err(|e| format!("journal: {e}"))
+    }
+}
+
+/// Ids of replayed jobs that need a worker, in acceptance order:
+/// queued jobs plus jobs a dead daemon left running.
+pub fn recoverable(jobs: &BTreeMap<String, JobRecord>) -> Vec<String> {
+    let mut ids: Vec<&JobRecord> = jobs.values().filter(|j| !j.state.terminal()).collect();
+    ids.sort_by_key(|j| {
+        j.id.strip_prefix('j')
+            .and_then(|n| n.parse::<u64>().ok())
+            .unwrap_or(u64::MAX)
+    });
+    ids.into_iter().map(|j| j.id.clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_state_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "scrip-journal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create state dir");
+        dir
+    }
+
+    #[test]
+    fn replay_restores_states_and_requeues_interrupted_jobs() {
+        let dir = temp_state_dir("replay");
+        {
+            let (mut journal, jobs, next) = Journal::open(&dir).expect("opens");
+            assert!(jobs.is_empty());
+            assert_eq!(next, 1);
+            journal
+                .append("accepted j1 alpha timeout=0 ckpt=100")
+                .expect("append");
+            journal.append("running j1").expect("append");
+            journal.append("completed j1").expect("append");
+            journal
+                .append("accepted j2 beta timeout=30 ckpt=0")
+                .expect("append");
+            journal.append("running j2").expect("append");
+            journal
+                .append("accepted j3 gamma timeout=0 ckpt=0")
+                .expect("append");
+        }
+        let (_journal, jobs, next) = Journal::open(&dir).expect("replays");
+        assert_eq!(next, 4);
+        assert_eq!(jobs["j1"].state, JobState::Completed);
+        assert_eq!(jobs["j2"].state, JobState::Running);
+        assert_eq!(jobs["j2"].timeout_secs, 30);
+        assert_eq!(jobs["j3"].state, JobState::Queued);
+        assert_eq!(jobs["j1"].checkpoint_every, 100);
+        assert_eq!(recoverable(&jobs), vec!["j2", "j3"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pending_cancels_finalize_as_cancelled_on_replay() {
+        let dir = temp_state_dir("cancel");
+        {
+            let (mut journal, _, _) = Journal::open(&dir).expect("opens");
+            journal
+                .append("accepted j1 alpha timeout=0 ckpt=0")
+                .expect("append");
+            journal.append("running j1").expect("append");
+            journal.append("cancel-requested j1").expect("append");
+        }
+        let (_journal, jobs, _) = Journal::open(&dir).expect("replays");
+        assert_eq!(jobs["j1"].state, JobState::Cancelled);
+        assert!(!jobs["j1"].cancel_requested);
+        assert!(recoverable(&jobs).is_empty());
+        // The finalization is itself journaled: a third replay agrees.
+        let (_journal, jobs, _) = Journal::open(&dir).expect("replays again");
+        assert_eq!(jobs["j1"].state, JobState::Cancelled);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_final_line_is_ignored() {
+        let dir = temp_state_dir("torn");
+        {
+            let (mut journal, _, _) = Journal::open(&dir).expect("opens");
+            journal
+                .append("accepted j1 alpha timeout=0 ckpt=0")
+                .expect("append");
+        }
+        // Simulate a crash mid-append: a torn, newline-less fragment.
+        let path = dir.join(JOURNAL_FILE);
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .expect("open");
+        file.write_all(b"runni").expect("torn write");
+        let (_journal, jobs, next) = Journal::open(&dir).expect("replays");
+        assert_eq!(jobs["j1"].state, JobState::Queued);
+        assert_eq!(next, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,157 @@
+//! Process-level crash-safety of `scrip-sim serve`: kill the daemon
+//! mid-job with SIGKILL, restart it on the same state directory, and
+//! require the resumed job's served CSV to be byte-identical to a
+//! straight `scrip-sim run` of the same scenario.
+
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use scrip_bench::serve::{Client, THROTTLE_ENV};
+
+const SIM: &str = env!("CARGO_BIN_EXE_scrip-sim");
+
+fn repo_path(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("scrip-serve-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Spawns a daemon on an ephemeral port over `state_dir` and waits for
+/// its addr file; `throttle_ms` > 0 slows the worker at every sampling
+/// boundary so the test can reliably kill it mid-run.
+fn spawn_daemon(state_dir: &std::path::Path, throttle_ms: u64) -> (Child, String) {
+    let addr_file = state_dir.join("addr");
+    let _ = std::fs::remove_file(&addr_file);
+    let mut command = Command::new(SIM);
+    command
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "1",
+            "--state-dir",
+        ])
+        .arg(state_dir)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    if throttle_ms > 0 {
+        command.env(THROTTLE_ENV, throttle_ms.to_string());
+    }
+    let mut child = command.spawn().expect("daemon spawns");
+    for _ in 0..400 {
+        if let Ok(addr) = std::fs::read_to_string(&addr_file) {
+            return (child, addr.trim().to_string());
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let _ = child.kill();
+    let _ = child.wait();
+    panic!("daemon never wrote its addr file");
+}
+
+/// The batch-run CSV for a scenario file: `scrip-sim run FILE --csv`
+/// stdout from its `# scenario:` line onward (the summary lines above
+/// it are not part of the CSV).
+fn batch_csv(scn: &std::path::Path) -> String {
+    let output = Command::new(SIM)
+        .args(["run"])
+        .arg(scn)
+        .args(["--csv", "--serial"])
+        .output()
+        .expect("batch run executes");
+    assert!(output.status.success(), "batch run succeeds");
+    let stdout = String::from_utf8(output.stdout).expect("utf-8");
+    let start = stdout.find("# scenario:").expect("CSV header present");
+    stdout[start..].to_string()
+}
+
+#[test]
+fn killed_daemon_resumes_and_serves_the_batch_identical_csv() {
+    let dir = temp_dir("kill");
+    let scn = repo_path("examples/scenarios/fault_recovery.scn");
+    let text = std::fs::read_to_string(&scn).expect("scenario readable");
+
+    // Throttled daemon: ~40ms per sampling boundary gives a wide window
+    // in which the job is running with a checkpoint on disk.
+    let (mut daemon, addr) = spawn_daemon(&dir, 40);
+    let mut client = Client::connect(&addr).expect("connects");
+    let job = client
+        .submit(&text, Some("recovery"), None, Some(100))
+        .expect("submits");
+    let ckpt = dir.join(format!("job-{job}.ckpt"));
+    let mut armed = false;
+    for _ in 0..600 {
+        let running = client.status(&job).expect("status") == "running";
+        if running && ckpt.exists() {
+            armed = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(armed, "job must be mid-run with a checkpoint on disk");
+    daemon.kill().expect("SIGKILL lands");
+    daemon.wait().expect("daemon reaped");
+
+    // Same state directory, fresh daemon, no throttle: the journal
+    // replays, the job re-queues, and the worker resumes from the
+    // snapshot instead of starting over.
+    let (mut daemon, addr) = spawn_daemon(&dir, 0);
+    let mut client = Client::connect(&addr).expect("reconnects");
+    let state = client.wait_terminal(&job, 120).expect("job finishes");
+    assert_eq!(state, "completed", "recovered job completes");
+    let served = client.result_csv(&job).expect("served CSV");
+    assert_eq!(
+        served,
+        batch_csv(&scn),
+        "served CSV after kill-and-restart must equal the batch CSV"
+    );
+    let stats = client.stats().expect("stats");
+    assert!(stats.contains("completed=1"), "stats: {stats}");
+    client.drain().expect("drains");
+    daemon.wait().expect("daemon exits after drain");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tail_follow_prints_the_sample_stream_through_the_end_frame() {
+    let dir = temp_dir("tail");
+    let scn = repo_path("examples/scenarios/fault_recovery.scn");
+    let text = std::fs::read_to_string(&scn).expect("scenario readable");
+
+    let (mut daemon, addr) = spawn_daemon(&dir, 0);
+    let mut client = Client::connect(&addr).expect("connects");
+    // --follow starts before the job so the tailer sees the file grow.
+    let job = client.submit(&text, None, None, None).expect("submits");
+    let tail = Command::new(SIM)
+        .args(["tail", "--follow"])
+        .arg(dir.join(format!("job-{job}.samples.trc")))
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("tail spawns");
+    let state = client.wait_terminal(&job, 120).expect("job finishes");
+    assert_eq!(state, "completed");
+    let output = tail
+        .wait_with_output()
+        .expect("tail exits at the end frame");
+    assert!(output.status.success(), "tail exits cleanly");
+    let stdout = String::from_utf8(output.stdout).expect("utf-8");
+    // fault_recovery: horizon 1000s on a 60s grid = 16 boundaries.
+    let events = stdout.lines().filter(|l| l.starts_with("event ")).count();
+    assert_eq!(events, 16, "tail output:\n{stdout}");
+    assert!(
+        stdout.lines().any(|l| l.starts_with("end ")),
+        "tail must print the end frame: {stdout}"
+    );
+    client.drain().expect("drains");
+    daemon.wait().expect("daemon exits after drain");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -576,6 +576,46 @@ fn describe_payload(payload: &[u8]) -> String {
     }
 }
 
+/// One sampling-boundary observation, handed to a [`SampleSink`] the
+/// moment the boundary's probes have run. This is the incremental
+/// (streaming) counterpart of the end-of-run [`RunRecord`]: a scalar
+/// summary of the market at one boundary, cheap enough to emit at every
+/// tick without touching the probe registry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LiveSample {
+    /// The sampling-boundary instant.
+    pub time: SimTime,
+    /// Kernel events dispatched so far.
+    pub events_processed: u64,
+    /// Live peers at the boundary.
+    pub peers: usize,
+    /// Cumulative successful purchases.
+    pub purchases: u64,
+    /// Cumulative denied purchase attempts.
+    pub denied: u64,
+    /// Cumulative credits spent by live peers.
+    pub total_spent: u64,
+    /// Wealth Gini at the boundary — [`None`] when the market has no
+    /// live peers to measure.
+    pub wealth_gini: Option<f64>,
+}
+
+/// A consumer of per-boundary [`LiveSample`]s — the live-telemetry
+/// counterpart of [`Probe`]. Sinks are transient observers: they carry
+/// no checkpointed state, may be attached at any point (including to a
+/// [`Session::resume`]d session), and never influence the simulation —
+/// a session with a sink produces output byte-identical to one without.
+pub trait SampleSink: Send {
+    /// Called once per sampling boundary, after every probe has run.
+    fn on_sample(&mut self, sample: &LiveSample);
+}
+
+impl<F: FnMut(&LiveSample) + Send> SampleSink for F {
+    fn on_sample(&mut self, sample: &LiveSample) {
+        self(sample)
+    }
+}
+
 /// Trace state attached to a session: either recording the event
 /// stream or verifying a live re-execution against a recorded one.
 enum Tracer {
@@ -684,6 +724,18 @@ impl Tracer {
                         false
                     }
                     Some(TraceFrame::Digest { .. }) => unreachable!("digest frames skipped above"),
+                    Some(TraceFrame::End { time: rt, .. }) => {
+                        *divergence = Some(TraceDivergence {
+                            time,
+                            seq: Some(seq),
+                            expected: format!(
+                                "end of trace (recorded run finished at t={}µs)",
+                                rt.as_micros()
+                            ),
+                            actual,
+                        });
+                        false
+                    }
                     None => {
                         *divergence = Some(TraceDivergence {
                             time,
@@ -799,6 +851,10 @@ pub struct Session {
     /// Attached trace recorder/verifier, if any. Boxed: sessions
     /// without one pay a single pointer of overhead.
     tracer: Option<Box<Tracer>>,
+    /// Live telemetry sink, if any; fed one [`LiveSample`] per
+    /// sampling boundary. Never checkpointed — sinks are transient
+    /// observers re-attached by the caller after a resume.
+    sink: Option<Box<dyn SampleSink>>,
 }
 
 impl Session {
@@ -859,7 +915,18 @@ impl Session {
             last_denied: 0,
             started: false,
             tracer: None,
+            sink: None,
         })
+    }
+
+    /// Attaches a live telemetry sink, replacing any previous one: from
+    /// here on every sampling boundary hands it a [`LiveSample`] right
+    /// after the boundary's probes run. Unlike [`Session::attach`] this
+    /// is legal at any point in the run — including on a resumed
+    /// session — because sinks observe without participating: the
+    /// simulation's output is byte-identical with or without one.
+    pub fn stream_samples_to(&mut self, sink: Box<dyn SampleSink>) {
+        self.sink = Some(sink);
     }
 
     /// Attaches a probe. Its [`Probe::extra_stops`] are merged into the
@@ -961,6 +1028,7 @@ impl Session {
     /// Delivers `on_settle` + `on_sample` to every probe at boundary
     /// `now`.
     fn dispatch_sample(&mut self, now: SimTime) {
+        let events_processed = self.stats().events_processed;
         let view: &dyn MarketView = match &self.sim {
             SessionSim::Queue(sim) => sim.model(),
             SessionSim::Sharded(sim) => sim.model().market(),
@@ -975,6 +1043,17 @@ impl Session {
         for probe in &mut self.probes {
             probe.on_settle(now, settled_delta, denied_delta);
             probe.on_sample(now, view);
+        }
+        if let Some(sink) = &mut self.sink {
+            sink.on_sample(&LiveSample {
+                time: now,
+                events_processed,
+                peers: view.peer_count(),
+                purchases,
+                denied,
+                total_spent: view.total_spent(),
+                wealth_gini: view.wealth_gini().ok(),
+            });
         }
     }
 
@@ -1018,9 +1097,15 @@ impl Session {
     /// zero overhead over driving the simulator directly. May be called
     /// repeatedly with increasing horizons.
     pub fn run_until(&mut self, horizon: SimTime) {
-        if self.probes.is_empty() && self.tracer.is_none() {
+        if self.probes.is_empty() && self.tracer.is_none() && self.sink.is_none() {
             self.started = true;
             self.sim_run_until(horizon);
+            // Keep the sampling grid aligned with the clock: a later
+            // consumer (a checkpoint resumed with a sink attached, say)
+            // must not observe phantom boundaries the fast path skipped.
+            while self.next_tick <= self.now() {
+                self.next_tick += self.interval;
+            }
             return;
         }
         self.ensure_started();
@@ -1231,12 +1316,19 @@ impl Session {
     /// divergence a replay halted at, or when the recorded run
     /// continued past this one's horizon.
     pub fn finish_trace(&mut self) -> Result<(), CoreError> {
+        let close_at = self.now();
+        let events_processed = self.stats().events_processed;
         match self.tracer.take().map(|boxed| *boxed) {
             None => Ok(()),
-            Some(Tracer::Record { writer, error, .. }) => {
+            Some(Tracer::Record {
+                mut writer, error, ..
+            }) => {
                 if let Some(e) = error {
                     return Err(trace_err(e));
                 }
+                // Close the log with an end frame so tailing consumers
+                // can tell "run over" from "writer between flushes".
+                writer.end(close_at, events_processed).map_err(trace_err)?;
                 writer.finish().map(|_| ()).map_err(trace_err)
             }
             Some(Tracer::Verify {
@@ -1410,6 +1502,7 @@ impl Session {
             last_denied,
             started,
             tracer: None,
+            sink: None,
         })
     }
 
@@ -1935,5 +2028,73 @@ mod tests {
             session.replay_from(&path.0),
             Err(CoreError::Trace(_))
         ));
+    }
+
+    #[test]
+    fn sample_sink_observes_every_boundary_without_perturbing() {
+        let config = MarketConfig::new(30, 20);
+        let horizon = SimTime::from_secs(500);
+        let baseline = {
+            let mut s = Session::from_config(&config, 5).expect("builds");
+            s.run_until(horizon);
+            s.finish().1.queue().expect("queue").balances_sorted()
+        };
+        let samples = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let tap = samples.clone();
+        let mut s = Session::from_config(&config, 5).expect("builds");
+        s.stream_samples_to(Box::new(move |sample: &LiveSample| {
+            tap.lock().expect("sink lock").push(sample.clone());
+        }));
+        s.run_until(horizon);
+        assert_eq!(
+            s.finish().1.queue().expect("queue").balances_sorted(),
+            baseline,
+            "a sink observes without influencing the run"
+        );
+        let samples = samples.lock().expect("sink lock");
+        // Regular ticks at 100..=500 (default sample interval 100).
+        assert_eq!(samples.len(), 5);
+        assert!(samples.windows(2).all(|w| w[0].time < w[1].time));
+        let last = samples.last().expect("sampled");
+        assert_eq!(last.time, horizon);
+        assert!(last.purchases > 0);
+        assert!(last.peers > 0);
+        assert!(last.events_processed > 0);
+        assert!(last.wealth_gini.is_some());
+    }
+
+    #[test]
+    fn sample_sink_attaches_to_resumed_sessions() {
+        let config = MarketConfig::new(30, 20);
+        let mut s = Session::from_config(&config, 5).expect("builds");
+        s.run_until(SimTime::from_secs(200));
+        let ckpt = s.checkpoint().expect("checkpoints");
+        s.run_until(SimTime::from_secs(500));
+        let baseline = s.finish().1.queue().expect("queue").balances_sorted();
+
+        // record_to is unusable on a resumed session (it already
+        // started) — stream_samples_to is not.
+        let mut resumed = Session::resume(&config, Vec::new(), &ckpt).expect("resumes");
+        let times = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let tap = times.clone();
+        resumed.stream_samples_to(Box::new(move |sample: &LiveSample| {
+            tap.lock().expect("sink lock").push(sample.time);
+        }));
+        resumed.run_until(SimTime::from_secs(500));
+        assert_eq!(
+            resumed.finish().1.queue().expect("queue").balances_sorted(),
+            baseline,
+            "resume + sink reproduces the uninterrupted run"
+        );
+        let times = times.lock().expect("sink lock");
+        assert_eq!(
+            *times,
+            vec![
+                SimTime::from_secs(300),
+                SimTime::from_secs(400),
+                SimTime::from_secs(500)
+            ],
+            "only post-resume boundaries reach the sink"
+        );
     }
 }

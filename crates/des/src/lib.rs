@@ -88,5 +88,5 @@ pub use sampler::FenwickSampler;
 pub use shard::{CrossShardLog, LoggedEffect, ShardCtx, ShardModel, ShardedSimulation};
 pub use sim::{Model, RunStats, Simulation};
 pub use time::{SimDuration, SimTime};
-pub use trace::{TraceError, TraceFrame, TraceHeader, TraceReader, TraceWriter};
+pub use trace::{TraceError, TraceFrame, TraceHeader, TraceReader, TraceTailer, TraceWriter};
 pub use wheel::TimingWheel;

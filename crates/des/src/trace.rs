@@ -7,6 +7,7 @@
 //! header:        "SCRIPTRC" | version u32 | config fingerprint u64 | seed u64
 //! event frame:   0x01 | time u64 (µs) | seq u64 | len u32 | payload | checksum u64
 //! digest frame:  0x02 | time u64 (µs) | events_processed u64 | digest u64 | checksum u64
+//! end frame:     0x03 | time u64 (µs) | events_processed u64 | checksum u64
 //! ```
 //!
 //! All integers are little-endian. Every frame carries an FNV-1a
@@ -26,23 +27,34 @@
 //! [`TraceReader`] is the append-only consumer side: any number of
 //! registered consumers hold independent cursors over the same byte
 //! log, and [`TraceReader::extend`] grows the log in place so a live
-//! consumer can tail a trace still being written.
+//! consumer can tail a trace still being written. [`TraceTailer`]
+//! packages that into a file follower: it polls a path for appended
+//! bytes, treats a partial frame at the tail as "wait for the writer's
+//! next flush" rather than an error, and reports completion when the
+//! end frame lands.
+//!
+//! The end frame (written by [`TraceWriter::end`]) marks an
+//! intentionally finished log. Without it, a tailing consumer cannot
+//! distinguish "the writer is between flushes" from "the run is over" —
+//! with it, truncation stays fail-closed even for live followers.
 
 use std::fmt;
-use std::io::Write;
-use std::path::Path;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
 
 use crate::time::SimTime;
 
 /// Magic prefix of every trace file ("SCRIPTRC" as bytes).
 pub const TRACE_MAGIC: [u8; 8] = *b"SCRIPTRC";
 /// Trace format version; bump on any layout change.
-pub const TRACE_VERSION: u32 = 1;
+pub const TRACE_VERSION: u32 = 2;
 
 /// Frame tag for an applied event.
 const TAG_EVENT: u8 = 0x01;
 /// Frame tag for a state digest.
 const TAG_DIGEST: u8 = 0x02;
+/// Frame tag for the end-of-log marker.
+const TAG_END: u8 = 0x03;
 
 /// Byte length of the fixed header.
 const HEADER_LEN: usize = 8 + 4 + 8 + 8;
@@ -156,13 +168,22 @@ pub enum TraceFrame {
         /// The model's state digest (see `MarketView::state_digest`).
         digest: u64,
     },
+    /// The end-of-log marker: the writer finished intentionally.
+    End {
+        /// The instant the log was closed.
+        time: SimTime,
+        /// Total events dispatched over the recorded run.
+        events_processed: u64,
+    },
 }
 
 impl TraceFrame {
-    /// The frame's instant (event fire time or digest boundary).
+    /// The frame's instant (event fire time, digest boundary, or close).
     pub fn time(&self) -> SimTime {
         match self {
-            TraceFrame::Event { time, .. } | TraceFrame::Digest { time, .. } => *time,
+            TraceFrame::Event { time, .. }
+            | TraceFrame::Digest { time, .. }
+            | TraceFrame::End { time, .. } => *time,
         }
     }
 }
@@ -226,6 +247,20 @@ impl<W: Write> TraceWriter<W> {
         self.buf.extend_from_slice(&time.as_micros().to_le_bytes());
         self.buf.extend_from_slice(&events_processed.to_le_bytes());
         self.buf.extend_from_slice(&digest.to_le_bytes());
+        let check = fnv1a(&self.buf[start..]);
+        self.buf.extend_from_slice(&check.to_le_bytes());
+        self.frames += 1;
+        self.maybe_flush()
+    }
+
+    /// Appends the end-of-log marker. The writer stays usable (so the
+    /// caller can still `finish`), but a tailing reader treats the log
+    /// as complete from this frame on.
+    pub fn end(&mut self, time: SimTime, events_processed: u64) -> Result<(), TraceError> {
+        let start = self.buf.len();
+        self.buf.push(TAG_END);
+        self.buf.extend_from_slice(&time.as_micros().to_le_bytes());
+        self.buf.extend_from_slice(&events_processed.to_le_bytes());
         let check = fnv1a(&self.buf[start..]);
         self.buf.extend_from_slice(&check.to_le_bytes());
         self.frames += 1;
@@ -412,7 +447,124 @@ fn decode_frame(bytes: &[u8], offset: usize) -> Result<Option<(TraceFrame, usize
                 offset + 33,
             )))
         }
+        TAG_END => {
+            let time = u64_at(offset + 1)?;
+            let events_processed = u64_at(offset + 9)?;
+            let check = u64_at(offset + 17)?;
+            if check != fnv1a(&bytes[offset..offset + 17]) {
+                return Err(TraceError::Corrupt { offset });
+            }
+            Ok(Some((
+                TraceFrame::End {
+                    time: SimTime::from_micros(time),
+                    events_processed,
+                },
+                offset + 25,
+            )))
+        }
         _ => Err(TraceError::Corrupt { offset }),
+    }
+}
+
+/// Follows a trace file still being written: each [`TraceTailer::poll`]
+/// picks up bytes appended since the last poll and decodes every whole
+/// frame they complete. A partial frame at the tail (the writer is
+/// between flushes, or crashed mid-write) is not an error from the
+/// tailer's point of view — the frame is simply not delivered yet; the
+/// caller decides how long to keep waiting. Checksum failures and
+/// header mismatches stay fail-closed.
+#[derive(Debug)]
+pub struct TraceTailer {
+    path: PathBuf,
+    /// Bytes consumed from the file so far.
+    offset: u64,
+    /// Header bytes accumulated before the reader could be built.
+    pending: Vec<u8>,
+    reader: Option<TraceReader>,
+    consumer: usize,
+    finished: bool,
+}
+
+impl TraceTailer {
+    /// Starts tailing `path`. The file may not exist yet — polling
+    /// before the writer creates it simply yields no frames.
+    pub fn new(path: &Path) -> Self {
+        TraceTailer {
+            path: path.to_path_buf(),
+            offset: 0,
+            pending: Vec::new(),
+            reader: None,
+            consumer: 0,
+            finished: false,
+        }
+    }
+
+    /// Whether the end-of-log frame has been delivered: the writer
+    /// finished intentionally and no further frames will arrive.
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// The trace header, once enough bytes have landed to decode it.
+    pub fn header(&self) -> Option<&TraceHeader> {
+        self.reader.as_ref().map(|r| r.header())
+    }
+
+    /// Reads any bytes appended since the last poll and returns every
+    /// whole frame they complete (possibly none). `Ok(vec![])` means
+    /// "nothing new yet", including before the file exists.
+    pub fn poll(&mut self) -> Result<Vec<TraceFrame>, TraceError> {
+        let fresh = self.read_growth()?;
+        if !fresh.is_empty() {
+            match &mut self.reader {
+                Some(reader) => reader.extend(&fresh),
+                None => {
+                    self.pending.extend_from_slice(&fresh);
+                    if self.pending.len() >= HEADER_LEN {
+                        let mut reader =
+                            TraceReader::from_bytes(std::mem::take(&mut self.pending))?;
+                        self.consumer = reader.register_consumer();
+                        self.reader = Some(reader);
+                    }
+                }
+            }
+        }
+        let mut frames = Vec::new();
+        if let Some(reader) = &mut self.reader {
+            loop {
+                match reader.next_frame(self.consumer) {
+                    Ok(Some(frame)) => {
+                        if matches!(frame, TraceFrame::End { .. }) {
+                            self.finished = true;
+                        }
+                        frames.push(frame);
+                    }
+                    Ok(None) => break,
+                    // Partial frame at the tail: the cursor did not
+                    // advance, so the next poll retries it once the
+                    // writer's flush completes it.
+                    Err(TraceError::Truncated { .. }) => break,
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Ok(frames)
+    }
+
+    /// Reads file bytes past `self.offset`, advancing the offset.
+    fn read_growth(&mut self) -> Result<Vec<u8>, TraceError> {
+        let mut file = match std::fs::File::open(&self.path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(TraceError::Io(format!("{}: {e}", self.path.display()))),
+        };
+        file.seek(SeekFrom::Start(self.offset))
+            .map_err(|e| TraceError::Io(e.to_string()))?;
+        let mut fresh = Vec::new();
+        file.read_to_end(&mut fresh)
+            .map_err(|e| TraceError::Io(e.to_string()))?;
+        self.offset += fresh.len() as u64;
+        Ok(fresh)
     }
 }
 
@@ -546,6 +698,92 @@ mod tests {
             TraceReader::from_bytes(bad_version).unwrap_err(),
             TraceError::Version { found: 99 }
         );
+    }
+
+    #[test]
+    fn end_frame_round_trips_and_marks_completion() {
+        let mut w = TraceWriter::new(
+            Vec::new(),
+            TraceHeader {
+                fingerprint: 9,
+                seed: 3,
+            },
+        );
+        w.event(SimTime::from_secs(1), 0, b"a").expect("event");
+        w.end(SimTime::from_secs(5), 17).expect("end");
+        let bytes = w.finish().expect("finish");
+        let mut r = TraceReader::from_bytes(bytes).expect("valid trace");
+        let c = r.register_consumer();
+        r.next_frame(c).expect("frame").expect("event");
+        assert_eq!(
+            r.next_frame(c).expect("frame"),
+            Some(TraceFrame::End {
+                time: SimTime::from_secs(5),
+                events_processed: 17
+            })
+        );
+        assert_eq!(r.next_frame(c).expect("eof"), None);
+    }
+
+    #[test]
+    fn tailer_delivers_frames_as_the_file_grows() {
+        let path = std::env::temp_dir().join(format!(
+            "scrip-tailer-{}-{:?}.trc",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let mut tailer = TraceTailer::new(&path);
+        // Nothing exists yet: clean empty poll.
+        assert_eq!(tailer.poll().expect("pre-file poll"), Vec::new());
+
+        let full = {
+            let mut w = TraceWriter::new(
+                Vec::new(),
+                TraceHeader {
+                    fingerprint: 7,
+                    seed: 11,
+                },
+            );
+            w.event(SimTime::from_secs(1), 0, b"alpha").expect("event");
+            w.digest(SimTime::from_secs(1), 1, 0xAB).expect("digest");
+            w.end(SimTime::from_secs(1), 1).expect("end");
+            w.finish().expect("finish")
+        };
+
+        // Write the header plus a *partial* first frame: the tailer
+        // must wait, not error.
+        std::fs::write(&path, &full[..HEADER_LEN + 5]).expect("write");
+        assert!(tailer
+            .poll()
+            .expect("partial tail is not an error")
+            .is_empty());
+        assert!(!tailer.finished());
+        assert_eq!(tailer.header().map(|h| h.seed), Some(11));
+
+        // Complete the file: all three frames land, end observed.
+        std::fs::write(&path, &full).expect("rewrite grows the file");
+        let frames = tailer.poll().expect("poll");
+        assert_eq!(frames.len(), 3);
+        assert!(matches!(frames[2], TraceFrame::End { .. }));
+        assert!(tailer.finished());
+        assert_eq!(tailer.poll().expect("drained"), Vec::new());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn tailer_propagates_corruption() {
+        let path = std::env::temp_dir().join(format!(
+            "scrip-tailer-corrupt-{}-{:?}.trc",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let mut full = sample_trace();
+        full[HEADER_LEN + 25] ^= 0x40;
+        std::fs::write(&path, &full).expect("write");
+        let mut tailer = TraceTailer::new(&path);
+        assert!(matches!(tailer.poll(), Err(TraceError::Corrupt { .. })));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
